@@ -1,0 +1,34 @@
+"""DESIGN ablations + Section 5 extension — regenerate and time."""
+
+from __future__ import annotations
+
+
+def test_bench_ablation(run_and_save):
+    result = run_and_save("ablation")
+    for table in result.tables:
+        by_variant = {row[0]: row for row in table.rows}
+        # Columns: variant, win rate, consensus rate, steps, top fraction.
+        # The full protocol reaches consensus; both ablated variants stall.
+        assert by_variant["full"][2] > 0.5
+        assert by_variant["single-sample"][2] == 0.0
+        assert by_variant["no-propagation"][2] == 0.0
+
+
+def test_bench_ext_delayed(run_and_save):
+    result = run_and_save("ext-delayed")
+    rows = result.tables[0].rows
+    # Correctness preserved for every exchange delay.
+    assert all(row[2] == 1.0 and row[3] == 1.0 for row in rows)
+    # Slowdown is monotone in the mean exchange delay.
+    times = [row[4] for row in rows]
+    assert times == sorted(times)
+
+
+def test_bench_ext_distributions(run_and_save):
+    result = run_and_save("ext-distributions")
+    rows = result.tables[0].rows
+    # Correctness carries over to every latency law.
+    assert all(row[2] == 1.0 and row[3] == 1.0 for row in rows)
+    # Unit-normalized times agree within a factor of two across laws.
+    unit_times = [row[5] for row in rows]
+    assert max(unit_times) < 2.0 * min(unit_times)

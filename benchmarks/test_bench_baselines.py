@@ -1,0 +1,36 @@
+"""Section 1.1 — generations vs classical dynamics face-off."""
+
+from __future__ import annotations
+
+import math
+
+
+def test_bench_baselines(run_and_save):
+    result = run_and_save("baselines")
+    sync_rows = result.tables[0].rows
+    # Columns: k, n, generations, gen win, 3maj, 3maj win, 2c, 2c win, usd, usd win.
+    # Inside the validity regime the generation protocol wins every seed.
+    assert all(row[3] == 1.0 for row in sync_rows)
+    # 3-majority's Theta(k log n) growth outpaces the generation
+    # protocol's polylog growth along the k sweep.
+    by_k = {row[0]: row for row in sync_rows}
+    ks = sorted(by_k)
+    k_low, k_high = ks[0], ks[-1]
+    if not math.isnan(by_k[k_high][4]):
+        three_majority_growth = by_k[k_high][4] / by_k[k_low][4]
+        generations_growth = by_k[k_high][2] / by_k[k_low][2]
+        assert three_majority_growth > generations_growth
+
+    regime_rows = result.tables[1].rows
+    # Below Theorem 1's bias floor the generation protocol loses —
+    # the precondition is real, not an artifact of the analysis.
+    assert regime_rows[0][3] > regime_rows[0][2]  # floor > alpha
+    assert regime_rows[0][4] < 1.0  # win rate suffers
+
+    voter_rows = result.tables[2].rows
+    # Pull voting pays Omega(n): round count comparable to n.
+    assert voter_rows[0][2] > 0.3  # rounds/n
+
+    population = result.tables[3].rows
+    names = [row[0] for row in population]
+    assert "3-state-majority" in names and "4-state-exact-majority" in names

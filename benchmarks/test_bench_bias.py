@@ -1,0 +1,19 @@
+"""Lemma 4 / Corollary 7 / Proposition 8 — bias-squaring table."""
+
+from __future__ import annotations
+
+import math
+
+
+def test_bench_bias_squaring(run_and_save):
+    result = run_and_save("bias2")
+    rows = result.tables[0].rows
+    finite = [row for row in rows if isinstance(row[2], float) and math.isfinite(row[2])]
+    assert len(finite) >= 3
+    # Every finite generation stays within the concentration envelope and
+    # respects Remark 2's collision floor.
+    assert all(row[4] is True or row[4] == "yes" for row in finite)
+    # The recursion actually squares: measured alpha_i grows faster than
+    # linearly generation over generation.
+    biases = [row[2] for row in finite]
+    assert all(b > a * 1.2 for a, b in zip(biases, biases[1:]))

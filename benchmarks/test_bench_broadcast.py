@@ -1,0 +1,16 @@
+"""Theorem 28 — constant-time leader broadcast table."""
+
+from __future__ import annotations
+
+
+def test_bench_thm28(run_and_save):
+    result = run_and_save("thm28")
+    rows = result.tables[0].rows
+    assert all(row[2] == 1.0 for row in rows)  # every broadcast completed
+    times = [row[3] for row in rows]
+    ns = [row[0] for row in rows]
+    # O(1): time at the largest n stays within a small factor of the
+    # smallest, while n itself grew by 16x+.
+    assert ns[-1] / ns[0] >= 16
+    assert times[-1] < 3.0 * times[0]
+    assert max(times) < 3.0  # well under a handful of time units

@@ -1,0 +1,15 @@
+"""Theorem 27 — clustering coverage and switch-spread table."""
+
+from __future__ import annotations
+
+
+def test_bench_thm27(run_and_save):
+    result = run_and_save("thm27")
+    rows = result.tables[0].rows
+    assert rows
+    for row in rows:
+        clustered, active, spread = row[2], row[3], row[4]
+        assert clustered > 0.75
+        assert active > 0.6
+        # Theorem 27: t_l - t_f = O(1) time units, independent of n.
+        assert spread == spread and spread < 2.0

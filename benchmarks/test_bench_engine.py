@@ -1,0 +1,51 @@
+"""Microbenchmarks of the discrete-event substrate itself."""
+
+from __future__ import annotations
+
+from repro.engine.events import EventQueue
+from repro.engine.rng import RngRegistry
+from repro.engine.simulator import Simulator
+
+
+def test_bench_event_queue_push_pop(benchmark):
+    """Throughput of 10k push + 10k pop on the binary-heap queue."""
+    rng = RngRegistry(0).stream("bench-queue")
+    times = rng.random(10_000).tolist()
+
+    def churn():
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        drained = 0
+        while queue:
+            queue.pop()
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 10_000
+
+
+def test_bench_simulator_event_loop(benchmark):
+    """Raw event-loop dispatch rate (self-rescheduling no-op events)."""
+
+    def loop():
+        sim = Simulator()
+        remaining = [20_000]
+
+        def hop():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule_in(1.0, hop)
+
+        sim.schedule_in(0.0, hop)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(loop) == 20_000
+
+
+def test_bench_exponential_draws(benchmark):
+    """Cost of the latency draws that dominate protocol event handlers."""
+    rng = RngRegistry(0).stream("bench-exp")
+    result = benchmark(lambda: rng.exponential(1.0, size=10_000).sum())
+    assert result > 0

@@ -1,0 +1,13 @@
+"""Figure 2 / Proposition 31 — leader phase-timeline table."""
+
+from __future__ import annotations
+
+
+def test_bench_fig2(run_and_save):
+    result = run_and_save("fig2")
+    rows = result.tables[0].rows
+    assert rows, "no generation completed a full phase cycle"
+    # Proposition 31's ordering: propagation never starts before the last
+    # leader went to sleep, and spreads stay small (O(1) units).
+    assert all(row[-1] for row in rows)
+    assert all(row[4] < 3.0 for row in rows)  # sleep-entry spread in units

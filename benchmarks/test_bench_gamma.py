@@ -1,0 +1,17 @@
+"""Section 2.2's γ remark — speed/stability ablation."""
+
+from __future__ import annotations
+
+
+def test_bench_gamma_ablation(run_and_save):
+    result = run_and_save("gamma")
+    fixed = result.tables[0].rows
+    adaptive = result.tables[1].rows
+    # "Too high values increase the time": the fixed schedule's horizon
+    # at gamma=0.9 dwarfs gamma=0.5's.
+    by_gamma = {row[0]: row for row in fixed}
+    assert by_gamma[0.9][1] > 1.5 * by_gamma[0.5][1]
+    # "Too small values decrease the stability": adaptive win rate at the
+    # smallest gamma is worse than at gamma=0.5.
+    adaptive_by_gamma = {row[0]: row for row in adaptive}
+    assert adaptive_by_gamma[0.05][1] <= adaptive_by_gamma[0.5][1]

@@ -1,0 +1,13 @@
+"""Proposition 9 — generation-growth table."""
+
+from __future__ import annotations
+
+
+def test_bench_generation_growth(run_and_save):
+    result = run_and_save("growth")
+    rows = result.tables[0].rows
+    assert rows, "no generations tracked"
+    # Every generation reached the gamma fraction within its X_i window
+    # and was born above the gamma^2 p floor.
+    assert all(row[-1] for row in rows)
+    assert all(row[3] is True or row[3] == "yes" for row in rows if row[3] != "-")

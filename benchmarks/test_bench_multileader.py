@@ -1,0 +1,21 @@
+"""Theorem 26 + Section 4.5 — decentralized protocol vs single leader."""
+
+from __future__ import annotations
+
+
+def test_bench_thm26(run_and_save):
+    result = run_and_save("thm26")
+    comparison = result.tables[0].rows
+    complexity = result.tables[1].rows
+    # Correctness on both sides, at every n.
+    assert all(row[1] == 1.0 and row[4] == 1.0 for row in comparison)
+    # Theorem 26: the decentralized protocol stays within a constant
+    # factor of the single-leader one (clustering included).
+    for row in comparison:
+        assert row[3] < 8.0 * row[5]
+    # Section 4.5: per-node channel-request rate stays polylogarithmic —
+    # far below one request per node per time step.
+    for row in complexity:
+        n, unit_requests = row[0], row[3]
+        assert unit_requests < 60
+        assert row[1] > 1  # genuinely decentralized: multiple clusters

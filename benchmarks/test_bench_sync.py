@@ -1,0 +1,46 @@
+"""Theorem 1 — synchronous scaling table, plus engine microbenchmarks."""
+
+from __future__ import annotations
+
+from repro.core.schedule import FixedSchedule
+from repro.core.synchronous import AggregateSynchronousSim, PerNodeSynchronousSim
+from repro.engine.rng import RngRegistry
+from repro.workloads.opinions import biased_counts
+
+
+def test_bench_thm1(run_and_save):
+    result = run_and_save("thm1")
+    n_table = result.tables[0].rows
+    k_table = result.tables[1].rows
+    alpha_table = result.tables[2].rows
+    # Theorem 1 shapes: the plurality wins everywhere; steps are nearly
+    # flat in n, grow with k, shrink with alpha.
+    assert all(row[3] == 1.0 for row in n_table)
+    assert k_table[-1][4] > k_table[0][4]
+    assert alpha_table[0][4] > alpha_table[-1][4]
+    # log log n: one decade of n moves the mean by only a few steps.
+    assert abs(n_table[-1][4] - n_table[0][4]) < 10
+
+
+def test_bench_aggregate_step(benchmark):
+    """Steps/second of the count-matrix engine at n = 1,000,000."""
+    n, k, alpha = 1_000_000, 8, 1.5
+    sim = AggregateSynchronousSim(
+        biased_counts(n, k, alpha),
+        FixedSchedule(n=n, k=k, alpha0=alpha),
+        RngRegistry(0).stream("bench-agg"),
+    )
+    benchmark(sim.step)
+    assert sim.matrix.sum() == n
+
+
+def test_bench_pernode_step(benchmark):
+    """Steps/second of the per-node engine at n = 100,000."""
+    n, k, alpha = 100_000, 8, 1.5
+    sim = PerNodeSynchronousSim(
+        biased_counts(n, k, alpha),
+        FixedSchedule(n=n, k=k, alpha0=alpha),
+        RngRegistry(0).stream("bench-pn"),
+    )
+    benchmark(sim.step)
+    assert sim.generation_color_matrix().sum() == n

@@ -1,0 +1,86 @@
+"""Section 4 end-to-end — consensus with no designated leader.
+
+Phase 1 clusters the network into polylog-size groups with emergent
+leaders (Section 4.1). Phase 2 broadcasts the switch to consensus mode
+in O(1) time (Section 4.2). Phase 3 runs Algorithms 4+5: cluster leaders
+sequence two-choices → sleeping → propagation stages per generation,
+staying synchronized purely through members relaying leader states.
+
+Run:
+    python examples/decentralized_clusters.py [n] [k] [alpha]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro import MultiLeaderParams, RngRegistry, biased_counts
+from repro.multileader.clustering import ClusteringSim
+from repro.multileader.consensus import MultiLeaderConsensusSim
+from repro.multileader.cluster_leader import (
+    STATE_PROPAGATION,
+    STATE_SLEEPING,
+    STATE_TWO_CHOICES,
+)
+
+STATE_NAMES = {
+    STATE_TWO_CHOICES: "two-choices",
+    STATE_SLEEPING: "sleeping",
+    STATE_PROPAGATION: "propagation",
+}
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    n = int(args[0]) if len(args) > 0 else 2000
+    k = int(args[1]) if len(args) > 1 else 3
+    alpha = float(args[2]) if len(args) > 2 else 2.0
+
+    params = MultiLeaderParams(n=n, k=k, alpha0=alpha)
+    rngs = RngRegistry(11)
+    print(f"n={n} k={k} alpha0={alpha}  "
+          f"target cluster size={params.target_cluster_size}  "
+          f"unit={params.time_unit:.2f} steps")
+
+    print("\n=== phase 1: clustering ===")
+    clustering = ClusteringSim(params, rngs.stream("clustering")).run(max_time=400.0)
+    sizes = clustering.cluster_sizes()
+    histogram = Counter(size // 10 * 10 for size in sizes.values())
+    print(f"elapsed:            {clustering.elapsed:.1f} steps")
+    print(f"clustered fraction: {clustering.clustered_fraction:.3f}")
+    print(f"active clusters:    {len(clustering.active_leaders)} "
+          f"(covering {clustering.active_fraction:.3f} of nodes)")
+    print(f"switch spread t_l - t_f: {clustering.switch_spread:.2f} steps "
+          f"= {clustering.switch_spread / params.time_unit:.3f} units (Theorem 27: O(1))")
+    print("cluster size histogram:",
+          ", ".join(f"[{low}-{low + 9}]x{count}" for low, count in sorted(histogram.items())))
+
+    print("\n=== phase 2+3: consensus (Algorithms 4+5) ===")
+    counts = biased_counts(n, k, alpha)
+    sim = MultiLeaderConsensusSim(params, clustering, counts, rngs.stream("consensus"))
+    result = sim.run(max_time=6000.0, epsilon=0.02)
+    unit = params.time_unit
+    print(result.summary())
+    print(f"consensus time: {result.elapsed / unit:.1f} units "
+          f"(+ {clustering.elapsed / unit:.1f} units of clustering)")
+
+    print("\n=== leader phase timeline, generation by generation ===")
+    table = sim.leader_phase_table()
+    for generation in sorted(table):
+        line = [f"gen {generation}:"]
+        for state in (STATE_TWO_CHOICES, STATE_SLEEPING, STATE_PROPAGATION):
+            times = table[generation].get(state)
+            if times:
+                first, last = min(times.values()), max(times.values())
+                line.append(
+                    f"{STATE_NAMES[state]} {first / unit:.1f}-{last / unit:.1f}u"
+                )
+        print("  " + "  ".join(line))
+    print("\nSleep windows separate two-choices from propagation across ALL")
+    print("clusters (Proposition 31) — no leader ever allows propagation while")
+    print("another still runs two-choices for the same generation.")
+
+
+if __name__ == "__main__":
+    main()

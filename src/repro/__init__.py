@@ -1,0 +1,120 @@
+"""repro — generation-based ("positive aging") plurality consensus.
+
+A production-quality reproduction of *"Positive Aging Admits Fast
+Asynchronous Plurality Consensus"* (arXiv:1806.02596, "Fast Consensus
+Protocols in the Asynchronous Poisson Clock Model with Edge Latencies";
+Bankhamer, Elsässer, Kaaser, Krnc). The library provides:
+
+* :mod:`repro.core` — Algorithm 1 (synchronous) and Algorithms 2+3
+  (asynchronous single-leader) with exact per-node and count-matrix
+  simulators, plus every closed-form prediction of the analysis;
+* :mod:`repro.multileader` — Section 4's decentralized system:
+  clustering, constant-time leader broadcast, Algorithms 4+5;
+* :mod:`repro.engine` — the discrete-event substrate (Poisson clocks,
+  exponential edge latencies, hypoexponential cycle-time math);
+* :mod:`repro.baselines` — voter, two-choices, 3-majority,
+  undecided-state dynamics, and population protocols for comparison;
+* :mod:`repro.workloads`, :mod:`repro.analysis`,
+  :mod:`repro.experiments` — workload generators, statistics, and the
+  experiment registry reproducing every figure/claim of the paper.
+
+Quickstart
+----------
+>>> from repro import quick_sync
+>>> result = quick_sync(n=100_000, k=8, alpha=1.5, seed=7)
+>>> result.plurality_won
+True
+"""
+
+from repro.core import (
+    AdaptiveSchedule,
+    AggregateSynchronousSim,
+    FixedSchedule,
+    GenerationBirth,
+    Leader,
+    PerNodeSynchronousSim,
+    RunResult,
+    Schedule,
+    SingleLeaderParams,
+    SingleLeaderSim,
+    StepStats,
+    run_single_leader,
+    run_synchronous,
+    theory,
+)
+from repro.engine import RngRegistry
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.multileader import (
+    MultiLeaderParams,
+    run_broadcast,
+    run_clustering,
+    run_multileader,
+    run_multileader_consensus,
+)
+from repro.workloads import biased_counts, multiplicative_bias, uniform_counts, zipf_counts
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSchedule",
+    "AggregateSynchronousSim",
+    "FixedSchedule",
+    "GenerationBirth",
+    "Leader",
+    "PerNodeSynchronousSim",
+    "RunResult",
+    "Schedule",
+    "SingleLeaderParams",
+    "SingleLeaderSim",
+    "StepStats",
+    "run_single_leader",
+    "run_synchronous",
+    "theory",
+    "RngRegistry",
+    "ConfigurationError",
+    "ConvergenceError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "MultiLeaderParams",
+    "run_broadcast",
+    "run_clustering",
+    "run_multileader",
+    "run_multileader_consensus",
+    "biased_counts",
+    "multiplicative_bias",
+    "uniform_counts",
+    "zipf_counts",
+    "quick_sync",
+    "quick_async",
+]
+
+
+def quick_sync(n: int, k: int, alpha: float, seed: int = 0, **kwargs) -> RunResult:
+    """One-call synchronous run: biased workload, fixed schedule.
+
+    Extra ``kwargs`` are forwarded to
+    :func:`repro.core.synchronous.run_synchronous`.
+    """
+    rng = RngRegistry(seed).stream("quick_sync")
+    counts = biased_counts(n, k, alpha)
+    schedule = FixedSchedule(n=n, k=k, alpha0=alpha)
+    return run_synchronous(counts, schedule, rng, **kwargs)
+
+
+def quick_async(n: int, k: int, alpha: float, seed: int = 0, **kwargs) -> RunResult:
+    """One-call asynchronous single-leader run on a biased workload.
+
+    Extra ``kwargs`` are forwarded to
+    :func:`repro.core.single_leader.run_single_leader`.
+    """
+    rng = RngRegistry(seed).stream("quick_async")
+    counts = biased_counts(n, k, alpha)
+    params = SingleLeaderParams(n=n, k=k, alpha0=alpha)
+    return run_single_leader(params, counts, rng, **kwargs)

@@ -1,0 +1,22 @@
+"""Metrics, statistics, and rendering for experiments."""
+
+from repro.analysis.metrics import BatchSummary, summarize_batch
+from repro.analysis.report import run_report
+from repro.analysis.series import Series, ascii_plot
+from repro.analysis.stats import Summary, bootstrap_ci, geometric_mean, summarize
+from repro.analysis.tables import format_cell, render_markdown_table, render_table
+
+__all__ = [
+    "BatchSummary",
+    "run_report",
+    "summarize_batch",
+    "Series",
+    "ascii_plot",
+    "Summary",
+    "bootstrap_ci",
+    "geometric_mean",
+    "summarize",
+    "format_cell",
+    "render_markdown_table",
+    "render_table",
+]

@@ -1,0 +1,60 @@
+"""Aggregation over repeated protocol runs.
+
+A *batch* is a list of :class:`~repro.core.results.RunResult` from
+independent seeds of one configuration. :class:`BatchSummary` condenses
+it into the quantities the paper's theorems talk about: how often the
+initial plurality wins (the whp. claim), how long ε-convergence and full
+consensus take, and how many generations were consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+
+__all__ = ["BatchSummary", "summarize_batch"]
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Aggregate view of repeated runs of one configuration."""
+
+    runs: int
+    plurality_win_rate: float
+    consensus_rate: float
+    elapsed: Summary
+    epsilon_time: Summary | None
+    generations: Summary | None
+
+    def row(self) -> list[float]:
+        """Cells for tabular output: win-rate, consensus-rate, mean times."""
+        return [
+            self.plurality_win_rate,
+            self.consensus_rate,
+            self.elapsed.mean,
+            self.epsilon_time.mean if self.epsilon_time else float("nan"),
+        ]
+
+
+def summarize_batch(results: Sequence[RunResult]) -> BatchSummary:
+    """Condense repeated runs; ε and generation stats are optional."""
+    if not results:
+        raise ConfigurationError("cannot summarize an empty batch of runs")
+    epsilon_times = [
+        r.epsilon_convergence_time
+        for r in results
+        if r.epsilon_convergence_time is not None
+    ]
+    generation_counts = [float(len(r.births)) for r in results if r.births]
+    return BatchSummary(
+        runs=len(results),
+        plurality_win_rate=sum(r.plurality_won for r in results) / len(results),
+        consensus_rate=sum(r.converged for r in results) / len(results),
+        elapsed=summarize([r.elapsed for r in results]),
+        epsilon_time=summarize(epsilon_times) if epsilon_times else None,
+        generations=summarize(generation_counts) if generation_counts else None,
+    )

@@ -1,0 +1,94 @@
+"""Markdown run reports.
+
+Turns one :class:`~repro.core.results.RunResult` into a readable
+Markdown document: outcome, timing (with unit normalization when the
+run carries its time-unit constant), the per-generation birth table,
+trajectory milestones, and protocol telemetry. Used by
+``python -m repro demo --report`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_markdown_table
+from repro.core.results import RunResult
+
+__all__ = ["run_report"]
+
+
+def _timing_section(result: RunResult) -> list[str]:
+    lines = [f"- elapsed: **{result.elapsed:.2f}**"]
+    unit = result.info.get("time_unit")
+    if unit:
+        lines.append(f"- elapsed in time units (C1 = {unit:.2f} steps): "
+                     f"**{result.elapsed / unit:.2f}**")
+    if result.epsilon_convergence_time is not None:
+        lines.append(f"- ε-convergence at: {result.epsilon_convergence_time:.2f}")
+    return lines
+
+
+def _births_section(result: RunResult) -> list[str]:
+    if not result.births:
+        return []
+    rows = []
+    for birth in result.births:
+        bias = "mono" if math.isinf(birth.bias) else f"{birth.bias:.4g}"
+        rows.append(
+            [birth.generation, f"{birth.time:.2f}", f"{birth.fraction:.4f}", bias,
+             f"{birth.collision_probability:.4f}"]
+        )
+    return [
+        "## Generations",
+        render_markdown_table(
+            ["generation", "time", "fraction", "bias", "collision p"], rows
+        ),
+    ]
+
+
+def _trajectory_section(result: RunResult, milestones: int = 6) -> list[str]:
+    if not result.trajectory:
+        return []
+    stride = max(1, len(result.trajectory) // milestones)
+    sampled = result.trajectory[::stride]
+    if result.trajectory[-1] not in sampled:
+        sampled.append(result.trajectory[-1])
+    rows = [
+        [f"{s.time:.2f}", s.top_generation, f"{s.top_generation_fraction:.3f}",
+         f"{s.plurality_fraction:.3f}"]
+        for s in sampled
+    ]
+    return [
+        "## Trajectory milestones",
+        render_markdown_table(
+            ["time", "top generation", "top gen fraction", "plurality fraction"], rows
+        ),
+    ]
+
+
+def _telemetry_section(result: RunResult) -> list[str]:
+    if not result.info:
+        return []
+    rows = [[key, f"{value:.6g}"] for key, value in sorted(result.info.items())]
+    return ["## Telemetry", render_markdown_table(["metric", "value"], rows)]
+
+
+def run_report(result: RunResult, *, title: str = "Protocol run") -> str:
+    """Render ``result`` as a Markdown document."""
+    status = "reached consensus" if result.converged else "did **not** reach consensus"
+    verdict = (
+        "the initial plurality won"
+        if result.plurality_won
+        else f"color {result.winner} displaced the initial plurality "
+             f"({result.plurality_color})"
+    )
+    parts: list[str] = [
+        f"# {title}",
+        f"The run {status}; {verdict}.",
+        "## Timing",
+        "\n".join(_timing_section(result)),
+    ]
+    parts += _births_section(result)
+    parts += _trajectory_section(result)
+    parts += _telemetry_section(result)
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,102 @@
+"""Figure series: (x, y) data with CSV export and an ASCII plot.
+
+The paper's Figure 1 is a log-log curve; experiments reproduce it as a
+:class:`Series` and render it in the terminal (no plotting dependency
+is available offline) plus a CSV next to the benchmark output so the
+curve can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Series", "ascii_plot"]
+
+
+@dataclass
+class Series:
+    """One named curve."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def to_csv(self, path: str | Path, *, x_name: str = "x", y_name: str = "y") -> Path:
+        """Write ``x,y`` rows; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [f"{x_name},{y_name}"]
+        lines += [f"{x},{y}" for x, y in zip(self.xs, self.ys)]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+
+def ascii_plot(
+    series_list: Sequence[Series],
+    *,
+    width: int = 68,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render curves as an ASCII scatter grid.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x``, ...);
+    collisions show the later series' marker. Good enough to eyeball the
+    shape of Figure 1 in a terminal.
+    """
+    markers = "*o+x#@%&"
+    points: list[tuple[float, float, str]] = []
+    for index, series in enumerate(series_list):
+        marker = markers[index % len(markers)]
+        for x, y in zip(series.xs, series.ys):
+            if logx and x <= 0 or logy and y <= 0:
+                raise ConfigurationError("log-scale plot requires positive coordinates")
+            points.append(
+                (math.log10(x) if logx else x, math.log10(y) if logy else y, marker)
+            )
+    if not points:
+        raise ConfigurationError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10**y_high:.3g}" if logy else f"{y_high:.3g}"
+    y_bot = f"{10**y_low:.3g}" if logy else f"{y_low:.3g}"
+    margin = max(len(y_top), len(y_bot)) + 1
+    for row_index, row in enumerate(grid):
+        prefix = y_top if row_index == 0 else y_bot if row_index == height - 1 else ""
+        lines.append(prefix.rjust(margin) + "|" + "".join(row))
+    x_left = f"{10**x_low:.3g}" if logx else f"{x_low:.3g}"
+    x_right = f"{10**x_high:.3g}" if logx else f"{x_high:.3g}"
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(" " * (margin + 1) + x_left + " " * (width - len(x_left) - len(x_right)) + x_right)
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {series.label}"
+        for index, series in enumerate(series_list)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

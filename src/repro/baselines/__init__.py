@@ -1,0 +1,28 @@
+"""Baseline consensus dynamics from the paper's related work."""
+
+from repro.baselines.base import OpinionDynamics, run_dynamics
+from repro.baselines.population import (
+    FourStateExactMajority,
+    PairwiseScheduler,
+    PopulationProtocol,
+    PopulationResult,
+    ThreeStateMajority,
+)
+from repro.baselines.three_majority import ThreeMajority
+from repro.baselines.two_choices import TwoChoices
+from repro.baselines.undecided import UndecidedStateDynamics
+from repro.baselines.voter import PullVoting
+
+__all__ = [
+    "OpinionDynamics",
+    "run_dynamics",
+    "FourStateExactMajority",
+    "PairwiseScheduler",
+    "PopulationProtocol",
+    "PopulationResult",
+    "ThreeStateMajority",
+    "ThreeMajority",
+    "TwoChoices",
+    "UndecidedStateDynamics",
+    "PullVoting",
+]

@@ -1,0 +1,131 @@
+"""Shared interface and runner for synchronous opinion dynamics.
+
+All baselines from the paper's related-work section (Section 1.1) are
+*anonymous* dynamics: a node's next opinion depends only on the opinions
+of uniformly sampled nodes. Their population count vector therefore
+evolves as an exact multinomial process, which
+:class:`OpinionDynamics` subclasses express via
+:meth:`OpinionDynamics.transition_probabilities`: for each current
+opinion (group) the distribution over next opinions. The shared
+:func:`run_dynamics` runner draws those multinomials and reports the
+same :class:`~repro.core.results.RunResult` the paper's protocol
+runners use, so head-to-head experiments are one loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import RunResult, StepStats
+from repro.errors import ConfigurationError
+from repro.workloads.bias import multiplicative_bias, plurality_color, validate_counts
+
+__all__ = ["OpinionDynamics", "run_dynamics"]
+
+
+class OpinionDynamics:
+    """One synchronous-round opinion dynamic on the complete graph.
+
+    Subclasses implement :meth:`transition_probabilities`. ``states``
+    may exceed the number of opinions (e.g. the undecided-state dynamic
+    appends an *undecided* state); :meth:`project_colors` maps the
+    internal state-count vector back to opinion counts.
+    """
+
+    #: Human-readable protocol name (used in tables).
+    name: str = "dynamics"
+
+    def initial_state(self, counts: np.ndarray) -> np.ndarray:
+        """Internal state-count vector for initial opinion ``counts``."""
+        return validate_counts(counts).copy()
+
+    def project_colors(self, state: np.ndarray) -> np.ndarray:
+        """Opinion counts visible in an internal state vector."""
+        return state
+
+    def transition_probabilities(self, state: np.ndarray) -> np.ndarray:
+        """Row-stochastic matrix ``P[s, s']``: next-state law per group.
+
+        ``P[s]`` is the outcome distribution of one node currently in
+        state ``s`` given the population state (fractions of ``state``).
+        """
+        raise NotImplementedError
+
+    def is_converged(self, state: np.ndarray) -> bool:
+        """Default: a single opinion survives."""
+        return int(np.count_nonzero(self.project_colors(state))) == 1
+
+    def step(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One exact synchronous round: a multinomial per state group."""
+        matrix = self.transition_probabilities(state)
+        if matrix.shape != (state.size, state.size):
+            raise ConfigurationError(
+                f"{self.name}: transition matrix shape {matrix.shape} "
+                f"does not match state size {state.size}"
+            )
+        new_state = np.zeros_like(state)
+        for group in np.nonzero(state)[0]:
+            # Clip float round-off (rows are built from complements and can
+            # dip a few ulp below zero) before the exactness check.
+            row = np.clip(matrix[group].astype(float), 0.0, None)
+            total = float(row.sum())
+            if not np.isclose(total, 1.0, atol=1e-9):
+                raise ConfigurationError(
+                    f"{self.name}: transition row {group} sums to {total}, expected 1"
+                )
+            new_state += rng.multinomial(int(state[group]), row / total)
+        return new_state
+
+
+def run_dynamics(
+    dynamics: OpinionDynamics,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_rounds: int = 100_000,
+    epsilon: float | None = None,
+    record_trajectory: bool = False,
+) -> RunResult:
+    """Run ``dynamics`` from initial opinion ``counts`` to consensus.
+
+    Mirrors :func:`repro.core.synchronous.run_synchronous`'s contract:
+    never raises on non-convergence — inspect ``result.converged``.
+    """
+    counts = validate_counts(counts)
+    n = int(counts.sum())
+    plurality = plurality_color(counts)
+    state = dynamics.initial_state(counts)
+    trajectory: list[StepStats] = []
+    epsilon_time: float | None = None
+    rounds = 0
+    converged = False
+    while rounds < max_rounds:
+        state = dynamics.step(state, rng)
+        rounds += 1
+        colors = dynamics.project_colors(state)
+        if record_trajectory:
+            trajectory.append(
+                StepStats(
+                    time=float(rounds),
+                    top_generation=0,
+                    top_generation_fraction=1.0,
+                    plurality_fraction=float(colors.max()) / n,
+                    bias=multiplicative_bias(colors) if colors.sum() else 1.0,
+                )
+            )
+        if epsilon is not None and epsilon_time is None:
+            if colors[plurality] >= (1.0 - epsilon) * n:
+                epsilon_time = float(rounds)
+        if dynamics.is_converged(state):
+            converged = True
+            break
+    final = dynamics.project_colors(state)
+    return RunResult(
+        converged=converged,
+        winner=int(np.argmax(final)),
+        plurality_color=plurality,
+        elapsed=float(rounds),
+        final_color_counts=np.asarray(final, dtype=np.int64),
+        epsilon_convergence_time=epsilon_time,
+        trajectory=trajectory,
+    )

@@ -1,0 +1,218 @@
+"""Population protocols — the sequential pairwise-interaction substrate.
+
+The paper's Section 1.1 frames asynchronous consensus through population
+protocols: at each discrete step a uniformly random ordered pair of
+nodes interacts and updates deterministically; *parallel time* divides
+interaction counts by ``n`` [AGV15]. This module provides
+
+* :class:`PairwiseScheduler` — an exact count-based sequential
+  scheduler (each interaction draws the initiator from the population
+  and the responder from the remaining ``n − 1`` nodes);
+* :class:`ThreeStateMajority` — Angluin et al.'s 3-state approximate
+  majority protocol [AAE08] (states ``X``, ``Y``, ``B``): a responder
+  holding the opposite opinion of the initiator turns blank, a blank
+  responder adopts the initiator's opinion. Converges in O(n log n)
+  interactions given bias ``ω(√n log n)``;
+* :class:`FourStateExactMajority` — binary interval consensus
+  [DV10, MNRS14] (states ``strong-X``, ``strong-Y``, ``weak-x``,
+  ``weak-y``): strong opposites weaken each other (preserving the
+  X−Y difference, hence *exact* majority for any bias), strong states
+  flip opposite weak states. Needs O(n² log n) interactions on the
+  clique — the price of exactness the paper contrasts with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.bias import validate_counts
+
+__all__ = [
+    "PopulationProtocol",
+    "PairwiseScheduler",
+    "PopulationResult",
+    "ThreeStateMajority",
+    "FourStateExactMajority",
+]
+
+
+class PopulationProtocol:
+    """A deterministic two-party transition function over ``num_states``."""
+
+    name: str = "population-protocol"
+    num_states: int = 0
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        """New ``(initiator, responder)`` states after an interaction."""
+        raise NotImplementedError
+
+    def initial_state(self, counts: np.ndarray) -> np.ndarray:
+        """Internal state counts from binary opinion counts."""
+        raise NotImplementedError
+
+    def output_color(self, state: int) -> int:
+        """Opinion (0 or 1) a node in ``state`` would output."""
+        raise NotImplementedError
+
+    def is_converged(self, counts: np.ndarray) -> bool:
+        """All nodes output the same opinion."""
+        outputs = {self.output_color(s) for s in np.nonzero(counts)[0]}
+        return len(outputs) == 1
+
+
+@dataclass
+class PopulationResult:
+    """Outcome of a sequential population-protocol run."""
+
+    converged: bool
+    winner: int | None
+    interactions: int
+    n: int
+    final_state_counts: np.ndarray
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by ``n`` (the standard normalization)."""
+        return self.interactions / self.n
+
+
+class PairwiseScheduler:
+    """Exact sequential scheduler over state *counts*.
+
+    Node identity is irrelevant for anonymous protocols, so each
+    interaction draws the initiator's state from the count vector and
+    the responder's state from the remaining population — exactly the
+    uniform-ordered-pair law on distinct nodes.
+    """
+
+    def __init__(self, protocol: PopulationProtocol):
+        self.protocol = protocol
+
+    def run(
+        self,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        max_interactions: int | None = None,
+        check_every: int = 64,
+    ) -> PopulationResult:
+        """Run until consensus output or ``max_interactions``.
+
+        ``check_every`` controls how often the (O(states)) convergence
+        predicate is evaluated.
+        """
+        protocol = self.protocol
+        state = protocol.initial_state(validate_counts(counts))
+        n = int(state.sum())
+        if n < 2:
+            raise ConfigurationError("population needs at least 2 nodes")
+        if max_interactions is None:
+            max_interactions = 500 * n * max(8, int(np.log2(n)) ** 2)
+        states = np.arange(state.size)
+        interactions = 0
+        converged = protocol.is_converged(state)
+        while not converged and interactions < max_interactions:
+            fractions = state / n
+            initiator = int(rng.choice(states, p=fractions))
+            reduced = state.astype(float).copy()
+            reduced[initiator] -= 1
+            responder = int(rng.choice(states, p=reduced / (n - 1)))
+            new_initiator, new_responder = protocol.delta(initiator, responder)
+            if (new_initiator, new_responder) != (initiator, responder):
+                state[initiator] -= 1
+                state[responder] -= 1
+                state[new_initiator] += 1
+                state[new_responder] += 1
+            interactions += 1
+            if interactions % check_every == 0:
+                converged = protocol.is_converged(state)
+        converged = protocol.is_converged(state)
+        winner = None
+        if converged:
+            live = np.nonzero(state)[0]
+            winner = protocol.output_color(int(live[0]))
+        return PopulationResult(
+            converged=converged,
+            winner=winner,
+            interactions=interactions,
+            n=n,
+            final_state_counts=state,
+        )
+
+
+class ThreeStateMajority(PopulationProtocol):
+    """AAE08's 3-state approximate majority: X=0, Y=1, blank=2."""
+
+    name = "3-state-majority"
+    num_states = 3
+    X, Y, BLANK = 0, 1, 2
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == self.X and responder == self.Y:
+            return initiator, self.BLANK
+        if initiator == self.Y and responder == self.X:
+            return initiator, self.BLANK
+        if initiator in (self.X, self.Y) and responder == self.BLANK:
+            return initiator, initiator
+        return initiator, responder
+
+    def initial_state(self, counts: np.ndarray) -> np.ndarray:
+        if counts.size != 2:
+            raise ConfigurationError("3-state majority is a two-opinion protocol")
+        return np.array([counts[0], counts[1], 0], dtype=np.int64)
+
+    def output_color(self, state: int) -> int:
+        # Blank nodes output the opinion they would adopt next; by
+        # convention they follow the surviving strong opinion — treat
+        # blank as agreeing with either, so only X/Y matter.
+        return 0 if state == self.X else 1 if state == self.Y else -1
+
+    def is_converged(self, counts: np.ndarray) -> bool:
+        # Consensus: one opinion extinct (blanks will be absorbed by the
+        # survivor; X and Y cannot both be present).
+        return counts[self.X] == 0 or counts[self.Y] == 0
+
+
+class FourStateExactMajority(PopulationProtocol):
+    """Binary interval consensus [DV10]: exact majority with 4 states.
+
+    States: 0 = strong-X, 1 = strong-Y, 2 = weak-x, 3 = weak-y.
+    ``#strong-X − #strong-Y`` is invariant, so the initial majority's
+    strong tokens can never be wiped out — the output is exact for any
+    non-zero bias.
+    """
+
+    name = "4-state-exact-majority"
+    num_states = 4
+    SX, SY, WX, WY = 0, 1, 2, 3
+
+    def delta(self, initiator: int, responder: int) -> tuple[int, int]:
+        a, b = initiator, responder
+        if (a, b) == (self.SX, self.SY):
+            return self.WX, self.WY
+        if (a, b) == (self.SY, self.SX):
+            return self.WY, self.WX
+        if a == self.SX and b == self.WY:
+            return a, self.WX
+        if a == self.SY and b == self.WX:
+            return a, self.WY
+        return a, b
+
+    def initial_state(self, counts: np.ndarray) -> np.ndarray:
+        if counts.size != 2:
+            raise ConfigurationError("4-state exact majority is a two-opinion protocol")
+        return np.array([counts[0], counts[1], 0, 0], dtype=np.int64)
+
+    def output_color(self, state: int) -> int:
+        return 0 if state in (self.SX, self.WX) else 1
+
+    def is_converged(self, counts: np.ndarray) -> bool:
+        x_side = counts[self.SX] + counts[self.WX]
+        y_side = counts[self.SY] + counts[self.WY]
+        if x_side and y_side:
+            return False
+        # One side only; additionally no strong pair can still meet.
+        return True

@@ -1,0 +1,34 @@
+"""Two-choices voting [CER14, CER+15].
+
+Every node samples two uniform neighbors per round; if their opinions
+coincide it adopts that opinion, otherwise it keeps its own. On random
+regular graphs and expanders this converges in O(log n) rounds given
+sufficient bias; with many opinions it is slower than 3-majority by a
+polynomial factor in k [BCE+17], which our baseline face-off experiment
+measures on the clique.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import OpinionDynamics
+
+__all__ = ["TwoChoices"]
+
+
+class TwoChoices(OpinionDynamics):
+    """Two-sample voting: adopt iff both samples agree."""
+
+    name = "two-choices"
+
+    def transition_probabilities(self, state: np.ndarray) -> np.ndarray:
+        fractions = state / state.sum()
+        pair = fractions**2  # both samples show color c
+        matrix = np.tile(pair, (state.size, 1))
+        # Keeping the own opinion absorbs all remaining probability,
+        # including the case where both samples agree on the own color.
+        for own in range(state.size):
+            matrix[own, own] = 0.0
+            matrix[own, own] = 1.0 - matrix[own].sum()
+        return matrix

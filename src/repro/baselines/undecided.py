@@ -1,0 +1,55 @@
+"""Undecided-state dynamics for k opinions [AAE08, BCN+15, BFGK16].
+
+Each node samples one uniform neighbor per round. A node holding
+opinion ``i`` that sees a *different* opinion ``j`` becomes *undecided*;
+an undecided node adopts whatever opinion it sees (staying undecided on
+seeing another undecided node). The undecided state is the mechanism at
+the heart of the paper's lineage of plurality protocols ([BFGK16],
+[GP16], [EFK+16]); its convergence time is governed by the
+monochromatic distance of the initial configuration [BCN+15].
+
+Internally the state vector has ``k + 1`` entries: the ``k`` opinions
+followed by the undecided count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import OpinionDynamics
+from repro.workloads.bias import validate_counts
+
+__all__ = ["UndecidedStateDynamics"]
+
+
+class UndecidedStateDynamics(OpinionDynamics):
+    """One-sample undecided-state dynamics, k opinions + undecided."""
+
+    name = "undecided-state"
+
+    def initial_state(self, counts: np.ndarray) -> np.ndarray:
+        counts = validate_counts(counts)
+        return np.concatenate([counts, [0]]).astype(np.int64)
+
+    def project_colors(self, state: np.ndarray) -> np.ndarray:
+        return state[:-1]
+
+    def is_converged(self, state: np.ndarray) -> bool:
+        return state[-1] == 0 and int(np.count_nonzero(state[:-1])) == 1
+
+    def transition_probabilities(self, state: np.ndarray) -> np.ndarray:
+        size = state.size
+        k = size - 1
+        fractions = state / state.sum()
+        undecided_fraction = float(fractions[-1])
+        matrix = np.zeros((size, size))
+        for own in range(k):
+            own_fraction = float(fractions[own])
+            # Seeing the own opinion or an undecided node changes nothing;
+            # any other opinion pushes the node into the undecided state.
+            matrix[own, own] = own_fraction + undecided_fraction
+            matrix[own, k] = 1.0 - own_fraction - undecided_fraction
+        # An undecided node adopts the sampled opinion (stays on undecided).
+        matrix[k, :k] = fractions[:k]
+        matrix[k, k] = undecided_fraction
+        return matrix

@@ -1,0 +1,28 @@
+"""Pull voting [HP01, NIY99] — the simplest opinion dynamic.
+
+Every node contacts one uniform neighbor per round and adopts its
+opinion unconditionally. Convergence is slow (expected Ω(n) on many
+graphs; O(n³ log n) worst case on general graphs) and the winner is only
+proportional-probability, not plurality — the paper's Section 1.1 uses
+it as the historical starting point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import OpinionDynamics
+
+__all__ = ["PullVoting"]
+
+
+class PullVoting(OpinionDynamics):
+    """One-sample pull voting: adopt the sampled node's opinion."""
+
+    name = "pull-voting"
+
+    def transition_probabilities(self, state: np.ndarray) -> np.ndarray:
+        fractions = state / state.sum()
+        # Every node's next opinion is one uniform sample, regardless of
+        # its current opinion: all rows equal the population fractions.
+        return np.tile(fractions, (state.size, 1))

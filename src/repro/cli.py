@@ -1,0 +1,128 @@
+"""Command-line interface.
+
+Usage::
+
+    repro list                          # show the experiment registry
+    repro run fig1 [--full] [--seed S]  # run one experiment, print tables
+    repro reproduce [--full] [--out F]  # run everything, write Markdown
+    repro demo [--n N] [--k K] ...      # one synchronous + one async run
+
+The same entry point is reachable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import quick_async, quick_sync
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generation-based plurality consensus — paper reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment and print its tables")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--full", action="store_true", help="full (slow) configuration")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--no-plot", action="store_true", help="skip ASCII plots")
+
+    repro_parser = sub.add_parser("reproduce", help="run all experiments, emit Markdown")
+    repro_parser.add_argument("--full", action="store_true")
+    repro_parser.add_argument("--seed", type=int, default=0)
+    repro_parser.add_argument("--out", type=Path, default=None, help="write Markdown here")
+    repro_parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+
+    demo_parser = sub.add_parser("demo", help="run the protocol once and print the outcome")
+    demo_parser.add_argument("--n", type=int, default=100_000)
+    demo_parser.add_argument("--k", type=int, default=8)
+    demo_parser.add_argument("--alpha", type=float, default=1.5)
+    demo_parser.add_argument("--seed", type=int, default=0)
+    demo_parser.add_argument(
+        "--asynchronous", action="store_true", help="run the single-leader protocol instead"
+    )
+    demo_parser.add_argument(
+        "--report", action="store_true", help="print a full Markdown run report"
+    )
+    return parser
+
+
+def _command_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, experiment in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {experiment.artifact}  —  {experiment.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
+    print(result.render(plot=not args.no_plot))
+    return 0
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    names = args.only if args.only else list(EXPERIMENTS)
+    sections = []
+    for name in names:
+        print(f"[repro] running {name} ...", file=sys.stderr)
+        result = run_experiment(name, quick=not args.full, seed=args.seed)
+        print(result.render(plot=False))
+        print()
+        sections.append(result.render_markdown())
+    if args.out is not None:
+        args.out.write_text("\n\n".join(sections) + "\n")
+        print(f"[repro] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    if args.asynchronous:
+        result = quick_async(args.n, args.k, args.alpha, seed=args.seed)
+    else:
+        result = quick_sync(args.n, args.k, args.alpha, seed=args.seed)
+    if args.report:
+        from repro.analysis.report import run_report
+
+        kind = "single-leader asynchronous" if args.asynchronous else "synchronous"
+        print(run_report(result, title=f"{kind} run (n={args.n}, k={args.k}, alpha={args.alpha})"))
+        return 0 if result.plurality_won else 1
+    print(result.summary())
+    if args.asynchronous:
+        unit = result.info.get("time_unit", 1.0)
+        print(f"time: {result.elapsed:.1f} steps = {result.elapsed / unit:.2f} units")
+    else:
+        for birth in result.births:
+            print(
+                f"  generation {birth.generation}: born t={birth.time:.0f} "
+                f"fraction={birth.fraction:.4f} bias={birth.bias:.3g}"
+            )
+    return 0 if result.plurality_won else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "reproduce":
+        return _command_reproduce(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

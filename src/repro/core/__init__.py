@@ -1,0 +1,39 @@
+"""The paper's core contribution: generation-based plurality consensus.
+
+Algorithm 1 (synchronous), Algorithms 2+3 (asynchronous single leader),
+the two-choices step schedules, result types, and the closed-form theory
+predictions used to check measurements against the analysis.
+"""
+
+from repro.core.delayed_exchange import DelayedExchangeSim
+from repro.core.leader import Leader, LeaderPhaseChange
+from repro.core.params import SingleLeaderParams
+from repro.core.results import GenerationBirth, RunResult, StepStats
+from repro.core.schedule import AdaptiveSchedule, AlwaysTwoChoices, FixedSchedule, Schedule
+from repro.core.single_leader import SingleLeaderSim, run_single_leader
+from repro.core.synchronous import (
+    AggregateSynchronousSim,
+    PerNodeSynchronousSim,
+    run_synchronous,
+)
+from repro.core import theory
+
+__all__ = [
+    "DelayedExchangeSim",
+    "Leader",
+    "LeaderPhaseChange",
+    "SingleLeaderParams",
+    "GenerationBirth",
+    "RunResult",
+    "StepStats",
+    "AdaptiveSchedule",
+    "AlwaysTwoChoices",
+    "FixedSchedule",
+    "Schedule",
+    "SingleLeaderSim",
+    "run_single_leader",
+    "AggregateSynchronousSim",
+    "PerNodeSynchronousSim",
+    "run_synchronous",
+    "theory",
+]

@@ -1,0 +1,151 @@
+"""Section 5 extension — message exchange that also takes time.
+
+The paper's model assumes that once a channel is established, exchanging
+messages is instantaneous, and Section 5 sketches the relaxation for the
+single-leader case: *"contacting the leader after each potential update
+of opinions and generation number, and the updates are committed only if
+the state of the leader has not been changed in the meantime."*
+
+:class:`DelayedExchangeSim` implements exactly that optimistic
+concurrency scheme on top of the Algorithm 2+3 machinery:
+
+1. a good tick opens the three channels as before (establishment
+   latencies ``Exp(λ)``);
+2. each message exchange now costs an additional ``Exp(μ)`` — the node
+   reads the samples' states and the leader's ``(gen, prop)`` only after
+   that delay;
+3. the node computes a *tentative* update, then revalidates: it contacts
+   the leader again (one more ``Exp(λ) + Exp(μ)``), and **commits the
+   tentative update only if the leader's state is unchanged**; otherwise
+   the update is dropped and the stored leader view refreshed.
+
+The ``ext-delayed`` experiment sweeps the exchange rate ``μ`` and shows
+the protocol stays correct (two-choices and propagation stages still
+never interleave — the revalidation guarantees it) at the cost of a
+constant-factor slowdown, exactly what Section 5 predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import SingleLeaderParams
+from repro.core.single_leader import SingleLeaderSim
+from repro.engine.latency import ChannelPlan
+from repro.util.validation import check_positive
+
+__all__ = ["DelayedExchangeSim"]
+
+
+class DelayedExchangeSim(SingleLeaderSim):
+    """Single-leader protocol with non-instant message exchange.
+
+    Parameters
+    ----------
+    exchange_rate:
+        ``μ`` of the exponential message-exchange delay. Larger means
+        faster exchange; ``μ → ∞`` recovers the paper's instant-exchange
+        model (up to the extra revalidation round-trip).
+    """
+
+    def __init__(
+        self,
+        params: SingleLeaderParams,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        exchange_rate: float = 2.0,
+    ):
+        self.exchange_rate = check_positive("exchange_rate", exchange_rate)
+        self.committed_updates = 0
+        self.aborted_updates = 0
+        super().__init__(params, counts, rng)
+
+    def _exchange_delay(self) -> float:
+        return float(self._rng.exponential(1.0 / self.exchange_rate))
+
+    def _tick(self, node: int) -> None:
+        self.total_ticks += 1
+        self._schedule_tick(node)
+        self._send_signal(0)
+        if self.locked[node]:
+            return
+        self.locked[node] = True
+        self.good_ticks += 1
+        first = self._sample_neighbor(node)
+        second = self._sample_neighbor(node)
+        d_first, d_second, d_leader = self._latency(), self._latency(), self._latency()
+        if self.params.plan is ChannelPlan.CONCURRENT_THEN_LEADER:
+            establish = max(d_first, d_second) + d_leader
+        else:
+            establish = d_first + d_second + d_leader
+        # Reading the three peers' messages costs an exchange delay each;
+        # sample reads run concurrently, the leader read follows.
+        read_delay = max(self._exchange_delay(), self._exchange_delay())
+        read_delay += self._exchange_delay()
+        self.sim.schedule_in(
+            establish + read_delay,
+            lambda node=node, a=first, b=second: self._tentative_exchange(node, a, b),
+            tag="exchange",
+        )
+
+    def _tentative_exchange(self, node: int, first: int, second: int) -> None:
+        """Phase one: read everything, compute the tentative update."""
+        leader_gen, leader_prop = self.leader.state
+        if not (
+            self.seen_gen[node] == leader_gen
+            and self.seen_prop[node] == int(leader_prop)
+        ):
+            self.seen_gen[node] = leader_gen
+            self.seen_prop[node] = int(leader_prop)
+            self.locked[node] = False
+            return
+        gen_a, col_a = int(self.gens[first]), int(self.cols[first])
+        gen_b, col_b = int(self.gens[second]), int(self.cols[second])
+        old_gen = int(self.gens[node])
+        tentative: tuple[int, int] | None = None
+        if (
+            not leader_prop
+            and gen_a == leader_gen - 1
+            and gen_b == leader_gen - 1
+            and col_a == col_b
+        ):
+            tentative = (leader_gen, col_a)
+        else:
+            for gen_s, col_s in ((gen_a, col_a), (gen_b, col_b)):
+                if old_gen < gen_s and (gen_s < leader_gen or leader_prop):
+                    if tentative is None or gen_s > tentative[0]:
+                        tentative = (gen_s, col_s)
+        if tentative is None:
+            self.locked[node] = False
+            return
+        # Phase two: revalidate against the leader before committing.
+        revalidate = self._latency() + self._exchange_delay()
+        expected_state = (leader_gen, int(leader_prop))
+        self.sim.schedule_in(
+            revalidate,
+            lambda node=node, tentative=tentative, expected=expected_state, old=old_gen:
+                self._commit(node, tentative, expected, old),
+            tag="commit",
+        )
+
+    def _commit(
+        self,
+        node: int,
+        tentative: tuple[int, int],
+        expected_state: tuple[int, int],
+        old_gen: int,
+    ) -> None:
+        leader_gen, leader_prop = self.leader.state
+        if (leader_gen, int(leader_prop)) == expected_state:
+            gen, col = tentative
+            self._set_state(node, gen, col)
+            if gen > old_gen:
+                self._send_signal(gen)
+            self.committed_updates += 1
+        else:
+            # The leader moved on: drop the update, refresh the view.
+            self.seen_gen[node] = leader_gen
+            self.seen_prop[node] = int(leader_prop)
+            self.aborted_updates += 1
+        self.locked[node] = False

@@ -1,0 +1,103 @@
+"""Parameter sets for the asynchronous protocols.
+
+The paper's asynchronous analysis is driven by a handful of constants:
+the time-unit length ``C1 = F^{-1}(0.9)`` (Section 3.1), the 0-signal
+threshold ``C3·n`` that ends the two-choices phase (Algorithm 3 /
+Proposition 16, ``C3 ≈ 2·C1`` time steps so the phase lasts ≈ 2 time
+units), the newest-generation size threshold ``⌈n/2⌉`` that triggers the
+next generation, and the generation budget ``G*``. All of them live in
+:class:`SingleLeaderParams` with paper-faithful defaults and validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.theory import total_generations
+from repro.engine.latency import ChannelPlan, time_unit_steps
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["SingleLeaderParams"]
+
+
+@dataclass
+class SingleLeaderParams:
+    """Configuration of the single-leader protocol (Algorithms 2+3).
+
+    Parameters
+    ----------
+    n, k:
+        Population size and number of opinions.
+    alpha0:
+        Initial multiplicative bias; sizes the generation budget ``G*``.
+    latency_rate:
+        ``λ`` of the exponential channel-establishment latency.
+    clock_rate:
+        Poisson clock rate per node (1 in the paper).
+    two_choices_units:
+        Length of the two-choices window in *time units*; the leader's
+        0-signal threshold is ``ceil(two_choices_units · C1 · n)``
+        (Proposition 16 uses 2 units).
+    gen_size_fraction:
+        Fraction of ``n`` the newest generation must reach (via
+        gen-signals) before the leader births the next generation
+        (``1/2`` in Algorithm 3, line 6).
+    extra_generations:
+        Safety margin on ``G*`` (same rationale as the synchronous
+        schedule: squaring a monochromatic generation is harmless, and
+        whp. constants are loose at practical ``n``).
+    unit_quantile:
+        The quantile defining the time unit (0.9 in the paper).
+    plan:
+        Channel-establishment plan (paper: concurrent random contacts,
+        then the leader).
+    """
+
+    n: int
+    k: int
+    alpha0: float
+    latency_rate: float = 1.0
+    clock_rate: float = 1.0
+    two_choices_units: float = 2.0
+    gen_size_fraction: float = 0.5
+    extra_generations: int = 2
+    unit_quantile: float = 0.9
+    plan: ChannelPlan = ChannelPlan.CONCURRENT_THEN_LEADER
+    #: Derived: steps per time unit, C1 (computed in __post_init__).
+    time_unit: float = field(init=False)
+    #: Derived: highest generation the leader will allow, G*.
+    max_generation: int = field(init=False)
+    #: Derived: leader's 0-signal count ending the two-choices phase.
+    prop_signal_threshold: int = field(init=False)
+    #: Derived: gen-signal count triggering the next generation.
+    gen_size_threshold: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n, minimum=2)
+        check_positive_int("k", self.k, minimum=2)
+        if self.alpha0 <= 1.0:
+            raise ConfigurationError(f"alpha0 must be > 1, got {self.alpha0}")
+        check_positive("latency_rate", self.latency_rate)
+        check_positive("clock_rate", self.clock_rate)
+        check_positive("two_choices_units", self.two_choices_units)
+        check_fraction("gen_size_fraction", self.gen_size_fraction)
+        check_fraction("unit_quantile", self.unit_quantile)
+        if self.extra_generations < 0:
+            raise ConfigurationError("extra_generations must be >= 0")
+        self.time_unit = time_unit_steps(
+            self.latency_rate,
+            quantile=self.unit_quantile,
+            clock_rate=self.clock_rate,
+            plan=self.plan,
+        )
+        self.max_generation = total_generations(self.n, self.alpha0) + self.extra_generations
+        self.prop_signal_threshold = math.ceil(
+            self.two_choices_units * self.time_unit * self.n * self.clock_rate
+        )
+        self.gen_size_threshold = math.ceil(self.gen_size_fraction * self.n)

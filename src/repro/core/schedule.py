@@ -1,0 +1,165 @@
+"""Two-choices step schedules for the synchronous protocol (Algorithm 1).
+
+Algorithm 1 performs a *two-choices* step at each time of a predefined
+sequence ``{t_i}`` and plain propagation at every other step. The paper
+defines ``t_{i+1} = t_i + X_i`` where ``X_i`` (Section 2.2) is the number
+of steps generation ``i`` needs to grow to a ``γ`` fraction; Example 3
+pins the first two-choices step to ``t_1 = 1``.
+
+Two schedule implementations are provided:
+
+* :class:`FixedSchedule` — the paper's precomputed ``{t_i}`` from the
+  ``X_i`` formula (what Theorem 1 analyzes);
+* :class:`AdaptiveSchedule` — an oracle variant that fires the next
+  two-choices step as soon as the newest generation actually covers a
+  ``γ`` fraction. This matches the *intent* of the ``X_i`` derivation
+  and is robust for the small ``n`` regimes where the asymptotic
+  constants in ``X_i`` are loose; experiments use it to isolate the
+  generation mechanism from schedule-constant effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.theory import generation_lifecycle_length, total_generations
+from repro.errors import ConfigurationError
+from repro.util.validation import check_fraction, check_positive_int
+
+__all__ = ["Schedule", "FixedSchedule", "AdaptiveSchedule", "AlwaysTwoChoices"]
+
+
+class Schedule:
+    """Decides, per step, whether Algorithm 1 runs a two-choices step.
+
+    ``top_generation_fraction`` is the fraction of nodes currently in the
+    highest born generation; fixed schedules ignore it.
+    """
+
+    #: Highest generation the schedule will ever create.
+    max_generation: int
+
+    def is_two_choices_step(self, step: int, top_generation_fraction: float) -> bool:
+        """Must be called exactly once per simulated step (may be stateful)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-run state. Simulators call this on construction."""
+
+
+@dataclass
+class FixedSchedule(Schedule):
+    """The paper's precomputed schedule ``t_1 = 1``, ``t_{i+1} = t_i + ⌈X_i⌉``.
+
+    Parameters
+    ----------
+    n, k, alpha0, gamma:
+        Problem parameters; ``X_i`` and the generation budget ``G*``
+        are derived from them (Section 2.2).
+    extra_generations:
+        Safety margin added to ``G*``. The asymptotic budget can be a
+        generation or two short at practical ``n`` (the whp. statements
+        hide constants); 2 extra squarings are harmless — once the top
+        generation is monochromatic, further generations stay
+        monochromatic (Lemma 11) — and make runs reliable.
+    """
+
+    n: int
+    k: int
+    alpha0: float
+    gamma: float = 0.5
+    extra_generations: int = 2
+    _times: dict[int, int] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n, minimum=2)
+        check_positive_int("k", self.k, minimum=2)
+        check_fraction("gamma", self.gamma)
+        if self.alpha0 <= 1.0:
+            raise ConfigurationError(f"alpha0 must be > 1, got {self.alpha0}")
+        if self.extra_generations < 0:
+            raise ConfigurationError("extra_generations must be >= 0")
+        self.max_generation = total_generations(self.n, self.alpha0) + self.extra_generations
+        time = 1
+        self._times[time] = 1  # t_1 = 1 births generation 1 (Example 3)
+        for i in range(1, self.max_generation):
+            lifecycle = generation_lifecycle_length(i, self.alpha0, self.k, self.gamma)
+            time += max(1, math.ceil(lifecycle))
+            self._times[time] = i + 1
+
+    @property
+    def two_choices_times(self) -> list[int]:
+        """The sorted schedule ``{t_i}``."""
+        return sorted(self._times)
+
+    def generation_born_at(self, step: int) -> int | None:
+        """Generation index born at ``step``, or ``None``."""
+        return self._times.get(step)
+
+    def is_two_choices_step(self, step: int, top_generation_fraction: float) -> bool:
+        return step in self._times
+
+
+@dataclass
+class AlwaysTwoChoices(Schedule):
+    """Ablation schedule: back-to-back two-choices steps, no growth window.
+
+    Fires a two-choices step on each of the first ``max_generation``
+    steps (one per allowed generation) with **zero** propagation steps in
+    between. The paper's analysis needs each generation to reach a ``γ``
+    fraction before the next is born; births from ungrown parents leave
+    the top generations thin and color-mixed, so the population ends up
+    pulled into a *mixed* top generation that can never purify — the
+    ablation experiment measures exactly that consensus failure.
+    """
+
+    max_generation: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive_int("max_generation", self.max_generation)
+        self._fired = 0
+
+    def reset(self) -> None:
+        self._fired = 0
+
+    def is_two_choices_step(self, step: int, top_generation_fraction: float) -> bool:
+        if self._fired >= self.max_generation:
+            return False
+        self._fired += 1
+        return True
+
+
+@dataclass
+class AdaptiveSchedule(Schedule):
+    """Oracle schedule: fire when the top generation reaches a ``γ`` fraction.
+
+    The first step is always a two-choices step (generation 0 trivially
+    covers everything). Afterwards a two-choices step fires exactly when
+    the newest generation's fraction is at least ``gamma``, until
+    ``max_generation`` generations have been born.
+    """
+
+    n: int
+    alpha0: float
+    gamma: float = 0.5
+    extra_generations: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n, minimum=2)
+        check_fraction("gamma", self.gamma)
+        if self.alpha0 <= 1.0:
+            raise ConfigurationError(f"alpha0 must be > 1, got {self.alpha0}")
+        self.max_generation = total_generations(self.n, self.alpha0) + self.extra_generations
+        self._fired = 0
+
+    def reset(self) -> None:
+        self._fired = 0
+
+    def is_two_choices_step(self, step: int, top_generation_fraction: float) -> bool:
+        if self._fired >= self.max_generation:
+            return False
+        if step == 1 or top_generation_fraction >= self.gamma:
+            self._fired += 1
+            return True
+        return False

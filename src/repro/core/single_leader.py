@@ -1,0 +1,323 @@
+"""Algorithms 2+3 — the asynchronous single-leader protocol, event-driven.
+
+Faithful to Section 3's model:
+
+* every node has a rate-1 Poisson clock; **every** tick sends a 0-signal
+  to the leader (even while locked — Algorithm 2, lines 1–2);
+* a *good* tick (node not locked) locks the node, samples two uniform
+  contacts, opens channels to them concurrently, then a channel to the
+  leader; each establishment takes an independent ``Exp(λ)`` time
+  (footnote 3's plan, ``T2' = max(T2, T2) + T2``);
+* once all channels are up, message exchange is instantaneous: the node
+  reads the two contacts' ``(gen, col)`` and the leader's ``(gen, prop)``
+  and applies Algorithm 2's update **only if** the leader state equals
+  the state stored from the previous communication (lines 5/13–14), the
+  mechanism that keeps two-choices and propagation stages from
+  interleaving;
+* a node whose generation increased notifies the leader with a
+  gen-signal (one-way latency, no locking).
+
+State is stored in numpy arrays indexed by node id (no per-node
+objects); events carry node ids. A generation×color count matrix is
+maintained incrementally so convergence checks and trajectory snapshots
+are O(k) instead of O(n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.leader import Leader
+from repro.core.params import SingleLeaderParams
+from repro.core.results import GenerationBirth, RunResult, StepStats
+from repro.engine.latency import ChannelPlan, LatencyModel
+from repro.engine.simulator import Simulator
+from repro.engine.tracing import Tracer
+from repro.errors import ConfigurationError
+from repro.workloads.bias import (
+    collision_probability,
+    multiplicative_bias,
+    plurality_color,
+    validate_counts,
+)
+from repro.workloads.opinions import counts_to_assignment
+
+__all__ = ["SingleLeaderSim", "run_single_leader"]
+
+
+class SingleLeaderSim:
+    """Event-driven simulator of the single-leader protocol.
+
+    Parameters
+    ----------
+    params:
+        Protocol constants (see :class:`~repro.core.params.SingleLeaderParams`).
+    counts:
+        Initial color counts; ``counts.sum()`` must equal ``params.n``.
+    rng:
+        One generator drives ticks, latencies, and sampling; runs are
+        reproducible because event ordering is deterministic.
+    tracer:
+        Optional structured-trace sink.
+    latency_model:
+        Override the channel-establishment distribution (Section 5 asks
+        whether results carry over beyond exponential delays). When
+        given, it replaces the ``Exp(params.latency_rate)`` draws; note
+        that ``params.time_unit`` then no longer applies — use
+        :func:`repro.engine.latency.empirical_time_unit` for reporting.
+    """
+
+    def __init__(
+        self,
+        params: SingleLeaderParams,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        tracer: Tracer | None = None,
+        latency_model: "LatencyModel | None" = None,
+    ):
+        counts = validate_counts(counts)
+        if int(counts.sum()) != params.n:
+            raise ConfigurationError(
+                f"counts sum to {int(counts.sum())} but params.n={params.n}"
+            )
+        if counts.size != params.k:
+            raise ConfigurationError(f"counts has {counts.size} colors but params.k={params.k}")
+        self.params = params
+        self.n = params.n
+        self.k = params.k
+        self._rng = rng
+        self._latency_model = latency_model
+        self.sim = Simulator(tracer=tracer)
+        self.leader = Leader(params)
+        self._phase_changes_seen = 0
+
+        self.cols = counts_to_assignment(counts, rng)
+        self.gens = np.zeros(self.n, dtype=np.int64)
+        self.locked = np.zeros(self.n, dtype=bool)
+        self.seen_gen = np.full(self.n, -1, dtype=np.int64)
+        self.seen_prop = np.full(self.n, -1, dtype=np.int8)
+
+        rows = params.max_generation + 2
+        self.matrix = np.zeros((rows, self.k), dtype=np.int64)
+        self.matrix[0, :] = counts
+        self.color_counts = counts.copy()
+        self.plurality = plurality_color(counts)
+        self.births: list[GenerationBirth] = []
+        self.trajectory: list[StepStats] = []
+        self.good_ticks = 0
+        self.total_ticks = 0
+
+        for node in range(self.n):
+            self._schedule_tick(node)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _schedule_tick(self, node: int) -> None:
+        wait = self._rng.exponential(1.0 / self.params.clock_rate)
+        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
+
+    def _latency(self) -> float:
+        if self._latency_model is not None:
+            return float(self._latency_model.draw(self._rng))
+        return float(self._rng.exponential(1.0 / self.params.latency_rate))
+
+    def _send_signal(self, i: int) -> None:
+        """Fire-and-forget i-signal to the leader (one-way latency)."""
+        self.sim.schedule_in(
+            self._latency(), lambda i=i: self._leader_signal(i), tag="signal"
+        )
+
+    def _leader_signal(self, i: int) -> None:
+        self.leader.on_signal(i, self.sim.now)
+        changes = self.leader.phase_changes
+        while self._phase_changes_seen < len(changes):
+            change = changes[self._phase_changes_seen]
+            self._phase_changes_seen += 1
+            if change.kind == "propagation":
+                # Lemma 22's snapshot: the newest generation at the end of
+                # its two-choices window.
+                row = self.matrix[change.generation]
+                total = int(row.sum())
+                self.births.append(
+                    GenerationBirth(
+                        generation=change.generation,
+                        time=change.time,
+                        fraction=total / self.n,
+                        bias=multiplicative_bias(row) if total else 1.0,
+                        collision_probability=collision_probability(row) if total else 0.0,
+                    )
+                )
+
+    def _tick(self, node: int) -> None:
+        self.total_ticks += 1
+        self._schedule_tick(node)
+        self._send_signal(0)  # line 1: every tick, even when locked
+        if self.locked[node]:
+            return
+        self.locked[node] = True
+        self.good_ticks += 1
+        first = self._sample_neighbor(node)
+        second = self._sample_neighbor(node)
+        d_first, d_second, d_leader = self._latency(), self._latency(), self._latency()
+        if self.params.plan is ChannelPlan.CONCURRENT_THEN_LEADER:
+            delay = max(d_first, d_second) + d_leader
+        else:
+            delay = d_first + d_second + d_leader
+        self.sim.schedule_in(
+            delay,
+            lambda node=node, a=first, b=second: self._exchange(node, a, b),
+            tag="exchange",
+        )
+
+    def _sample_neighbor(self, node: int) -> int:
+        draw = int(self._rng.integers(self.n - 1))
+        return draw + 1 if draw >= node else draw
+
+    def _exchange(self, node: int, first: int, second: int) -> None:
+        leader_gen, leader_prop = self.leader.state
+        if self.seen_gen[node] == leader_gen and self.seen_prop[node] == int(leader_prop):
+            gen_a, col_a = int(self.gens[first]), int(self.cols[first])
+            gen_b, col_b = int(self.gens[second]), int(self.cols[second])
+            old_gen = int(self.gens[node])
+            if (
+                not leader_prop
+                and gen_a == leader_gen - 1
+                and gen_b == leader_gen - 1
+                and col_a == col_b
+            ):
+                self._set_state(node, leader_gen, col_a)
+                if leader_gen > old_gen:
+                    self._send_signal(leader_gen)
+            else:
+                candidate_gen, candidate_col = -1, -1
+                for gen_s, col_s in ((gen_a, col_a), (gen_b, col_b)):
+                    if old_gen < gen_s and (gen_s < leader_gen or leader_prop):
+                        if gen_s > candidate_gen:
+                            candidate_gen, candidate_col = gen_s, col_s
+                if candidate_gen >= 0:
+                    self._set_state(node, candidate_gen, candidate_col)
+                    self._send_signal(candidate_gen)
+        else:
+            self.seen_gen[node] = leader_gen
+            self.seen_prop[node] = int(leader_prop)
+        self.locked[node] = False
+
+    def _set_state(self, node: int, gen: int, col: int) -> None:
+        old_gen, old_col = int(self.gens[node]), int(self.cols[node])
+        self.matrix[old_gen, old_col] -= 1
+        self.matrix[gen, col] += 1
+        if col != old_col:
+            self.color_counts[old_col] -= 1
+            self.color_counts[col] += 1
+        self.gens[node] = gen
+        self.cols[node] = col
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def stats(self) -> StepStats:
+        per_generation = self.matrix.sum(axis=1)
+        occupied = np.nonzero(per_generation)[0]
+        top = int(occupied[-1]) if occupied.size else 0
+        return StepStats(
+            time=self.sim.now,
+            top_generation=top,
+            top_generation_fraction=float(per_generation[top]) / self.n,
+            plurality_fraction=float(self.color_counts.max()) / self.n,
+            bias=multiplicative_bias(self.color_counts),
+        )
+
+    def _schedule_sampler(self, every: float) -> None:
+        def sample() -> None:
+            self.trajectory.append(self.stats())
+            self.sim.schedule_in(every, sample, tag="sampler")
+
+        self.sim.schedule_in(every, sample, tag="sampler")
+
+    # ------------------------------------------------------------------
+    # runner
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_time: float = 2000.0,
+        epsilon: float | None = None,
+        stop_at_epsilon: bool = False,
+        record_every: float | None = None,
+    ) -> RunResult:
+        """Run until full consensus, ``max_time``, or the ε-target.
+
+        Parameters
+        ----------
+        max_time:
+            Simulated-time budget.
+        epsilon:
+            If set, the first time the initially dominant color covers a
+            ``1 − ε`` fraction is recorded (Theorem 13's ε-convergence).
+        stop_at_epsilon:
+            Stop as soon as the ε-target is hit instead of continuing to
+            full consensus.
+        record_every:
+            If set, append a :class:`StepStats` snapshot this often.
+        """
+        if record_every is not None:
+            self._schedule_sampler(record_every)
+        epsilon_target = None
+        if epsilon is not None:
+            epsilon_target = int(np.ceil((1.0 - epsilon) * self.n))
+        epsilon_time: float | None = None
+        consensus_target = self.n
+
+        def done() -> bool:
+            nonlocal epsilon_time
+            leading = int(self.color_counts[self.plurality])
+            if epsilon_target is not None and epsilon_time is None:
+                if leading >= epsilon_target:
+                    epsilon_time = self.sim.now
+                    if stop_at_epsilon:
+                        return True
+            return leading == consensus_target or int(self.color_counts.max()) == self.n
+
+        self.sim.run(until=max_time, stop_when=done)
+        converged = int(self.color_counts.max()) == self.n
+        return RunResult(
+            converged=converged,
+            winner=int(np.argmax(self.color_counts)),
+            plurality_color=self.plurality,
+            elapsed=self.sim.now,
+            final_color_counts=self.color_counts.copy(),
+            epsilon_convergence_time=epsilon_time,
+            trajectory=self.trajectory,
+            births=self.births,
+            info={
+                "events": float(self.sim.events_executed),
+                "good_ticks": float(self.good_ticks),
+                "total_ticks": float(self.total_ticks),
+                "leader_zero_signals": float(self.leader.zero_signals),
+                "leader_gen_signals": float(self.leader.gen_signals),
+                "final_leader_generation": float(self.leader.gen),
+                "time_unit": self.params.time_unit,
+            },
+        )
+
+
+def run_single_leader(
+    params: SingleLeaderParams,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_time: float = 2000.0,
+    epsilon: float | None = None,
+    stop_at_epsilon: bool = False,
+    record_every: float | None = None,
+) -> RunResult:
+    """Build a :class:`SingleLeaderSim` and run it (convenience front-end)."""
+    sim = SingleLeaderSim(params, counts, rng)
+    return sim.run(
+        max_time=max_time,
+        epsilon=epsilon,
+        stop_at_epsilon=stop_at_epsilon,
+        record_every=record_every,
+    )

@@ -1,0 +1,356 @@
+"""Algorithm 1 — the synchronous generation protocol.
+
+Every node holds ``(gen, col)``. In each synchronous step every node
+samples two uniform neighbors ``v', v''`` (w.l.o.g.
+``gen(v') ≥ gen(v'')``) and applies, in order:
+
+* **two-choices** (only at scheduled times ``{t_i}``): if both samples
+  share generation ``i ≥ gen(v)`` *and* color, adopt that color and move
+  to generation ``i + 1``;
+* **propagation**: otherwise, if ``gen(v') > gen(v)``, adopt ``v'``'s
+  generation and color.
+
+Two exact simulators are provided:
+
+:class:`PerNodeSynchronousSim`
+    Literal per-node implementation (self-sampling excluded), vectorized
+    with numpy. Use for ``n`` up to ~10^5.
+
+:class:`AggregateSynchronousSim`
+    The per-node update depends only on the sampled pair's
+    ``(generation, color)``, so the count matrix ``M[g, c]`` evolves as
+    an exact multinomial process. This simulator draws those multinomials
+    directly and scales to millions of nodes. Its single approximation:
+    pairs are sampled from the full population (the sampler itself
+    included), an ``O(1/n)`` perturbation of the per-node law.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.results import GenerationBirth, RunResult, StepStats
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.workloads.bias import (
+    collision_probability,
+    multiplicative_bias,
+    plurality_color,
+    validate_counts,
+)
+from repro.workloads.opinions import counts_to_assignment
+
+__all__ = ["PerNodeSynchronousSim", "AggregateSynchronousSim", "run_synchronous"]
+
+
+def _matrix_stats(matrix: np.ndarray, n: int, time: float) -> StepStats:
+    """Summary statistics from a generation×color count matrix."""
+    per_generation = matrix.sum(axis=1)
+    occupied = np.nonzero(per_generation)[0]
+    top = int(occupied[-1]) if occupied.size else 0
+    color_counts = matrix.sum(axis=0)
+    return StepStats(
+        time=time,
+        top_generation=top,
+        top_generation_fraction=float(per_generation[top]) / n,
+        plurality_fraction=float(color_counts.max()) / n,
+        bias=multiplicative_bias(color_counts),
+    )
+
+
+class _SynchronousBase:
+    """Shared run loop and bookkeeping for both synchronous simulators."""
+
+    n: int
+    k: int
+    schedule: Schedule
+    steps_done: int
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def generation_color_matrix(self) -> np.ndarray:
+        """Current ``(max_generation+2, k)`` count matrix."""
+        raise NotImplementedError
+
+    def color_counts(self) -> np.ndarray:
+        return self.generation_color_matrix().sum(axis=0)
+
+    def stats(self) -> StepStats:
+        return _matrix_stats(self.generation_color_matrix(), self.n, float(self.steps_done))
+
+    def _note_births(
+        self, matrix: np.ndarray, before_top: int, births: list[GenerationBirth]
+    ) -> int:
+        per_generation = matrix.sum(axis=1)
+        occupied = np.nonzero(per_generation)[0]
+        top = int(occupied[-1]) if occupied.size else 0
+        for generation in range(before_top + 1, top + 1):
+            row = matrix[generation]
+            if row.sum() == 0:  # pragma: no cover - defensive
+                continue
+            births.append(
+                GenerationBirth(
+                    generation=generation,
+                    time=float(self.steps_done),
+                    fraction=float(row.sum()) / self.n,
+                    bias=multiplicative_bias(row),
+                    collision_probability=collision_probability(row),
+                )
+            )
+        return top
+
+    def run(
+        self,
+        *,
+        max_steps: int = 10_000,
+        epsilon: float | None = None,
+        record_trajectory: bool = False,
+        on_step: Callable[[StepStats], None] | None = None,
+    ) -> RunResult:
+        """Run until consensus or ``max_steps``.
+
+        Parameters
+        ----------
+        max_steps:
+            Step budget; the run result reports ``converged=False`` when
+            exhausted (no exception — experiments inspect the flag).
+        epsilon:
+            If given, record the first step at which the initially
+            dominant color covers a ``1 − ε`` fraction.
+        record_trajectory:
+            Keep a :class:`StepStats` entry per step.
+        on_step:
+            Optional observer invoked with each step's stats.
+        """
+        initial_colors = self.color_counts()
+        plurality = plurality_color(initial_colors)
+        births: list[GenerationBirth] = []
+        trajectory: list[StepStats] = []
+        epsilon_time: float | None = None
+        top = 0
+        converged = False
+        while self.steps_done < max_steps:
+            self.step()
+            matrix = self.generation_color_matrix()
+            top = self._note_births(matrix, top, births)
+            colors = matrix.sum(axis=0)
+            if record_trajectory or on_step is not None:
+                stats = _matrix_stats(matrix, self.n, float(self.steps_done))
+                if record_trajectory:
+                    trajectory.append(stats)
+                if on_step is not None:
+                    on_step(stats)
+            if epsilon is not None and epsilon_time is None:
+                if colors[plurality] >= (1.0 - epsilon) * self.n:
+                    epsilon_time = float(self.steps_done)
+            if int(np.count_nonzero(colors)) == 1:
+                converged = True
+                break
+        final = self.color_counts()
+        return RunResult(
+            converged=converged,
+            winner=int(np.argmax(final)),
+            plurality_color=plurality,
+            elapsed=float(self.steps_done),
+            final_color_counts=final,
+            epsilon_convergence_time=epsilon_time,
+            trajectory=trajectory,
+            births=births,
+        )
+
+
+class PerNodeSynchronousSim(_SynchronousBase):
+    """Exact per-node simulator of Algorithm 1.
+
+    Parameters
+    ----------
+    counts:
+        Initial color counts (length ``k``); expanded and shuffled into a
+        per-node assignment.
+    schedule:
+        Two-choices schedule (see :mod:`repro.core.schedule`).
+    rng:
+        Generator for sampling and the initial shuffle.
+    """
+
+    def __init__(self, counts: np.ndarray, schedule: Schedule, rng: np.random.Generator):
+        counts = validate_counts(counts)
+        self.n = int(counts.sum())
+        if self.n < 2:
+            raise ConfigurationError("need at least 2 nodes")
+        self.k = int(counts.size)
+        self.schedule = schedule
+        schedule.reset()
+        self._rng = rng
+        self.colors = counts_to_assignment(counts, rng)
+        self.generations = np.zeros(self.n, dtype=np.int64)
+        self.steps_done = 0
+        self._rows = schedule.max_generation + 2
+
+    def _sample_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Two independent uniform neighbors per node, never the node itself."""
+        nodes = np.arange(self.n)
+        first = self._rng.integers(self.n - 1, size=self.n)
+        second = self._rng.integers(self.n - 1, size=self.n)
+        first = first + (first >= nodes)
+        second = second + (second >= nodes)
+        return first, second
+
+    def step(self) -> None:
+        self.steps_done += 1
+        first, second = self._sample_pairs()
+        gen_a, col_a = self.generations[first], self.colors[first]
+        gen_b, col_b = self.generations[second], self.colors[second]
+        # Order so sample "a" is the higher-generation one (ties keep order).
+        swap = gen_b > gen_a
+        gen_a, gen_b = np.where(swap, gen_b, gen_a), np.where(swap, gen_a, gen_b)
+        col_a, col_b = np.where(swap, col_b, col_a), np.where(swap, col_a, col_b)
+        top_fraction = self._top_generation_fraction()
+        if self.schedule.is_two_choices_step(self.steps_done, top_fraction):
+            two_choices = (gen_a == gen_b) & (col_a == col_b) & (self.generations <= gen_a)
+        else:
+            two_choices = np.zeros(self.n, dtype=bool)
+        propagation = ~two_choices & (gen_a > self.generations)
+        new_generations = np.where(
+            two_choices, gen_a + 1, np.where(propagation, gen_a, self.generations)
+        )
+        adopt = two_choices | propagation
+        self.generations = new_generations
+        self.colors = np.where(adopt, col_a, self.colors)
+
+    def _top_generation_fraction(self) -> float:
+        top = int(self.generations.max())
+        return float(np.count_nonzero(self.generations == top)) / self.n
+
+    def generation_color_matrix(self) -> np.ndarray:
+        matrix = np.zeros((self._rows, self.k), dtype=np.int64)
+        np.add.at(matrix, (self.generations, self.colors), 1)
+        return matrix
+
+
+class AggregateSynchronousSim(_SynchronousBase):
+    """Exact count-matrix (multinomial) simulator of Algorithm 1.
+
+    State is the matrix ``M[g, c]`` of node counts per generation and
+    color. Within one step, every node in group ``(g, c0)`` has the same
+    outcome distribution over categories {promote to ``(i+1, c)``, adopt
+    ``(j, c)``, stay}; the group outcome is therefore multinomial, drawn
+    with numpy.
+
+    Scales to ``n`` in the millions — the paper's target regime that the
+    calibration notes flag as slow for per-node Python simulation.
+
+    Parameters
+    ----------
+    promotion:
+        ``"pair"`` (the paper's two-choices rule: both samples must share
+        generation and color) or ``"single"`` (ablation: promote on a
+        single sample's generation/color, which removes the bias-squaring
+        amplification — the new generation merely *copies* the old bias).
+    """
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        schedule: Schedule,
+        rng: np.random.Generator,
+        *,
+        promotion: str = "pair",
+    ):
+        counts = validate_counts(counts)
+        self.n = int(counts.sum())
+        if self.n < 2:
+            raise ConfigurationError("need at least 2 nodes")
+        self.k = int(counts.size)
+        self.schedule = schedule
+        schedule.reset()
+        self._rng = rng
+        if promotion not in ("pair", "single"):
+            raise ConfigurationError(
+                f"promotion must be 'pair' or 'single', got {promotion!r}"
+            )
+        self.promotion = promotion
+        self._rows = schedule.max_generation + 2
+        self.matrix = np.zeros((self._rows, self.k), dtype=np.int64)
+        self.matrix[0, :] = counts
+        self.steps_done = 0
+
+    def generation_color_matrix(self) -> np.ndarray:
+        return self.matrix.copy()
+
+    def step(self) -> None:
+        self.steps_done += 1
+        fractions = self.matrix / self.n
+        per_generation = fractions.sum(axis=1)
+        occupied = np.nonzero(per_generation)[0]
+        top = int(occupied[-1])
+        below = np.concatenate(([0.0], np.cumsum(per_generation)))[:-1]  # Σ_{g<j}
+        two_choices_step = self.schedule.is_two_choices_step(
+            self.steps_done, float(per_generation[top])
+        )
+        new_matrix = np.zeros_like(self.matrix)
+        flat_categories = self._rows * self.k
+        for g in occupied:
+            g = int(g)
+            probs = np.zeros((self._rows, self.k))
+            if two_choices_step and g + 1 < self._rows:
+                upper = min(top, self._rows - 2)
+                if self.promotion == "pair":
+                    # Pairs both in generation i >= g with equal colors
+                    # promote to (i+1, color); the slice shifts rows by one.
+                    probs[g + 1 : upper + 2, :] += fractions[g : upper + 1, :] ** 2
+                else:
+                    # Ablation: one sample in generation i >= g suffices.
+                    probs[g + 1 : upper + 2, :] += fractions[g : upper + 1, :]
+            if top > g and not (two_choices_step and self.promotion == "single"):
+                span = slice(g + 1, top + 1)
+                adopt = fractions[span, :] * (
+                    2.0 * below[span][:, None] + per_generation[span][:, None]
+                )
+                if two_choices_step:
+                    adopt = adopt - fractions[span, :] ** 2
+                probs[span, :] += adopt
+            flat = probs.ravel()
+            total = float(flat.sum())
+            if total > 1.0:  # float round-off guard
+                flat = flat / total
+                total = 1.0
+            full = np.append(flat, 1.0 - total)
+            for c in np.nonzero(self.matrix[g])[0]:
+                count = int(self.matrix[g, c])
+                outcome = self._rng.multinomial(count, full)
+                moved = outcome[:flat_categories].reshape(self._rows, self.k)
+                new_matrix += moved
+                new_matrix[g, c] += outcome[flat_categories]
+        assert new_matrix.sum() == self.n, "node conservation violated"
+        self.matrix = new_matrix
+
+
+def run_synchronous(
+    counts: np.ndarray,
+    schedule: Schedule,
+    rng: np.random.Generator,
+    *,
+    engine: str = "aggregate",
+    max_steps: int = 10_000,
+    epsilon: float | None = None,
+    record_trajectory: bool = False,
+) -> RunResult:
+    """Convenience front-end: build a simulator and run it.
+
+    ``engine`` is ``"aggregate"`` (count-matrix, scales to huge ``n``) or
+    ``"pernode"`` (literal per-node simulation).
+    """
+    if engine == "aggregate":
+        sim: _SynchronousBase = AggregateSynchronousSim(counts, schedule, rng)
+    elif engine == "pernode":
+        sim = PerNodeSynchronousSim(counts, schedule, rng)
+    else:
+        raise ConfigurationError(f"unknown engine {engine!r}; use 'aggregate' or 'pernode'")
+    return sim.run(
+        max_steps=max_steps, epsilon=epsilon, record_trajectory=record_trajectory
+    )

@@ -1,0 +1,239 @@
+"""Closed-form quantities from the paper's analysis.
+
+Every formula the analysis manipulates is implemented here so that
+experiments can print *paper prediction vs. measured value* side by
+side: the bias threshold of Theorems 1/13/26, the generation life-cycle
+lengths ``X_i``, the generation budget ``G*``, the bias-squaring
+recursion with its error terms (Lemma 4, Corollary 7, Proposition 8),
+the generation counts of Corollary 10 / Lemma 11, the final pull phase
+of Lemma 12, and the asynchronous per-generation timing of
+Propositions 16/17.
+
+Numerical care: the analysis tracks ``α^{2^i}`` which overflows floats
+almost immediately, so all recursions here work with ``ln α`` and use
+``log-add-exp`` style identities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = [
+    "minimum_bias",
+    "log_alpha_after_generations",
+    "generation_lifecycle_length",
+    "generations_to_bias_k",
+    "generations_to_monochromatic",
+    "total_generations",
+    "lemma4_delta",
+    "final_pull_steps",
+    "SynchronousPrediction",
+    "predict_synchronous",
+    "AsynchronousPrediction",
+    "predict_asynchronous",
+    "collision_probability_floor",
+]
+
+
+def minimum_bias(n: int, k: int) -> float:
+    """Theorem 1/13 bias threshold ``α > 1 + (k·log n/√n)·log k``.
+
+    Logarithms are base 2, following the paper's convention
+    (``log n = log2 n``).
+    """
+    n = check_positive_int("n", n, minimum=2)
+    k = check_positive_int("k", k, minimum=2)
+    return 1.0 + k * math.log2(n) / math.sqrt(n) * math.log2(k)
+
+
+def log_alpha_after_generations(alpha0: float, generations: int) -> float:
+    """``ln α_i`` under the idealized squaring recursion ``α_{i+1} = α_i²``.
+
+    Returns ``2^generations · ln α0`` — exact in log space, overflow-free.
+    """
+    if alpha0 <= 1.0:
+        raise ConfigurationError(f"alpha0 must be > 1, got {alpha0}")
+    if generations < 0:
+        raise ConfigurationError("generations must be >= 0")
+    return (2.0**generations) * math.log(alpha0)
+
+
+def _log_alpha_power_plus_k(log_alpha_i: float, k: int) -> float:
+    """``ln(α_i + k − 1)`` given ``ln α_i``, stable for huge ``α_i``.
+
+    This is ``logaddexp(ln α_i, ln(k−1))``.
+    """
+    if k < 2:
+        return log_alpha_i
+    log_km1 = math.log(k - 1)
+    big, small = max(log_alpha_i, log_km1), min(log_alpha_i, log_km1)
+    return big + math.log1p(math.exp(small - big))
+
+
+def generation_lifecycle_length(
+    i: int, alpha0: float, k: int, gamma: float = 0.5
+) -> float:
+    """Section 2.2's ``X_i`` — steps for generation ``i`` to reach ``γn``.
+
+    ``X_i = [2 ln(α0^{2^{i−1}} + k − 1) − ln(α0^{2^i} + k − 1) − ln γ]
+    / ln(2 − γ) + 2``, evaluated in log space. Intuitively this is
+    ``−ln(γ·p_{i−1}) / ln(2−γ) + 2``: the newborn generation starts at a
+    ``≈ p_{i−1}`` fraction (Remark 2) and grows by a factor ``2−γ`` per
+    step until it covers a ``γ`` fraction.
+    """
+    if i < 0:
+        raise ConfigurationError("generation index must be >= 0")
+    check_fraction("gamma", gamma)
+    k = check_positive_int("k", k, minimum=2)
+    log_alpha_prev = log_alpha_after_generations(alpha0, i) / 2.0  # 2^{i-1} ln α0
+    log_alpha_cur = log_alpha_after_generations(alpha0, i)  # 2^i ln α0
+    numerator = (
+        2.0 * _log_alpha_power_plus_k(log_alpha_prev, k)
+        - _log_alpha_power_plus_k(log_alpha_cur, k)
+        - math.log(gamma)
+    )
+    return numerator / math.log(2.0 - gamma) + 2.0
+
+
+def generations_to_bias_k(alpha0: float, k: int) -> int:
+    """Corollary 10: at most ``1 + log log_α k`` generations reach bias ``k``."""
+    k = check_positive_int("k", k, minimum=2)
+    if alpha0 <= 1.0:
+        raise ConfigurationError(f"alpha0 must be > 1, got {alpha0}")
+    ratio = math.log(k) / math.log(alpha0)
+    return 1 + max(0, math.ceil(math.log2(max(ratio, 1.0))))
+
+
+def generations_to_monochromatic(k: int, n: int) -> int:
+    """Lemma 11: ``log log_k n`` further generations after bias reaches ``k``."""
+    k = check_positive_int("k", k, minimum=2)
+    n = check_positive_int("n", n, minimum=2)
+    ratio = math.log(n) / math.log(k)
+    return max(1, math.ceil(math.log2(max(ratio, 1.0))))
+
+
+def total_generations(n: int, alpha0: float) -> int:
+    """``G* = ⌈log2 log_α n⌉`` — generations until ``α_{G*} > n − 1``."""
+    n = check_positive_int("n", n, minimum=2)
+    if alpha0 <= 1.0:
+        raise ConfigurationError(f"alpha0 must be > 1, got {alpha0}")
+    ratio = math.log(n) / math.log(alpha0)
+    return max(1, math.ceil(math.log2(max(ratio, 1.0))))
+
+
+def lemma4_delta(n: int, k: int, alpha: float) -> float:
+    """Lemma 4/6 concentration error ``δ = √(6 log n / n) · max(k, α)``."""
+    n = check_positive_int("n", n, minimum=2)
+    k = check_positive_int("k", k, minimum=2)
+    if alpha < 1.0:
+        raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
+    return math.sqrt(6.0 * math.log2(n) / n) * max(float(k), alpha)
+
+
+def final_pull_steps(n: int, gamma: float = 0.5) -> float:
+    """Lemma 12: ``log(γ)/log(3/2) + log2 log2 n`` steps pull everyone up.
+
+    (The ``log γ / log 3/2`` term is the time for the top generation to
+    pass one half; since ``γ < 1`` its log is negative, so we use the
+    magnitude — the paper's expression counts steps.)
+    """
+    n = check_positive_int("n", n, minimum=2)
+    check_fraction("gamma", gamma)
+    return abs(math.log(gamma) / math.log(1.5)) + math.log2(max(2.0, math.log2(n)))
+
+
+def collision_probability_floor(alpha: float, k: int) -> float:
+    """Remark 2 bound ``p ≥ (α² + k − 1)/(α + k − 1)²``, capped into (0, 1]."""
+    if alpha < 1.0:
+        raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
+    k = check_positive_int("k", k, minimum=1)
+    return min(1.0, (alpha**2 + k - 1) / (alpha + k - 1) ** 2)
+
+
+@dataclass(frozen=True)
+class SynchronousPrediction:
+    """Theorem 1's runtime decomposition for one parameter point."""
+
+    generations_to_k: int
+    generations_to_mono: int
+    total_generation_count: int
+    lifecycle_steps: tuple[float, ...]
+    final_pull: float
+
+    @property
+    def total_steps(self) -> float:
+        """Predicted total synchronous steps (order-level, not constants)."""
+        return sum(self.lifecycle_steps) + self.final_pull
+
+
+def predict_synchronous(
+    n: int, k: int, alpha0: float, gamma: float = 0.5
+) -> SynchronousPrediction:
+    """Assemble Theorem 1's ``T1 + T2 + A`` decomposition."""
+    to_k = generations_to_bias_k(alpha0, k)
+    to_mono = generations_to_monochromatic(k, n)
+    count = min(total_generations(n, alpha0) + 1, to_k + to_mono + 1)
+    lifecycles = tuple(
+        generation_lifecycle_length(i, alpha0, k, gamma) for i in range(1, count + 1)
+    )
+    return SynchronousPrediction(
+        generations_to_k=to_k,
+        generations_to_mono=to_mono,
+        total_generation_count=count,
+        lifecycle_steps=lifecycles,
+        final_pull=final_pull_steps(n, gamma),
+    )
+
+
+@dataclass(frozen=True)
+class AsynchronousPrediction:
+    """Per-generation timing of the single-leader protocol (Props 16/17)."""
+
+    two_choices_units: float
+    propagation_units_per_generation: tuple[float, ...]
+    generation_count: int
+    final_pull_units: float
+
+    @property
+    def total_units(self) -> float:
+        """Predicted total time units until ε-convergence."""
+        per_generation = (
+            self.generation_count * self.two_choices_units
+            + sum(self.propagation_units_per_generation)
+        )
+        return per_generation + self.final_pull_units
+
+
+def predict_asynchronous(
+    n: int, k: int, alpha0: float, *, growth_factor: float = 1.4
+) -> AsynchronousPrediction:
+    """Theorem 13's timing: per generation, ≈2 units of two-choices plus
+    ``log(9/(2p_i)) / log(growth_factor)`` units of propagation.
+
+    The collision probability ``p_i`` follows the squaring recursion via
+    Remark 2; ``growth_factor`` 1.4 is Proposition 17's per-unit growth.
+    """
+    check_positive("growth_factor", growth_factor)
+    if growth_factor <= 1.0:
+        raise ConfigurationError("growth_factor must exceed 1")
+    count = min(
+        total_generations(n, alpha0) + 1,
+        generations_to_bias_k(alpha0, k) + generations_to_monochromatic(k, n) + 1,
+    )
+    log_alpha = math.log(alpha0)
+    propagation: list[float] = []
+    for _ in range(count):
+        alpha_i = math.exp(min(700.0, log_alpha))
+        p_i = collision_probability_floor(alpha_i, k)
+        propagation.append(math.log(9.0 / (2.0 * p_i)) / math.log(growth_factor))
+        log_alpha *= 2.0
+    return AsynchronousPrediction(
+        two_choices_units=2.0,
+        propagation_units_per_generation=tuple(propagation),
+        generation_count=count,
+        final_pull_units=final_pull_steps(n),
+    )

@@ -1,0 +1,58 @@
+"""Discrete-event simulation substrate.
+
+This subpackage contains everything the protocols run *on top of*: the
+event queue and simulator loop, Poisson clocks, edge-latency models and
+the hypoexponential cycle-time math, the complete-graph address space,
+deterministic RNG substreams, and structured tracing.
+"""
+
+from repro.engine.clocks import PoissonClock
+from repro.engine.events import Event, EventQueue
+from repro.engine.hypoexp import Hypoexponential
+from repro.engine.latency import (
+    ChannelPlan,
+    ConstantLatency,
+    ExponentialLatency,
+    GammaLatency,
+    LatencyModel,
+    cycle_distribution,
+    example15_mean,
+    remark14_bound,
+    time_unit_steps,
+)
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import RngRegistry
+from repro.engine.simulator import Simulator
+from repro.engine.tracing import (
+    NULL_TRACER,
+    CountingTracer,
+    NullTracer,
+    TraceRecord,
+    TraceRecorder,
+    Tracer,
+)
+
+__all__ = [
+    "PoissonClock",
+    "Event",
+    "EventQueue",
+    "Hypoexponential",
+    "ChannelPlan",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "GammaLatency",
+    "LatencyModel",
+    "cycle_distribution",
+    "example15_mean",
+    "remark14_bound",
+    "time_unit_steps",
+    "CompleteGraph",
+    "RngRegistry",
+    "Simulator",
+    "NULL_TRACER",
+    "CountingTracer",
+    "NullTracer",
+    "TraceRecord",
+    "TraceRecorder",
+    "Tracer",
+]

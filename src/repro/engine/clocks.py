@@ -1,0 +1,89 @@
+"""Poisson clocks driving asynchronous node activity.
+
+Every node in the asynchronous model carries a Poisson clock with rate 1
+(Section 3.1): the waiting time between consecutive ticks is ``Exp(1)``.
+:class:`PoissonClock` schedules tick events on a
+:class:`~repro.engine.simulator.Simulator` and invokes a callback per
+tick. Clocks can be stopped, which cancels the pending tick event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.events import Event
+from repro.engine.simulator import Simulator
+from repro.util.validation import check_positive
+
+__all__ = ["PoissonClock"]
+
+
+class PoissonClock:
+    """A rate-``rate`` Poisson clock bound to one simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator on which tick events are scheduled.
+    rng:
+        Source of the exponential inter-tick times (the node's own
+        substream, for reproducibility).
+    on_tick:
+        Callback invoked at every tick.
+    rate:
+        Expected number of ticks per time step (1 in the paper).
+    tag:
+        Label attached to the scheduled events (for traces/debugging).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        on_tick: Callable[[], None],
+        *,
+        rate: float = 1.0,
+        tag: str = "tick",
+    ):
+        self._sim = sim
+        self._rng = rng
+        self._on_tick = on_tick
+        self._rate = check_positive("rate", rate)
+        self._tag = tag
+        self._pending: Event | None = None
+        self._running = False
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Start ticking; the first tick fires after one ``Exp(rate)`` wait."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop the clock and cancel any pending tick."""
+        self._running = False
+        if self._pending is not None:
+            self._sim.cancel(self._pending)
+            self._pending = None
+
+    def _schedule_next(self) -> None:
+        wait = self._rng.exponential(1.0 / self._rate)
+        self._pending = self._sim.schedule_in(wait, self._fire, tag=self._tag)
+
+    def _fire(self) -> None:
+        self._pending = None
+        if not self._running:
+            return
+        self.ticks += 1
+        # Schedule the next tick *before* running the callback so a
+        # callback that stops the clock cancels the right event.
+        self._schedule_next()
+        self._on_tick()

@@ -1,0 +1,108 @@
+"""Event queue for the discrete-event simulation engine.
+
+Events are ``(time, sequence, payload)`` entries in a binary heap. The
+monotonically increasing sequence number gives deterministic FIFO
+tie-breaking for events scheduled at the same simulated time, which is
+essential for reproducibility: Python's ``heapq`` would otherwise try to
+compare payloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import SchedulingError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    seq:
+        Monotonic sequence number; breaks ties deterministically.
+    action:
+        Zero-argument callable executed when the event fires.
+    tag:
+        Optional label used by traces and by :meth:`EventQueue.cancel`.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    tag: str = field(default="", compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Supports lazy cancellation: :meth:`cancel` marks an event dead and it
+    is skipped (and dropped) when popped.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._next_seq = 0
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, time: float, action: Callable[[], Any], *, tag: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the event handle."""
+        if time != time:  # NaN guard
+            raise SchedulingError("cannot schedule an event at time NaN")
+        event = Event(time=time, seq=self._next_seq, action=action, tag=tag)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark ``event`` as cancelled; it will be skipped when reached."""
+        self._cancelled.add(event.seq)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        SchedulingError
+            If the queue is empty.
+        """
+        self._drop_dead()
+        if not self._heap:
+            raise SchedulingError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield live events in time order until the queue is empty.
+
+        New events pushed while draining are interleaved correctly.
+        """
+        while self:
+            yield self.pop()
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].seq in self._cancelled:
+            dead = heapq.heappop(self._heap)
+            self._cancelled.discard(dead.seq)

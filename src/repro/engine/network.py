@@ -1,0 +1,56 @@
+"""The complete-graph communication substrate.
+
+The paper works on ``K_n``: any node can open a channel to any other
+node, and random contacts are sampled uniformly at random from the whole
+network. :class:`CompleteGraph` provides the address space and sampling
+helpers, including the exact "neighbors" semantics (sampling excludes
+the caller itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["CompleteGraph"]
+
+
+class CompleteGraph:
+    """Address space and uniform sampling on the complete graph ``K_n``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; addresses are ``0 .. n-1``.
+    """
+
+    def __init__(self, n: int):
+        self.n = check_positive_int("n", n, minimum=2)
+
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """One neighbor of ``node`` chosen uniformly (never ``node`` itself).
+
+        Uses the standard shift trick: draw uniformly from ``n-1`` values
+        and skip over ``node``, which avoids rejection loops.
+        """
+        draw = int(rng.integers(self.n - 1))
+        return draw + 1 if draw >= node else draw
+
+    def sample_neighbors(self, node: int, count: int, rng: np.random.Generator) -> list[int]:
+        """``count`` independent uniform neighbors (with replacement)."""
+        draws = rng.integers(self.n - 1, size=count)
+        return [int(d) + 1 if int(d) >= node else int(d) for d in draws]
+
+    def sample_uniform(self, rng: np.random.Generator) -> int:
+        """A node chosen uniformly from the whole network (self allowed)."""
+        return int(rng.integers(self.n))
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self.n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompleteGraph(n={self.n})"

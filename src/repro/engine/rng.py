@@ -1,0 +1,94 @@
+"""Deterministic random-number substreams.
+
+Every stochastic component of a simulation (clocks, latencies, sampling,
+initial opinions, ...) draws from its own named substream derived from a
+single root seed. Two runs with the same root seed therefore produce
+identical trajectories even when components are constructed in a
+different order, and changing how often one component draws does not
+perturb the randomness seen by another.
+
+The implementation uses :class:`numpy.random.SeedSequence.spawn`-style
+key derivation: a substream named ``"clock/17"`` is seeded by the root
+``SeedSequence`` extended with the stable 64-bit hash of its name.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RngRegistry", "stable_name_key"]
+
+
+def stable_name_key(name: str) -> int:
+    """Map ``name`` to a stable 32-bit integer key.
+
+    Uses CRC32 (stable across Python processes and versions, unlike
+    built-in ``hash``) so substream derivation is reproducible.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class RngRegistry:
+    """A factory of named, independent :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole simulation. ``None`` draws entropy from
+        the OS, which makes the run non-reproducible; tests and
+        experiments always pass an explicit integer.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(7)
+    >>> a = rngs.stream("clock/0")
+    >>> b = rngs.stream("clock/1")
+    >>> a is rngs.stream("clock/0")   # streams are cached by name
+    True
+    >>> float(a.random()) != float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int | None = 0):
+        if seed is not None and seed < 0:
+            raise ConfigurationError(f"seed must be None or a non-negative integer, got {seed}")
+        self._root = np.random.SeedSequence(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def root_entropy(self) -> int:
+        """The root entropy used to derive all substreams."""
+        entropy = self._root.entropy
+        if isinstance(entropy, (list, tuple)):
+            return int(entropy[0])
+        return int(entropy)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the (cached) generator for substream ``name``."""
+        generator = self._streams.get(name)
+        if generator is None:
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=(stable_name_key(name),),
+            )
+            generator = np.random.Generator(np.random.PCG64(child))
+            self._streams[name] = generator
+        return generator
+
+    def streams(self, prefix: str, count: int) -> list[np.random.Generator]:
+        """Return ``count`` streams named ``"{prefix}/0" .. "{prefix}/{count-1}"``."""
+        return [self.stream(f"{prefix}/{index}") for index in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._streams)
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(seed={self.root_entropy}, streams={len(self._streams)})"

@@ -1,0 +1,121 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the simulated clock and the event queue and runs
+the classic event loop: repeatedly pop the earliest event, advance the
+clock to its timestamp, and execute its action. Actions schedule further
+events through :meth:`Simulator.schedule` / :meth:`Simulator.schedule_in`.
+
+Protocol components (nodes, leaders, clocks) are plain Python objects
+holding a reference to the simulator; there is no process/coroutine
+machinery — the paper's protocols are reactive state machines, which map
+naturally onto event callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.tracing import NULL_TRACER, Tracer
+from repro.errors import SchedulingError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-loop driver for continuous-time simulations.
+
+    Parameters
+    ----------
+    tracer:
+        Receives structured trace records; defaults to a no-op tracer.
+
+    Notes
+    -----
+    Time starts at ``0.0`` and only moves forward. Scheduling an event in
+    the past raises :class:`repro.errors.SchedulingError` — protocols in
+    this library never need it and it is almost always a bug.
+    """
+
+    def __init__(self, *, tracer: Tracer | None = None):
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._events_executed = 0
+        self._stop_requested = False
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (telemetry)."""
+        return self._events_executed
+
+    def schedule(self, time: float, action: Callable[[], Any], *, tag: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule event at {time} in the past (now={self.now}, tag={tag!r})"
+            )
+        return self.queue.push(time, action, tag=tag)
+
+    def schedule_in(self, delay: float, action: Callable[[], Any], *, tag: str = "") -> Event:
+        """Schedule ``action`` after a non-negative ``delay`` from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay} (tag={tag!r})")
+        return self.queue.push(self.now + delay, action, tag=tag)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Execute events until a stopping condition holds.
+
+        Parameters
+        ----------
+        until:
+            Stop (without executing) at the first event later than this
+            time; the clock is then advanced to ``until``.
+        max_events:
+            Execute at most this many events (guards runaway loops).
+        stop_when:
+            Checked after every executed event; the loop exits as soon as
+            it returns ``True``.
+
+        Returns
+        -------
+        float
+            The simulated time when the loop exited.
+        """
+        self._stop_requested = False
+        executed_this_run = 0
+        while self.queue:
+            if max_events is not None and executed_this_run >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            event = self.queue.pop()
+            self.now = event.time
+            event.action()
+            self._events_executed += 1
+            executed_this_run += 1
+            if self._stop_requested:
+                break
+            if stop_when is not None and stop_when():
+                break
+        if until is not None and not self.queue and self.now < until:
+            self.now = until
+        return self.now

@@ -1,0 +1,89 @@
+"""Structured tracing for simulations.
+
+A :class:`Tracer` receives ``record(kind, time, **fields)`` calls from
+protocol components. The default :data:`NULL_TRACER` drops everything at
+near-zero cost; :class:`TraceRecorder` keeps records in memory for
+analysis (phase timelines, promotion counts, signal volumes), and
+:class:`CountingTracer` keeps only per-kind counters for cheap telemetry
+in large runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Tracer", "NullTracer", "TraceRecord", "TraceRecorder", "CountingTracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Interface for trace sinks. Subclasses override :meth:`record`."""
+
+    def record(self, kind: str, time: float, **fields: Any) -> None:
+        """Accept one trace record. Default implementation drops it."""
+
+    def enabled_for(self, kind: str) -> bool:
+        """Cheap pre-check so hot paths can skip building field dicts."""
+        return True
+
+
+class NullTracer(Tracer):
+    """Tracer that drops all records (the default)."""
+
+    def enabled_for(self, kind: str) -> bool:
+        return False
+
+
+NULL_TRACER = NullTracer()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One recorded trace entry."""
+
+    kind: str
+    time: float
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder(Tracer):
+    """In-memory tracer, optionally filtered to a set of record kinds.
+
+    Parameters
+    ----------
+    kinds:
+        If given, only records whose ``kind`` is in this set are kept.
+    """
+
+    def __init__(self, kinds: Iterable[str] | None = None):
+        self.records: list[TraceRecord] = []
+        self._kinds = frozenset(kinds) if kinds is not None else None
+
+    def enabled_for(self, kind: str) -> bool:
+        return self._kinds is None or kind in self._kinds
+
+    def record(self, kind: str, time: float, **fields: Any) -> None:
+        if self.enabled_for(kind):
+            self.records.append(TraceRecord(kind=kind, time=time, fields=fields))
+
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind, in chronological (insertion) order."""
+        return [record for record in self.records if record.kind == kind]
+
+    def times(self, kind: str) -> list[float]:
+        """Timestamps of all records of one kind."""
+        return [record.time for record in self.records if record.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class CountingTracer(Tracer):
+    """Tracer that keeps only per-kind record counts (cheap telemetry)."""
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+
+    def record(self, kind: str, time: float, **fields: Any) -> None:
+        self.counts[kind] += 1

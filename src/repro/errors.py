@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing configuration problems from runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter object or function argument is invalid.
+
+    Raised eagerly at construction time (fail fast) rather than deep
+    inside a simulation run.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation reached an inconsistent or impossible state."""
+
+
+class ConvergenceError(SimulationError):
+    """A run did not converge within its configured step/time budget."""
+
+    def __init__(self, message: str, *, elapsed: float | None = None):
+        super().__init__(message)
+        #: Simulated time (or rounds) spent before giving up, if known.
+        self.elapsed = elapsed
+
+
+class SchedulingError(SimulationError):
+    """The discrete-event engine was asked to do something unsound.
+
+    Examples: scheduling an event in the past, or running a simulator
+    whose queue was already exhausted by a previous ``run`` call.
+    """

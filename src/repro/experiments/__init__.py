@@ -1,0 +1,44 @@
+"""Reproduction experiments — one module per paper artifact.
+
+Import :mod:`repro.experiments.registry` for the full index; each
+module's ``run(quick=..., seed=...)`` returns an
+:class:`~repro.experiments.common.ExperimentResult`.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for the registry)
+    ablation_mechanisms,
+    async_single,
+    baselines_faceoff,
+    bias_squaring,
+    broadcast_exp,
+    clustering_exp,
+    ext_delayed,
+    ext_distributions,
+    fig1_latency,
+    fig2_phases,
+    gamma_ablation,
+    generation_growth,
+    multileader_consensus,
+    sync_scaling,
+)
+from repro.experiments.common import Experiment, ExperimentResult, ExperimentTable
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentTable",
+    "ablation_mechanisms",
+    "async_single",
+    "baselines_faceoff",
+    "bias_squaring",
+    "broadcast_exp",
+    "clustering_exp",
+    "ext_delayed",
+    "ext_distributions",
+    "fig1_latency",
+    "fig2_phases",
+    "gamma_ablation",
+    "generation_growth",
+    "multileader_consensus",
+    "sync_scaling",
+]

@@ -1,0 +1,100 @@
+"""Mechanism ablation — why each half of the protocol matters.
+
+DESIGN.md calls out two load-bearing design choices of Algorithm 1:
+
+1. **paired promotion** (two samples must agree): this is what squares
+   the bias; promoting on a *single* sample copies the parent
+   generation's color distribution and amplifies nothing;
+2. **alternating two-choices and propagation**: two-choices steps need a
+   well-grown parent generation to sample from; firing them at every
+   step births generations from ever-thinner samples and stalls.
+
+The ablation runs three synchronous variants at a deliberately small
+bias (below Theorem 1's floor — where amplification is the difference
+between winning and losing) and at the paper's operating point:
+
+* ``full`` — Algorithm 1 as specified;
+* ``single-sample`` — promotion on one sample (no amplification);
+* ``no-propagation`` — every step is a two-choices step (no growth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import AlwaysTwoChoices, FixedSchedule
+from repro.core.synchronous import AggregateSynchronousSim
+from repro.engine.rng import RngRegistry
+from repro.experiments.common import ExperimentResult, repeat
+from repro.workloads.opinions import biased_counts
+
+__all__ = ["run"]
+
+
+def _run_variant(variant: str, n: int, k: int, alpha: float, rng) -> dict[str, float]:
+    if variant == "no-propagation":
+        schedule = AlwaysTwoChoices(max_generation=FixedSchedule(
+            n=n, k=k, alpha0=alpha
+        ).max_generation)
+        promotion = "pair"
+    else:
+        schedule = FixedSchedule(n=n, k=k, alpha0=alpha)
+        promotion = "single" if variant == "single-sample" else "pair"
+    sim = AggregateSynchronousSim(
+        biased_counts(n, k, alpha), schedule, rng, promotion=promotion
+    )
+    result = sim.run(max_steps=1500)
+    return {
+        "won": float(result.plurality_won),
+        "converged": float(result.converged),
+        "steps": result.elapsed,
+        "top_fraction": float(sim.matrix.sum(axis=1).max()) / n,
+    }
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rngs = RngRegistry(seed)
+    reps = 5 if quick else 15
+    n = 100_000 if quick else 1_000_000
+    k = 8
+    result = ExperimentResult(
+        name="ablation",
+        description=(
+            "Mechanism ablation (DESIGN.md design choices): the full protocol vs "
+            "single-sample promotion (no bias squaring) vs two-choices at every "
+            "step (no growth phase). Small bias = below Theorem 1's floor, "
+            "where amplification decides the winner."
+        ),
+    )
+    for alpha, label in ((1.05, "small bias"), (1.5, "paper operating point")):
+        rows = []
+        for variant in ("full", "single-sample", "no-propagation"):
+            outcomes = repeat(
+                lambda rng, variant=variant: _run_variant(variant, n, k, alpha, rng),
+                rngs,
+                f"{label}/{variant}",
+                reps,
+            )
+            rows.append(
+                [
+                    variant,
+                    float(np.mean([o["won"] for o in outcomes])),
+                    float(np.mean([o["converged"] for o in outcomes])),
+                    float(np.mean([o["steps"] for o in outcomes])),
+                    float(np.mean([o["top_fraction"] for o in outcomes])),
+                ]
+            )
+        result.add_table(
+            f"{label}: n={n}, k={k}, alpha0={alpha} ({reps} seeds)",
+            ["variant", "win rate", "consensus rate", "steps (mean)", "largest gen fraction"],
+            rows,
+        )
+    result.notes.append(
+        "Predictions: 'full' converges everywhere; 'single-sample' never reaches "
+        "consensus (nothing amplifies the lead; at smaller n the plurality's "
+        "lead also degrades toward a coin toss); 'no-propagation' fails in the "
+        "near-threshold small-bias regime — the growth windows X_i are what buy "
+        "the small-bias guarantee (at large n and comfortable bias the few "
+        "survivors of back-to-back paired promotions can be pure enough to win)."
+    )
+    return result

@@ -1,0 +1,91 @@
+"""Experiment infrastructure: results, repetition, registry plumbing.
+
+Every experiment module exposes ``run(quick=..., seed=...) ->
+ExperimentResult``. ``quick`` shrinks population sizes/repetitions so
+benchmarks and CI stay fast; the full configuration regenerates the
+numbers recorded in EXPERIMENTS.md. All randomness flows from the
+``seed`` through :class:`~repro.engine.rng.RngRegistry` substreams, so
+every table is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.series import Series, ascii_plot
+from repro.analysis.tables import render_markdown_table, render_table
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentTable", "ExperimentResult", "repeat", "Experiment"]
+
+
+@dataclass
+class ExperimentTable:
+    """One titled table of an experiment's output."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+
+    def render(self) -> str:
+        return f"{self.title}\n{render_table(self.headers, self.rows)}"
+
+    def render_markdown(self) -> str:
+        return f"**{self.title}**\n\n{render_markdown_table(self.headers, self.rows)}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced: tables, curves, prose notes."""
+
+    name: str
+    description: str
+    tables: list[ExperimentTable] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+        self.tables.append(ExperimentTable(title, list(headers), [list(r) for r in rows]))
+
+    def render(self, *, plot: bool = True) -> str:
+        """Terminal rendering of the whole experiment."""
+        blocks = [f"== {self.name} ==", self.description]
+        blocks += [table.render() for table in self.tables]
+        if plot and self.series:
+            blocks.append(ascii_plot(self.series, logx=True, logy=True, title=""))
+        blocks += [f"note: {note}" for note in self.notes]
+        return "\n\n".join(blocks)
+
+    def render_markdown(self) -> str:
+        """Markdown rendering (EXPERIMENTS.md sections)."""
+        blocks = [f"### {self.name}", self.description]
+        blocks += [table.render_markdown() for table in self.tables]
+        blocks += [f"*{note}*" for note in self.notes]
+        return "\n\n".join(blocks)
+
+
+def repeat(
+    fn: Callable[[Any], Any],
+    rngs: RngRegistry,
+    prefix: str,
+    repetitions: int,
+) -> list[Any]:
+    """Run ``fn(rng)`` on ``repetitions`` independent substreams."""
+    if repetitions < 1:
+        raise ConfigurationError("repetitions must be >= 1")
+    return [fn(rngs.stream(f"{prefix}/{index}")) for index in range(repetitions)]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Registry entry: id, paper artifact, and the runner callable."""
+
+    name: str
+    artifact: str
+    description: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, *, quick: bool = True, seed: int = 0) -> ExperimentResult:
+        return self.runner(quick=quick, seed=seed)

@@ -1,0 +1,83 @@
+"""Section 5 extension — non-instant message exchange with revalidation.
+
+The paper's open question: does the single-leader protocol survive when
+*exchanging* messages over an established channel also takes time? Its
+sketched fix — commit an update only if the leader's state did not
+change between read and commit — is implemented in
+:class:`repro.core.delayed_exchange.DelayedExchangeSim`. This experiment
+sweeps the exchange rate ``μ`` and reports correctness (the plurality
+must still win; stages must not interleave), the slowdown relative to
+the instant-exchange baseline, and the abort rate of the optimistic
+commits.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize_batch
+from repro.core.delayed_exchange import DelayedExchangeSim
+from repro.core.params import SingleLeaderParams
+from repro.core.single_leader import SingleLeaderSim
+from repro.engine.rng import RngRegistry
+from repro.experiments.common import ExperimentResult, repeat
+from repro.workloads.opinions import biased_counts
+
+__all__ = ["run"]
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rngs = RngRegistry(seed)
+    reps = 2 if quick else 5
+    n, k, alpha = (800, 3, 2.0) if quick else (3000, 4, 2.0)
+    params = SingleLeaderParams(n=n, k=k, alpha0=alpha)
+    counts = biased_counts(n, k, alpha)
+    result = ExperimentResult(
+        name="ext-delayed",
+        description=(
+            "Section 5 extension: message exchange takes Exp(mu) in addition to "
+            "channel establishment; updates commit only if the leader state is "
+            f"unchanged at revalidation. n={n}, k={k}, alpha0={alpha}."
+        ),
+    )
+
+    def baseline(rng):
+        return SingleLeaderSim(params, counts, rng).run(max_time=4000.0)
+
+    base_batch = summarize_batch(repeat(baseline, rngs, "baseline", reps))
+    rows = [
+        ["instant (paper model)", float("inf"), base_batch.plurality_win_rate,
+         base_batch.consensus_rate, base_batch.elapsed.mean / params.time_unit, 0.0]
+    ]
+    for mu in (4.0, 1.0, 0.25):
+        aborts = []
+
+        def delayed(rng, mu=mu):
+            sim = DelayedExchangeSim(params, counts, rng, exchange_rate=mu)
+            run_result = sim.run(max_time=8000.0)
+            total = sim.committed_updates + sim.aborted_updates
+            aborts.append(sim.aborted_updates / total if total else 0.0)
+            return run_result
+
+        batch = summarize_batch(repeat(delayed, rngs, f"mu/{mu}", reps))
+        rows.append(
+            [
+                f"delayed mu={mu}",
+                1.0 / mu,
+                batch.plurality_win_rate,
+                batch.consensus_rate,
+                batch.elapsed.mean / params.time_unit,
+                sum(aborts) / len(aborts),
+            ]
+        )
+    result.add_table(
+        "exchange-delay sweep (times in the instant model's units)",
+        ["variant", "mean exchange delay", "win rate", "consensus rate",
+         "time (units)", "abort rate"],
+        rows,
+    )
+    result.notes.append(
+        "Prediction (Section 5): correctness is preserved for every mu — the "
+        "revalidation keeps stages from interleaving — at a constant-factor "
+        "slowdown that grows with the exchange delay; aborts stay rare because "
+        "leader states change O(1) times per generation."
+    )
+    return result

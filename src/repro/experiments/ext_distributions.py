@@ -1,0 +1,92 @@
+"""Section 5 extension — beyond exponential delays.
+
+The paper closes asking whether the results survive *"a more general
+asynchronous model instead of the Poisson clocks and the exponential
+distribution of the delays"*. This experiment runs the single-leader
+protocol under four latency laws with the same mean:
+
+* ``Exp(1)`` — the paper's model (closed-form ``C1`` available);
+* ``Gamma(3, 3)`` — lighter tail, same mean 1;
+* ``Gamma(0.5, 0.5)`` — heavier tail, same mean 1;
+* ``Constant(1)`` — degenerate (no randomness in establishment).
+
+For each law the time unit ``C1`` is estimated empirically from the
+cycle-time quantile (the phase-type closed form only exists for the
+exponential case), and we check correctness plus the unit-normalized
+convergence time. The paper's analysis only needs the *counting*
+structure of 0-signals and a finite-mean-and-variance cycle time, so the
+prediction is: everything carries over.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize_batch
+from repro.core.params import SingleLeaderParams
+from repro.core.single_leader import SingleLeaderSim
+from repro.engine.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    GammaLatency,
+    LatencyModel,
+    empirical_time_unit,
+)
+from repro.engine.rng import RngRegistry
+from repro.experiments.common import ExperimentResult, repeat
+from repro.workloads.opinions import biased_counts
+
+__all__ = ["run"]
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rngs = RngRegistry(seed)
+    reps = 2 if quick else 5
+    n, k, alpha = (800, 3, 2.0) if quick else (3000, 4, 2.0)
+    params = SingleLeaderParams(n=n, k=k, alpha0=alpha)
+    counts = biased_counts(n, k, alpha)
+    result = ExperimentResult(
+        name="ext-distributions",
+        description=(
+            "Section 5 extension: the single-leader protocol under non-"
+            "exponential channel latencies with equal mean (1.0). Time units "
+            f"are per-distribution empirical C1. n={n}, k={k}, alpha0={alpha}."
+        ),
+    )
+    models: list[tuple[str, LatencyModel]] = [
+        ("Exp(1) [paper]", ExponentialLatency(rate=1.0)),
+        ("Gamma(3,3) light tail", GammaLatency(shape=3.0, rate=3.0)),
+        ("Gamma(.5,.5) heavy tail", GammaLatency(shape=0.5, rate=0.5)),
+        ("Constant(1)", ConstantLatency(value=1.0)),
+    ]
+    rows = []
+    for label, model in models:
+        unit = empirical_time_unit(
+            model, rngs.stream(f"unit/{label}"), samples=50_000
+        )
+
+        def one(rng, model=model):
+            sim = SingleLeaderSim(params, counts, rng, latency_model=model)
+            return sim.run(max_time=6000.0)
+
+        batch = summarize_batch(repeat(one, rngs, f"dist/{label}", reps))
+        rows.append(
+            [
+                label,
+                unit,
+                batch.plurality_win_rate,
+                batch.consensus_rate,
+                batch.elapsed.mean,
+                batch.elapsed.mean / unit,
+            ]
+        )
+    result.add_table(
+        "latency-distribution sweep (equal-mean laws)",
+        ["latency law", "empirical C1", "win rate", "consensus rate",
+         "time (steps)", "time (units)"],
+        rows,
+    )
+    result.notes.append(
+        "Prediction (Section 5 conjecture): correctness and unit-normalized "
+        "time carry over to general finite-variance delay laws — the analysis "
+        "only uses signal counting and a quantile of the cycle time."
+    )
+    return result

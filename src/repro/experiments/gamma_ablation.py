@@ -1,0 +1,106 @@
+"""Section 2.2's empirical claim — the growth threshold γ.
+
+The analysis is parametrized by γ, the generation density required
+before the next two-choices step. The paper states: *"Empirical data
+show that the value 1/2 works well for reasonable input sizes, while too
+high values increase the time, and too small values decrease the
+stability."* Two measurements separate the two effects:
+
+* **time** — under the paper's *fixed* schedule the life-cycle lengths
+  ``X_i = (… − ln γ)/ln(2 − γ) + 2`` blow up as γ → 1 (the denominator
+  vanishes), so steps-to-consensus grow with γ;
+* **stability** — under the *adaptive* (oracle) schedule a two-choices
+  step fires exactly at density γ; small γ births generations from
+  tiny, noisy samples, so the plurality opinion loses more often.
+
+The workload deliberately sits below Theorem 1's bias floor (that is
+where stability differences are visible at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import AdaptiveSchedule, FixedSchedule
+from repro.core.synchronous import run_synchronous
+from repro.engine.rng import RngRegistry
+from repro.experiments.common import ExperimentResult, repeat
+from repro.workloads.opinions import biased_counts
+
+__all__ = ["run"]
+
+
+def _mean_converged(results) -> float:
+    steps = [r.elapsed for r in results if r.converged]
+    return float(np.mean(steps)) if steps else float("nan")
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rngs = RngRegistry(seed)
+    n = 50_000 if quick else 500_000
+    k, alpha = 16, 1.15
+    reps = 6 if quick else 24
+    gammas = [0.05, 0.15, 0.3, 0.5, 0.7, 0.9]
+    counts = biased_counts(n, k, alpha)
+    result = ExperimentResult(
+        name="gamma",
+        description=(
+            "Gamma ablation (Sec. 2.2 remark). Fixed schedule: steps grow with "
+            "gamma (X_i inflates as gamma -> 1). Adaptive schedule: win rate "
+            "drops for small gamma (generations born from noisy samples). "
+            f"n={n}, k={k}, alpha0={alpha} (below Theorem 1's bias floor on "
+            f"purpose), {reps} seeds per cell."
+        ),
+    )
+
+    fixed_rows = []
+    for gamma in gammas:
+        def one_fixed(rng, gamma=gamma):
+            schedule = FixedSchedule(
+                n=n, k=k, alpha0=alpha, gamma=gamma, extra_generations=4
+            )
+            return run_synchronous(counts, schedule, rng, engine="aggregate", max_steps=3000)
+
+        outcomes = repeat(one_fixed, rngs, f"fixed/{gamma}", reps)
+        schedule = FixedSchedule(n=n, k=k, alpha0=alpha, gamma=gamma, extra_generations=4)
+        fixed_rows.append(
+            [
+                gamma,
+                max(schedule.two_choices_times),
+                sum(r.plurality_won for r in outcomes) / reps,
+                sum(r.converged for r in outcomes) / reps,
+                _mean_converged(outcomes),
+            ]
+        )
+    result.add_table(
+        "fixed schedule (paper's X_i): time grows with gamma",
+        ["gamma", "last scheduled t_i", "win rate", "consensus rate", "steps (converged mean)"],
+        fixed_rows,
+    )
+
+    adaptive_rows = []
+    for gamma in gammas:
+        def one_adaptive(rng, gamma=gamma):
+            schedule = AdaptiveSchedule(n=n, alpha0=alpha, gamma=gamma, extra_generations=4)
+            return run_synchronous(counts, schedule, rng, engine="aggregate", max_steps=3000)
+
+        outcomes = repeat(one_adaptive, rngs, f"adaptive/{gamma}", reps)
+        adaptive_rows.append(
+            [
+                gamma,
+                sum(r.plurality_won for r in outcomes) / reps,
+                sum(r.converged for r in outcomes) / reps,
+                _mean_converged(outcomes),
+            ]
+        )
+    result.add_table(
+        "adaptive schedule (oracle density trigger): stability drops for small gamma",
+        ["gamma", "win rate", "consensus rate", "steps (converged mean)"],
+        adaptive_rows,
+    )
+    result.notes.append(
+        "Paper prediction: gamma=1/2 balances both effects — near-full win rate "
+        "at moderate cost; gamma->1 inflates the fixed schedule; gamma->0 "
+        "sacrifices the plurality's lead to sampling noise."
+    )
+    return result

@@ -1,0 +1,110 @@
+"""Proposition 9 — generation growth within its life-cycle window.
+
+After generation ``i`` is born it must reach a ``γ`` fraction of the
+population within ``X_i`` steps, growing by a factor ``≥ (2−γ)(1−o(1))``
+per propagation step while below ``γ``. We track the size of each
+generation from birth to the next two-choices step and report:
+
+* the measured per-step growth factors against ``2 − γ``;
+* whether the generation reached ``γn`` within its ``⌈X_i⌉`` window;
+* the newborn size against Proposition 9's ``γ² · p_{i-1}`` law
+  (the two nodes sampled at a two-choices step are both in the previous
+  generation and share a color).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import FixedSchedule
+from repro.core.synchronous import AggregateSynchronousSim
+from repro.core.theory import generation_lifecycle_length
+from repro.engine.rng import RngRegistry
+from repro.experiments.common import ExperimentResult
+from repro.workloads.bias import collision_probability
+from repro.workloads.opinions import biased_counts
+
+__all__ = ["run"]
+
+
+def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rngs = RngRegistry(seed)
+    n = 100_000 if quick else 1_000_000
+    k, alpha, gamma = 8, 1.3, 0.5
+    result = ExperimentResult(
+        name="growth",
+        description=(
+            "Proposition 9: each generation grows from ~gamma^2 p fraction at birth "
+            "to >= gamma n within X_i steps, multiplying by >= (2-gamma) per step."
+        ),
+    )
+    schedule = FixedSchedule(n=n, k=k, alpha0=alpha, gamma=gamma)
+    sim = AggregateSynchronousSim(biased_counts(n, k, alpha), schedule, rngs.stream("growth"))
+
+    # Track each generation's size only while it is the *newest* one —
+    # once a successor is born, members start promoting away and the
+    # growth claim no longer applies.
+    generation_sizes: dict[int, list[float]] = {}
+    prev_collision: dict[int, float] = {}
+    max_step = max(schedule.two_choices_times)
+    newest = 0
+    for step in range(1, max_step + 2):
+        born = schedule.generation_born_at(step)
+        if born is not None and born - 1 >= 0:
+            row = sim.matrix[born - 1]
+            if row.sum() > 0:
+                prev_collision[born] = collision_probability(row)
+        sim.step()
+        per_generation = sim.matrix.sum(axis=1) / n
+        occupied = np.nonzero(per_generation)[0]
+        newest = int(occupied[-1]) if occupied.size else 0
+        if newest > 0:
+            generation_sizes.setdefault(newest, []).append(float(per_generation[newest]))
+    rows = []
+    for generation, sizes in sorted(generation_sizes.items()):
+        lifecycle = generation_lifecycle_length(generation, alpha, k, gamma)
+        window = max(1, int(np.ceil(lifecycle)))
+        reached = next((i + 1 for i, s in enumerate(sizes) if s >= gamma), None)
+        growth = [
+            sizes[i + 1] / sizes[i]
+            for i in range(len(sizes) - 1)
+            if 0 < sizes[i] < gamma
+        ]
+        p_prev = prev_collision.get(generation, float("nan"))
+        floor = gamma**2 * p_prev if p_prev == p_prev else float("nan")
+        rows.append(
+            [
+                generation,
+                sizes[0],
+                floor,
+                sizes[0] >= floor if floor == floor else "-",
+                min(growth) if growth else float("nan"),
+                2.0 - gamma,
+                reached if reached is not None else -1,
+                window,
+                reached is not None and reached <= window + 1,
+            ]
+        )
+    result.add_table(
+        f"generation growth (n={n}, k={k}, alpha0={alpha}, gamma={gamma})",
+        [
+            "generation",
+            "size at birth",
+            "floor g^2 p_{i-1}",
+            ">= floor",
+            "min growth factor",
+            "2-gamma",
+            "steps to gamma",
+            "ceil(X_i)",
+            "within window",
+        ],
+        rows,
+    )
+    result.notes.append(
+        "Paper prediction: newborn size is at least gamma^2 p_{i-1} (Prop. 9's "
+        "floor; the realized value is larger because the parent generation "
+        "typically exceeds the gamma fraction at the birth step), per-step "
+        "growth stays near 2-gamma below the threshold, and gamma is reached "
+        "within the ceil(X_i) window."
+    )
+    return result

@@ -1,0 +1,44 @@
+"""Section 4 — the decentralized multi-leader system.
+
+Clustering (4.1), constant-time leader broadcast (4.2), the cluster
+leader state machine (Algorithm 5), the node procedure (Algorithm 4),
+and the end-to-end protocol runner (Theorem 26).
+"""
+
+from repro.multileader.broadcast import BroadcastResult, BroadcastSim, run_broadcast
+from repro.multileader.cluster_leader import (
+    STATE_PROPAGATION,
+    STATE_SLEEPING,
+    STATE_TWO_CHOICES,
+    ClusterLeaderState,
+    LeaderTransition,
+)
+from repro.multileader.clustering import (
+    Clustering,
+    ClusteringSim,
+    ideal_clustering,
+    run_clustering,
+)
+from repro.multileader.consensus import MultiLeaderConsensusSim, run_multileader_consensus
+from repro.multileader.params import MultiLeaderParams, default_cluster_size
+from repro.multileader.protocol import run_multileader
+
+__all__ = [
+    "BroadcastResult",
+    "BroadcastSim",
+    "run_broadcast",
+    "STATE_PROPAGATION",
+    "STATE_SLEEPING",
+    "STATE_TWO_CHOICES",
+    "ClusterLeaderState",
+    "LeaderTransition",
+    "Clustering",
+    "ClusteringSim",
+    "ideal_clustering",
+    "run_clustering",
+    "MultiLeaderConsensusSim",
+    "run_multileader_consensus",
+    "MultiLeaderParams",
+    "default_cluster_size",
+    "run_multileader",
+]

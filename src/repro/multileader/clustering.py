@@ -1,0 +1,329 @@
+"""Section 4.1 — the distributed clustering algorithm.
+
+Every node flips a coin and becomes a cluster *leader* with probability
+``leader_probability`` (the paper's ``1/log^c n``). Followers join
+clusters by sampling: at each tick an unclustered follower contacts
+three random nodes, asks them for their leaders' addresses, then
+contacts one of those leaders and joins if the cluster is below its size
+cap. Members send 0-signals to their leader at every tick, which lets
+leaders count time; a leader whose cluster reached the target size
+counts a further fixed number of signals and then declares itself
+*ready*. The first ready leader starts the switch broadcast; every
+leader that learns of the switch enters consensus mode if its cluster is
+large enough (``min_active_size``), otherwise the cluster sits out the
+consensus phase (the paper's "faulty clusters"). Theorem 27 measures
+exactly these quantities: the clustered fraction over time and the
+spread ``t_l − t_f`` between the first and last switch.
+
+Two admission policies are provided. The default accepts members until
+the cap (the measured claims — growth, switch spread, exclusion of
+small clusters — do not depend on admission pacing). With
+``faithful_pause=True`` the simulator follows the paper's device to the
+letter: a leader that reaches the target size *pauses* admissions,
+counts ``pause_units`` worth of member 0-signals, then *reopens* until
+the cap; the ready counter starts only after the reopen window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError, SimulationError
+from repro.multileader.params import MultiLeaderParams
+from repro.util.validation import check_positive_int
+
+__all__ = ["Clustering", "ClusteringSim", "ideal_clustering", "run_clustering"]
+
+
+@dataclass
+class Clustering:
+    """Outcome of the clustering phase.
+
+    Attributes
+    ----------
+    leader_of:
+        ``leader_of[v]`` is the leader's node id, or ``-1`` if ``v`` is
+        unclustered. Leaders point at themselves.
+    active_leaders:
+        Leaders whose clusters met ``min_active_size`` and switched to
+        consensus mode.
+    switch_times:
+        Leader id -> simulated time it entered consensus mode.
+    elapsed:
+        Simulated time when the clustering run stopped.
+    """
+
+    leader_of: np.ndarray
+    active_leaders: list[int]
+    switch_times: dict[int, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def n(self) -> int:
+        return int(self.leader_of.size)
+
+    @property
+    def leaders(self) -> list[int]:
+        """All cluster leaders (active or not)."""
+        own = np.nonzero(self.leader_of == np.arange(self.n))[0]
+        return [int(v) for v in own]
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Leader id -> cluster cardinality (leader included)."""
+        sizes: dict[int, int] = {}
+        for leader in self.leaders:
+            sizes[leader] = int(np.count_nonzero(self.leader_of == leader))
+        return sizes
+
+    @property
+    def clustered_fraction(self) -> float:
+        return float(np.count_nonzero(self.leader_of >= 0)) / self.n
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of all nodes living in an active (consensus) cluster."""
+        active = set(self.active_leaders)
+        member_of_active = [
+            1 for leader in self.leader_of.tolist() if leader in active
+        ]
+        return len(member_of_active) / self.n
+
+    @property
+    def switch_spread(self) -> float:
+        """Theorem 27's ``t_l − t_f`` over active leaders."""
+        if not self.switch_times:
+            return 0.0
+        times = [self.switch_times[leader] for leader in self.active_leaders]
+        return max(times) - min(times) if times else 0.0
+
+
+def ideal_clustering(n: int, cluster_size: int) -> Clustering:
+    """A deterministic, perfectly balanced clustering (test/experiment aid).
+
+    Nodes ``0, cluster_size, 2·cluster_size, ...`` lead consecutive
+    blocks. Use when an experiment studies the consensus phase and
+    clustering quality is not the subject.
+    """
+    n = check_positive_int("n", n, minimum=2)
+    cluster_size = check_positive_int("cluster_size", cluster_size, minimum=2)
+    if cluster_size > n:
+        raise ConfigurationError("cluster_size cannot exceed n")
+    leader_of = np.empty(n, dtype=np.int64)
+    leaders = []
+    for start in range(0, n, cluster_size):
+        leader_of[start : start + cluster_size] = start
+        leaders.append(start)
+    # Fold a trailing runt cluster into the previous one.
+    if n % cluster_size and len(leaders) > 1 and n - leaders[-1] < cluster_size:
+        leader_of[leaders[-1] :] = leaders[-2]
+        leaders.pop()
+    return Clustering(
+        leader_of=leader_of,
+        active_leaders=leaders,
+        switch_times={leader: 0.0 for leader in leaders},
+        elapsed=0.0,
+    )
+
+
+class ClusteringSim:
+    """Event-driven simulator of the clustering phase.
+
+    Parameters
+    ----------
+    params:
+        Multi-leader configuration (latency, cluster sizes, ...).
+    rng:
+        Drives coin flips, ticks, sampling, and latencies.
+    ready_units:
+        Time units a full cluster's leader keeps counting 0-signals
+        before declaring itself ready to switch.
+    faithful_pause:
+        Enable the paper's pause/reopen admission pacing (Section 4.1):
+        pause at the target size for ``pause_units`` time units of
+        member signals, then reopen until the cap.
+    pause_units:
+        Length of the pause window (only with ``faithful_pause``).
+    """
+
+    def __init__(
+        self,
+        params: MultiLeaderParams,
+        rng: np.random.Generator,
+        *,
+        ready_units: float = 2.0,
+        faithful_pause: bool = False,
+        pause_units: float = 1.0,
+    ):
+        self.params = params
+        self.n = params.n
+        self._rng = rng
+        self.sim = Simulator()
+        self.leader_of = np.full(self.n, -1, dtype=np.int64)
+        coin = rng.random(self.n) < params.leader_probability
+        self.is_leader = coin
+        if not coin.any():
+            # Guarantee at least one leader (the paper's whp. statement).
+            self.is_leader[int(rng.integers(self.n))] = True
+        leaders = np.nonzero(self.is_leader)[0]
+        for leader in leaders:
+            self.leader_of[leader] = leader
+        self.size: dict[int, int] = {int(v): 1 for v in leaders}
+        self.signal_count: dict[int, int] = {int(v): 0 for v in leaders}
+        self.ready: dict[int, bool] = {int(v): False for v in leaders}
+        self.informed: dict[int, bool] = {int(v): False for v in leaders}
+        self.switch_times: dict[int, float] = {}
+        self.active_leaders: list[int] = []
+        self.locked = np.zeros(self.n, dtype=bool)
+        self._ready_signals = math.ceil(
+            ready_units * params.time_unit * params.target_cluster_size
+        )
+        self._faithful_pause = faithful_pause
+        self._pause_signals = math.ceil(
+            pause_units * params.time_unit * params.target_cluster_size
+        )
+        # Pause bookkeeping: signals counted while paused, per leader.
+        self._pause_count: dict[int, int] = {}
+        self._reopened: dict[int, bool] = {}
+        self._broadcast_started = False
+        self.first_ready_time: float | None = None
+        self.clustered_trajectory: list[tuple[float, float]] = []
+        for node in range(self.n):
+            self._schedule_tick(node)
+
+    # ------------------------------------------------------------------
+    def _schedule_tick(self, node: int) -> None:
+        wait = self._rng.exponential(1.0 / self.params.clock_rate)
+        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
+
+    def _latency(self) -> float:
+        return float(self._rng.exponential(1.0 / self.params.latency_rate))
+
+    def _sample_other(self, node: int) -> int:
+        draw = int(self._rng.integers(self.n - 1))
+        return draw + 1 if draw >= node else draw
+
+    def _tick(self, node: int) -> None:
+        self._schedule_tick(node)
+        own = int(self.leader_of[node])
+        if own >= 0:
+            # Member (or leader itself): 0-signal to the own leader.
+            self.sim.schedule_in(
+                self._latency(), lambda own=own: self._leader_signal(own), tag="signal"
+            )
+        if self.locked[node]:
+            return
+        self.locked[node] = True
+        samples = [self._sample_other(node) for _ in range(3)]
+        delay = max(self._latency() for _ in range(3))
+        self.sim.schedule_in(
+            delay,
+            lambda node=node, samples=tuple(samples): self._exchange(node, samples),
+            tag="exchange",
+        )
+
+    def _exchange(self, node: int, samples: tuple[int, ...]) -> None:
+        # Relay the switch broadcast between every pair of leaders seen.
+        seen_leaders = {int(self.leader_of[s]) for s in samples if self.leader_of[s] >= 0}
+        own = int(self.leader_of[node])
+        if own >= 0:
+            seen_leaders.add(own)
+        if any(self.informed.get(leader, False) for leader in seen_leaders):
+            for leader in seen_leaders:
+                self._inform(leader)
+        if own >= 0 or not seen_leaders:
+            self.locked[node] = False
+            return
+        # Unclustered follower: try to join one sampled leader.
+        target = min(seen_leaders)  # deterministic pick among candidates
+        self.sim.schedule_in(
+            self._latency(),
+            lambda node=node, target=target: self._join(node, target),
+            tag="join",
+        )
+
+    def _accepting(self, leader: int) -> bool:
+        """Admission policy (default: open until cap; faithful: pause/reopen)."""
+        size = self.size.get(leader, 0)
+        if size >= self.params.max_cluster_size or leader in self.switch_times:
+            return False
+        if not self._faithful_pause:
+            return True
+        if size < self.params.target_cluster_size:
+            return True
+        # At/above target: closed while paused, open again after reopening.
+        return self._reopened.get(leader, False)
+
+    def _join(self, node: int, target: int) -> None:
+        if self._accepting(target) and self.leader_of[node] < 0:
+            self.leader_of[node] = target
+            self.size[target] += 1
+        self.locked[node] = False
+
+    def _leader_signal(self, leader: int) -> None:
+        if leader not in self.signal_count:
+            return
+        if self.size[leader] < self.params.target_cluster_size or self.ready[leader]:
+            return
+        if self._faithful_pause and not self._reopened.get(leader, False):
+            # Paper's pause window: count c2-style signals, then reopen.
+            self._pause_count[leader] = self._pause_count.get(leader, 0) + 1
+            if self._pause_count[leader] >= self._pause_signals:
+                self._reopened[leader] = True
+            return
+        self.signal_count[leader] += 1
+        if self.signal_count[leader] >= self._ready_signals:
+            self.ready[leader] = True
+            if not self._broadcast_started:
+                self._broadcast_started = True
+                self.first_ready_time = self.sim.now
+                self._inform(leader)
+
+    def _inform(self, leader: int) -> None:
+        if self.informed.get(leader, False):
+            return
+        self.informed[leader] = True
+        if self.size[leader] >= self.params.min_active_size:
+            self.switch_times[leader] = self.sim.now
+            self.active_leaders.append(leader)
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_time: float = 500.0, sample_every: float = 1.0) -> Clustering:
+        """Run until every leader learned of the switch (or ``max_time``)."""
+
+        def sample() -> None:
+            fraction = float(np.count_nonzero(self.leader_of >= 0)) / self.n
+            self.clustered_trajectory.append((self.sim.now, fraction))
+            self.sim.schedule_in(sample_every, sample, tag="sampler")
+
+        self.sim.schedule_in(sample_every, sample, tag="sampler")
+
+        def done() -> bool:
+            return self._broadcast_started and all(self.informed.values())
+
+        self.sim.run(until=max_time, stop_when=done)
+        if not self.active_leaders:
+            raise SimulationError(
+                "clustering produced no active cluster; increase max_time or n"
+            )
+        return Clustering(
+            leader_of=self.leader_of.copy(),
+            active_leaders=sorted(self.active_leaders),
+            switch_times=dict(self.switch_times),
+            elapsed=self.sim.now,
+        )
+
+
+def run_clustering(
+    params: MultiLeaderParams,
+    rng: np.random.Generator,
+    *,
+    max_time: float = 500.0,
+    ready_units: float = 2.0,
+) -> Clustering:
+    """Build a :class:`ClusteringSim` and run it (convenience front-end)."""
+    sim = ClusteringSim(params, rng, ready_units=ready_units)
+    return sim.run(max_time=max_time)

@@ -1,0 +1,352 @@
+"""Algorithm 4 — the node procedure of the decentralized consensus phase.
+
+At each tick a clustered node ``v``:
+
+1. sends a ``(0, 3, ·)`` signal to its own leader (time keeping);
+2. if unlocked, locks and opens channels to three uniform samples
+   ``v1, v2, v3`` concurrently, then to its own leader and to ``l``,
+   the leader of ``v3``, concurrently;
+3. once all channels are up (messages are instant): handles the
+   *finished* flag (push own final color / adopt a sampled one), then
+   — if the sampled cluster is active —
+
+   * **two-choices** (``l.state = 1``): if both ``v1`` and ``v2`` sit in
+     generation ``gen(l) − 1`` with equal colors, and their stored
+     leader views agree with ``l`` (``in_sync``), adopt the color and
+     promote to ``gen(l)``; report ``(gen, 1, True)``;
+   * **propagation** (``l.state = 3``): if a sample sits in generation
+     ``gen(l)`` (in sync with ``l``) above ``v``'s own generation,
+     adopt it; report ``(gen, 3, True)``;
+   * otherwise relay ``(gen(l), l.state, False)`` to the own leader —
+     the carrier of the lexicographic leader synchronization;
+
+4. stores its own leader's current ``(gen, state)`` (the ``tmp`` view
+   used by *other* nodes' ``in_sync`` checks) and unlocks.
+
+Nodes whose generation reaches the budget ``G*`` set ``finished`` and
+push their color to every sample — the ``O(log n)`` full-consensus tail.
+Unclustered nodes and members of inactive clusters take no actions but
+receive pushes, exactly as in Theorem 27's accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import GenerationBirth, RunResult, StepStats
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.multileader.cluster_leader import (
+    STATE_PROPAGATION,
+    STATE_TWO_CHOICES,
+    ClusterLeaderState,
+)
+from repro.multileader.clustering import Clustering
+from repro.multileader.params import MultiLeaderParams
+from repro.workloads.bias import (
+    collision_probability,
+    multiplicative_bias,
+    plurality_color,
+    validate_counts,
+)
+from repro.workloads.opinions import counts_to_assignment
+
+__all__ = ["MultiLeaderConsensusSim", "run_multileader_consensus"]
+
+
+class MultiLeaderConsensusSim:
+    """Event-driven simulator of Algorithms 4+5 on a given clustering."""
+
+    def __init__(
+        self,
+        params: MultiLeaderParams,
+        clustering: Clustering,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ):
+        counts = validate_counts(counts)
+        if int(counts.sum()) != params.n:
+            raise ConfigurationError(
+                f"counts sum to {int(counts.sum())} but params.n={params.n}"
+            )
+        if counts.size != params.k:
+            raise ConfigurationError(f"counts has {counts.size} colors, params.k={params.k}")
+        if clustering.n != params.n:
+            raise ConfigurationError("clustering size does not match params.n")
+        self.params = params
+        self.n = params.n
+        self.k = params.k
+        self._rng = rng
+        self.sim = Simulator()
+        self.leader_of = clustering.leader_of
+
+        sizes = clustering.cluster_sizes()
+        self.leaders: dict[int, ClusterLeaderState] = {
+            leader: ClusterLeaderState(leader, sizes[leader], params)
+            for leader in clustering.active_leaders
+        }
+        if not self.leaders:
+            raise ConfigurationError("clustering has no active leaders")
+        self._active_member = np.array(
+            [int(self.leader_of[v]) in self.leaders for v in range(self.n)]
+        )
+
+        self.cols = counts_to_assignment(counts, rng)
+        self.gens = np.zeros(self.n, dtype=np.int64)
+        self.finished = np.zeros(self.n, dtype=bool)
+        self.locked = np.zeros(self.n, dtype=bool)
+        self.tmp_gen = np.zeros(self.n, dtype=np.int64)
+        self.tmp_state = np.zeros(self.n, dtype=np.int64)
+
+        rows = params.max_generation + 2
+        self.matrix = np.zeros((rows, self.k), dtype=np.int64)
+        self.matrix[0, :] = counts
+        self.color_counts = counts.copy()
+        self.plurality = plurality_color(counts)
+        self.births: list[GenerationBirth] = []
+        self._birth_seen = np.zeros(rows, dtype=bool)
+        self._birth_seen[0] = True
+        self.trajectory: list[StepStats] = []
+        self.good_ticks = 0
+        self.total_ticks = 0
+
+        for node in range(self.n):
+            if self._active_member[node]:
+                self._schedule_tick(node)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _schedule_tick(self, node: int) -> None:
+        wait = self._rng.exponential(1.0 / self.params.clock_rate)
+        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
+
+    def _latency(self) -> float:
+        return float(self._rng.exponential(1.0 / self.params.latency_rate))
+
+    def _sample_other(self, node: int) -> int:
+        draw = int(self._rng.integers(self.n - 1))
+        return draw + 1 if draw >= node else draw
+
+    def _signal(self, leader: int, i: int, s: int, has_changed: bool) -> None:
+        state = self.leaders.get(leader)
+        if state is None:
+            return
+        self.sim.schedule_in(
+            self._latency(),
+            lambda: state.on_signal(i, s, has_changed, self.sim.now),
+            tag="signal",
+        )
+
+    def _tick(self, node: int) -> None:
+        self.total_ticks += 1
+        self._schedule_tick(node)
+        own = int(self.leader_of[node])
+        self._signal(own, 0, 3, False)  # line 1: (0, 3, ·)-signal every tick
+        if self.locked[node]:
+            return
+        self.locked[node] = True
+        self.good_ticks += 1
+        v1 = self._sample_other(node)
+        v2 = self._sample_other(node)
+        v3 = self._sample_other(node)
+        # Three sample channels concurrently, then the two leader channels.
+        delay = max(self._latency(), self._latency(), self._latency()) + max(
+            self._latency(), self._latency()
+        )
+        self.sim.schedule_in(
+            delay,
+            lambda node=node, a=v1, b=v2, c=v3: self._exchange(node, a, b, c),
+            tag="exchange",
+        )
+
+    def _exchange(self, node: int, v1: int, v2: int, v3: int) -> None:
+        own_leader = self.leaders.get(int(self.leader_of[node]))
+        # Lines 5-7: finished-flag push / pull.
+        if self.finished[node]:
+            for sample in (v1, v2, v3):
+                self._set_state(sample, int(self.gens[sample]), int(self.cols[node]))
+                self.finished[sample] = True
+            self.locked[node] = False
+            return
+        for sample in (v1, v2, v3):
+            if self.finished[sample]:
+                self._set_state(node, int(self.gens[node]), int(self.cols[sample]))
+                self.finished[node] = True
+                self.locked[node] = False
+                return
+
+        sampled_leader = self.leaders.get(int(self.leader_of[v3]))
+        if sampled_leader is None:
+            # Line 8: non-active cluster sampled — abort the cycle.
+            self.locked[node] = False
+            return
+        l_gen, l_state = sampled_leader.public_state
+        own_gen = int(self.gens[node])
+        gen_a, col_a = int(self.gens[v1]), int(self.cols[v1])
+        gen_b, col_b = int(self.gens[v2]), int(self.cols[v2])
+        in_sync_a = self.tmp_gen[v1] == l_gen and self.tmp_state[v1] == l_state
+        in_sync_b = self.tmp_gen[v2] == l_gen and self.tmp_state[v2] == l_state
+        promoted = False
+        if (
+            l_state == STATE_TWO_CHOICES
+            and gen_a == gen_b == l_gen - 1
+            and col_a == col_b
+            and own_gen <= gen_a
+            and in_sync_a
+            and in_sync_b
+        ):
+            self._set_state(node, l_gen, col_a)
+            self._signal(int(self.leader_of[node]), l_gen, STATE_TWO_CHOICES, True)
+            promoted = True
+        elif l_state == STATE_PROPAGATION:
+            candidate = -1
+            if gen_a == l_gen and own_gen < gen_a and in_sync_a:
+                candidate = v1
+            elif gen_b == l_gen and own_gen < gen_b and in_sync_b:
+                candidate = v2
+            if candidate >= 0:
+                self._set_state(node, int(self.gens[candidate]), int(self.cols[candidate]))
+                self._signal(
+                    int(self.leader_of[node]), int(self.gens[node]), STATE_PROPAGATION, True
+                )
+                promoted = True
+        if not promoted:
+            # Line 18: relay the sampled leader's state to the own leader.
+            self._signal(int(self.leader_of[node]), l_gen, l_state, False)
+        # Line 19: refresh the stored view of the *own* leader.
+        if own_leader is not None:
+            self.tmp_gen[node], self.tmp_state[node] = own_leader.public_state
+        # Line 20: the generation budget is the finish line.
+        if int(self.gens[node]) >= self.params.max_generation:
+            self.finished[node] = True
+        self.locked[node] = False
+
+    def _set_state(self, node: int, gen: int, col: int) -> None:
+        old_gen, old_col = int(self.gens[node]), int(self.cols[node])
+        if old_gen == gen and old_col == col:
+            return
+        self.matrix[old_gen, old_col] -= 1
+        self.matrix[gen, col] += 1
+        if col != old_col:
+            self.color_counts[old_col] -= 1
+            self.color_counts[col] += 1
+        self.gens[node] = gen
+        self.cols[node] = col
+        if not self._birth_seen[gen]:
+            self._birth_seen[gen] = True
+            row = self.matrix[gen]
+            self.births.append(
+                GenerationBirth(
+                    generation=gen,
+                    time=self.sim.now,
+                    fraction=float(row.sum()) / self.n,
+                    bias=multiplicative_bias(row),
+                    collision_probability=collision_probability(row),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def stats(self) -> StepStats:
+        per_generation = self.matrix.sum(axis=1)
+        occupied = np.nonzero(per_generation)[0]
+        top = int(occupied[-1]) if occupied.size else 0
+        return StepStats(
+            time=self.sim.now,
+            top_generation=top,
+            top_generation_fraction=float(per_generation[top]) / self.n,
+            plurality_fraction=float(self.color_counts.max()) / self.n,
+            bias=multiplicative_bias(self.color_counts),
+        )
+
+    def leader_phase_table(self) -> dict[int, dict[int, dict[int, float]]]:
+        """generation -> state -> {leader: first entry time} (Figure 2 data)."""
+        table: dict[int, dict[int, dict[int, float]]] = {}
+        for leader, state in self.leaders.items():
+            for transition in state.transitions:
+                per_state = table.setdefault(transition.generation, {}).setdefault(
+                    transition.state, {}
+                )
+                # Transitions are chronological, so the first entry wins.
+                per_state.setdefault(leader, transition.time)
+        return table
+
+    # ------------------------------------------------------------------
+    # runner
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_time: float = 3000.0,
+        epsilon: float | None = None,
+        stop_at_epsilon: bool = False,
+        record_every: float | None = None,
+    ) -> RunResult:
+        """Run until full consensus, the ε-target, or ``max_time``."""
+        if record_every is not None:
+
+            def sample() -> None:
+                self.trajectory.append(self.stats())
+                self.sim.schedule_in(record_every, sample, tag="sampler")
+
+            self.sim.schedule_in(record_every, sample, tag="sampler")
+        epsilon_target = None
+        if epsilon is not None:
+            epsilon_target = int(np.ceil((1.0 - epsilon) * self.n))
+        epsilon_time: float | None = None
+
+        def done() -> bool:
+            nonlocal epsilon_time
+            leading = int(self.color_counts[self.plurality])
+            if epsilon_target is not None and epsilon_time is None:
+                if leading >= epsilon_target:
+                    epsilon_time = self.sim.now
+                    if stop_at_epsilon:
+                        return True
+            return int(self.color_counts.max()) == self.n
+
+        self.sim.run(until=max_time, stop_when=done)
+        converged = int(self.color_counts.max()) == self.n
+        max_leader_gen = max(state.gen for state in self.leaders.values())
+        return RunResult(
+            converged=converged,
+            winner=int(np.argmax(self.color_counts)),
+            plurality_color=self.plurality,
+            elapsed=self.sim.now,
+            final_color_counts=self.color_counts.copy(),
+            epsilon_convergence_time=epsilon_time,
+            trajectory=self.trajectory,
+            births=self.births,
+            info={
+                "events": float(self.sim.events_executed),
+                "good_ticks": float(self.good_ticks),
+                "total_ticks": float(self.total_ticks),
+                "active_leaders": float(len(self.leaders)),
+                "max_leader_generation": float(max_leader_gen),
+                "active_member_fraction": float(self._active_member.mean()),
+                "time_unit": self.params.time_unit,
+            },
+        )
+
+
+def run_multileader_consensus(
+    params: MultiLeaderParams,
+    clustering: Clustering,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_time: float = 3000.0,
+    epsilon: float | None = None,
+    stop_at_epsilon: bool = False,
+    record_every: float | None = None,
+) -> RunResult:
+    """Build a :class:`MultiLeaderConsensusSim` and run it."""
+    sim = MultiLeaderConsensusSim(params, clustering, counts, rng)
+    return sim.run(
+        max_time=max_time,
+        epsilon=epsilon,
+        stop_at_epsilon=stop_at_epsilon,
+        record_every=record_every,
+    )

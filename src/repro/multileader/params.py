@@ -1,0 +1,127 @@
+"""Parameters for the decentralized multi-leader protocol (Section 4).
+
+The paper's constants are proof-oriented (cluster sizes ``log^{c-1} n``
+with a large ``c``, thresholds ``C2 = C_br + 1 + 2·ε₁`` and
+``C3 = 2·C_br + 1 + 5·ε₁`` time units). At practical ``n`` those are
+galactic, so this module exposes every constant with calibrated defaults
+and documents the mapping:
+
+==============================  =======================================
+Paper quantity                  Field here
+==============================  =======================================
+leader probability 1/log^c n    ``leader_probability``
+cluster cap log^{c-1} n         ``max_cluster_size``
+"active" cluster size bound     ``min_active_size``
+C2 (sleep threshold, units)     ``sleep_units``
+C3 (propagation threshold)      ``propagation_units``
+gen-size fraction 1/2+1/√log n  ``gen_size_fraction`` (+ surge term)
+G* generation budget            ``max_generation``
+==============================  =======================================
+
+The *phase structure* — two-choices → sleeping → propagation, with the
+sleeping window absorbing inter-leader skew (Figure 2 / Proposition 31)
+— is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.theory import total_generations
+from repro.engine.latency import ChannelPlan, time_unit_steps
+from repro.errors import ConfigurationError
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = ["MultiLeaderParams", "default_cluster_size"]
+
+
+def default_cluster_size(n: int) -> int:
+    """Practical stand-in for the paper's ``polylog n`` cluster size.
+
+    ``max(8, ⌈log2(n)^1.5⌉)`` — grows polylogarithmically, is large
+    enough for per-cluster counters to concentrate, and keeps the number
+    of clusters ``n / polylog n`` as in the paper.
+    """
+    n = check_positive_int("n", n, minimum=2)
+    return max(8, math.ceil(math.log2(n) ** 1.5))
+
+
+@dataclass
+class MultiLeaderParams:
+    """Configuration of clustering + the multi-leader consensus protocol.
+
+    Parameters mirror :class:`~repro.core.params.SingleLeaderParams`
+    plus the clustering and leader-phase constants described in the
+    module docstring.
+    """
+
+    n: int
+    k: int
+    alpha0: float
+    latency_rate: float = 1.0
+    clock_rate: float = 1.0
+    target_cluster_size: int | None = None
+    leader_probability: float | None = None
+    max_cluster_multiple: float = 2.0
+    min_active_fraction: float = 0.5
+    sleep_units: float = 3.0
+    propagation_units: float = 5.0
+    gen_size_fraction: float | None = None
+    extra_generations: int = 2
+    unit_quantile: float = 0.9
+    clustering_units: float = 8.0
+    plan: ChannelPlan = ChannelPlan.CONCURRENT_THEN_LEADER
+    #: Derived: steps per time unit (3 random + 2 leader contacts).
+    time_unit: float = field(init=False)
+    max_generation: int = field(init=False)
+    max_cluster_size: int = field(init=False)
+    min_active_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n", self.n, minimum=4)
+        check_positive_int("k", self.k, minimum=2)
+        if self.alpha0 <= 1.0:
+            raise ConfigurationError(f"alpha0 must be > 1, got {self.alpha0}")
+        check_positive("latency_rate", self.latency_rate)
+        check_positive("clock_rate", self.clock_rate)
+        check_positive("sleep_units", self.sleep_units)
+        check_positive("propagation_units", self.propagation_units)
+        if self.propagation_units <= self.sleep_units:
+            raise ConfigurationError(
+                "propagation_units must exceed sleep_units (sleep precedes propagation)"
+            )
+        check_fraction("unit_quantile", self.unit_quantile)
+        check_fraction("min_active_fraction", self.min_active_fraction)
+        if self.max_cluster_multiple < 1.0:
+            raise ConfigurationError("max_cluster_multiple must be >= 1")
+        if self.target_cluster_size is None:
+            self.target_cluster_size = default_cluster_size(self.n)
+        check_positive_int("target_cluster_size", self.target_cluster_size, minimum=2)
+        if self.leader_probability is None:
+            self.leader_probability = 1.0 / self.target_cluster_size
+        check_fraction("leader_probability", self.leader_probability)
+        if self.gen_size_fraction is None:
+            self.gen_size_fraction = min(
+                0.75, 0.5 + 1.0 / math.sqrt(math.log2(self.n))
+            )
+        check_fraction("gen_size_fraction", self.gen_size_fraction)
+        if self.extra_generations < 0:
+            raise ConfigurationError("extra_generations must be >= 0")
+        # Algorithm 4 opens channels to three random nodes, then to the
+        # own leader and the third sample's leader.
+        self.time_unit = time_unit_steps(
+            self.latency_rate,
+            quantile=self.unit_quantile,
+            clock_rate=self.clock_rate,
+            random_contacts=3,
+            leader_contacts=2,
+            plan=self.plan,
+        )
+        self.max_generation = total_generations(self.n, self.alpha0) + self.extra_generations
+        self.max_cluster_size = math.ceil(
+            self.max_cluster_multiple * self.target_cluster_size
+        )
+        self.min_active_size = max(
+            2, math.floor(self.min_active_fraction * self.target_cluster_size)
+        )

@@ -1,0 +1,62 @@
+"""The full decentralized protocol: clustering, then consensus.
+
+Chains Section 4.1's clustering phase with Algorithms 4+5 and reports a
+single :class:`~repro.core.results.RunResult` whose ``elapsed`` covers
+both phases (the split is available in ``info``). This is Theorem 26's
+end-to-end object: plurality consensus on ``K_n`` with no designated
+leader, no shared memory, and every constant polylogarithmic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.multileader.clustering import ClusteringSim
+from repro.multileader.consensus import MultiLeaderConsensusSim
+from repro.multileader.params import MultiLeaderParams
+
+__all__ = ["run_multileader"]
+
+
+def run_multileader(
+    params: MultiLeaderParams,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    clustering_max_time: float = 500.0,
+    max_time: float = 3000.0,
+    epsilon: float | None = None,
+    stop_at_epsilon: bool = False,
+    record_every: float | None = None,
+) -> RunResult:
+    """Run clustering, then the consensus phase, on one population.
+
+    Parameters mirror the phase runners; ``max_time`` bounds the
+    consensus phase only (``clustering_max_time`` bounds clustering).
+    The returned result's ``elapsed`` is the sum of both phases;
+    ``info`` carries the clustering split:
+    ``clustering_time``, ``clustered_fraction``, ``active_fraction``,
+    ``switch_spread`` (Theorem 27's ``t_l − t_f``), ``clusters``.
+    """
+    clustering = ClusteringSim(params, rng).run(max_time=clustering_max_time)
+    consensus = MultiLeaderConsensusSim(params, clustering, counts, rng)
+    result = consensus.run(
+        max_time=max_time,
+        epsilon=epsilon,
+        stop_at_epsilon=stop_at_epsilon,
+        record_every=record_every,
+    )
+    result.info.update(
+        {
+            "clustering_time": clustering.elapsed,
+            "clustered_fraction": clustering.clustered_fraction,
+            "active_fraction": clustering.active_fraction,
+            "switch_spread": clustering.switch_spread,
+            "clusters": float(len(clustering.active_leaders)),
+        }
+    )
+    result.elapsed = result.elapsed + clustering.elapsed
+    if result.epsilon_convergence_time is not None:
+        result.epsilon_convergence_time += clustering.elapsed
+    return result

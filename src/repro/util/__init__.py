@@ -1,0 +1,15 @@
+"""Small shared utilities: validation, formatting, and math helpers."""
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,35 @@
+"""Initial-opinion workloads and bias mathematics."""
+
+from repro.workloads.bias import (
+    additive_gap,
+    collision_probability,
+    multiplicative_bias,
+    plurality_color,
+    remark2_lower_bound,
+    top_two,
+    validate_counts,
+)
+from repro.workloads.opinions import (
+    additive_gap_counts,
+    assignment_to_counts,
+    biased_counts,
+    counts_to_assignment,
+    uniform_counts,
+    zipf_counts,
+)
+
+__all__ = [
+    "additive_gap",
+    "collision_probability",
+    "multiplicative_bias",
+    "plurality_color",
+    "remark2_lower_bound",
+    "top_two",
+    "validate_counts",
+    "additive_gap_counts",
+    "assignment_to_counts",
+    "biased_counts",
+    "counts_to_assignment",
+    "uniform_counts",
+    "zipf_counts",
+]

@@ -1,0 +1,91 @@
+"""Bias and concentration math over opinion-count vectors.
+
+Throughout the paper the *multiplicative bias* ``α = c_a / c_b`` is the
+ratio between the supports of the dominant and second-dominant opinions,
+and ``p = Σ_j (c_j/n)^2`` is the probability that two independently
+sampled nodes share an opinion (used to size newborn generations).
+These helpers operate on integer count vectors and are shared by every
+protocol implementation and every experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "plurality_color",
+    "top_two",
+    "multiplicative_bias",
+    "additive_gap",
+    "collision_probability",
+    "remark2_lower_bound",
+    "validate_counts",
+]
+
+
+def validate_counts(counts: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Return ``counts`` as a validated 1-D integer numpy array."""
+    array = np.asarray(counts)
+    if array.ndim != 1 or array.size == 0:
+        raise ConfigurationError("counts must be a non-empty 1-D sequence")
+    if np.any(array < 0):
+        raise ConfigurationError("counts must be non-negative")
+    if array.sum() <= 0:
+        raise ConfigurationError("counts must sum to a positive total")
+    return array.astype(np.int64, copy=False)
+
+
+def plurality_color(counts: Sequence[int] | np.ndarray) -> int:
+    """Index of the most supported opinion (ties broken by lowest index)."""
+    return int(np.argmax(validate_counts(counts)))
+
+
+def top_two(counts: Sequence[int] | np.ndarray) -> tuple[int, int]:
+    """Supports ``(c_a, c_b)`` of the dominant and second-dominant opinions.
+
+    For a single-opinion vector, ``c_b`` is 0.
+    """
+    array = validate_counts(counts)
+    if array.size == 1:
+        return int(array[0]), 0
+    order = np.sort(array)
+    return int(order[-1]), int(order[-2])
+
+
+def multiplicative_bias(counts: Sequence[int] | np.ndarray) -> float:
+    """The paper's bias ``α = c_a / c_b``; ``inf`` once the runner-up dies out."""
+    dominant, runner_up = top_two(counts)
+    if runner_up == 0:
+        return math.inf
+    return dominant / runner_up
+
+
+def additive_gap(counts: Sequence[int] | np.ndarray) -> int:
+    """Absolute gap ``c_a − c_b`` between the top two opinions."""
+    dominant, runner_up = top_two(counts)
+    return dominant - runner_up
+
+
+def collision_probability(counts: Sequence[int] | np.ndarray) -> float:
+    """``p = Σ_j (c_j / n)^2`` — chance two uniform samples share a color."""
+    array = validate_counts(counts)
+    total = array.sum()
+    fractions = array / total
+    return float(np.dot(fractions, fractions))
+
+
+def remark2_lower_bound(alpha: float, k: int) -> float:
+    """Remark 2: ``p ≥ (α² + k − 1) / (α + k − 1)²`` for bias ``α``, ``k`` colors.
+
+    Attained when all non-dominant colors have equal support.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if alpha < 1.0:
+        raise ConfigurationError(f"bias must be >= 1, got {alpha}")
+    return (alpha**2 + k - 1) / (alpha + k - 1) ** 2

@@ -1,0 +1,174 @@
+"""Initial-opinion workload generators.
+
+The paper's statements are parametrized by ``n`` nodes, ``k`` opinions,
+and the initial multiplicative bias ``α = c_a/c_b``. These generators
+build integer count vectors realizing a requested configuration, plus
+per-node assignments for the event-driven simulators.
+
+The canonical adversarial workload is :func:`biased_counts`: the
+dominant color at bias ``α`` and all ``k−1`` remaining colors tied —
+exactly the configuration that minimizes the collision probability ``p``
+in Remark 2, i.e. the hardest instance for a given ``(k, α)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive, check_positive_int
+from repro.workloads.bias import multiplicative_bias, validate_counts
+
+__all__ = [
+    "biased_counts",
+    "additive_gap_counts",
+    "uniform_counts",
+    "zipf_counts",
+    "counts_to_assignment",
+    "assignment_to_counts",
+]
+
+
+def _distribute_remainder(counts: np.ndarray, remainder: int) -> np.ndarray:
+    """Spread ``remainder`` extra nodes over the non-dominant colors.
+
+    Keeps the dominant color's support untouched so the realized bias
+    never exceeds the requested one by rounding accidents; removing
+    nodes (negative remainder) also only touches non-dominant colors.
+    """
+    counts = counts.copy()
+    k = counts.size
+    step = 1 if remainder >= 0 else -1
+    index = 1
+    for _ in range(abs(remainder)):
+        # Cycle over colors 1..k-1 (color 0 is the dominant one).
+        if k == 1:
+            counts[0] += step
+            continue
+        counts[index] += step
+        index += 1
+        if index >= k:
+            index = 1
+    return counts
+
+
+def biased_counts(n: int, k: int, alpha: float) -> np.ndarray:
+    """Counts with plurality color 0 at bias ``≈ alpha`` and a flat tail.
+
+    Solves ``c_b (α + k − 1) = n`` for the runner-up support, rounds, and
+    repairs the total back to ``n`` by adjusting non-dominant colors. The
+    realized bias is within one rounding unit of the request; it is
+    always ``> 1`` (strict plurality).
+
+    Parameters
+    ----------
+    n: number of nodes.
+    k: number of opinions, ``2 ≤ k ≤ n``.
+    alpha: requested multiplicative bias, ``> 1``.
+    """
+    n = check_positive_int("n", n, minimum=2)
+    k = check_positive_int("k", k, minimum=2)
+    alpha = check_positive("alpha", alpha)
+    if alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be > 1 for a strict plurality, got {alpha}")
+    if k > n:
+        raise ConfigurationError(f"cannot host k={k} opinions on n={n} nodes")
+    runner_up = max(1, int(round(n / (alpha + k - 1))))
+    dominant = int(round(alpha * runner_up))
+    counts = np.full(k, runner_up, dtype=np.int64)
+    counts[0] = dominant
+    counts = _distribute_remainder(counts, n - int(counts.sum()))
+    if counts.min() < 1:
+        raise ConfigurationError(
+            f"workload infeasible: n={n}, k={k}, alpha={alpha} leaves some color empty"
+        )
+    # Rounding (and the remainder spread) may have levelled or even
+    # inverted the top; take nodes from the largest tail colors until the
+    # dominant color strictly leads. Several donors can be tied, so loop.
+    while counts[0] <= counts[1:].max():
+        donor = int(np.argmax(counts[1:])) + 1
+        if counts[donor] <= 1:
+            raise ConfigurationError(
+                f"workload infeasible: n={n}, k={k}, alpha={alpha} cannot host "
+                "a strict plurality with every color non-empty"
+            )
+        counts[donor] -= 1
+        counts[0] += 1
+    assert counts.sum() == n
+    assert multiplicative_bias(counts) > 1.0
+    return counts
+
+
+def additive_gap_counts(n: int, k: int, gap: int) -> np.ndarray:
+    """Counts with an absolute gap ``c_a − c_b = gap`` and a flat tail."""
+    n = check_positive_int("n", n, minimum=2)
+    k = check_positive_int("k", k, minimum=2)
+    gap = check_positive_int("gap", gap, minimum=1)
+    base = (n - gap) // k
+    if base < 1:
+        raise ConfigurationError(f"gap={gap} too large for n={n}, k={k}")
+    counts = np.full(k, base, dtype=np.int64)
+    counts[0] += gap
+    counts = _distribute_remainder(counts, n - int(counts.sum()))
+    assert counts.sum() == n
+    return counts
+
+
+def uniform_counts(n: int, k: int) -> np.ndarray:
+    """Near-uniform counts; leftover nodes go to the lowest color indices.
+
+    With ``n % k != 0`` color 0 is a (minimal) plurality; with ``n % k == 0``
+    the configuration is perfectly tied — useful for testing behaviour
+    without an initial bias.
+    """
+    n = check_positive_int("n", n, minimum=2)
+    k = check_positive_int("k", k, minimum=1)
+    if k > n:
+        raise ConfigurationError(f"cannot host k={k} opinions on n={n} nodes")
+    counts = np.full(k, n // k, dtype=np.int64)
+    counts[: n % k] += 1
+    return counts
+
+
+def zipf_counts(n: int, k: int, exponent: float = 1.0) -> np.ndarray:
+    """Counts proportional to a Zipf law ``1/rank^exponent``.
+
+    A natural skewed workload: a clear plurality with a long tail, as in
+    label-propagation / community-detection applications cited in the
+    paper's introduction.
+    """
+    n = check_positive_int("n", n, minimum=2)
+    k = check_positive_int("k", k, minimum=2)
+    check_positive("exponent", exponent)
+    weights = 1.0 / np.arange(1, k + 1, dtype=float) ** exponent
+    raw = weights / weights.sum() * n
+    counts = np.floor(raw).astype(np.int64)
+    counts = np.maximum(counts, 1)
+    counts = _distribute_remainder(counts, n - int(counts.sum()))
+    if counts.min() < 1:
+        raise ConfigurationError(f"zipf workload infeasible for n={n}, k={k}")
+    assert counts.sum() == n
+    return counts
+
+
+def counts_to_assignment(
+    counts: np.ndarray, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Expand a count vector into a length-``n`` per-node color array.
+
+    Shuffled when ``rng`` is given (node identity should not correlate
+    with color); deterministic block layout otherwise.
+    """
+    counts = validate_counts(counts)
+    assignment = np.repeat(np.arange(counts.size), counts)
+    if rng is not None:
+        rng.shuffle(assignment)
+    return assignment
+
+
+def assignment_to_counts(assignment: np.ndarray, k: int) -> np.ndarray:
+    """Count vector of a per-node color array (inverse of the above)."""
+    assignment = np.asarray(assignment)
+    if assignment.ndim != 1:
+        raise ConfigurationError("assignment must be 1-D")
+    return np.bincount(assignment, minlength=k).astype(np.int64)

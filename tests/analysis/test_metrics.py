@@ -1,0 +1,57 @@
+"""Tests for run-batch aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import summarize_batch
+from repro.core.results import GenerationBirth, RunResult
+from repro.errors import ConfigurationError
+
+
+def make_run(won=True, converged=True, elapsed=10.0, eps=None, births=0) -> RunResult:
+    return RunResult(
+        converged=converged,
+        winner=0 if won else 1,
+        plurality_color=0,
+        elapsed=elapsed,
+        final_color_counts=np.array([10, 0]),
+        epsilon_convergence_time=eps,
+        births=[
+            GenerationBirth(generation=i + 1, time=float(i), fraction=0.1, bias=2.0,
+                            collision_probability=0.5)
+            for i in range(births)
+        ],
+    )
+
+
+class TestSummarizeBatch:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_batch([])
+
+    def test_rates(self):
+        batch = summarize_batch([make_run(won=True), make_run(won=False, converged=False)])
+        assert batch.plurality_win_rate == 0.5
+        assert batch.consensus_rate == 0.5
+        assert batch.runs == 2
+
+    def test_elapsed_summary(self):
+        batch = summarize_batch([make_run(elapsed=10.0), make_run(elapsed=20.0)])
+        assert batch.elapsed.mean == pytest.approx(15.0)
+
+    def test_epsilon_only_when_present(self):
+        no_eps = summarize_batch([make_run()])
+        assert no_eps.epsilon_time is None
+        with_eps = summarize_batch([make_run(eps=5.0), make_run()])
+        assert with_eps.epsilon_time is not None
+        assert with_eps.epsilon_time.count == 1
+
+    def test_generation_summary(self):
+        batch = summarize_batch([make_run(births=3), make_run(births=5)])
+        assert batch.generations.mean == pytest.approx(4.0)
+
+    def test_row_shape(self):
+        row = summarize_batch([make_run(eps=4.0)]).row()
+        assert len(row) == 4

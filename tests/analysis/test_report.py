@@ -1,0 +1,71 @@
+"""Tests for Markdown run reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import run_report
+from repro.core.results import GenerationBirth, RunResult, StepStats
+
+
+def make_result(**overrides) -> RunResult:
+    defaults = dict(
+        converged=True,
+        winner=0,
+        plurality_color=0,
+        elapsed=42.0,
+        final_color_counts=np.array([100, 0]),
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestRunReport:
+    def test_minimal_report(self):
+        text = run_report(make_result(), title="t")
+        assert text.startswith("# t")
+        assert "reached consensus" in text
+        assert "42.00" in text
+
+    def test_loss_reported_honestly(self):
+        text = run_report(make_result(winner=1, converged=False))
+        assert "did **not** reach consensus" in text
+        assert "displaced the initial plurality" in text
+
+    def test_unit_normalization_when_available(self):
+        result = make_result(info={"time_unit": 10.0})
+        text = run_report(result)
+        assert "time units" in text
+        assert "4.20" in text
+
+    def test_births_table(self):
+        births = [
+            GenerationBirth(generation=1, time=1.0, fraction=0.1, bias=2.25,
+                            collision_probability=0.4),
+            GenerationBirth(generation=2, time=9.0, fraction=0.2, bias=float("inf"),
+                            collision_probability=1.0),
+        ]
+        text = run_report(make_result(births=births))
+        assert "## Generations" in text
+        assert "2.25" in text
+        assert "mono" in text
+
+    def test_trajectory_milestones(self):
+        trajectory = [
+            StepStats(time=float(t), top_generation=1, top_generation_fraction=0.5,
+                      plurality_fraction=0.5 + t / 100.0, bias=2.0)
+            for t in range(30)
+        ]
+        text = run_report(make_result(trajectory=trajectory))
+        assert "## Trajectory milestones" in text
+        # Down-sampled: far fewer rows than trajectory entries.
+        assert text.count("| 1 |") < 12
+
+    def test_epsilon_line(self):
+        text = run_report(make_result(epsilon_convergence_time=30.0))
+        assert "ε-convergence" in text
+
+    def test_telemetry_table(self):
+        text = run_report(make_result(info={"events": 123.0}))
+        assert "## Telemetry" in text
+        assert "events" in text

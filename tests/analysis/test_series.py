@@ -1,0 +1,69 @@
+"""Tests for figure series and the ASCII plot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.series import Series, ascii_plot
+from repro.errors import ConfigurationError
+
+
+class TestSeries:
+    def test_append_and_len(self):
+        series = Series("curve")
+        series.append(1, 2)
+        series.append(10, 20)
+        assert len(series) == 2
+        assert series.xs == [1.0, 10.0]
+
+    def test_to_csv(self, tmp_path):
+        series = Series("curve")
+        series.append(1, 2)
+        path = series.to_csv(tmp_path / "sub" / "curve.csv", x_name="lam", y_name="c1")
+        content = path.read_text().splitlines()
+        assert content[0] == "lam,c1"
+        assert content[1] == "1.0,2.0"
+
+
+class TestAsciiPlot:
+    def make_series(self):
+        series = Series("f")
+        for x in (1, 10, 100, 1000):
+            series.append(x, 9.0 * x)
+        return series
+
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot([self.make_series()], logx=True, logy=True)
+        assert "*" in text
+        assert "f" in text
+
+    def test_loglog_diagonal(self):
+        # y ∝ x on log-log axes: markers move right and up together.
+        text = ascii_plot([self.make_series()], logx=True, logy=True, height=10)
+        grid = [line for line in text.splitlines() if "|" in line]
+        positions = []
+        for row, line in enumerate(grid):
+            col = line.find("*")
+            if col >= 0:
+                positions.append((row, col))
+        rows = [r for r, _ in positions]
+        cols = [c for _, c in positions]
+        assert rows == sorted(rows)  # top row = largest y
+        assert cols == sorted(cols, reverse=True) or cols == sorted(cols)
+
+    def test_log_scale_requires_positive(self):
+        bad = Series("bad")
+        bad.append(-1, 1)
+        with pytest.raises(ConfigurationError):
+            ascii_plot([bad], logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([Series("empty")])
+
+    def test_multiple_series_distinct_markers(self):
+        one, two = self.make_series(), Series("g")
+        two.append(1, 1)
+        two.append(1000, 1)
+        text = ascii_plot([one, two], logx=True, logy=True)
+        assert "o" in text

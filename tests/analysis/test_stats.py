@@ -1,0 +1,83 @@
+"""Tests for summary statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import bootstrap_ci, geometric_mean, summarize
+from repro.errors import ConfigurationError
+
+sample_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100
+)
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_single_value(self):
+        summary = summarize([3.0])
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.sem == 0.0
+
+    def test_known_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+
+    def test_ci95_contains_mean(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        low, high = summary.ci95()
+        assert low <= summary.mean <= high
+
+    @given(sample_strategy)
+    @settings(max_examples=100)
+    def test_ordering_invariants(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+    def test_str_is_informative(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "median" in text and "n=2" in text
+
+
+class TestBootstrap:
+    def test_interval_brackets_mean(self, rng):
+        values = list(np.linspace(0, 10, 50))
+        low, high = bootstrap_ci(values, rng)
+        assert low < np.mean(values) < high
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([], rng)
+
+    def test_invalid_level_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], rng, level=1.5)
+
+    def test_degenerate_sample(self, rng):
+        low, high = bootstrap_ci([5.0, 5.0, 5.0], rng)
+        assert low == high == 5.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])

@@ -1,0 +1,49 @@
+"""Tests for table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_cell, render_markdown_table, render_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(0.000123) == "1.230e-04"
+        assert format_cell(123456.0) == "1.235e+05"
+        assert format_cell(0.0) == "0"
+
+    def test_nan_and_inf(self):
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(float("inf")) == "inf"
+
+    def test_passthrough(self):
+        assert format_cell("text") == "text"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows share the same width.
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown_table(["x", "y"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"

@@ -1,0 +1,114 @@
+"""Tests for the synchronous baseline dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    PullVoting,
+    ThreeMajority,
+    TwoChoices,
+    UndecidedStateDynamics,
+    run_dynamics,
+)
+from repro.workloads.opinions import biased_counts
+
+fractions_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=10
+).map(lambda raw: np.array(raw) / np.sum(raw))
+
+ALL_DYNAMICS = [PullVoting(), TwoChoices(), ThreeMajority(), UndecidedStateDynamics()]
+
+
+class TestTransitionMatrices:
+    @pytest.mark.parametrize("dynamics", ALL_DYNAMICS, ids=lambda d: d.name)
+    def test_rows_are_distributions(self, dynamics):
+        counts = biased_counts(1000, 5, 1.5)
+        state = dynamics.initial_state(counts)
+        matrix = dynamics.transition_probabilities(state)
+        assert matrix.shape == (state.size, state.size)
+        assert (matrix >= -1e-12).all()
+        assert np.allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(fractions_strategy)
+    @settings(max_examples=100)
+    def test_three_majority_law_is_distribution(self, fractions):
+        law = ThreeMajority.adoption_law(fractions)
+        assert law.shape == fractions.shape
+        assert (law >= 0).all()
+        assert law.sum() == pytest.approx(1.0)
+
+    def test_three_majority_law_monte_carlo(self, rng):
+        """The closed-form sampled-majority law matches simulation."""
+        fractions = np.array([0.5, 0.3, 0.2])
+        law = ThreeMajority.adoption_law(fractions)
+        samples = rng.choice(3, size=(200_000, 3), p=fractions)
+        outcomes = np.empty(samples.shape[0], dtype=np.int64)
+        for index, trio in enumerate(samples):
+            values, counts = np.unique(trio, return_counts=True)
+            if counts.max() >= 2:
+                outcomes[index] = values[np.argmax(counts)]
+            else:
+                outcomes[index] = trio[rng.integers(3)]
+        empirical = np.bincount(outcomes, minlength=3) / samples.shape[0]
+        assert np.allclose(empirical, law, atol=0.005)
+
+    def test_two_choices_keeps_own_unless_pair_agrees(self):
+        dynamics = TwoChoices()
+        state = np.array([800, 200])
+        matrix = dynamics.transition_probabilities(state)
+        # A color-1 node adopts color 0 with probability 0.8^2.
+        assert matrix[1, 0] == pytest.approx(0.64)
+        assert matrix[1, 1] == pytest.approx(0.36)
+
+    def test_undecided_state_vector_has_extra_slot(self):
+        dynamics = UndecidedStateDynamics()
+        state = dynamics.initial_state(np.array([3, 2]))
+        assert state.tolist() == [3, 2, 0]
+        assert dynamics.project_colors(state).tolist() == [3, 2]
+
+
+class TestStepConservation:
+    @pytest.mark.parametrize("dynamics", ALL_DYNAMICS, ids=lambda d: d.name)
+    def test_population_preserved(self, dynamics, rng):
+        counts = biased_counts(5000, 4, 1.5)
+        state = dynamics.initial_state(counts)
+        for _ in range(10):
+            state = dynamics.step(state, rng)
+            assert state.sum() == 5000
+            assert (state >= 0).all()
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "dynamics", [TwoChoices(), ThreeMajority(), UndecidedStateDynamics()],
+        ids=lambda d: d.name,
+    )
+    def test_plurality_wins_with_clear_bias(self, dynamics, rngs):
+        counts = biased_counts(20_000, 4, 2.0)
+        result = run_dynamics(dynamics, counts, rngs.stream(dynamics.name), max_rounds=2000)
+        assert result.converged
+        assert result.plurality_won
+
+    def test_pull_voting_converges_eventually(self, rngs):
+        counts = biased_counts(200, 2, 3.0)
+        result = run_dynamics(PullVoting(), counts, rngs.stream("pv"), max_rounds=100_000)
+        assert result.converged
+
+    def test_budget_exhaustion_flagged(self, rng):
+        counts = biased_counts(10_000, 4, 1.2)
+        result = run_dynamics(TwoChoices(), counts, rng, max_rounds=1)
+        assert not result.converged
+        assert result.elapsed == 1.0
+
+    def test_epsilon_and_trajectory(self, rngs):
+        counts = biased_counts(20_000, 4, 2.0)
+        result = run_dynamics(
+            ThreeMajority(), counts, rngs.stream("traj"), max_rounds=2000,
+            epsilon=0.05, record_trajectory=True,
+        )
+        assert result.epsilon_convergence_time is not None
+        assert len(result.trajectory) == int(result.elapsed)

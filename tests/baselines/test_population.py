@@ -1,0 +1,120 @@
+"""Tests for population protocols and the pairwise scheduler."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.population import (
+    FourStateExactMajority,
+    PairwiseScheduler,
+    ThreeStateMajority,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThreeStateMajority:
+    def test_transition_rules(self):
+        protocol = ThreeStateMajority()
+        X, Y, B = protocol.X, protocol.Y, protocol.BLANK
+        assert protocol.delta(X, Y) == (X, B)
+        assert protocol.delta(Y, X) == (Y, B)
+        assert protocol.delta(X, B) == (X, X)
+        assert protocol.delta(Y, B) == (Y, Y)
+        assert protocol.delta(X, X) == (X, X)
+        assert protocol.delta(B, X) == (B, X)  # blank initiator does nothing
+
+    def test_requires_two_opinions(self):
+        with pytest.raises(ConfigurationError):
+            ThreeStateMajority().initial_state(np.array([1, 2, 3]))
+
+    def test_majority_wins_with_bias(self, rngs):
+        protocol = ThreeStateMajority()
+        scheduler = PairwiseScheduler(protocol)
+        wins = 0
+        for rep in range(5):
+            result = scheduler.run(np.array([650, 350]), rngs.stream(f"aae/{rep}"))
+            assert result.converged
+            wins += result.winner == 0
+        assert wins >= 4  # approximate majority: whp, not always
+
+    def test_parallel_time_normalization(self, rngs):
+        result = PairwiseScheduler(ThreeStateMajority()).run(
+            np.array([120, 60]), rngs.stream("pt")
+        )
+        assert result.parallel_time == pytest.approx(result.interactions / 180)
+
+
+class TestFourStateExactMajority:
+    def test_strong_difference_invariant_under_all_interactions(self):
+        """#strong-X − #strong-Y is preserved by every transition."""
+        protocol = FourStateExactMajority()
+
+        def strong_diff(*states: int) -> int:
+            return sum(
+                (1 if s == protocol.SX else -1 if s == protocol.SY else 0)
+                for s in states
+            )
+
+        for a, b in itertools.product(range(4), repeat=2):
+            new_a, new_b = protocol.delta(a, b)
+            assert strong_diff(a, b) == strong_diff(new_a, new_b), (a, b)
+
+    def test_exactness_with_tiny_bias(self, rngs):
+        """The exact protocol returns the true majority even at bias 51:49."""
+        protocol = FourStateExactMajority()
+        scheduler = PairwiseScheduler(protocol)
+        for rep in range(3):
+            result = scheduler.run(
+                np.array([102, 98]), rngs.stream(f"exact/{rep}"),
+                max_interactions=3_000_000,
+            )
+            assert result.converged
+            assert result.winner == 0
+
+    def test_minority_never_wins(self, rngs):
+        protocol = FourStateExactMajority()
+        result = PairwiseScheduler(protocol).run(
+            np.array([90, 110]), rngs.stream("minority"), max_interactions=3_000_000
+        )
+        assert result.converged
+        assert result.winner == 1
+
+    def test_output_colors(self):
+        protocol = FourStateExactMajority()
+        assert protocol.output_color(protocol.SX) == 0
+        assert protocol.output_color(protocol.WX) == 0
+        assert protocol.output_color(protocol.SY) == 1
+        assert protocol.output_color(protocol.WY) == 1
+
+
+class TestPairwiseScheduler:
+    def test_population_too_small_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            PairwiseScheduler(ThreeStateMajority()).run(np.array([1, 0]), rng)
+
+    def test_population_preserved(self, rngs):
+        protocol = ThreeStateMajority()
+        scheduler = PairwiseScheduler(protocol)
+        result = scheduler.run(np.array([80, 40]), rngs.stream("cons"))
+        assert result.final_state_counts.sum() == 120
+
+    def test_interaction_budget_respected(self, rng):
+        result = PairwiseScheduler(ThreeStateMajority()).run(
+            np.array([100, 100]), rng, max_interactions=50
+        )
+        assert result.interactions <= 50
+
+    def test_deterministic_replay(self):
+        from repro.engine.rng import RngRegistry
+
+        runs = [
+            PairwiseScheduler(ThreeStateMajority()).run(
+                np.array([70, 50]), RngRegistry(11).stream("s")
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].interactions == runs[1].interactions
+        assert (runs[0].final_state_counts == runs[1].final_state_counts).all()

@@ -1,0 +1,20 @@
+"""Shared fixtures: deterministic RNG streams for every test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import RngRegistry
+
+
+@pytest.fixture()
+def rngs() -> RngRegistry:
+    """A fresh registry with a fixed root seed per test."""
+    return RngRegistry(123456789)
+
+
+@pytest.fixture()
+def rng(rngs: RngRegistry) -> np.random.Generator:
+    """A single generic stream for tests that need just one."""
+    return rngs.stream("test")

@@ -1,0 +1,80 @@
+"""Tests for the mechanism-ablation variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import AlwaysTwoChoices, FixedSchedule
+from repro.core.synchronous import AggregateSynchronousSim
+from repro.errors import ConfigurationError
+from repro.workloads.opinions import biased_counts
+
+
+class TestAlwaysTwoChoices:
+    def test_fires_budget_then_stops(self):
+        schedule = AlwaysTwoChoices(max_generation=3)
+        fired = [schedule.is_two_choices_step(step, 0.0) for step in range(1, 10)]
+        assert fired == [True, True, True] + [False] * 6
+
+    def test_reset(self):
+        schedule = AlwaysTwoChoices(max_generation=1)
+        assert schedule.is_two_choices_step(1, 0.0)
+        assert not schedule.is_two_choices_step(2, 0.0)
+        schedule.reset()
+        assert schedule.is_two_choices_step(1, 0.0)
+
+    def test_no_growth_phase_stalls_consensus(self, rngs):
+        # The stall needs a modest bias and several colors: at high alpha
+        # the few nodes surviving consecutive paired promotions are pure
+        # enough to win anyway.
+        n, k, alpha = 100_000, 8, 1.5
+        schedule = AlwaysTwoChoices(
+            max_generation=FixedSchedule(n=n, k=k, alpha0=alpha).max_generation
+        )
+        sim = AggregateSynchronousSim(biased_counts(n, k, alpha), schedule, rngs.stream("a"))
+        result = sim.run(max_steps=400)
+        # Back-to-back births leave a mixed top generation: no consensus.
+        assert not result.converged
+
+
+class TestSingleSamplePromotion:
+    def test_invalid_mode_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            AggregateSynchronousSim(
+                biased_counts(100, 2, 2.0),
+                FixedSchedule(n=100, k=2, alpha0=2.0),
+                rng,
+                promotion="triple",
+            )
+
+    def test_conserves_population(self, rngs):
+        n, k, alpha = 10_000, 4, 2.0
+        sim = AggregateSynchronousSim(
+            biased_counts(n, k, alpha),
+            FixedSchedule(n=n, k=k, alpha0=alpha),
+            rngs.stream("s"),
+            promotion="single",
+        )
+        for _ in range(20):
+            sim.step()
+            assert sim.matrix.sum() == n
+
+    def test_no_amplification(self, rngs):
+        """Single-sample promotion must not purify the top generation."""
+        n, k, alpha = 100_000, 4, 1.5
+        pair = AggregateSynchronousSim(
+            biased_counts(n, k, alpha),
+            FixedSchedule(n=n, k=k, alpha0=alpha),
+            rngs.stream("pair"),
+            promotion="pair",
+        )
+        single = AggregateSynchronousSim(
+            biased_counts(n, k, alpha),
+            FixedSchedule(n=n, k=k, alpha0=alpha),
+            rngs.stream("single"),
+            promotion="single",
+        )
+        pair_result = pair.run(max_steps=400)
+        single_result = single.run(max_steps=400)
+        assert pair_result.converged
+        assert not single_result.converged

@@ -1,0 +1,82 @@
+"""Quantitative one-step laws of the synchronous dynamics.
+
+These check the *expected-value* equations the proofs manipulate, on
+single steps with large populations (so concentration makes the
+measured value essentially deterministic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import FixedSchedule
+from repro.core.synchronous import AggregateSynchronousSim
+from repro.workloads.bias import collision_probability
+from repro.workloads.opinions import biased_counts
+
+
+def advance_to_step_before_birth(sim, schedule):
+    """Run just past the first two-choices step (generation 1 exists)."""
+    sim.step()  # t=1 is the first two-choices step
+    return sim
+
+
+class TestPropagationGrowthLaw:
+    """Prop. 9 / eq. (8): per-step growth of the top generation.
+
+    The paper *lower-bounds* the growth by ``(2 − x)·x``, crudely
+    treating the two samples as one (``x < 2x − x²``). The exact
+    two-sample law is ``x' = x + (1 − x)(2x − x²)`` — each below-node
+    adopts iff at least one of its two samples hit the top generation.
+    We check both: the simulator matches the exact law and therefore
+    dominates the paper's bound.
+    """
+
+    def test_one_propagation_step(self, rngs):
+        n, k, alpha = 2_000_000, 4, 2.0
+        schedule = FixedSchedule(n=n, k=k, alpha0=alpha)
+        sim = AggregateSynchronousSim(
+            biased_counts(n, k, alpha), schedule, rngs.stream("law")
+        )
+        advance_to_step_before_birth(sim, schedule)
+        for _ in range(3):
+            per_generation = sim.matrix.sum(axis=1) / n
+            top = int(np.nonzero(per_generation)[0][-1])
+            x = float(per_generation[top])
+            if x >= 0.5:
+                break
+            sim.step()
+            new_fraction = float(sim.matrix.sum(axis=1)[top]) / n
+            exact = x + (1.0 - x) * (2.0 * x - x * x)
+            assert new_fraction == pytest.approx(exact, rel=0.02)
+            assert new_fraction > (2.0 - x) * x * 0.98  # paper's lower bound
+
+
+class TestBirthSizeLaw:
+    """Prop. 9: a birth from a full parent has size ≈ g² · p · n."""
+
+    def test_first_birth_size(self, rngs):
+        n, k, alpha = 2_000_000, 8, 1.5
+        counts = biased_counts(n, k, alpha)
+        p0 = collision_probability(counts)
+        schedule = FixedSchedule(n=n, k=k, alpha0=alpha)
+        sim = AggregateSynchronousSim(counts, schedule, rngs.stream("birth"))
+        sim.step()  # generation 1 is born from a g=1 parent
+        born = float(sim.matrix.sum(axis=1)[1]) / n
+        assert born == pytest.approx(p0, rel=0.02)
+
+
+class TestSquaringLawOneStep:
+    """Example 3: the newborn generation's bias is ≈ α² (large n)."""
+
+    def test_first_birth_bias(self, rngs):
+        n, k, alpha = 4_000_000, 4, 1.5
+        counts = biased_counts(n, k, alpha)
+        schedule = FixedSchedule(n=n, k=k, alpha0=alpha)
+        sim = AggregateSynchronousSim(counts, schedule, rngs.stream("sq1"))
+        sim.step()
+        row = sim.matrix[1]
+        ordered = np.sort(row)
+        measured = ordered[-1] / ordered[-2]
+        assert measured == pytest.approx(alpha**2, rel=0.05)

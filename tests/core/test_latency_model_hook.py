@@ -1,0 +1,73 @@
+"""Tests for general latency laws in the single-leader protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SingleLeaderParams
+from repro.core.single_leader import SingleLeaderSim
+from repro.engine.latency import (
+    ChannelPlan,
+    ConstantLatency,
+    ExponentialLatency,
+    GammaLatency,
+    empirical_time_unit,
+    time_unit_steps,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.opinions import biased_counts
+
+
+class TestEmpiricalTimeUnit:
+    def test_matches_closed_form_for_exponential(self, rng):
+        empirical = empirical_time_unit(ExponentialLatency(1.0), rng, samples=200_000)
+        assert empirical == pytest.approx(time_unit_steps(1.0), rel=0.03)
+
+    def test_constant_latency_unit(self, rng):
+        # Constant(1): T3 = 2*(1+1) + Exp(1); quantile(0.9) of Exp(1) ~ 2.303.
+        empirical = empirical_time_unit(ConstantLatency(1.0), rng, samples=200_000)
+        assert empirical == pytest.approx(4.0 + 2.302585, rel=0.03)
+
+    def test_sequential_plan_larger(self, rng):
+        concurrent = empirical_time_unit(ExponentialLatency(1.0), rng, samples=50_000)
+        sequential = empirical_time_unit(
+            ExponentialLatency(1.0), rng, plan=ChannelPlan.SEQUENTIAL, samples=50_000
+        )
+        assert sequential > concurrent
+
+    def test_no_channels_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            empirical_time_unit(
+                ExponentialLatency(1.0), rng, random_contacts=0, leader_contacts=0
+            )
+
+
+class TestLatencyModelHook:
+    def test_protocol_correct_under_gamma_latency(self, rngs):
+        params = SingleLeaderParams(n=500, k=3, alpha0=2.5)
+        counts = biased_counts(500, 3, 2.5)
+        sim = SingleLeaderSim(
+            params, counts, rngs.stream("gamma"),
+            latency_model=GammaLatency(shape=0.5, rate=0.5),
+        )
+        result = sim.run(max_time=4000.0)
+        assert result.converged
+        assert result.plurality_won
+
+    def test_protocol_correct_under_constant_latency(self, rngs):
+        params = SingleLeaderParams(n=500, k=3, alpha0=2.5)
+        counts = biased_counts(500, 3, 2.5)
+        sim = SingleLeaderSim(
+            params, counts, rngs.stream("const"), latency_model=ConstantLatency(1.0)
+        )
+        result = sim.run(max_time=4000.0)
+        assert result.converged
+        assert result.plurality_won
+
+    def test_default_model_unchanged(self, rngs):
+        """Without the hook the simulator draws Exp(params.latency_rate)."""
+        params = SingleLeaderParams(n=300, k=2, alpha0=3.0, latency_rate=2.0)
+        counts = biased_counts(300, 2, 3.0)
+        sim = SingleLeaderSim(params, counts, rngs.stream("default"))
+        result = sim.run(max_time=2000.0)
+        assert result.converged

@@ -1,0 +1,91 @@
+"""Unit tests for the Algorithm 3 leader state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.leader import Leader
+from repro.core.params import SingleLeaderParams
+
+
+@pytest.fixture()
+def params() -> SingleLeaderParams:
+    return SingleLeaderParams(n=100, k=3, alpha0=2.0)
+
+
+class TestInitialState:
+    def test_starts_at_generation_one_two_choices(self, params):
+        leader = Leader(params)
+        assert leader.state == (1, False)
+        assert leader.phase_changes == []
+
+
+class TestZeroSignals:
+    def test_prop_flips_at_threshold(self, params):
+        leader = Leader(params)
+        for index in range(params.prop_signal_threshold):
+            assert not leader.prop
+            leader.on_signal(0, time=float(index))
+        assert leader.prop
+        assert leader.phase_changes[-1].kind == "propagation"
+        assert leader.phase_changes[-1].generation == 1
+
+    def test_zero_signals_counted(self, params):
+        leader = Leader(params)
+        for _ in range(10):
+            leader.on_signal(0, time=0.0)
+        assert leader.zero_signals == 10
+
+
+class TestGenSignals:
+    def test_generation_birth_at_half(self, params):
+        leader = Leader(params)
+        for index in range(params.gen_size_threshold):
+            leader.on_signal(1, time=float(index))
+        assert leader.gen == 2
+        assert not leader.prop  # reset for the new two-choices phase
+        assert leader.tick_count == 0
+        assert leader.gen_size == 0
+        assert leader.phase_changes[-1].kind == "generation"
+
+    def test_stale_generation_signals_ignored(self, params):
+        leader = Leader(params)
+        for index in range(params.gen_size_threshold):
+            leader.on_signal(1, time=float(index))
+        assert leader.gen == 2
+        # Old generation-1 signals no longer move the counter.
+        leader.on_signal(1, time=99.0)
+        assert leader.gen_size == 0
+
+    def test_generation_capped_at_budget(self, params):
+        leader = Leader(params)
+        for _ in range(params.max_generation + 5):
+            current = leader.gen
+            for _ in range(params.gen_size_threshold):
+                leader.on_signal(current, time=0.0)
+        assert leader.gen == params.max_generation
+
+    def test_prop_resets_per_generation(self, params):
+        leader = Leader(params)
+        for index in range(params.prop_signal_threshold):
+            leader.on_signal(0, time=float(index))
+        assert leader.prop
+        for index in range(params.gen_size_threshold):
+            leader.on_signal(1, time=0.0)
+        assert leader.gen == 2
+        assert not leader.prop
+
+
+class TestTimelines:
+    def test_birth_and_propagation_maps(self, params):
+        leader = Leader(params)
+        for index in range(params.prop_signal_threshold):
+            leader.on_signal(0, time=float(index))
+        for _ in range(params.gen_size_threshold):
+            leader.on_signal(1, time=50.0)
+        births = leader.generation_birth_times()
+        props = leader.propagation_times()
+        assert births[1] == 0.0
+        assert births[2] == 50.0
+        # The flip fires on the threshold-th 0-signal, stamped index-1.
+        assert props[1] == float(params.prop_signal_threshold - 1)

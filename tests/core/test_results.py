@@ -1,0 +1,71 @@
+"""Tests for shared result types."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import GenerationBirth, RunResult, StepStats
+
+
+def make_result(**overrides) -> RunResult:
+    defaults = dict(
+        converged=True,
+        winner=0,
+        plurality_color=0,
+        elapsed=12.0,
+        final_color_counts=np.array([100, 0]),
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_plurality_won(self):
+        assert make_result().plurality_won
+        assert not make_result(winner=1).plurality_won
+
+    def test_summary_mentions_outcome(self):
+        text = make_result().summary()
+        assert "consensus" in text
+        assert "ok=True" in text
+
+    def test_summary_non_converged(self):
+        text = make_result(converged=False).summary()
+        assert "no-consensus" in text
+
+    def test_optional_fields_default_empty(self):
+        result = make_result()
+        assert result.trajectory == []
+        assert result.births == []
+        assert result.info == {}
+        assert result.epsilon_convergence_time is None
+
+
+class TestStepStats:
+    def test_as_dict_roundtrip(self):
+        stats = StepStats(
+            time=3.0,
+            top_generation=2,
+            top_generation_fraction=0.4,
+            plurality_fraction=0.7,
+            bias=2.5,
+        )
+        data = stats.as_dict()
+        assert data["time"] == 3.0
+        assert data["bias"] == 2.5
+        assert set(data) == {
+            "time",
+            "top_generation",
+            "top_generation_fraction",
+            "plurality_fraction",
+            "bias",
+        }
+
+
+class TestGenerationBirth:
+    def test_frozen_fields(self):
+        birth = GenerationBirth(
+            generation=1, time=2.0, fraction=0.1, bias=2.0, collision_probability=0.3
+        )
+        assert birth.generation == 1
+        assert birth.fraction == 0.1

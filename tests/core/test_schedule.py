@@ -1,0 +1,92 @@
+"""Tests for two-choices schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import AdaptiveSchedule, FixedSchedule
+from repro.core.theory import total_generations
+from repro.errors import ConfigurationError
+
+
+class TestFixedSchedule:
+    def test_first_step_is_two_choices(self):
+        schedule = FixedSchedule(n=10_000, k=4, alpha0=1.5)
+        assert schedule.is_two_choices_step(1, 1.0)
+
+    def test_times_strictly_increasing(self):
+        schedule = FixedSchedule(n=100_000, k=8, alpha0=1.3)
+        times = schedule.two_choices_times
+        assert times[0] == 1
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_one_time_per_generation(self):
+        schedule = FixedSchedule(n=100_000, k=8, alpha0=1.3)
+        assert len(schedule.two_choices_times) == schedule.max_generation
+
+    def test_generation_born_at(self):
+        schedule = FixedSchedule(n=100_000, k=8, alpha0=1.3)
+        assert schedule.generation_born_at(1) == 1
+        second = schedule.two_choices_times[1]
+        assert schedule.generation_born_at(second) == 2
+        assert schedule.generation_born_at(second - 1) is None
+
+    def test_non_scheduled_steps_are_propagation(self):
+        schedule = FixedSchedule(n=100_000, k=8, alpha0=1.3)
+        scheduled = set(schedule.two_choices_times)
+        probe = next(t for t in range(1, 1000) if t not in scheduled)
+        assert not schedule.is_two_choices_step(probe, 1.0)
+
+    def test_max_generation_includes_margin(self):
+        schedule = FixedSchedule(n=100_000, k=8, alpha0=1.5, extra_generations=3)
+        assert schedule.max_generation == total_generations(100_000, 1.5) + 3
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            FixedSchedule(n=100, k=4, alpha0=1.0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            FixedSchedule(n=100, k=4, alpha0=1.5, gamma=0.0)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedSchedule(n=100, k=4, alpha0=1.5, extra_generations=-1)
+
+    def test_larger_gamma_longer_schedule(self):
+        # X_i = (... - ln gamma)/ln(2-gamma) + 2 blows up as gamma -> 1.
+        tight = FixedSchedule(n=100_000, k=8, alpha0=1.3, gamma=0.5)
+        loose = FixedSchedule(n=100_000, k=8, alpha0=1.3, gamma=0.95)
+        assert max(loose.two_choices_times) > max(tight.two_choices_times)
+
+
+class TestAdaptiveSchedule:
+    def test_first_step_fires(self):
+        schedule = AdaptiveSchedule(n=10_000, alpha0=1.5)
+        assert schedule.is_two_choices_step(1, 0.0)
+
+    def test_fires_on_density(self):
+        schedule = AdaptiveSchedule(n=10_000, alpha0=1.5, gamma=0.5)
+        schedule.is_two_choices_step(1, 0.0)
+        assert not schedule.is_two_choices_step(2, 0.3)
+        assert schedule.is_two_choices_step(3, 0.6)
+
+    def test_budget_exhausts(self):
+        schedule = AdaptiveSchedule(n=100, alpha0=2.0, extra_generations=0)
+        fired = sum(
+            schedule.is_two_choices_step(step, 1.0) for step in range(1, 100)
+        )
+        assert fired == schedule.max_generation
+
+    def test_reset_restores_budget(self):
+        schedule = AdaptiveSchedule(n=100, alpha0=2.0, extra_generations=0)
+        for step in range(1, 50):
+            schedule.is_two_choices_step(step, 1.0)
+        schedule.reset()
+        assert schedule.is_two_choices_step(1, 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSchedule(n=100, alpha0=0.9)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSchedule(n=100, alpha0=1.5, gamma=1.5)

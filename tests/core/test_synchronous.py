@@ -1,0 +1,186 @@
+"""Tests for Algorithm 1 — both synchronous simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import AdaptiveSchedule, FixedSchedule
+from repro.core.synchronous import (
+    AggregateSynchronousSim,
+    PerNodeSynchronousSim,
+    run_synchronous,
+)
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+from repro.workloads.opinions import biased_counts
+
+
+def make_schedule(n, k, alpha, **kwargs):
+    return FixedSchedule(n=n, k=k, alpha0=alpha, **kwargs)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("engine_cls", [PerNodeSynchronousSim, AggregateSynchronousSim])
+    def test_node_count_preserved(self, engine_cls, rng):
+        counts = biased_counts(2000, 4, 1.5)
+        sim = engine_cls(counts, make_schedule(2000, 4, 1.5), rng)
+        for _ in range(15):
+            sim.step()
+            assert sim.generation_color_matrix().sum() == 2000
+
+    @given(
+        n=st.integers(min_value=50, max_value=2000),
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_aggregate_conservation_property(self, n, k, seed):
+        rng = RngRegistry(seed).stream("prop")
+        counts = biased_counts(n, k, 1.8)
+        sim = AggregateSynchronousSim(counts, make_schedule(n, k, 1.8), rng)
+        for _ in range(10):
+            sim.step()
+        matrix = sim.generation_color_matrix()
+        assert matrix.sum() == n
+        assert (matrix >= 0).all()
+
+
+class TestMonotonicity:
+    def test_generations_never_decrease_pernode(self, rng):
+        counts = biased_counts(1000, 3, 2.0)
+        sim = PerNodeSynchronousSim(counts, make_schedule(1000, 3, 2.0), rng)
+        previous = sim.generations.copy()
+        for _ in range(20):
+            sim.step()
+            assert (sim.generations >= previous).all()
+            previous = sim.generations.copy()
+
+    def test_top_generation_bounded_by_schedule(self, rng):
+        counts = biased_counts(1000, 3, 2.0)
+        schedule = make_schedule(1000, 3, 2.0)
+        sim = PerNodeSynchronousSim(counts, schedule, rng)
+        for _ in range(200):
+            sim.step()
+        assert sim.generations.max() <= schedule.max_generation
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("engine", ["aggregate", "pernode"])
+    def test_plurality_wins_with_clear_bias(self, engine, rngs):
+        counts = biased_counts(20_000, 4, 2.0)
+        result = run_synchronous(
+            counts, make_schedule(20_000, 4, 2.0), rngs.stream(engine), engine=engine,
+            max_steps=500,
+        )
+        assert result.converged
+        assert result.plurality_won
+        assert result.final_color_counts[result.winner] == 20_000
+
+    def test_two_opinions_two_nodes_edge_case(self, rng):
+        counts = np.array([1, 1])
+        schedule = make_schedule(2, 2, 1.5)
+        result = run_synchronous(counts, schedule, rng, engine="pernode", max_steps=200)
+        # With n=2 each node's only neighbor is the other; pull voting
+        # may swap forever, but the run must terminate cleanly either way.
+        assert result.elapsed <= 200
+
+    def test_epsilon_before_full_consensus(self, rngs):
+        counts = biased_counts(50_000, 4, 1.5)
+        result = run_synchronous(
+            counts, make_schedule(50_000, 4, 1.5), rngs.stream("eps"),
+            max_steps=500, epsilon=0.05,
+        )
+        assert result.converged
+        assert result.epsilon_convergence_time is not None
+        assert result.epsilon_convergence_time <= result.elapsed
+
+    def test_budget_exhaustion_reports_not_converged(self, rng):
+        counts = biased_counts(5000, 4, 1.5)
+        result = run_synchronous(counts, make_schedule(5000, 4, 1.5), rng, max_steps=2)
+        assert not result.converged
+        assert result.elapsed == 2.0
+
+    def test_adaptive_schedule_converges(self, rngs):
+        counts = biased_counts(20_000, 4, 2.0)
+        schedule = AdaptiveSchedule(n=20_000, alpha0=2.0)
+        result = run_synchronous(counts, schedule, rngs.stream("adaptive"), max_steps=500)
+        assert result.converged
+        assert result.plurality_won
+
+
+class TestBirthsAndTrajectory:
+    def test_births_recorded_in_order(self, rngs):
+        counts = biased_counts(50_000, 4, 1.5)
+        result = run_synchronous(
+            counts, make_schedule(50_000, 4, 1.5), rngs.stream("births"), max_steps=500
+        )
+        generations = [b.generation for b in result.births]
+        assert generations == sorted(generations)
+        assert generations[0] == 1
+        for birth in result.births:
+            assert 0.0 < birth.fraction <= 1.0
+
+    def test_bias_squares_along_births(self, rngs):
+        counts = biased_counts(200_000, 4, 1.5)
+        result = run_synchronous(
+            counts, make_schedule(200_000, 4, 1.5), rngs.stream("sq"), max_steps=500
+        )
+        finite = [b.bias for b in result.births if np.isfinite(b.bias)]
+        # Bias strictly grows generation over generation.
+        assert all(b > a for a, b in zip(finite, finite[1:]))
+
+    def test_trajectory_recording(self, rngs):
+        counts = biased_counts(10_000, 3, 2.0)
+        result = run_synchronous(
+            counts, make_schedule(10_000, 3, 2.0), rngs.stream("traj"),
+            max_steps=300, record_trajectory=True,
+        )
+        assert len(result.trajectory) == int(result.elapsed)
+        fractions = [s.plurality_fraction for s in result.trajectory]
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestCrossEngineAgreement:
+    def test_same_convergence_statistics(self, rngs):
+        """Aggregate and per-node engines agree statistically."""
+        counts = biased_counts(5000, 3, 2.0)
+        agg_steps = []
+        pn_steps = []
+        for rep in range(5):
+            agg = run_synchronous(
+                counts, make_schedule(5000, 3, 2.0), rngs.stream(f"agg/{rep}"),
+                engine="aggregate", max_steps=400,
+            )
+            pn = run_synchronous(
+                counts, make_schedule(5000, 3, 2.0), rngs.stream(f"pn/{rep}"),
+                engine="pernode", max_steps=400,
+            )
+            assert agg.plurality_won and pn.plurality_won
+            agg_steps.append(agg.elapsed)
+            pn_steps.append(pn.elapsed)
+        assert abs(np.mean(agg_steps) - np.mean(pn_steps)) < 6.0
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            run_synchronous(
+                biased_counts(100, 2, 2.0), make_schedule(100, 2, 2.0), rng,
+                engine="quantum",
+            )
+
+    def test_deterministic_replay(self):
+        counts = biased_counts(5000, 4, 1.5)
+        first = run_synchronous(
+            counts, make_schedule(5000, 4, 1.5), RngRegistry(7).stream("x"),
+            max_steps=300,
+        )
+        second = run_synchronous(
+            counts, make_schedule(5000, 4, 1.5), RngRegistry(7).stream("x"),
+            max_steps=300,
+        )
+        assert first.elapsed == second.elapsed
+        assert (first.final_color_counts == second.final_color_counts).all()

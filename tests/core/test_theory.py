@@ -1,0 +1,154 @@
+"""Tests for the closed-form theory module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    collision_probability_floor,
+    final_pull_steps,
+    generation_lifecycle_length,
+    generations_to_bias_k,
+    generations_to_monochromatic,
+    lemma4_delta,
+    log_alpha_after_generations,
+    minimum_bias,
+    predict_asynchronous,
+    predict_synchronous,
+    total_generations,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMinimumBias:
+    def test_formula(self):
+        n, k = 10_000, 4
+        expected = 1.0 + k * math.log2(n) / math.sqrt(n) * math.log2(k)
+        assert minimum_bias(n, k) == pytest.approx(expected)
+
+    def test_decreases_in_n(self):
+        assert minimum_bias(10_000, 8) > minimum_bias(1_000_000, 8)
+
+    def test_increases_in_k(self):
+        assert minimum_bias(10_000, 16) > minimum_bias(10_000, 4)
+
+
+class TestLogAlphaRecursion:
+    def test_squaring_in_log_space(self):
+        assert log_alpha_after_generations(2.0, 0) == pytest.approx(math.log(2.0))
+        assert log_alpha_after_generations(2.0, 3) == pytest.approx(8 * math.log(2.0))
+
+    def test_no_overflow_for_many_generations(self):
+        value = log_alpha_after_generations(1.5, 60)
+        assert math.isfinite(value)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            log_alpha_after_generations(1.0, 3)
+
+
+class TestLifecycleLength:
+    def test_positive_and_finite(self):
+        for i in range(0, 12):
+            x = generation_lifecycle_length(i, 1.3, 8)
+            assert math.isfinite(x)
+            assert x > 0
+
+    def test_order_log_k(self):
+        # X_0 ~ O(log k): roughly ln(k)/ln(2-gamma) + constants.
+        small = generation_lifecycle_length(1, 1.01, 4)
+        large = generation_lifecycle_length(1, 1.01, 4096)
+        assert large > small
+        assert large < 40  # still logarithmic, not polynomial
+
+    def test_decreases_for_late_generations(self):
+        # Once the bias dwarfs k, 2 ln(alpha^{2^{i-1}}+k-1) cancels
+        # ln(alpha^{2^i}+k-1) and X_i approaches the constant floor
+        # (-ln gamma)/ln(2-gamma) + 2.
+        early = generation_lifecycle_length(1, 1.3, 8)
+        late = generation_lifecycle_length(10, 1.3, 8)
+        assert late < early
+        floor = -math.log(0.5) / math.log(1.5) + 2
+        assert late == pytest.approx(floor, rel=0.05)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            generation_lifecycle_length(1, 1.3, 8, gamma=1.0)
+
+
+class TestGenerationCounts:
+    def test_corollary10(self):
+        # alpha=sqrt(k): log log_alpha k = 1, so <= 2 generations.
+        assert generations_to_bias_k(4.0, 16) == 2
+
+    def test_bias_already_large(self):
+        assert generations_to_bias_k(100.0, 10) == 1
+
+    def test_lemma11(self):
+        assert generations_to_monochromatic(10, 10_000_000_000) >= 2
+
+    def test_total_generations_composition(self):
+        n, k, alpha = 1_000_000, 16, 1.2
+        assert (
+            total_generations(n, alpha)
+            <= generations_to_bias_k(alpha, k) + generations_to_monochromatic(k, n) + 1
+        )
+
+    @given(
+        alpha=st.floats(min_value=1.001, max_value=100.0),
+        n=st.integers(min_value=10, max_value=10**9),
+    )
+    @settings(max_examples=100)
+    def test_total_generations_achieves_n(self, alpha, n):
+        # After G* squarings the idealized bias exceeds n (the defining
+        # property of G*).
+        g_star = total_generations(n, alpha)
+        assert log_alpha_after_generations(alpha, g_star) >= math.log(n) - 1e-6
+
+
+class TestErrorTerms:
+    def test_lemma4_delta_formula(self):
+        n, k, alpha = 10_000, 8, 20.0
+        expected = math.sqrt(6 * math.log2(n) / n) * 20.0
+        assert lemma4_delta(n, k, alpha) == pytest.approx(expected)
+
+    def test_uses_max_of_k_and_alpha(self):
+        assert lemma4_delta(10_000, 8, 2.0) == lemma4_delta(10_000, 8, 7.9)
+
+    def test_final_pull_grows_doubly_log(self):
+        assert final_pull_steps(10**6) < final_pull_steps(10**12)
+        assert final_pull_steps(10**12) < 10
+
+
+class TestCollisionFloor:
+    def test_matches_remark2(self):
+        assert collision_probability_floor(2.0, 4) == pytest.approx((4 + 3) / 25)
+
+    def test_capped_at_one(self):
+        assert collision_probability_floor(1e9, 2) <= 1.0
+
+
+class TestPredictions:
+    def test_synchronous_prediction_structure(self):
+        pred = predict_synchronous(100_000, 8, 1.5)
+        assert pred.total_generation_count == len(pred.lifecycle_steps)
+        assert pred.total_steps > pred.final_pull
+
+    def test_synchronous_prediction_monotone_in_k(self):
+        small = predict_synchronous(100_000, 4, 1.5).total_steps
+        large = predict_synchronous(100_000, 64, 1.5).total_steps
+        assert large > small
+
+    def test_asynchronous_prediction_structure(self):
+        pred = predict_asynchronous(10_000, 4, 2.0)
+        assert pred.generation_count == len(pred.propagation_units_per_generation)
+        assert pred.two_choices_units == pytest.approx(2.0)
+        assert pred.total_units > 0
+
+    def test_asynchronous_growth_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            predict_asynchronous(10_000, 4, 2.0, growth_factor=1.0)

@@ -1,0 +1,76 @@
+"""Tests for Poisson clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.clocks import PoissonClock
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+
+
+class TestPoissonClock:
+    def test_invalid_rate_rejected(self, rng):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            PoissonClock(sim, rng, lambda: None, rate=0.0)
+
+    def test_tick_rate_close_to_nominal(self, rng):
+        sim = Simulator()
+        ticks = []
+        clock = PoissonClock(sim, rng, lambda: ticks.append(sim.now), rate=1.0)
+        clock.start()
+        sim.run(until=5000.0)
+        # Poisson(5000): within 5 sigma of the mean.
+        assert abs(len(ticks) - 5000) < 5 * (5000**0.5)
+
+    def test_rate_scales_tick_count(self, rng):
+        sim = Simulator()
+        clock = PoissonClock(sim, rng, lambda: None, rate=4.0)
+        clock.start()
+        sim.run(until=1000.0)
+        assert abs(clock.ticks - 4000) < 5 * (4000**0.5)
+
+    def test_stop_cancels_pending(self, rng):
+        sim = Simulator()
+        count = []
+        clock = PoissonClock(sim, rng, lambda: count.append(1))
+        clock.start()
+        sim.run(until=10.0)
+        clock.stop()
+        seen = len(count)
+        sim.run(until=100.0)
+        assert len(count) == seen
+        assert not clock.running
+
+    def test_callback_can_stop_clock(self, rng):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            if len(count) == 3:
+                clock.stop()
+
+        clock = PoissonClock(sim, rng, tick)
+        clock.start()
+        sim.run(until=1000.0)
+        assert len(count) == 3
+
+    def test_double_start_is_idempotent(self, rng):
+        sim = Simulator()
+        clock = PoissonClock(sim, rng, lambda: None)
+        clock.start()
+        clock.start()
+        sim.run(until=100.0)
+        # With a double-scheduled stream the count would be ~200.
+        assert abs(clock.ticks - 100) < 60
+
+    def test_ticks_are_strictly_increasing_times(self, rng):
+        sim = Simulator()
+        times = []
+        clock = PoissonClock(sim, rng, lambda: times.append(sim.now))
+        clock.start()
+        sim.run(until=200.0)
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)

@@ -1,0 +1,130 @@
+"""Tests for the hypoexponential (phase-type) distribution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.hypoexp import Hypoexponential
+from repro.errors import ConfigurationError
+
+rates_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=50.0), min_size=1, max_size=6
+)
+
+
+class TestConstruction:
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hypoexponential([])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_rate_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Hypoexponential([1.0, bad])
+
+    def test_mean_and_variance(self):
+        dist = Hypoexponential([2.0, 4.0])
+        assert dist.mean == pytest.approx(0.5 + 0.25)
+        assert dist.variance == pytest.approx(0.25 + 0.0625)
+
+
+class TestCdf:
+    def test_single_stage_matches_exponential(self):
+        dist = Hypoexponential([3.0])
+        for t in (0.1, 0.5, 1.0, 2.0):
+            assert dist.cdf(t) == pytest.approx(1.0 - math.exp(-3.0 * t), abs=1e-9)
+
+    def test_erlang_two_closed_form(self):
+        # Erlang(2, λ): F(t) = 1 - e^{-λt}(1 + λt).
+        lam = 2.0
+        dist = Hypoexponential([lam, lam])
+        for t in (0.2, 1.0, 3.0):
+            expected = 1.0 - math.exp(-lam * t) * (1.0 + lam * t)
+            assert dist.cdf(t) == pytest.approx(expected, abs=1e-9)
+
+    def test_distinct_rates_closed_form(self):
+        # Sum of Exp(1) + Exp(2): F(t) = 1 - 2e^{-t} + e^{-2t}.
+        dist = Hypoexponential([1.0, 2.0])
+        for t in (0.3, 1.0, 2.5):
+            expected = 1.0 - 2.0 * math.exp(-t) + math.exp(-2.0 * t)
+            assert dist.cdf(t) == pytest.approx(expected, abs=1e-9)
+
+    def test_cdf_zero_below_origin(self):
+        dist = Hypoexponential([1.0])
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(-5.0) == 0.0
+
+    def test_sf_complements_cdf(self):
+        dist = Hypoexponential([1.0, 3.0])
+        assert dist.sf(1.2) == pytest.approx(1.0 - dist.cdf(1.2))
+
+    @given(rates_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_cdf_monotone_and_bounded(self, rates):
+        dist = Hypoexponential(rates)
+        times = [0.1 * dist.mean, dist.mean, 3.0 * dist.mean]
+        values = [dist.cdf(t) for t in times]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert values == sorted(values)
+
+
+class TestQuantile:
+    def test_quantile_inverts_cdf(self):
+        dist = Hypoexponential([2.0, 1.0, 1.0, 1.0, 2.0, 1.0, 1.0])
+        for q in (0.1, 0.5, 0.9, 0.99):
+            t = dist.quantile(q)
+            assert dist.cdf(t) == pytest.approx(q, abs=1e-6)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_level_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Hypoexponential([1.0]).quantile(bad)
+
+    def test_exponential_median(self):
+        dist = Hypoexponential([1.0])
+        assert dist.quantile(0.5) == pytest.approx(math.log(2.0), abs=1e-6)
+
+
+class TestSampling:
+    def test_sample_mean_matches(self, rng):
+        dist = Hypoexponential([2.0, 1.0, 1.0])
+        samples = dist.sample(rng, size=200_000)
+        assert float(np.mean(samples)) == pytest.approx(dist.mean, rel=0.02)
+
+    def test_scalar_sample(self, rng):
+        value = Hypoexponential([1.0]).sample(rng)
+        assert isinstance(value, float)
+        assert value > 0
+
+    def test_sample_quantile_matches_cdf(self, rng):
+        dist = Hypoexponential([2.0, 1.0, 1.0, 1.0, 2.0, 1.0, 1.0])
+        samples = dist.sample(rng, size=100_000)
+        empirical = float(np.quantile(samples, 0.9))
+        assert empirical == pytest.approx(dist.quantile(0.9), rel=0.03)
+
+
+class TestComposition:
+    def test_maximum_of_iid_rates(self):
+        dist = Hypoexponential.maximum_of_iid(1.0, 3)
+        assert dist.rates == (3.0, 2.0, 1.0)
+
+    def test_maximum_of_iid_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            Hypoexponential.maximum_of_iid(1.0, 0)
+
+    def test_maximum_of_iid_matches_monte_carlo(self, rng):
+        dist = Hypoexponential.maximum_of_iid(2.0, 2)
+        direct = np.maximum(
+            rng.exponential(0.5, size=100_000), rng.exponential(0.5, size=100_000)
+        )
+        assert float(np.mean(direct)) == pytest.approx(dist.mean, rel=0.02)
+
+    def test_plus_concatenates_stages(self):
+        combined = Hypoexponential([1.0]).plus(Hypoexponential([2.0, 3.0]))
+        assert combined.rates == (1.0, 2.0, 3.0)
+        assert combined.mean == pytest.approx(1.0 + 0.5 + 1.0 / 3.0)

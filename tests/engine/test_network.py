@@ -1,0 +1,49 @@
+"""Tests for complete-graph sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.network import CompleteGraph
+from repro.errors import ConfigurationError
+
+
+class TestCompleteGraph:
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompleteGraph(1)
+
+    def test_contains_and_len(self):
+        graph = CompleteGraph(5)
+        assert 0 in graph and 4 in graph
+        assert 5 not in graph and -1 not in graph
+        assert len(graph) == 5
+
+    def test_neighbor_never_self(self, rng):
+        graph = CompleteGraph(4)
+        for node in range(4):
+            draws = [graph.sample_neighbor(node, rng) for _ in range(200)]
+            assert node not in draws
+            assert all(0 <= d < 4 for d in draws)
+
+    def test_neighbor_distribution_uniform(self, rng):
+        graph = CompleteGraph(5)
+        node = 2
+        draws = np.array([graph.sample_neighbor(node, rng) for _ in range(20_000)])
+        counts = np.bincount(draws, minlength=5)
+        assert counts[node] == 0
+        expected = 20_000 / 4
+        for other in (0, 1, 3, 4):
+            assert abs(counts[other] - expected) < 5 * np.sqrt(expected)
+
+    def test_sample_neighbors_batch(self, rng):
+        graph = CompleteGraph(10)
+        batch = graph.sample_neighbors(3, 50, rng)
+        assert len(batch) == 50
+        assert 3 not in batch
+
+    def test_sample_uniform_covers_all(self, rng):
+        graph = CompleteGraph(3)
+        draws = {graph.sample_uniform(rng) for _ in range(200)}
+        assert draws == {0, 1, 2}

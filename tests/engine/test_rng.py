@@ -1,0 +1,76 @@
+"""Tests for deterministic RNG substreams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.rng import RngRegistry, stable_name_key
+from repro.errors import ConfigurationError
+
+
+class TestStableNameKey:
+    def test_deterministic(self):
+        assert stable_name_key("clock/0") == stable_name_key("clock/0")
+
+    def test_distinct_names_distinct_keys(self):
+        # CRC32 collisions exist but not among these short labels.
+        names = [f"node/{i}" for i in range(100)]
+        keys = {stable_name_key(name) for name in names}
+        assert len(keys) == len(names)
+
+
+class TestRngRegistry:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngRegistry(-1)
+
+    def test_streams_are_cached(self):
+        registry = RngRegistry(7)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_same_seed_same_draws(self):
+        first = RngRegistry(42).stream("x").random(5)
+        second = RngRegistry(42).stream("x").random(5)
+        assert (first == second).all()
+
+    def test_different_seeds_differ(self):
+        first = RngRegistry(1).stream("x").random(5)
+        second = RngRegistry(2).stream("x").random(5)
+        assert (first != second).any()
+
+    def test_different_names_independent(self):
+        registry = RngRegistry(42)
+        first = registry.stream("a").random(5)
+        second = registry.stream("b").random(5)
+        assert (first != second).any()
+
+    def test_order_of_creation_irrelevant(self):
+        forward = RngRegistry(9)
+        forward.stream("one")
+        one_then_two = forward.stream("two").random(3)
+        backward = RngRegistry(9)
+        two_only = backward.stream("two").random(3)
+        assert (one_then_two == two_only).all()
+
+    def test_draw_count_does_not_leak_between_streams(self):
+        registry = RngRegistry(5)
+        registry.stream("hot").random(1000)  # burn many draws
+        cold = registry.stream("cold").random(3)
+        fresh = RngRegistry(5).stream("cold").random(3)
+        assert (cold == fresh).all()
+
+    def test_streams_helper(self):
+        registry = RngRegistry(0)
+        streams = registry.streams("node", 4)
+        assert len(streams) == 4
+        assert streams[0] is registry.stream("node/0")
+
+    def test_len_and_iter(self):
+        registry = RngRegistry(0)
+        registry.stream("a")
+        registry.stream("b")
+        assert len(registry) == 2
+        assert set(registry) == {"a", "b"}
+
+    def test_root_entropy_exposed(self):
+        assert RngRegistry(31337).root_entropy == 31337

@@ -1,0 +1,128 @@
+"""Tests for the discrete-event simulator loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.engine.tracing import CountingTracer
+from repro.errors import SchedulingError
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(SchedulingError):
+            sim.schedule(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule_in(-0.1, lambda: None)
+
+    def test_events_execute_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_actions_can_schedule_more(self):
+        sim = Simulator()
+        log = []
+
+        def chain(depth: int):
+            log.append(depth)
+            if depth < 3:
+                sim.schedule_in(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert log == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRunControls:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        # The later event is still pending and can run afterwards.
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_until_advances_clock_when_queue_empties(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for index in range(5):
+            sim.schedule(float(index), lambda index=index: fired.append(index))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_when(self):
+        sim = Simulator()
+        fired = []
+        for index in range(5):
+            sim.schedule(float(index), lambda index=index: fired.append(index))
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_method(self):
+        sim = Simulator()
+        fired = []
+
+        def fire_and_stop():
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, fire_and_stop)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for index in range(4):
+            sim.schedule(float(index), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_cancel_through_simulator(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("dropped"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == ["kept"]
+
+
+class TestTracerWiring:
+    def test_default_tracer_is_null(self):
+        assert not Simulator().tracer.enabled_for("anything")
+
+    def test_custom_tracer_attached(self):
+        tracer = CountingTracer()
+        sim = Simulator(tracer=tracer)
+        sim.tracer.record("custom", sim.now)
+        assert tracer.counts["custom"] == 1

@@ -1,0 +1,49 @@
+"""Tests for the tracing sinks."""
+
+from __future__ import annotations
+
+from repro.engine.tracing import NULL_TRACER, CountingTracer, NullTracer, TraceRecorder
+
+
+class TestNullTracer:
+    def test_drops_everything(self):
+        tracer = NullTracer()
+        tracer.record("kind", 1.0, field=1)
+        assert not tracer.enabled_for("kind")
+
+    def test_module_singleton(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestTraceRecorder:
+    def test_records_everything_by_default(self):
+        recorder = TraceRecorder()
+        recorder.record("a", 1.0, x=1)
+        recorder.record("b", 2.0)
+        assert len(recorder) == 2
+        assert recorder.records[0].fields == {"x": 1}
+
+    def test_kind_filter(self):
+        recorder = TraceRecorder(kinds=["keep"])
+        recorder.record("keep", 1.0)
+        recorder.record("drop", 2.0)
+        assert len(recorder) == 1
+        assert recorder.enabled_for("keep")
+        assert not recorder.enabled_for("drop")
+
+    def test_by_kind_and_times(self):
+        recorder = TraceRecorder()
+        recorder.record("tick", 1.0)
+        recorder.record("other", 1.5)
+        recorder.record("tick", 2.0)
+        assert [r.time for r in recorder.by_kind("tick")] == [1.0, 2.0]
+        assert recorder.times("tick") == [1.0, 2.0]
+
+
+class TestCountingTracer:
+    def test_counts_per_kind(self):
+        tracer = CountingTracer()
+        for _ in range(3):
+            tracer.record("tick", 0.0)
+        tracer.record("signal", 0.0)
+        assert tracer.counts == {"tick": 3, "signal": 1}

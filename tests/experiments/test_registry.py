@@ -1,0 +1,80 @@
+"""Tests for the experiment registry and result rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "fig1",
+    "fig2",
+    "thm1",
+    "gamma",
+    "bias2",
+    "growth",
+    "thm13",
+    "thm26",
+    "thm27",
+    "thm28",
+    "ablation",
+    "ext-delayed",
+    "ext-distributions",
+    "baselines",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(experiment_ids()) == EXPECTED_IDS
+
+    def test_lookup(self):
+        experiment = get_experiment("fig1")
+        assert experiment.name == "fig1"
+        assert "Figure 1" in experiment.artifact
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="fig1"):
+            get_experiment("nope")
+
+    def test_descriptions_nonempty(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+            assert experiment.artifact
+
+
+class TestFig1EndToEnd:
+    """fig1 is pure math (no simulation), cheap enough to run in tests."""
+
+    def test_run_and_render(self):
+        result = run_experiment("fig1", quick=True, seed=0)
+        assert isinstance(result, ExperimentResult)
+        assert result.tables
+        text = result.render(plot=True)
+        assert "F^{-1}(0.9)" in text
+        markdown = result.render_markdown()
+        assert markdown.startswith("### fig1")
+        assert "|" in markdown
+
+    def test_deterministic(self):
+        first = run_experiment("fig1", quick=True, seed=3)
+        second = run_experiment("fig1", quick=True, seed=3)
+        assert first.tables[0].rows == second.tables[0].rows
+
+    def test_exact_matches_figure_reference_point(self):
+        result = run_experiment("fig1", quick=True, seed=0)
+        first_row = result.tables[0].rows[0]
+        # 1/lambda = 1 -> ~9.13 steps per unit (Figure 1's left edge ~10^1).
+        assert first_row[0] == 1.0
+        assert first_row[1] == pytest.approx(9.13, abs=0.05)
+
+    def test_erratum_documented(self):
+        result = run_experiment("fig1", quick=True, seed=0)
+        assert any("Erratum" in note for note in result.notes)

@@ -1,0 +1,57 @@
+"""Tests for leader-overlay broadcast (Section 4.2 / Theorem 28)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multileader.broadcast import BroadcastSim, run_broadcast
+from repro.multileader.clustering import ideal_clustering
+from repro.multileader.params import MultiLeaderParams
+
+
+@pytest.fixture()
+def params() -> MultiLeaderParams:
+    return MultiLeaderParams(n=1200, k=2, alpha0=2.0)
+
+
+@pytest.fixture()
+def clustering(params):
+    return ideal_clustering(params.n, params.target_cluster_size)
+
+
+class TestBroadcast:
+    def test_completes_and_informs_all(self, params, clustering, rngs):
+        result = run_broadcast(params, clustering, rngs.stream("b"))
+        assert result.completed
+        assert result.informed_leaders == result.total_leaders
+
+    def test_trajectory_monotone(self, params, clustering, rngs):
+        result = run_broadcast(params, clustering, rngs.stream("b2"))
+        counts = [count for _, count in result.informed_trajectory]
+        assert counts[0] == 1
+        assert all(b > a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == result.total_leaders
+
+    def test_completion_is_fast(self, params, clustering, rngs):
+        result = run_broadcast(params, clustering, rngs.stream("b3"))
+        # Theorem 28: O(1) time units; allow a generous constant.
+        assert result.all_informed_time < 3.0 * params.time_unit
+
+    def test_custom_source(self, params, clustering, rngs):
+        source = clustering.active_leaders[-1]
+        result = run_broadcast(params, clustering, rngs.stream("b4"), source=source)
+        assert result.completed
+
+    def test_invalid_source_rejected(self, params, clustering, rngs):
+        with pytest.raises(ConfigurationError):
+            BroadcastSim(params, clustering, rngs.stream("b5"), source=7777)
+
+    def test_time_budget_respected(self, params, clustering, rngs):
+        result = BroadcastSim(params, clustering, rngs.stream("b6")).run(max_time=0.001)
+        assert not result.completed or result.all_informed_time <= 0.001
+
+    def test_size_mismatch_rejected(self, params, rngs):
+        wrong = ideal_clustering(500, 25)
+        with pytest.raises(ConfigurationError):
+            BroadcastSim(params, wrong, rngs.stream("b7"))

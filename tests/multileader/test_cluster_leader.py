@@ -1,0 +1,122 @@
+"""Unit tests for the Algorithm 5 cluster-leader state machine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.multileader.cluster_leader import (
+    STATE_PROPAGATION,
+    STATE_SLEEPING,
+    STATE_TWO_CHOICES,
+    ClusterLeaderState,
+)
+from repro.multileader.params import MultiLeaderParams
+
+
+@pytest.fixture()
+def params() -> MultiLeaderParams:
+    return MultiLeaderParams(n=1000, k=3, alpha0=2.0)
+
+
+@pytest.fixture()
+def leader(params) -> ClusterLeaderState:
+    return ClusterLeaderState(node=0, card=30, params=params)
+
+
+def send_zero_signals(leader: ClusterLeaderState, count: int, time: float = 0.0) -> None:
+    for _ in range(count):
+        leader.on_signal(0, 3, False, time)
+
+
+class TestPhaseProgression:
+    def test_initial_state(self, leader):
+        assert leader.public_state == (1, STATE_TWO_CHOICES)
+
+    def test_tick_thresholds_progress_phases(self, leader, params):
+        sleep_threshold = math.ceil(params.time_unit * 30 * params.sleep_units)
+        prop_threshold = math.ceil(params.time_unit * 30 * params.propagation_units)
+        send_zero_signals(leader, sleep_threshold)
+        assert leader.state == STATE_SLEEPING
+        send_zero_signals(leader, prop_threshold - sleep_threshold)
+        assert leader.state == STATE_PROPAGATION
+
+    def test_phase_change_times_recorded(self, leader, params):
+        sleep_threshold = math.ceil(params.time_unit * 30 * params.sleep_units)
+        send_zero_signals(leader, sleep_threshold, time=7.0)
+        times = leader.phase_times(1)
+        assert times[STATE_SLEEPING] == 7.0
+
+
+class TestGenerationCounting:
+    def test_gen_size_threshold_births_generation(self, leader, params):
+        threshold = math.ceil(params.gen_size_fraction * 30)
+        for _ in range(threshold):
+            leader.on_signal(1, STATE_TWO_CHOICES, True, 1.0)
+        assert leader.gen == 2
+        assert leader.state == STATE_TWO_CHOICES
+        assert leader.tick_count == 0
+        assert leader.gen_size == 0
+
+    def test_has_changed_false_does_not_count(self, leader):
+        for _ in range(100):
+            leader.on_signal(1, STATE_TWO_CHOICES, False, 1.0)
+        assert leader.gen == 1
+
+    def test_wrong_generation_does_not_count(self, leader):
+        for _ in range(100):
+            leader.on_signal(7, STATE_TWO_CHOICES, True, 1.0)
+        # Relay adoption may bump gen, but gen_size counting needs i == gen.
+        assert leader.gen_size == 0 or leader.gen == 7
+
+    def test_generation_budget_cap(self, params):
+        leader = ClusterLeaderState(node=0, card=10, params=params)
+        threshold = math.ceil(params.gen_size_fraction * 10)
+        for _ in range(params.max_generation + 3):
+            current = leader.gen
+            for _ in range(threshold):
+                leader.on_signal(current, leader.state, True, 0.0)
+        assert leader.gen == params.max_generation
+
+
+class TestLexicographicRelay:
+    def test_adopts_ahead_state(self, leader):
+        leader.on_signal(3, STATE_SLEEPING, False, 2.0)
+        assert leader.public_state == (3, STATE_SLEEPING)
+        assert leader.transitions[-1].cause == "relay"
+
+    def test_ignores_behind_state(self, leader):
+        leader.on_signal(3, STATE_PROPAGATION, False, 2.0)
+        leader.on_signal(2, STATE_PROPAGATION, False, 3.0)
+        assert leader.public_state == (3, STATE_PROPAGATION)
+
+    def test_same_gen_higher_state_adopted(self, leader):
+        leader.on_signal(1, STATE_PROPAGATION, False, 2.0)
+        assert leader.public_state == (1, STATE_PROPAGATION)
+
+    def test_relay_to_sleeping_sets_counter_to_threshold(self, leader, params):
+        leader.on_signal(2, STATE_SLEEPING, False, 2.0)
+        # One more tick batch reaches propagation after the remaining window.
+        sleep_threshold = math.ceil(params.time_unit * 30 * params.sleep_units)
+        prop_threshold = math.ceil(params.time_unit * 30 * params.propagation_units)
+        assert leader.tick_count == sleep_threshold
+        send_zero_signals(leader, prop_threshold - sleep_threshold)
+        assert leader.state == STATE_PROPAGATION
+
+    def test_relay_same_gen_keeps_gen_size(self, leader):
+        leader.on_signal(1, STATE_TWO_CHOICES, True, 0.0)
+        assert leader.gen_size == 1
+        leader.on_signal(1, STATE_SLEEPING, False, 1.0)
+        assert leader.gen_size == 1  # state-only relay must not reset counts
+
+    def test_relay_new_gen_resets_gen_size(self, leader):
+        leader.on_signal(1, STATE_TWO_CHOICES, True, 0.0)
+        leader.on_signal(4, STATE_TWO_CHOICES, False, 1.0)
+        assert leader.gen == 4
+        assert leader.gen_size == 0
+
+    def test_zero_signal_never_relays(self, leader):
+        # (0, 3, ·) tick signals carry state 3 but must not be adopted.
+        leader.on_signal(0, 3, False, 0.0)
+        assert leader.public_state == (1, STATE_TWO_CHOICES)

@@ -1,0 +1,54 @@
+"""Tests for multi-leader parameter derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multileader.params import MultiLeaderParams, default_cluster_size
+
+
+class TestDefaultClusterSize:
+    def test_polylog_growth(self):
+        assert default_cluster_size(1000) < default_cluster_size(10**6)
+        # Polylog: doubling the exponent of n far less than doubles size.
+        assert default_cluster_size(10**6) < 4 * default_cluster_size(1000)
+
+    def test_floor(self):
+        assert default_cluster_size(4) >= 8
+
+
+class TestMultiLeaderParams:
+    def test_derived_fields(self):
+        params = MultiLeaderParams(n=2000, k=3, alpha0=2.0)
+        assert params.time_unit > 0
+        assert params.max_cluster_size >= params.target_cluster_size
+        assert params.min_active_size <= params.target_cluster_size
+        assert 0 < params.leader_probability < 1
+        assert params.max_generation >= 1
+
+    def test_five_channel_unit_longer_than_three(self):
+        from repro.core.params import SingleLeaderParams
+
+        multi = MultiLeaderParams(n=2000, k=3, alpha0=2.0)
+        single = SingleLeaderParams(n=2000, k=3, alpha0=2.0)
+        assert multi.time_unit > single.time_unit
+
+    def test_gen_size_fraction_above_half(self):
+        params = MultiLeaderParams(n=2000, k=3, alpha0=2.0)
+        assert 0.5 < params.gen_size_fraction < 1.0
+
+    def test_sleep_before_propagation_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MultiLeaderParams(n=2000, k=3, alpha0=2.0, sleep_units=5.0, propagation_units=4.0)
+
+    def test_explicit_overrides_respected(self):
+        params = MultiLeaderParams(
+            n=2000, k=3, alpha0=2.0, target_cluster_size=25, leader_probability=0.01
+        )
+        assert params.target_cluster_size == 25
+        assert params.leader_probability == 0.01
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            MultiLeaderParams(n=2000, k=3, alpha0=0.9)

@@ -1,0 +1,44 @@
+"""End-to-end test for the full decentralized protocol (Theorem 26)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.rng import RngRegistry
+from repro.multileader.params import MultiLeaderParams
+from repro.multileader.protocol import run_multileader
+from repro.workloads.opinions import biased_counts
+
+
+class TestFullProtocol:
+    @pytest.fixture()
+    def params(self) -> MultiLeaderParams:
+        return MultiLeaderParams(n=700, k=3, alpha0=2.5)
+
+    def test_end_to_end_consensus(self, params, rngs):
+        counts = biased_counts(params.n, params.k, 2.5)
+        result = run_multileader(
+            params, counts, rngs.stream("full"), max_time=4000.0, epsilon=0.05
+        )
+        assert result.converged
+        assert result.plurality_won
+        # Clustering accounting flows into the combined result.
+        assert result.info["clustering_time"] > 0
+        assert 0.5 < result.info["clustered_fraction"] <= 1.0
+        assert result.info["clusters"] >= 1
+        assert result.elapsed > result.info["clustering_time"]
+
+    def test_epsilon_time_includes_clustering_offset(self, params, rngs):
+        counts = biased_counts(params.n, params.k, 2.5)
+        result = run_multileader(
+            params, counts, rngs.stream("full2"), max_time=4000.0, epsilon=0.05
+        )
+        assert result.epsilon_convergence_time is not None
+        assert result.epsilon_convergence_time >= result.info["clustering_time"]
+
+    def test_deterministic_replay(self, params):
+        counts = biased_counts(params.n, params.k, 2.5)
+        first = run_multileader(params, counts, RngRegistry(4).stream("r"), max_time=4000.0)
+        second = run_multileader(params, counts, RngRegistry(4).stream("r"), max_time=4000.0)
+        assert first.elapsed == second.elapsed
+        assert first.winner == second.winner

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "unknown-experiment"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 100_000
+        assert not args.asynchronous
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "thm26" in out
+
+    def test_demo_sync(self, capsys):
+        code = main(["demo", "--n", "5000", "--k", "3", "--alpha", "2.0", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consensus" in out
+        assert "generation 1" in out
+
+    def test_demo_async(self, capsys):
+        code = main(
+            ["demo", "--n", "400", "--k", "3", "--alpha", "2.0", "--seed", "1",
+             "--asynchronous"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "units" in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "steps per time unit" in out
+
+    def test_reproduce_subset_writes_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "exp.md"
+        assert main(["reproduce", "--only", "fig1", "--out", str(out_file)]) == 0
+        content = out_file.read_text()
+        assert content.startswith("### fig1")
+
+
+class TestReportFlag:
+    def test_demo_report_sync(self, capsys):
+        code = main(["demo", "--n", "5000", "--k", "3", "--alpha", "2.0",
+                     "--seed", "1", "--report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("# synchronous run")
+        assert "## Generations" in out
+
+    def test_demo_report_async(self, capsys):
+        code = main(["demo", "--n", "400", "--k", "3", "--alpha", "2.0",
+                     "--seed", "1", "--asynchronous", "--report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "## Telemetry" in out

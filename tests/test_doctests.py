@@ -1,0 +1,22 @@
+"""Run the library's embedded doctests (docstrings are part of the API)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.engine.hypoexp
+import repro.engine.rng
+
+MODULES = [
+    repro.engine.rng,
+    repro.engine.hypoexp,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

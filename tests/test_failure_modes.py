@@ -1,0 +1,98 @@
+"""Failure-injection and edge-regime tests.
+
+The protocols have documented failure modes — this module checks that
+they fail the way the theory says they should (and that the library
+reports failure honestly instead of crashing or lying).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import SingleLeaderParams
+from repro.core.schedule import AdaptiveSchedule, FixedSchedule
+from repro.core.single_leader import SingleLeaderSim
+from repro.core.synchronous import AggregateSynchronousSim, run_synchronous
+from repro.engine.rng import RngRegistry
+from repro.errors import SimulationError
+from repro.multileader.clustering import ClusteringSim
+from repro.multileader.params import MultiLeaderParams
+from repro.workloads.opinions import biased_counts, uniform_counts
+
+
+class TestGenerationBudgetExhaustion:
+    def test_exhausted_budget_reports_no_consensus(self, rngs):
+        """One generation cannot purify k=8 colors at tiny bias."""
+        n, k = 50_000, 8
+        schedule = AdaptiveSchedule(n=n, alpha0=1.01, extra_generations=0)
+        # alpha0=1.01 gives a big G*; force a tiny budget instead.
+        schedule.max_generation = 1
+        counts = biased_counts(n, k, 1.05)
+        sim = AggregateSynchronousSim(counts, schedule, rngs.stream("x"))
+        result = sim.run(max_steps=200)
+        assert not result.converged
+        # The result still reports the *current* leader faithfully.
+        assert result.final_color_counts.sum() == n
+
+
+class TestTiedWorkloads:
+    def test_perfect_tie_still_converges_to_some_color(self, rngs):
+        """With zero bias plurality is undefined; consensus still happens."""
+        n, k = 20_000, 4
+        counts = uniform_counts(n, k)  # exact tie
+        schedule = AdaptiveSchedule(n=n, alpha0=1.5)  # budget from nominal bias
+        result = run_synchronous(counts, schedule, rngs.stream("tie"), max_steps=1000)
+        # Symmetry breaking: some color wins (which one is random).
+        if result.converged:
+            assert int(np.count_nonzero(result.final_color_counts)) == 1
+
+    def test_async_tie_terminates_cleanly(self, rngs):
+        n, k = 400, 2
+        counts = uniform_counts(n, k)
+        params = SingleLeaderParams(n=n, k=k, alpha0=1.5)
+        result = SingleLeaderSim(params, counts, rngs.stream("tie-a")).run(max_time=300.0)
+        assert result.elapsed <= 300.0 + 1e-9
+
+
+class TestClusteringFailure:
+    def test_no_viable_cluster_raises(self, rngs):
+        """If every node is a leader, no cluster can reach the minimum."""
+        params = MultiLeaderParams(
+            n=64, k=2, alpha0=2.0,
+            target_cluster_size=32, leader_probability=0.999,
+        )
+        with pytest.raises(SimulationError):
+            ClusteringSim(params, rngs.stream("fail")).run(max_time=50.0)
+
+
+class TestExtremeLatency:
+    def test_huge_latency_slows_but_preserves_correctness(self):
+        params = SingleLeaderParams(n=300, k=2, alpha0=3.0, latency_rate=0.05)
+        counts = biased_counts(300, 2, 3.0)
+        result = SingleLeaderSim(
+            params, counts, RngRegistry(3).stream("slow")
+        ).run(max_time=30_000.0)
+        assert result.converged
+        assert result.plurality_won
+        # Unit length ~ 1/lambda: a run takes many steps but few units.
+        assert result.elapsed > 500.0
+        assert result.elapsed / params.time_unit < 40.0
+
+
+class TestNearThresholdBias:
+    def test_win_rate_degrades_gracefully_below_floor(self, rngs):
+        """Below Theorem 1's floor the protocol loses sometimes — but the
+        library reports it rather than failing."""
+        n, k, alpha = 20_000, 16, 1.02
+        counts = biased_counts(n, k, alpha)
+        wins = 0
+        for rep in range(4):
+            result = run_synchronous(
+                counts,
+                FixedSchedule(n=n, k=k, alpha0=alpha),
+                rngs.stream(f"floor/{rep}"),
+                max_steps=800,
+            )
+            wins += result.plurality_won
+        assert 0 <= wins <= 4  # no crash; outcome is genuinely stochastic

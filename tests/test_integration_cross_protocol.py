@@ -1,0 +1,136 @@
+"""Cross-protocol integration tests.
+
+These tie the three protocol implementations and the closed-form theory
+to each other: the same workload must produce the same *story*
+(generation counts, bias squaring, plurality win) whether simulated
+synchronously, asynchronously with one leader, or fully decentralized.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import SingleLeaderParams
+from repro.core.schedule import FixedSchedule
+from repro.core.single_leader import SingleLeaderSim
+from repro.core.synchronous import run_synchronous
+from repro.core.theory import predict_synchronous, total_generations
+from repro.engine.rng import RngRegistry
+from repro.multileader.clustering import ideal_clustering
+from repro.multileader.consensus import MultiLeaderConsensusSim
+from repro.multileader.params import MultiLeaderParams
+from repro.workloads.opinions import biased_counts
+
+
+class TestGenerationBudgetConsistency:
+    """All protocols consume about G* generations on the same workload."""
+
+    N, K, ALPHA = 900, 3, 2.0
+
+    def test_synchronous_generation_count(self, rngs):
+        counts = biased_counts(50_000, self.K, self.ALPHA)
+        result = run_synchronous(
+            counts,
+            FixedSchedule(n=50_000, k=self.K, alpha0=self.ALPHA),
+            rngs.stream("sync"),
+            max_steps=500,
+        )
+        budget = total_generations(50_000, self.ALPHA)
+        assert result.converged
+        assert len(result.births) <= budget + 2
+        assert len(result.births) >= max(1, budget - 2)
+
+    def test_async_leader_generation_count(self, rngs):
+        params = SingleLeaderParams(n=self.N, k=self.K, alpha0=self.ALPHA)
+        counts = biased_counts(self.N, self.K, self.ALPHA)
+        sim = SingleLeaderSim(params, counts, rngs.stream("async"))
+        result = sim.run(max_time=3000.0)
+        assert result.converged
+        assert sim.leader.gen <= params.max_generation
+
+    def test_multileader_generation_count(self, rngs):
+        params = MultiLeaderParams(n=self.N, k=self.K, alpha0=self.ALPHA)
+        counts = biased_counts(self.N, self.K, self.ALPHA)
+        clustering = ideal_clustering(self.N, params.target_cluster_size)
+        sim = MultiLeaderConsensusSim(params, clustering, counts, rngs.stream("ml"))
+        result = sim.run(max_time=5000.0)
+        assert result.converged
+        assert max(state.gen for state in sim.leaders.values()) <= params.max_generation
+
+
+class TestBiasSquaringEverywhere:
+    def test_async_births_square_bias(self, rngs):
+        params = SingleLeaderParams(n=4000, k=3, alpha0=1.8)
+        counts = biased_counts(4000, 3, 1.8)
+        sim = SingleLeaderSim(params, counts, rngs.stream("sq"))
+        sim.run(max_time=3000.0)
+        finite = [b.bias for b in sim.births if math.isfinite(b.bias)]
+        # Bias grows strictly along recorded prop-flip snapshots, and the
+        # growth outpaces linear drift (it is driven by squaring).
+        assert len(finite) >= 1
+        for previous, current in zip([1.8] + finite, finite):
+            assert current > previous
+
+
+class TestTheoryAgainstMeasurement:
+    def test_synchronous_prediction_brackets_measurement(self, rngs):
+        n, k, alpha = 200_000, 8, 1.5
+        counts = biased_counts(n, k, alpha)
+        measured = [
+            run_synchronous(
+                counts,
+                FixedSchedule(n=n, k=k, alpha0=alpha),
+                rngs.stream(f"pred/{rep}"),
+                max_steps=1000,
+            ).elapsed
+            for rep in range(3)
+        ]
+        predicted = predict_synchronous(n, k, alpha).total_steps
+        mean = float(np.mean(measured))
+        # Shape-level agreement: within a factor of three either way.
+        assert predicted / 3.0 < mean < predicted * 3.0
+
+    def test_async_time_unit_flat_in_latency(self, rngs):
+        """Doubling the latency doubles steps but not units."""
+        n, k, alpha = 600, 3, 2.0
+        counts = biased_counts(n, k, alpha)
+        unit_times = []
+        for lam in (1.0, 0.25):
+            params = SingleLeaderParams(n=n, k=k, alpha0=alpha, latency_rate=lam)
+            result = SingleLeaderSim(params, counts, rngs.stream(f"lam/{lam}")).run(
+                max_time=6000.0
+            )
+            assert result.converged
+            unit_times.append(result.elapsed / params.time_unit)
+        assert max(unit_times) < 1.6 * min(unit_times)
+
+
+class TestZipfWorkloads:
+    """The protocols are workload-agnostic: skewed tails work too."""
+
+    def test_sync_on_zipf(self, rngs):
+        from repro.workloads.opinions import zipf_counts
+
+        counts = zipf_counts(100_000, 10, exponent=1.2)
+        result = run_synchronous(
+            counts,
+            FixedSchedule(n=100_000, k=10, alpha0=1.5),
+            rngs.stream("zipf"),
+            max_steps=500,
+        )
+        assert result.converged
+        assert result.plurality_won
+
+    def test_async_on_zipf(self, rngs):
+        from repro.workloads.opinions import zipf_counts
+
+        counts = zipf_counts(800, 5, exponent=1.5)
+        params = SingleLeaderParams(n=800, k=5, alpha0=1.8)
+        result = SingleLeaderSim(params, counts, rngs.stream("zipf-a")).run(
+            max_time=3000.0
+        )
+        assert result.converged
+        assert result.plurality_won

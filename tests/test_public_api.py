@@ -1,0 +1,44 @@
+"""Tests for the top-level public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.ConvergenceError, repro.SimulationError)
+        assert issubclass(repro.SchedulingError, repro.SimulationError)
+
+
+class TestQuickHelpers:
+    def test_quick_sync(self):
+        result = repro.quick_sync(n=10_000, k=4, alpha=2.0, seed=7, max_steps=400)
+        assert result.converged
+        assert result.plurality_won
+
+    def test_quick_sync_deterministic(self):
+        first = repro.quick_sync(n=5000, k=3, alpha=2.0, seed=3, max_steps=400)
+        second = repro.quick_sync(n=5000, k=3, alpha=2.0, seed=3, max_steps=400)
+        assert first.elapsed == second.elapsed
+
+    def test_quick_async(self):
+        result = repro.quick_async(n=400, k=3, alpha=2.5, seed=7, max_time=600.0)
+        assert result.converged
+        assert result.plurality_won
+
+    def test_quick_kwargs_forwarded(self):
+        result = repro.quick_sync(
+            n=5000, k=3, alpha=2.0, seed=1, max_steps=400, record_trajectory=True
+        )
+        assert result.trajectory

@@ -1,0 +1,115 @@
+"""Unit and property tests for bias/concentration math."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.bias import (
+    additive_gap,
+    collision_probability,
+    multiplicative_bias,
+    plurality_color,
+    remark2_lower_bound,
+    top_two,
+    validate_counts,
+)
+
+counts_strategy = st.lists(
+    st.integers(min_value=1, max_value=10_000), min_size=2, max_size=16
+)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_counts([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_counts([3, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            validate_counts([0, 0])
+
+    def test_accepts_numpy(self):
+        out = validate_counts(np.array([1, 2]))
+        assert out.dtype == np.int64
+
+
+class TestTopTwo:
+    def test_basic(self):
+        assert top_two([5, 9, 3]) == (9, 5)
+
+    def test_single_color(self):
+        assert top_two([7]) == (7, 0)
+
+    def test_tie(self):
+        assert top_two([4, 4]) == (4, 4)
+
+
+class TestBias:
+    def test_multiplicative(self):
+        assert multiplicative_bias([10, 5, 5]) == pytest.approx(2.0)
+
+    def test_infinite_when_runner_up_dead(self):
+        assert multiplicative_bias([10, 0, 0]) == math.inf
+
+    def test_additive(self):
+        assert additive_gap([10, 7, 7]) == 3
+
+    def test_plurality_color(self):
+        assert plurality_color([1, 5, 3]) == 1
+
+    def test_plurality_tie_lowest_index(self):
+        assert plurality_color([5, 5, 1]) == 0
+
+
+class TestCollisionProbability:
+    def test_uniform_two_colors(self):
+        assert collision_probability([5, 5]) == pytest.approx(0.5)
+
+    def test_monochromatic(self):
+        assert collision_probability([7, 0]) == pytest.approx(1.0)
+
+    @given(counts_strategy)
+    @settings(max_examples=100)
+    def test_bounds(self, counts):
+        p = collision_probability(counts)
+        k = len(counts)
+        assert 1.0 / k - 1e-12 <= p <= 1.0 + 1e-12
+
+
+class TestRemark2:
+    """Remark 2: p >= (alpha^2 + k - 1) / (alpha + k - 1)^2."""
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            remark2_lower_bound(0.5, 3)
+        with pytest.raises(ConfigurationError):
+            remark2_lower_bound(2.0, 0)
+
+    def test_equality_at_flat_tail(self):
+        # The bound is attained when all non-dominant colors are equal.
+        counts = [200, 100, 100, 100]
+        alpha = multiplicative_bias(counts)
+        p = collision_probability(counts)
+        assert p == pytest.approx(remark2_lower_bound(alpha, 4), rel=1e-9)
+
+    @given(counts_strategy)
+    @settings(max_examples=200)
+    def test_lower_bound_holds_for_any_configuration(self, counts):
+        # The paper's inequality must hold for every count vector whose
+        # bias is finite.
+        alpha = multiplicative_bias(counts)
+        if not math.isfinite(alpha):
+            return
+        p = collision_probability(counts)
+        bound = remark2_lower_bound(alpha, len(counts))
+        assert p >= bound - 1e-9

@@ -1,0 +1,130 @@
+"""Unit and property tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.bias import multiplicative_bias, plurality_color
+from repro.workloads.opinions import (
+    additive_gap_counts,
+    assignment_to_counts,
+    biased_counts,
+    counts_to_assignment,
+    uniform_counts,
+    zipf_counts,
+)
+
+
+class TestBiasedCounts:
+    def test_sum_and_plurality(self):
+        counts = biased_counts(10_000, 5, 2.0)
+        assert counts.sum() == 10_000
+        assert plurality_color(counts) == 0
+        assert counts.min() >= 1
+
+    def test_realized_bias_close(self):
+        counts = biased_counts(100_000, 8, 1.5)
+        assert multiplicative_bias(counts) == pytest.approx(1.5, rel=0.01)
+
+    def test_strict_plurality_even_for_tiny_bias(self):
+        counts = biased_counts(1000, 4, 1.0001)
+        assert counts[0] > sorted(counts)[-2] or counts[0] == counts.max()
+        assert multiplicative_bias(counts) > 1.0
+
+    @pytest.mark.parametrize("bad_alpha", [1.0, 0.5, -2.0])
+    def test_alpha_must_exceed_one(self, bad_alpha):
+        with pytest.raises(ConfigurationError):
+            biased_counts(100, 3, bad_alpha)
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            biased_counts(4, 10, 2.0)
+
+    @given(
+        n=st.integers(min_value=100, max_value=100_000),
+        k=st.integers(min_value=2, max_value=20),
+        alpha=st.floats(min_value=1.01, max_value=20.0),
+    )
+    @settings(max_examples=100)
+    def test_properties(self, n, k, alpha):
+        try:
+            counts = biased_counts(n, k, alpha)
+        except ConfigurationError:
+            return  # infeasible combination (huge alpha, tiny n) is fine
+        assert counts.sum() == n
+        assert counts.size == k
+        assert counts.min() >= 1
+        assert multiplicative_bias(counts) > 1.0
+        # With a healthy runner-up the realized bias is near the request.
+        # (The n - sum(rounded) remainder, up to ~(alpha+k)/2 nodes, lands
+        # on the non-dominant colors, so precision needs a sizeable tail.)
+        runner_up = sorted(counts)[-2]
+        if runner_up >= 100:
+            assert multiplicative_bias(counts) == pytest.approx(alpha, rel=0.15)
+
+
+class TestAdditiveGapCounts:
+    def test_gap_realized(self):
+        counts = additive_gap_counts(10_000, 4, 500)
+        ordered = sorted(counts, reverse=True)
+        assert ordered[0] - ordered[1] >= 500
+        assert counts.sum() == 10_000
+
+    def test_infeasible_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            additive_gap_counts(10, 5, 9)
+
+
+class TestUniformCounts:
+    def test_exact_division(self):
+        counts = uniform_counts(100, 4)
+        assert (counts == 25).all()
+
+    def test_remainder_spread(self):
+        counts = uniform_counts(103, 4)
+        assert counts.sum() == 103
+        assert counts.max() - counts.min() == 1
+
+    def test_k_bigger_than_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_counts(3, 4)
+
+
+class TestZipfCounts:
+    def test_decreasing_and_total(self):
+        counts = zipf_counts(10_000, 6, exponent=1.0)
+        assert counts.sum() == 10_000
+        assert counts[0] == counts.max()
+        assert counts.min() >= 1
+
+    def test_higher_exponent_more_skew(self):
+        flat = zipf_counts(10_000, 6, exponent=0.5)
+        steep = zipf_counts(10_000, 6, exponent=2.0)
+        assert multiplicative_bias(steep) > multiplicative_bias(flat)
+
+
+class TestAssignments:
+    def test_roundtrip(self, rng):
+        counts = biased_counts(5000, 6, 1.7)
+        assignment = counts_to_assignment(counts, rng)
+        assert assignment.shape == (5000,)
+        recovered = assignment_to_counts(assignment, 6)
+        assert (recovered == counts).all()
+
+    def test_deterministic_without_rng(self):
+        counts = np.array([2, 3])
+        assignment = counts_to_assignment(counts)
+        assert assignment.tolist() == [0, 0, 1, 1, 1]
+
+    def test_shuffle_changes_layout(self, rng):
+        counts = np.array([500, 500])
+        shuffled = counts_to_assignment(counts, rng)
+        assert shuffled.tolist() != counts_to_assignment(counts).tolist()
+
+    def test_assignment_must_be_1d(self):
+        with pytest.raises(ConfigurationError):
+            assignment_to_counts(np.zeros((2, 2), dtype=int), 2)
