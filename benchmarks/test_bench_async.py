@@ -3,6 +3,10 @@ plus an event-throughput microbenchmark of the protocol simulator."""
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # experiment-backed; minutes at seed pace
+
 from repro.core.params import SingleLeaderParams
 from repro.core.single_leader import SingleLeaderSim
 from repro.engine.rng import RngRegistry

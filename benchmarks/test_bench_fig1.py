@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow  # experiment-backed; minutes at seed pace
+
 from repro.engine.latency import time_unit_steps
 
 

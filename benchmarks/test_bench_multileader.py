@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # experiment-backed; minutes at seed pace
+
 
 def test_bench_thm26(run_and_save):
     result = run_and_save("thm26")

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow  # experiment-backed; minutes at seed pace
+
 from repro.core.schedule import FixedSchedule
 from repro.core.synchronous import AggregateSynchronousSim, PerNodeSynchronousSim
 from repro.engine.rng import RngRegistry

@@ -46,17 +46,28 @@ class Summary:
 
 
 def summarize(values: Sequence[float]) -> Summary:
-    """Build a :class:`Summary`; rejects empty samples loudly."""
+    """Build a :class:`Summary`; rejects empty samples loudly.
+
+    The mean uses :func:`math.fsum` (exact summation) and is clamped
+    into ``[minimum, maximum]``: numpy's pairwise summation can round
+    the mean of n equal values to just outside the sample range (e.g.
+    three copies of ``349525.7865401887``), violating the ordering
+    invariant ``min <= mean <= max`` that downstream tables rely on.
+    """
     array = np.asarray(list(values), dtype=float)
     if array.size == 0:
         raise ConfigurationError("cannot summarize an empty sample")
+    minimum = float(array.min())
+    maximum = float(array.max())
+    mean = math.fsum(array) / array.size
+    mean = min(max(mean, minimum), maximum)
     return Summary(
         count=int(array.size),
-        mean=float(array.mean()),
+        mean=mean,
         std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
         median=float(np.median(array)),
-        minimum=float(array.min()),
-        maximum=float(array.max()),
+        minimum=minimum,
+        maximum=maximum,
     )
 
 

@@ -23,6 +23,12 @@ The ``ext-delayed`` experiment sweeps the exchange rate ``μ`` and shows
 the protocol stays correct (two-choices and propagation stages still
 never interleave — the revalidation guarantees it) at the cost of a
 constant-factor slowdown, exactly what Section 5 predicts.
+
+Exchange delays come from their own :class:`~repro.engine.rng.ExponentialPool`;
+the tentative-update/commit round trip is dispatched as tuple events
+carrying ``(node, gen, col, expected_gen, expected_prop, old_gen)``
+payloads — no closures on the hot path (see
+:mod:`repro.core.single_leader` engine notes).
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ import numpy as np
 
 from repro.core.params import SingleLeaderParams
 from repro.core.single_leader import SingleLeaderSim
-from repro.engine.latency import ChannelPlan
+from repro.engine.rng import ChannelDelayPool, ExponentialPool
 from repro.util.validation import check_positive
 
 __all__ = ["DelayedExchangeSim"]
@@ -60,49 +66,48 @@ class DelayedExchangeSim(SingleLeaderSim):
         self.committed_updates = 0
         self.aborted_updates = 0
         super().__init__(params, counts, rng)
-
-    def _exchange_delay(self) -> float:
-        return float(self._rng.exponential(1.0 / self.exchange_rate))
+        # Lazy refills mean construction order does not consume draws.
+        self._exchange_delay = ExponentialPool(rng, self.exchange_rate)
+        # Reading the three peers' messages costs an exchange delay
+        # each; sample reads run concurrently, the leader read follows.
+        self._read_delay = ChannelDelayPool(rng, self.exchange_rate, stages=(2, 1))
 
     def _tick(self, node: int) -> None:
         self.total_ticks += 1
-        self._schedule_tick(node)
-        self._send_signal(0)
-        if self.locked[node]:
+        sim = self.sim
+        sim.schedule_in(self._tick_wait(), self._tick, node)
+        sim.schedule_in(self._latency(), self._leader_signal, 0)
+        if self._locked[node]:
             return
-        self.locked[node] = True
+        self._locked[node] = True
         self.good_ticks += 1
         first = self._sample_neighbor(node)
         second = self._sample_neighbor(node)
-        d_first, d_second, d_leader = self._latency(), self._latency(), self._latency()
-        if self.params.plan is ChannelPlan.CONCURRENT_THEN_LEADER:
-            establish = max(d_first, d_second) + d_leader
-        else:
-            establish = d_first + d_second + d_leader
-        # Reading the three peers' messages costs an exchange delay each;
-        # sample reads run concurrently, the leader read follows.
-        read_delay = max(self._exchange_delay(), self._exchange_delay())
-        read_delay += self._exchange_delay()
-        self.sim.schedule_in(
-            establish + read_delay,
-            lambda node=node, a=first, b=second: self._tentative_exchange(node, a, b),
-            tag="exchange",
+        sim.schedule_in(
+            self._channel_delay() + self._read_delay(),
+            self._tentative_exchange,
+            (node, first, second),
         )
 
-    def _tentative_exchange(self, node: int, first: int, second: int) -> None:
+    def _tentative_exchange(self, payload: tuple[int, int, int]) -> None:
         """Phase one: read everything, compute the tentative update."""
-        leader_gen, leader_prop = self.leader.state
+        node, first, second = payload
+        leader = self.leader
+        leader_gen = leader.gen
+        leader_prop = leader.prop
         if not (
-            self.seen_gen[node] == leader_gen
-            and self.seen_prop[node] == int(leader_prop)
+            self._seen_gen[node] == leader_gen
+            and self._seen_prop[node] == leader_prop
         ):
-            self.seen_gen[node] = leader_gen
-            self.seen_prop[node] = int(leader_prop)
-            self.locked[node] = False
+            self._seen_gen[node] = leader_gen
+            self._seen_prop[node] = int(leader_prop)
+            self._locked[node] = False
             return
-        gen_a, col_a = int(self.gens[first]), int(self.cols[first])
-        gen_b, col_b = int(self.gens[second]), int(self.cols[second])
-        old_gen = int(self.gens[node])
+        gens = self._gens
+        cols = self._cols
+        gen_a, col_a = gens[first], cols[first]
+        gen_b, col_b = gens[second], cols[second]
+        old_gen = gens[node]
         tentative: tuple[int, int] | None = None
         if (
             not leader_prop
@@ -117,35 +122,27 @@ class DelayedExchangeSim(SingleLeaderSim):
                     if tentative is None or gen_s > tentative[0]:
                         tentative = (gen_s, col_s)
         if tentative is None:
-            self.locked[node] = False
+            self._locked[node] = False
             return
         # Phase two: revalidate against the leader before committing.
         revalidate = self._latency() + self._exchange_delay()
-        expected_state = (leader_gen, int(leader_prop))
         self.sim.schedule_in(
             revalidate,
-            lambda node=node, tentative=tentative, expected=expected_state, old=old_gen:
-                self._commit(node, tentative, expected, old),
-            tag="commit",
+            self._commit,
+            (node, tentative[0], tentative[1], leader_gen, int(leader_prop), old_gen),
         )
 
-    def _commit(
-        self,
-        node: int,
-        tentative: tuple[int, int],
-        expected_state: tuple[int, int],
-        old_gen: int,
-    ) -> None:
-        leader_gen, leader_prop = self.leader.state
-        if (leader_gen, int(leader_prop)) == expected_state:
-            gen, col = tentative
+    def _commit(self, payload: tuple[int, int, int, int, int, int]) -> None:
+        node, gen, col, expected_gen, expected_prop, old_gen = payload
+        leader = self.leader
+        if leader.gen == expected_gen and int(leader.prop) == expected_prop:
             self._set_state(node, gen, col)
             if gen > old_gen:
                 self._send_signal(gen)
             self.committed_updates += 1
         else:
             # The leader moved on: drop the update, refresh the view.
-            self.seen_gen[node] = leader_gen
-            self.seen_prop[node] = int(leader_prop)
+            self._seen_gen[node] = leader.gen
+            self._seen_prop[node] = int(leader.prop)
             self.aborted_updates += 1
-        self.locked[node] = False
+        self._locked[node] = False

@@ -1,0 +1,380 @@
+"""Seed (scalar-draw) reference implementations — the equivalence oracle.
+
+The production simulators in :mod:`repro.core.single_leader`,
+:mod:`repro.core.delayed_exchange`, and :mod:`repro.baselines.population`
+run on batched draw pools and tuple-based event dispatch.  This module
+preserves the original implementations byte-for-byte in behaviour: one
+scalar generator draw per random quantity, in exactly the seed engine's
+order, with per-event closures.  Because the draw *order* on the shared
+generator is what defines a trajectory for a given seed, these classes
+reproduce the seed engine's trajectory distribution exactly.
+
+They exist solely as the oracle for
+``tests/engine/test_fast_equivalence.py`` (statistical acceptance tests:
+KS / CI-overlap of convergence times, fast vs. reference) and are not
+part of the supported API — do not use them in experiments; they are an
+order of magnitude slower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.leader import Leader
+from repro.core.params import SingleLeaderParams
+from repro.core.results import GenerationBirth, RunResult, StepStats
+from repro.engine.latency import ChannelPlan
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.workloads.bias import (
+    collision_probability,
+    multiplicative_bias,
+    plurality_color,
+    validate_counts,
+)
+from repro.workloads.opinions import counts_to_assignment
+
+__all__ = [
+    "ReferenceSingleLeaderSim",
+    "ReferenceDelayedExchangeSim",
+    "reference_population_run",
+]
+
+
+class ReferenceSingleLeaderSim:
+    """Seed implementation of Algorithms 2+3 (scalar draws, closures).
+
+    See :class:`repro.core.single_leader.SingleLeaderSim` for the
+    protocol description; this class keeps the seed's per-event scalar
+    ``rng.exponential`` / ``rng.integers`` calls and per-event lambdas.
+    """
+
+    def __init__(
+        self,
+        params: SingleLeaderParams,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ):
+        counts = validate_counts(counts)
+        if int(counts.sum()) != params.n:
+            raise ConfigurationError(
+                f"counts sum to {int(counts.sum())} but params.n={params.n}"
+            )
+        if counts.size != params.k:
+            raise ConfigurationError(f"counts has {counts.size} colors but params.k={params.k}")
+        self.params = params
+        self.n = params.n
+        self.k = params.k
+        self._rng = rng
+        self.sim = Simulator()
+        self.leader = Leader(params)
+        self._phase_changes_seen = 0
+
+        self.cols = counts_to_assignment(counts, rng)
+        self.gens = np.zeros(self.n, dtype=np.int64)
+        self.locked = np.zeros(self.n, dtype=bool)
+        self.seen_gen = np.full(self.n, -1, dtype=np.int64)
+        self.seen_prop = np.full(self.n, -1, dtype=np.int8)
+
+        rows = params.max_generation + 2
+        self.matrix = np.zeros((rows, self.k), dtype=np.int64)
+        self.matrix[0, :] = counts
+        self.color_counts = counts.copy()
+        self.plurality = plurality_color(counts)
+        self.births: list[GenerationBirth] = []
+        self.trajectory: list[StepStats] = []
+        self.good_ticks = 0
+        self.total_ticks = 0
+
+        for node in range(self.n):
+            self._schedule_tick(node)
+
+    # ------------------------------------------------------------------
+    # event handlers (seed order of scalar draws — do not reorder)
+    # ------------------------------------------------------------------
+    def _schedule_tick(self, node: int) -> None:
+        wait = self._rng.exponential(1.0 / self.params.clock_rate)
+        self.sim.schedule_in(wait, lambda node=node: self._tick(node))
+
+    def _latency(self) -> float:
+        return float(self._rng.exponential(1.0 / self.params.latency_rate))
+
+    def _send_signal(self, i: int) -> None:
+        self.sim.schedule_in(self._latency(), lambda i=i: self._leader_signal(i))
+
+    def _leader_signal(self, i: int) -> None:
+        self.leader.on_signal(i, self.sim.now)
+        changes = self.leader.phase_changes
+        while self._phase_changes_seen < len(changes):
+            change = changes[self._phase_changes_seen]
+            self._phase_changes_seen += 1
+            if change.kind == "propagation":
+                row = self.matrix[change.generation]
+                total = int(row.sum())
+                self.births.append(
+                    GenerationBirth(
+                        generation=change.generation,
+                        time=change.time,
+                        fraction=total / self.n,
+                        bias=multiplicative_bias(row) if total else 1.0,
+                        collision_probability=collision_probability(row) if total else 0.0,
+                    )
+                )
+
+    def _tick(self, node: int) -> None:
+        self.total_ticks += 1
+        self._schedule_tick(node)
+        self._send_signal(0)
+        if self.locked[node]:
+            return
+        self.locked[node] = True
+        self.good_ticks += 1
+        first = self._sample_neighbor(node)
+        second = self._sample_neighbor(node)
+        d_first, d_second, d_leader = self._latency(), self._latency(), self._latency()
+        if self.params.plan is ChannelPlan.CONCURRENT_THEN_LEADER:
+            delay = max(d_first, d_second) + d_leader
+        else:
+            delay = d_first + d_second + d_leader
+        self.sim.schedule_in(
+            delay, lambda node=node, a=first, b=second: self._exchange(node, a, b)
+        )
+
+    def _sample_neighbor(self, node: int) -> int:
+        draw = int(self._rng.integers(self.n - 1))
+        return draw + 1 if draw >= node else draw
+
+    def _exchange(self, node: int, first: int, second: int) -> None:
+        leader_gen, leader_prop = self.leader.state
+        if self.seen_gen[node] == leader_gen and self.seen_prop[node] == int(leader_prop):
+            gen_a, col_a = int(self.gens[first]), int(self.cols[first])
+            gen_b, col_b = int(self.gens[second]), int(self.cols[second])
+            old_gen = int(self.gens[node])
+            if (
+                not leader_prop
+                and gen_a == leader_gen - 1
+                and gen_b == leader_gen - 1
+                and col_a == col_b
+            ):
+                self._set_state(node, leader_gen, col_a)
+                if leader_gen > old_gen:
+                    self._send_signal(leader_gen)
+            else:
+                candidate_gen, candidate_col = -1, -1
+                for gen_s, col_s in ((gen_a, col_a), (gen_b, col_b)):
+                    if old_gen < gen_s and (gen_s < leader_gen or leader_prop):
+                        if gen_s > candidate_gen:
+                            candidate_gen, candidate_col = gen_s, col_s
+                if candidate_gen >= 0:
+                    self._set_state(node, candidate_gen, candidate_col)
+                    self._send_signal(candidate_gen)
+        else:
+            self.seen_gen[node] = leader_gen
+            self.seen_prop[node] = int(leader_prop)
+        self.locked[node] = False
+
+    def _set_state(self, node: int, gen: int, col: int) -> None:
+        old_gen, old_col = int(self.gens[node]), int(self.cols[node])
+        self.matrix[old_gen, old_col] -= 1
+        self.matrix[gen, col] += 1
+        if col != old_col:
+            self.color_counts[old_col] -= 1
+            self.color_counts[col] += 1
+        self.gens[node] = gen
+        self.cols[node] = col
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_time: float = 2000.0,
+        epsilon: float | None = None,
+        stop_at_epsilon: bool = False,
+    ) -> RunResult:
+        """Run until full consensus, ``max_time``, or the ε-target."""
+        epsilon_target = None
+        if epsilon is not None:
+            epsilon_target = int(np.ceil((1.0 - epsilon) * self.n))
+        epsilon_time: float | None = None
+
+        def done() -> bool:
+            nonlocal epsilon_time
+            leading = int(self.color_counts[self.plurality])
+            if epsilon_target is not None and epsilon_time is None:
+                if leading >= epsilon_target:
+                    epsilon_time = self.sim.now
+                    if stop_at_epsilon:
+                        return True
+            return int(self.color_counts.max()) == self.n
+
+        self.sim.run(until=max_time, stop_when=done)
+        converged = int(self.color_counts.max()) == self.n
+        return RunResult(
+            converged=converged,
+            winner=int(np.argmax(self.color_counts)),
+            plurality_color=self.plurality,
+            elapsed=self.sim.now,
+            final_color_counts=self.color_counts.copy(),
+            epsilon_convergence_time=epsilon_time,
+            trajectory=self.trajectory,
+            births=self.births,
+            info={
+                "events": float(self.sim.events_executed),
+                "good_ticks": float(self.good_ticks),
+                "total_ticks": float(self.total_ticks),
+            },
+        )
+
+
+class ReferenceDelayedExchangeSim(ReferenceSingleLeaderSim):
+    """Seed implementation of the Section 5 delayed-exchange extension."""
+
+    def __init__(
+        self,
+        params: SingleLeaderParams,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        exchange_rate: float = 2.0,
+    ):
+        if not exchange_rate > 0:
+            raise ConfigurationError(f"exchange_rate must be positive, got {exchange_rate}")
+        self.exchange_rate = exchange_rate
+        self.committed_updates = 0
+        self.aborted_updates = 0
+        super().__init__(params, counts, rng)
+
+    def _exchange_delay(self) -> float:
+        return float(self._rng.exponential(1.0 / self.exchange_rate))
+
+    def _tick(self, node: int) -> None:
+        self.total_ticks += 1
+        self._schedule_tick(node)
+        self._send_signal(0)
+        if self.locked[node]:
+            return
+        self.locked[node] = True
+        self.good_ticks += 1
+        first = self._sample_neighbor(node)
+        second = self._sample_neighbor(node)
+        d_first, d_second, d_leader = self._latency(), self._latency(), self._latency()
+        if self.params.plan is ChannelPlan.CONCURRENT_THEN_LEADER:
+            establish = max(d_first, d_second) + d_leader
+        else:
+            establish = d_first + d_second + d_leader
+        read_delay = max(self._exchange_delay(), self._exchange_delay())
+        read_delay += self._exchange_delay()
+        self.sim.schedule_in(
+            establish + read_delay,
+            lambda node=node, a=first, b=second: self._tentative_exchange(node, a, b),
+        )
+
+    def _tentative_exchange(self, node: int, first: int, second: int) -> None:
+        leader_gen, leader_prop = self.leader.state
+        if not (
+            self.seen_gen[node] == leader_gen
+            and self.seen_prop[node] == int(leader_prop)
+        ):
+            self.seen_gen[node] = leader_gen
+            self.seen_prop[node] = int(leader_prop)
+            self.locked[node] = False
+            return
+        gen_a, col_a = int(self.gens[first]), int(self.cols[first])
+        gen_b, col_b = int(self.gens[second]), int(self.cols[second])
+        old_gen = int(self.gens[node])
+        tentative: tuple[int, int] | None = None
+        if (
+            not leader_prop
+            and gen_a == leader_gen - 1
+            and gen_b == leader_gen - 1
+            and col_a == col_b
+        ):
+            tentative = (leader_gen, col_a)
+        else:
+            for gen_s, col_s in ((gen_a, col_a), (gen_b, col_b)):
+                if old_gen < gen_s and (gen_s < leader_gen or leader_prop):
+                    if tentative is None or gen_s > tentative[0]:
+                        tentative = (gen_s, col_s)
+        if tentative is None:
+            self.locked[node] = False
+            return
+        revalidate = self._latency() + self._exchange_delay()
+        expected_state = (leader_gen, int(leader_prop))
+        self.sim.schedule_in(
+            revalidate,
+            lambda node=node, tentative=tentative, expected=expected_state, old=old_gen:
+                self._commit(node, tentative, expected, old),
+        )
+
+    def _commit(
+        self,
+        node: int,
+        tentative: tuple[int, int],
+        expected_state: tuple[int, int],
+        old_gen: int,
+    ) -> None:
+        leader_gen, leader_prop = self.leader.state
+        if (leader_gen, int(leader_prop)) == expected_state:
+            gen, col = tentative
+            self._set_state(node, gen, col)
+            if gen > old_gen:
+                self._send_signal(gen)
+            self.committed_updates += 1
+        else:
+            self.seen_gen[node] = leader_gen
+            self.seen_prop[node] = int(leader_prop)
+            self.aborted_updates += 1
+        self.locked[node] = False
+
+
+def reference_population_run(
+    protocol,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_interactions: int | None = None,
+    check_every: int = 64,
+):
+    """Seed ``PairwiseScheduler.run``: one ``rng.choice`` pair per interaction.
+
+    Returns the same :class:`repro.baselines.population.PopulationResult`
+    as the vectorized scheduler; used as the distributional oracle.
+    """
+    from repro.baselines.population import PopulationResult
+
+    state = protocol.initial_state(validate_counts(counts))
+    n = int(state.sum())
+    if n < 2:
+        raise ConfigurationError("population needs at least 2 nodes")
+    if max_interactions is None:
+        max_interactions = 500 * n * max(8, int(np.log2(n)) ** 2)
+    states = np.arange(state.size)
+    interactions = 0
+    converged = protocol.is_converged(state)
+    while not converged and interactions < max_interactions:
+        fractions = state / n
+        initiator = int(rng.choice(states, p=fractions))
+        reduced = state.astype(float).copy()
+        reduced[initiator] -= 1
+        responder = int(rng.choice(states, p=reduced / (n - 1)))
+        new_initiator, new_responder = protocol.delta(initiator, responder)
+        if (new_initiator, new_responder) != (initiator, responder):
+            state[initiator] -= 1
+            state[responder] -= 1
+            state[new_initiator] += 1
+            state[new_responder] += 1
+        interactions += 1
+        if interactions % check_every == 0:
+            converged = protocol.is_converged(state)
+    converged = protocol.is_converged(state)
+    winner = None
+    if converged:
+        live = np.nonzero(state)[0]
+        winner = protocol.output_color(int(live[0]))
+    return PopulationResult(
+        converged=converged,
+        winner=winner,
+        interactions=interactions,
+        n=n,
+        final_state_counts=state,
+    )

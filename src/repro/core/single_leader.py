@@ -17,10 +17,24 @@ Faithful to Section 3's model:
 * a node whose generation increased notifies the leader with a
   gen-signal (one-way latency, no locking).
 
-State is stored in numpy arrays indexed by node id (no per-node
-objects); events carry node ids. A generation×color count matrix is
-maintained incrementally so convergence checks and trajectory snapshots
-are O(k) instead of O(n).
+Engine notes (the hot path):
+
+* all randomness comes from block-prefetched draw pools
+  (:mod:`repro.engine.rng`) over the caller's generator — one vectorized
+  numpy call per few thousand events instead of one per event;
+* events are ``(time, seq, bound_method, payload)`` tuples; payloads are
+  node ids (ticks/signals) or ``(node, first, second)`` triples
+  (exchanges) — no per-event closures;
+* per-node state lives in plain Python lists (``gens``, ``cols``,
+  ``matrix`` and friends are numpy *snapshot* properties built on
+  access), so handler bodies are pure scalar Python with no numpy
+  round-trips;
+* the convergence predicate runs after every event, so it is a Python
+  ``max`` over the ``k``-entry color-count list, not a numpy reduction.
+
+The seed scalar-draw implementation is preserved in
+:mod:`repro.core.reference` as the distributional oracle for
+``tests/engine/test_fast_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from repro.core.leader import Leader
 from repro.core.params import SingleLeaderParams
 from repro.core.results import GenerationBirth, RunResult, StepStats
 from repro.engine.latency import ChannelPlan, LatencyModel
+from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool, LatencyPool
 from repro.engine.simulator import Simulator
 from repro.engine.tracing import Tracer
 from repro.errors import ConfigurationError
@@ -55,8 +70,9 @@ class SingleLeaderSim:
     counts:
         Initial color counts; ``counts.sum()`` must equal ``params.n``.
     rng:
-        One generator drives ticks, latencies, and sampling; runs are
-        reproducible because event ordering is deterministic.
+        One generator drives ticks, latencies, and sampling (through
+        block-prefetched pools); runs are reproducible because event
+        ordering and pool refill order are deterministic.
     tracer:
         Optional structured-trace sink.
     latency_model:
@@ -92,42 +108,97 @@ class SingleLeaderSim:
         self.leader = Leader(params)
         self._phase_changes_seen = 0
 
-        self.cols = counts_to_assignment(counts, rng)
-        self.gens = np.zeros(self.n, dtype=np.int64)
-        self.locked = np.zeros(self.n, dtype=bool)
-        self.seen_gen = np.full(self.n, -1, dtype=np.int64)
-        self.seen_prop = np.full(self.n, -1, dtype=np.int8)
+        # Draw pools over the shared generator (refills interleave at
+        # block granularity; deterministic for a given seed).  The
+        # cycle's channel-establishment delay — max over the concurrent
+        # contacts plus the leader channel (or a straight sum under the
+        # sequential plan) — is one composite pooled draw.
+        concurrent = params.plan is ChannelPlan.CONCURRENT_THEN_LEADER
+        stages = (2, 1) if concurrent else (1, 1, 1)
+        self._tick_wait = ExponentialPool(rng, params.clock_rate)
+        if latency_model is not None:
+            self._latency = LatencyPool(latency_model, rng)
+            self._channel_delay = ChannelDelayPool(rng, stages=stages, model=latency_model)
+        else:
+            self._latency = ExponentialPool(rng, params.latency_rate)
+            self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=stages)
+        self._contact = IntegerPool(rng, self.n - 1)
+
+        # Hot per-node state: plain Python lists (see module docstring).
+        self._cols: list[int] = counts_to_assignment(counts, rng).tolist()
+        self._gens: list[int] = [0] * self.n
+        self._locked: list[bool] = [False] * self.n
+        self._seen_gen: list[int] = [-1] * self.n
+        self._seen_prop: list[int] = [-1] * self.n
 
         rows = params.max_generation + 2
-        self.matrix = np.zeros((rows, self.k), dtype=np.int64)
-        self.matrix[0, :] = counts
-        self.color_counts = counts.copy()
+        self._matrix: list[list[int]] = [[0] * self.k for _ in range(rows)]
+        self._matrix[0] = [int(c) for c in counts]
+        self._color_counts: list[int] = [int(c) for c in counts]
         self.plurality = plurality_color(counts)
         self.births: list[GenerationBirth] = []
         self.trajectory: list[StepStats] = []
         self.good_ticks = 0
         self.total_ticks = 0
 
+        # Convergence is detected where counts change (_set_state), not
+        # polled per event: reaching n nodes of one color requests a
+        # simulator stop, and the ε-target is recorded the instant the
+        # plurality count crosses it.
+        self._eps_target: int | None = None
+        self._eps_stop = False
+        self._eps_time: float | None = None
+
+        schedule_in = self.sim.schedule_in
+        tick = self._tick
+        wait = self._tick_wait
         for node in range(self.n):
-            self._schedule_tick(node)
+            schedule_in(wait(), tick, node)
+
+    # ------------------------------------------------------------------
+    # numpy snapshot views (external consumers: tests, experiments)
+    # ------------------------------------------------------------------
+    @property
+    def cols(self) -> np.ndarray:
+        """Per-node colors (snapshot array)."""
+        return np.asarray(self._cols, dtype=np.int64)
+
+    @property
+    def gens(self) -> np.ndarray:
+        """Per-node generations (snapshot array)."""
+        return np.asarray(self._gens, dtype=np.int64)
+
+    @property
+    def locked(self) -> np.ndarray:
+        """Per-node locked flags (snapshot array)."""
+        return np.asarray(self._locked, dtype=bool)
+
+    @property
+    def seen_gen(self) -> np.ndarray:
+        """Stored leader generation per node (snapshot array)."""
+        return np.asarray(self._seen_gen, dtype=np.int64)
+
+    @property
+    def seen_prop(self) -> np.ndarray:
+        """Stored leader propagation flag per node (snapshot array)."""
+        return np.asarray(self._seen_prop, dtype=np.int8)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Generation×color count matrix (snapshot array)."""
+        return np.asarray(self._matrix, dtype=np.int64)
+
+    @property
+    def color_counts(self) -> np.ndarray:
+        """Current per-color node counts (snapshot array)."""
+        return np.asarray(self._color_counts, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
-    def _schedule_tick(self, node: int) -> None:
-        wait = self._rng.exponential(1.0 / self.params.clock_rate)
-        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
-
-    def _latency(self) -> float:
-        if self._latency_model is not None:
-            return float(self._latency_model.draw(self._rng))
-        return float(self._rng.exponential(1.0 / self.params.latency_rate))
-
     def _send_signal(self, i: int) -> None:
         """Fire-and-forget i-signal to the leader (one-way latency)."""
-        self.sim.schedule_in(
-            self._latency(), lambda i=i: self._leader_signal(i), tag="signal"
-        )
+        self.sim.schedule_in(self._latency(), self._leader_signal, i)
 
     def _leader_signal(self, i: int) -> None:
         self.leader.on_signal(i, self.sim.now)
@@ -138,7 +209,7 @@ class SingleLeaderSim:
             if change.kind == "propagation":
                 # Lemma 22's snapshot: the newest generation at the end of
                 # its two-choices window.
-                row = self.matrix[change.generation]
+                row = np.asarray(self._matrix[change.generation], dtype=np.int64)
                 total = int(row.sum())
                 self.births.append(
                     GenerationBirth(
@@ -152,35 +223,32 @@ class SingleLeaderSim:
 
     def _tick(self, node: int) -> None:
         self.total_ticks += 1
-        self._schedule_tick(node)
-        self._send_signal(0)  # line 1: every tick, even when locked
-        if self.locked[node]:
+        sim = self.sim
+        sim.schedule_in(self._tick_wait(), self._tick, node)
+        sim.schedule_in(self._latency(), self._leader_signal, 0)  # line 1: every tick
+        if self._locked[node]:
             return
-        self.locked[node] = True
+        self._locked[node] = True
         self.good_ticks += 1
         first = self._sample_neighbor(node)
         second = self._sample_neighbor(node)
-        d_first, d_second, d_leader = self._latency(), self._latency(), self._latency()
-        if self.params.plan is ChannelPlan.CONCURRENT_THEN_LEADER:
-            delay = max(d_first, d_second) + d_leader
-        else:
-            delay = d_first + d_second + d_leader
-        self.sim.schedule_in(
-            delay,
-            lambda node=node, a=first, b=second: self._exchange(node, a, b),
-            tag="exchange",
-        )
+        sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
 
     def _sample_neighbor(self, node: int) -> int:
-        draw = int(self._rng.integers(self.n - 1))
+        draw = self._contact()
         return draw + 1 if draw >= node else draw
 
-    def _exchange(self, node: int, first: int, second: int) -> None:
-        leader_gen, leader_prop = self.leader.state
-        if self.seen_gen[node] == leader_gen and self.seen_prop[node] == int(leader_prop):
-            gen_a, col_a = int(self.gens[first]), int(self.cols[first])
-            gen_b, col_b = int(self.gens[second]), int(self.cols[second])
-            old_gen = int(self.gens[node])
+    def _exchange(self, payload: tuple[int, int, int]) -> None:
+        node, first, second = payload
+        leader = self.leader
+        leader_gen = leader.gen
+        leader_prop = leader.prop
+        if self._seen_gen[node] == leader_gen and self._seen_prop[node] == leader_prop:
+            gens = self._gens
+            cols = self._cols
+            gen_a, col_a = gens[first], cols[first]
+            gen_b, col_b = gens[second], cols[second]
+            old_gen = gens[node]
             if (
                 not leader_prop
                 and gen_a == leader_gen - 1
@@ -200,41 +268,54 @@ class SingleLeaderSim:
                     self._set_state(node, candidate_gen, candidate_col)
                     self._send_signal(candidate_gen)
         else:
-            self.seen_gen[node] = leader_gen
-            self.seen_prop[node] = int(leader_prop)
-        self.locked[node] = False
+            self._seen_gen[node] = leader_gen
+            self._seen_prop[node] = int(leader_prop)
+        self._locked[node] = False
 
     def _set_state(self, node: int, gen: int, col: int) -> None:
-        old_gen, old_col = int(self.gens[node]), int(self.cols[node])
-        self.matrix[old_gen, old_col] -= 1
-        self.matrix[gen, col] += 1
+        gens = self._gens
+        cols = self._cols
+        old_gen, old_col = gens[node], cols[node]
+        matrix = self._matrix
+        matrix[old_gen][old_col] -= 1
+        matrix[gen][col] += 1
         if col != old_col:
-            self.color_counts[old_col] -= 1
-            self.color_counts[col] += 1
-        self.gens[node] = gen
-        self.cols[node] = col
+            counts = self._color_counts
+            counts[old_col] -= 1
+            new = counts[col] + 1
+            counts[col] = new
+            eps = self._eps_target
+            if eps is not None and self._eps_time is None and col == self.plurality and new >= eps:
+                self._eps_time = self.sim.now
+                if self._eps_stop:
+                    self.sim.stop()
+            if new == self.n:
+                self.sim.stop()
+        gens[node] = gen
+        cols[node] = col
 
     # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
     def stats(self) -> StepStats:
-        per_generation = self.matrix.sum(axis=1)
+        matrix = self.matrix
+        per_generation = matrix.sum(axis=1)
         occupied = np.nonzero(per_generation)[0]
         top = int(occupied[-1]) if occupied.size else 0
         return StepStats(
             time=self.sim.now,
             top_generation=top,
             top_generation_fraction=float(per_generation[top]) / self.n,
-            plurality_fraction=float(self.color_counts.max()) / self.n,
+            plurality_fraction=float(max(self._color_counts)) / self.n,
             bias=multiplicative_bias(self.color_counts),
         )
 
     def _schedule_sampler(self, every: float) -> None:
         def sample() -> None:
             self.trajectory.append(self.stats())
-            self.sim.schedule_in(every, sample, tag="sampler")
+            self.sim.schedule_in(every, sample)
 
-        self.sim.schedule_in(every, sample, tag="sampler")
+        self.sim.schedule_in(every, sample)
 
     # ------------------------------------------------------------------
     # runner
@@ -267,27 +348,43 @@ class SingleLeaderSim:
         epsilon_target = None
         if epsilon is not None:
             epsilon_target = int(np.ceil((1.0 - epsilon) * self.n))
-        epsilon_time: float | None = None
-        consensus_target = self.n
+        n = self.n
+        counts = self._color_counts
+        plurality = self.plurality
+        self._eps_target = epsilon_target
+        self._eps_stop = stop_at_epsilon
+        self._eps_time = None
 
-        def done() -> bool:
-            nonlocal epsilon_time
-            leading = int(self.color_counts[self.plurality])
-            if epsilon_target is not None and epsilon_time is None:
-                if leading >= epsilon_target:
-                    epsilon_time = self.sim.now
+        already_converged = max(counts) == n
+        eps_pre_satisfied = (
+            epsilon_target is not None and counts[plurality] >= epsilon_target
+        )
+        if already_converged or eps_pre_satisfied:
+            # Degenerate starts cannot trigger the _set_state hooks (the
+            # counts never cross a threshold they are already past), so
+            # fall back to the seed's per-event polling.
+            def done() -> bool:
+                if (
+                    epsilon_target is not None
+                    and self._eps_time is None
+                    and counts[plurality] >= epsilon_target
+                ):
+                    self._eps_time = self.sim.now
                     if stop_at_epsilon:
                         return True
-            return leading == consensus_target or int(self.color_counts.max()) == self.n
+                return max(counts) == n
 
-        self.sim.run(until=max_time, stop_when=done)
-        converged = int(self.color_counts.max()) == self.n
+            self.sim.run(until=max_time, stop_when=done)
+        else:
+            self.sim.run(until=max_time)
+        epsilon_time = self._eps_time
+        converged = max(counts) == n
         return RunResult(
             converged=converged,
-            winner=int(np.argmax(self.color_counts)),
+            winner=int(np.argmax(counts)),
             plurality_color=self.plurality,
             elapsed=self.sim.now,
-            final_color_counts=self.color_counts.copy(),
+            final_color_counts=self.color_counts,
             epsilon_convergence_time=epsilon_time,
             trajectory=self.trajectory,
             births=self.births,

@@ -190,14 +190,20 @@ class PerNodeSynchronousSim(_SynchronousBase):
         self.generations = np.zeros(self.n, dtype=np.int64)
         self.steps_done = 0
         self._rows = schedule.max_generation + 2
+        self._nodes = np.arange(self.n)
 
     def _sample_pairs(self) -> tuple[np.ndarray, np.ndarray]:
-        """Two independent uniform neighbors per node, never the node itself."""
-        nodes = np.arange(self.n)
+        """Two independent uniform neighbors per node, never the node itself.
+
+        One batched ``rng.integers`` call per sample vector plus the
+        shift trick (skip the sampler's own index) — the whole round's
+        contact sampling is two numpy calls.
+        """
+        nodes = self._nodes
         first = self._rng.integers(self.n - 1, size=self.n)
         second = self._rng.integers(self.n - 1, size=self.n)
-        first = first + (first >= nodes)
-        second = second + (second >= nodes)
+        first += first >= nodes
+        second += second >= nodes
         return first, second
 
     def step(self) -> None:
@@ -227,9 +233,12 @@ class PerNodeSynchronousSim(_SynchronousBase):
         return float(np.count_nonzero(self.generations == top)) / self.n
 
     def generation_color_matrix(self) -> np.ndarray:
-        matrix = np.zeros((self._rows, self.k), dtype=np.int64)
-        np.add.at(matrix, (self.generations, self.colors), 1)
-        return matrix
+        # bincount over flattened (generation, color) keys — much faster
+        # than np.add.at's unbuffered fancy-index accumulation.
+        flat = np.bincount(
+            self.generations * self.k + self.colors, minlength=self._rows * self.k
+        )
+        return flat.reshape(self._rows, self.k).astype(np.int64, copy=False)
 
 
 class AggregateSynchronousSim(_SynchronousBase):

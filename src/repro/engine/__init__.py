@@ -7,7 +7,7 @@ deterministic RNG substreams, and structured tracing.
 """
 
 from repro.engine.clocks import PoissonClock
-from repro.engine.events import Event, EventQueue
+from repro.engine.events import EventQueue
 from repro.engine.hypoexp import Hypoexponential
 from repro.engine.latency import (
     ChannelPlan,
@@ -21,7 +21,15 @@ from repro.engine.latency import (
     time_unit_steps,
 )
 from repro.engine.network import CompleteGraph
-from repro.engine.rng import RngRegistry
+from repro.engine.rng import (
+    ChannelDelayPool,
+    DrawPool,
+    ExponentialPool,
+    IntegerPool,
+    LatencyPool,
+    RngRegistry,
+    UniformPool,
+)
 from repro.engine.simulator import Simulator
 from repro.engine.tracing import (
     NULL_TRACER,
@@ -34,8 +42,13 @@ from repro.engine.tracing import (
 
 __all__ = [
     "PoissonClock",
-    "Event",
     "EventQueue",
+    "ChannelDelayPool",
+    "DrawPool",
+    "ExponentialPool",
+    "IntegerPool",
+    "LatencyPool",
+    "UniformPool",
     "Hypoexponential",
     "ChannelPlan",
     "ConstantLatency",

@@ -5,6 +5,13 @@ Every node in the asynchronous model carries a Poisson clock with rate 1
 :class:`PoissonClock` schedules tick events on a
 :class:`~repro.engine.simulator.Simulator` and invokes a callback per
 tick. Clocks can be stopped, which cancels the pending tick event.
+
+Inter-tick waits come from a block-prefetched
+:class:`~repro.engine.rng.ExponentialPool` over the clock's generator.
+NumPy fills block draws with the same per-element sampler as scalar
+draws, so for a clock that owns its substream the tick trajectory is
+bit-identical to the scalar-draw implementation — just an order of
+magnitude cheaper per tick.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine.events import Event
+from repro.engine.rng import ExponentialPool
 from repro.engine.simulator import Simulator
 from repro.util.validation import check_positive
 
@@ -34,9 +41,11 @@ class PoissonClock:
         Callback invoked at every tick.
     rate:
         Expected number of ticks per time step (1 in the paper).
-    tag:
-        Label attached to the scheduled events (for traces/debugging).
+    block:
+        Number of inter-tick waits prefetched per refill.
     """
+
+    __slots__ = ("_sim", "_waits", "_on_tick", "_rate", "_pending", "_running", "ticks")
 
     def __init__(
         self,
@@ -45,14 +54,13 @@ class PoissonClock:
         on_tick: Callable[[], None],
         *,
         rate: float = 1.0,
-        tag: str = "tick",
+        block: int = 512,
     ):
         self._sim = sim
-        self._rng = rng
-        self._on_tick = on_tick
         self._rate = check_positive("rate", rate)
-        self._tag = tag
-        self._pending: Event | None = None
+        self._waits = ExponentialPool(rng, self._rate, block=block)
+        self._on_tick = on_tick
+        self._pending: int | None = None
         self._running = False
         self.ticks = 0
 
@@ -68,15 +76,14 @@ class PoissonClock:
         self._schedule_next()
 
     def stop(self) -> None:
-        """Stop the clock and cancel any pending tick."""
+        """Stop the clock and tombstone any pending tick."""
         self._running = False
         if self._pending is not None:
             self._sim.cancel(self._pending)
             self._pending = None
 
     def _schedule_next(self) -> None:
-        wait = self._rng.exponential(1.0 / self._rate)
-        self._pending = self._sim.schedule_in(wait, self._fire, tag=self._tag)
+        self._pending = self._sim.schedule_in(self._waits(), self._fire)
 
     def _fire(self) -> None:
         self._pending = None

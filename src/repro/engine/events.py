@@ -1,108 +1,131 @@
 """Event queue for the discrete-event simulation engine.
 
-Events are ``(time, sequence, payload)`` entries in a binary heap. The
+Events are plain ``(time, seq, action, payload)`` tuples on a binary
+heap — no per-event object allocation on the hot path.  The
 monotonically increasing sequence number gives deterministic FIFO
-tie-breaking for events scheduled at the same simulated time, which is
-essential for reproducibility: Python's ``heapq`` would otherwise try to
-compare payloads.
+tie-breaking for events scheduled at the same simulated time (essential
+for reproducibility) and guarantees ``heapq`` never has to compare
+actions or payloads.
+
+``action`` is any callable; ``payload`` is the single argument it is
+dispatched with (``None`` means "call with no arguments").  Protocol
+simulators pass bound methods with integer or small-tuple payloads,
+which is far cheaper than allocating a fresh closure per event.
+
+Cancellation is lazy, via tombstones over a *live set*: the first
+:meth:`EventQueue.cancel` snapshots the pending sequence numbers, and a
+cancelled entry is dropped — never dispatched — when it reaches the top
+of the heap.  Tracking live seqs (rather than a set of cancelled ones)
+makes cancelling an already-dispatched or already-cancelled handle a
+harmless no-op, a property pinned down by the Hypothesis suite in
+``tests/engine/test_event_queue_properties.py``.  Queues that never
+cancel (all the protocol simulators) skip the set bookkeeping entirely.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.errors import SchedulingError
 
-__all__ = ["Event", "EventQueue"]
+__all__ = ["EventQueue"]
 
-
-@dataclass(frozen=True, slots=True)
-class Event:
-    """A scheduled occurrence in simulated time.
-
-    Attributes
-    ----------
-    time:
-        Simulated time at which the event fires.
-    seq:
-        Monotonic sequence number; breaks ties deterministically.
-    action:
-        Zero-argument callable executed when the event fires.
-    tag:
-        Optional label used by traces and by :meth:`EventQueue.cancel`.
-    """
-
-    time: float
-    seq: int
-    action: Callable[[], Any] = field(compare=False)
-    tag: str = field(default="", compare=False)
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+#: One scheduled occurrence: ``(time, seq, action, payload)``.
+Entry = tuple[float, int, Callable[..., Any], Any]
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects.
+    """A binary-heap priority queue of ``(time, seq, action, payload)`` tuples.
 
-    Supports lazy cancellation: :meth:`cancel` marks an event dead and it
-    is skipped (and dropped) when popped.
+    :meth:`push` returns the event's sequence number, which doubles as
+    the cancellation handle: :meth:`cancel` marks the entry dead (a
+    tombstone) and it is skipped and dropped when popped.
+
+    ``_live`` is ``None`` until the first cancellation — the common
+    all-events-fire case pays nothing for cancellation support.
     """
 
+    __slots__ = ("_heap", "_next_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[Entry] = []
         self._next_seq = 0
-        self._cancelled: set[int] = set()
+        self._live: set[int] | None = None
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        live = self._live
+        return len(self._heap) if live is None else len(live)
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        live = self._live
+        return bool(self._heap) if live is None else bool(live)
 
-    def push(self, time: float, action: Callable[[], Any], *, tag: str = "") -> Event:
-        """Schedule ``action`` at absolute ``time``; returns the event handle."""
+    def push(self, time: float, action: Callable[..., Any], payload: Any = None) -> int:
+        """Schedule ``action(payload)`` at absolute ``time``; returns the seq handle.
+
+        A ``None`` payload means ``action`` is invoked with no arguments.
+
+        NOTE: ``Simulator.schedule``/``schedule_in`` inline this body for
+        speed — any change to the seq/heap/live bookkeeping here must be
+        mirrored there.
+        """
         if time != time:  # NaN guard
             raise SchedulingError("cannot schedule an event at time NaN")
-        event = Event(time=time, seq=self._next_seq, action=action, tag=tag)
-        self._next_seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, action, payload))
+        if self._live is not None:
+            self._live.add(seq)
+        return seq
 
-    def cancel(self, event: Event) -> None:
-        """Mark ``event`` as cancelled; it will be skipped when reached."""
-        self._cancelled.add(event.seq)
+    def cancel(self, seq: int) -> None:
+        """Tombstone the event with handle ``seq``; it will never dispatch.
+
+        Idempotent; cancelling a handle that already dispatched is a
+        no-op.  The first cancellation snapshots the live set.
+        """
+        live = self._live
+        if live is None:
+            live = self._live = {entry[1] for entry in self._heap}
+        live.discard(seq)
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        self._drop_dead()
-        if not self._heap:
+        heap = self._heap
+        live = self._live
+        if live is not None:
+            while heap and heap[0][1] not in live:
+                heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
-    def pop(self) -> Event:
-        """Remove and return the next live event.
+    def pop(self) -> Entry:
+        """Remove and return the next live ``(time, seq, action, payload)``.
 
         Raises
         ------
         SchedulingError
             If the queue is empty.
         """
-        self._drop_dead()
-        if not self._heap:
-            raise SchedulingError("pop from an empty event queue")
-        return heapq.heappop(self._heap)
+        heap = self._heap
+        live = self._live
+        if live is None:
+            if not heap:
+                raise SchedulingError("pop from an empty event queue")
+            return heapq.heappop(heap)
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[1] in live:
+                live.remove(entry[1])
+                return entry
+        raise SchedulingError("pop from an empty event queue")
 
-    def drain(self) -> Iterator[Event]:
+    def drain(self) -> Iterator[Entry]:
         """Yield live events in time order until the queue is empty.
 
         New events pushed while draining are interleaved correctly.
         """
         while self:
             yield self.pop()
-
-    def _drop_dead(self) -> None:
-        while self._heap and self._heap[0].seq in self._cancelled:
-            dead = heapq.heappop(self._heap)
-            self._cancelled.discard(dead.seq)

@@ -2,20 +2,27 @@
 
 :class:`Simulator` owns the simulated clock and the event queue and runs
 the classic event loop: repeatedly pop the earliest event, advance the
-clock to its timestamp, and execute its action. Actions schedule further
-events through :meth:`Simulator.schedule` / :meth:`Simulator.schedule_in`.
+clock to its timestamp, and execute its action.  Actions schedule
+further events through :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_in`.
 
-Protocol components (nodes, leaders, clocks) are plain Python objects
-holding a reference to the simulator; there is no process/coroutine
-machinery — the paper's protocols are reactive state machines, which map
-naturally onto event callbacks.
+Events are ``(time, seq, action, payload)`` tuples (see
+:mod:`repro.engine.events`); the run loop manipulates the queue's heap
+directly, skipping tombstoned entries inline, so dispatching one event
+costs a ``heappop``, one or two attribute loads, and the callback
+itself.  Protocol components (nodes, leaders, clocks) are plain Python
+objects holding a reference to the simulator; there is no
+process/coroutine machinery — the paper's protocols are reactive state
+machines, which map naturally onto event callbacks with integer
+payloads.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable
 
-from repro.engine.events import Event, EventQueue
+from repro.engine.events import EventQueue
 from repro.engine.tracing import NULL_TRACER, Tracer
 from repro.errors import SchedulingError
 
@@ -49,23 +56,45 @@ class Simulator:
         """Number of events executed so far (telemetry)."""
         return self._events_executed
 
-    def schedule(self, time: float, action: Callable[[], Any], *, tag: str = "") -> Event:
-        """Schedule ``action`` at absolute simulated ``time``."""
-        if time < self.now:
+    def schedule(
+        self, time: float, action: Callable[..., Any], payload: Any = None
+    ) -> int:
+        """Schedule ``action(payload)`` at absolute simulated ``time``.
+
+        Returns the event's sequence handle (pass to :meth:`cancel`). A
+        ``None`` payload means ``action`` runs with no arguments.
+        """
+        if not time >= self.now:  # rejects past times and NaN
             raise SchedulingError(
-                f"cannot schedule event at {time} in the past (now={self.now}, tag={tag!r})"
+                f"cannot schedule event at {time} in the past (now={self.now})"
             )
-        return self.queue.push(time, action, tag=tag)
+        # Inlined EventQueue.push — one event is scheduled per event
+        # executed in steady state, so this is as hot as the run loop.
+        queue = self.queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (time, seq, action, payload))
+        if queue._live is not None:
+            queue._live.add(seq)
+        return seq
 
-    def schedule_in(self, delay: float, action: Callable[[], Any], *, tag: str = "") -> Event:
-        """Schedule ``action`` after a non-negative ``delay`` from now."""
-        if delay < 0:
-            raise SchedulingError(f"negative delay {delay} (tag={tag!r})")
-        return self.queue.push(self.now + delay, action, tag=tag)
+    def schedule_in(
+        self, delay: float, action: Callable[..., Any], payload: Any = None
+    ) -> int:
+        """Schedule ``action(payload)`` after a non-negative ``delay`` from now."""
+        if not delay >= 0:  # rejects negative delays and NaN
+            raise SchedulingError(f"negative delay {delay}")
+        queue = self.queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (self.now + delay, seq, action, payload))
+        if queue._live is not None:
+            queue._live.add(seq)
+        return seq
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        self.queue.cancel(event)
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event by its sequence handle."""
+        self.queue.cancel(handle)
 
     def stop(self) -> None:
         """Request the run loop to stop after the current event."""
@@ -97,25 +126,68 @@ class Simulator:
             The simulated time when the loop exited.
         """
         self._stop_requested = False
-        executed_this_run = 0
-        while self.queue:
-            if max_events is not None and executed_this_run >= max_events:
-                break
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                return self.now
-            event = self.queue.pop()
-            self.now = event.time
-            event.action()
-            self._events_executed += 1
-            executed_this_run += 1
-            if self._stop_requested:
-                break
-            if stop_when is not None and stop_when():
-                break
-        if until is not None and not self.queue and self.now < until:
+        executed = 0
+        queue = self.queue
+        heap = queue._heap
+        horizon = float("inf") if until is None else until
+        try:
+            if max_events is None and stop_when is None:
+                # Tight loop: protocol runs stop via Simulator.stop()
+                # (convergence is detected at the state update, not
+                # polled per event), so only the horizon is checked.
+                # queue._live is re-read per event because a callback
+                # can trigger the first cancellation mid-run.
+                while heap:
+                    entry = heap[0]
+                    live = queue._live
+                    if live is not None and entry[1] not in live:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if time > horizon:
+                        self.now = until
+                        return self.now
+                    heappop(heap)
+                    if live is not None:
+                        live.remove(entry[1])
+                    self.now = time
+                    payload = entry[3]
+                    if payload is None:
+                        entry[2]()
+                    else:
+                        entry[2](payload)
+                    executed += 1
+                    if self._stop_requested:
+                        break
+            else:
+                while heap:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    entry = heap[0]
+                    live = queue._live
+                    if live is not None and entry[1] not in live:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if time > horizon:
+                        self.now = until
+                        return self.now
+                    heappop(heap)
+                    if live is not None:
+                        live.remove(entry[1])
+                    self.now = time
+                    payload = entry[3]
+                    if payload is None:
+                        entry[2]()
+                    else:
+                        entry[2](payload)
+                    executed += 1
+                    if self._stop_requested:
+                        break
+                    if stop_when is not None and stop_when():
+                        break
+        finally:
+            self._events_executed += executed
+        if until is not None and not queue and self.now < until:
             self.now = until
         return self.now

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.multileader.clustering import Clustering
@@ -58,7 +59,11 @@ class BroadcastSim:
         self.n = params.n
         self._rng = rng
         self.sim = Simulator()
-        self.leader_of = clustering.leader_of
+        self._tick_wait = ExponentialPool(rng, params.clock_rate)
+        self._contact = IntegerPool(rng, self.n - 1)
+        # Own leader + two sampled nodes concurrently, then their leaders.
+        self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=(3, 2))
+        self._leader_of: list[int] = clustering.leader_of.tolist()
         self.leaders = sorted(set(clustering.active_leaders))
         if not self.leaders:
             raise ConfigurationError("clustering has no active leaders")
@@ -70,58 +75,66 @@ class BroadcastSim:
         self.informed[source] = True
         self.informed_count = 1
         self.trajectory: list[tuple[float, int]] = [(0.0, 1)]
-        self.locked = np.zeros(self.n, dtype=bool)
+        self._locked: list[bool] = [False] * self.n
         self._active = set(self.leaders)
+        schedule_in = self.sim.schedule_in
+        tick = self._tick
+        wait = self._tick_wait
         for node in range(self.n):
-            if self.leader_of[node] in self._active:
-                self._schedule_tick(node)
+            if self._leader_of[node] in self._active:
+                schedule_in(wait(), tick, node)
 
-    def _schedule_tick(self, node: int) -> None:
-        wait = self._rng.exponential(1.0 / self.params.clock_rate)
-        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
+    @property
+    def leader_of(self) -> np.ndarray:
+        """Per-node leader assignment, ``-1`` when unclustered (snapshot)."""
+        return np.asarray(self._leader_of, dtype=np.int64)
 
-    def _latency(self) -> float:
-        return float(self._rng.exponential(1.0 / self.params.latency_rate))
+    @property
+    def locked(self) -> np.ndarray:
+        """Per-node locked flags (snapshot array)."""
+        return np.asarray(self._locked, dtype=bool)
 
     def _sample_other(self, node: int) -> int:
-        draw = int(self._rng.integers(self.n - 1))
+        draw = self._contact()
         return draw + 1 if draw >= node else draw
 
     def _tick(self, node: int) -> None:
-        self._schedule_tick(node)
-        if self.locked[node]:
+        sim = self.sim
+        sim.schedule_in(self._tick_wait(), self._tick, node)
+        if self._locked[node]:
             return
-        self.locked[node] = True
+        self._locked[node] = True
         first, second = self._sample_other(node), self._sample_other(node)
-        # Own leader + two sampled nodes concurrently, then their leaders.
-        delay = max(self._latency(), self._latency(), self._latency()) + max(
-            self._latency(), self._latency()
-        )
-        self.sim.schedule_in(
-            delay,
-            lambda node=node, a=first, b=second: self._exchange(node, a, b),
-            tag="exchange",
-        )
+        sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
 
-    def _exchange(self, node: int, first: int, second: int) -> None:
-        contacted = {int(self.leader_of[node])}
+    def _exchange(self, payload: tuple[int, int, int]) -> None:
+        node, first, second = payload
+        leader_of = self._leader_of
+        active = self._active
+        informed = self.informed
+        contacted = {leader_of[node]}
         for sample in (first, second):
-            leader = int(self.leader_of[sample])
-            if leader in self._active:
+            leader = leader_of[sample]
+            if leader in active:
                 contacted.add(leader)
-        if any(self.informed.get(leader, False) for leader in contacted):
+        if any(informed.get(leader, False) for leader in contacted):
             for leader in contacted:
-                if leader in self._active and not self.informed[leader]:
-                    self.informed[leader] = True
+                if leader in active and not informed[leader]:
+                    informed[leader] = True
                     self.informed_count += 1
                     self.trajectory.append((self.sim.now, self.informed_count))
-        self.locked[node] = False
+            if self.informed_count == len(self.leaders):
+                self.sim.stop()
+        self._locked[node] = False
 
     def run(self, *, max_time: float = 200.0) -> BroadcastResult:
         """Run until every active leader is informed (or ``max_time``)."""
-        self.sim.run(
-            until=max_time, stop_when=lambda: self.informed_count == len(self.leaders)
-        )
+        if self.informed_count == len(self.leaders):
+            # Degenerate single-leader overlay: already informed; keep
+            # the seed's stop-after-first-event semantics.
+            self.sim.run(until=max_time, max_events=1)
+        else:
+            self.sim.run(until=max_time)
         completed = self.informed_count == len(self.leaders)
         return BroadcastResult(
             all_informed_time=self.sim.now if completed else None,

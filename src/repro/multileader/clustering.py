@@ -22,6 +22,10 @@ small clusters — do not depend on admission pacing). With
 letter: a leader that reaches the target size *pauses* admissions,
 counts ``pause_units`` worth of member 0-signals, then *reopens* until
 the cap; the ready counter starts only after the reopen window.
+
+The event hot path (ticks, latencies, contact sampling) draws from
+block-prefetched pools and dispatches bound methods with integer/tuple
+payloads — see the engine notes in :mod:`repro.core.single_leader`.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError, SimulationError
 from repro.multileader.params import MultiLeaderParams
@@ -162,7 +167,12 @@ class ClusteringSim:
         self.n = params.n
         self._rng = rng
         self.sim = Simulator()
-        self.leader_of = np.full(self.n, -1, dtype=np.int64)
+        self._tick_wait = ExponentialPool(rng, params.clock_rate)
+        self._latency = ExponentialPool(rng, params.latency_rate)
+        self._contact = IntegerPool(rng, self.n - 1)
+        # Three concurrent channels to the sampled nodes per cycle.
+        self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=(3,))
+        self._leader: list[int] = [-1] * self.n
         coin = rng.random(self.n) < params.leader_probability
         self.is_leader = coin
         if not coin.any():
@@ -170,14 +180,16 @@ class ClusteringSim:
             self.is_leader[int(rng.integers(self.n))] = True
         leaders = np.nonzero(self.is_leader)[0]
         for leader in leaders:
-            self.leader_of[leader] = leader
+            self._leader[int(leader)] = int(leader)
         self.size: dict[int, int] = {int(v): 1 for v in leaders}
         self.signal_count: dict[int, int] = {int(v): 0 for v in leaders}
         self.ready: dict[int, bool] = {int(v): False for v in leaders}
         self.informed: dict[int, bool] = {int(v): False for v in leaders}
+        self._informed_count = 0
+        self._total_leaders = len(self.informed)
         self.switch_times: dict[int, float] = {}
         self.active_leaders: list[int] = []
-        self.locked = np.zeros(self.n, dtype=bool)
+        self._locked: list[bool] = [False] * self.n
         self._ready_signals = math.ceil(
             ready_units * params.time_unit * params.target_cluster_size
         )
@@ -191,59 +203,62 @@ class ClusteringSim:
         self._broadcast_started = False
         self.first_ready_time: float | None = None
         self.clustered_trajectory: list[tuple[float, float]] = []
+        schedule_in = self.sim.schedule_in
+        tick = self._tick
+        wait = self._tick_wait
         for node in range(self.n):
-            self._schedule_tick(node)
+            schedule_in(wait(), tick, node)
 
     # ------------------------------------------------------------------
-    def _schedule_tick(self, node: int) -> None:
-        wait = self._rng.exponential(1.0 / self.params.clock_rate)
-        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
+    @property
+    def leader_of(self) -> np.ndarray:
+        """Per-node leader assignment, ``-1`` when unclustered (snapshot)."""
+        return np.asarray(self._leader, dtype=np.int64)
 
-    def _latency(self) -> float:
-        return float(self._rng.exponential(1.0 / self.params.latency_rate))
+    @property
+    def locked(self) -> np.ndarray:
+        """Per-node locked flags (snapshot array)."""
+        return np.asarray(self._locked, dtype=bool)
 
     def _sample_other(self, node: int) -> int:
-        draw = int(self._rng.integers(self.n - 1))
+        draw = self._contact()
         return draw + 1 if draw >= node else draw
 
     def _tick(self, node: int) -> None:
-        self._schedule_tick(node)
-        own = int(self.leader_of[node])
+        sim = self.sim
+        sim.schedule_in(self._tick_wait(), self._tick, node)
+        own = self._leader[node]
         if own >= 0:
             # Member (or leader itself): 0-signal to the own leader.
-            self.sim.schedule_in(
-                self._latency(), lambda own=own: self._leader_signal(own), tag="signal"
-            )
-        if self.locked[node]:
+            sim.schedule_in(self._latency(), self._leader_signal, own)
+        if self._locked[node]:
             return
-        self.locked[node] = True
-        samples = [self._sample_other(node) for _ in range(3)]
-        delay = max(self._latency() for _ in range(3))
-        self.sim.schedule_in(
-            delay,
-            lambda node=node, samples=tuple(samples): self._exchange(node, samples),
-            tag="exchange",
+        self._locked[node] = True
+        samples = (
+            self._sample_other(node),
+            self._sample_other(node),
+            self._sample_other(node),
         )
+        sim.schedule_in(self._channel_delay(), self._exchange, (node, samples))
 
-    def _exchange(self, node: int, samples: tuple[int, ...]) -> None:
+    def _exchange(self, payload: tuple[int, tuple[int, ...]]) -> None:
+        node, samples = payload
         # Relay the switch broadcast between every pair of leaders seen.
-        seen_leaders = {int(self.leader_of[s]) for s in samples if self.leader_of[s] >= 0}
-        own = int(self.leader_of[node])
+        leader = self._leader
+        seen_leaders = {leader[s] for s in samples if leader[s] >= 0}
+        own = leader[node]
         if own >= 0:
             seen_leaders.add(own)
-        if any(self.informed.get(leader, False) for leader in seen_leaders):
-            for leader in seen_leaders:
-                self._inform(leader)
+        informed = self.informed
+        if any(informed.get(l, False) for l in seen_leaders):
+            for seen in seen_leaders:
+                self._inform(seen)
         if own >= 0 or not seen_leaders:
-            self.locked[node] = False
+            self._locked[node] = False
             return
         # Unclustered follower: try to join one sampled leader.
         target = min(seen_leaders)  # deterministic pick among candidates
-        self.sim.schedule_in(
-            self._latency(),
-            lambda node=node, target=target: self._join(node, target),
-            tag="join",
-        )
+        self.sim.schedule_in(self._latency(), self._join, (node, target))
 
     def _accepting(self, leader: int) -> bool:
         """Admission policy (default: open until cap; faithful: pause/reopen)."""
@@ -257,11 +272,12 @@ class ClusteringSim:
         # At/above target: closed while paused, open again after reopening.
         return self._reopened.get(leader, False)
 
-    def _join(self, node: int, target: int) -> None:
-        if self._accepting(target) and self.leader_of[node] < 0:
-            self.leader_of[node] = target
+    def _join(self, payload: tuple[int, int]) -> None:
+        node, target = payload
+        if self._accepting(target) and self._leader[node] < 0:
+            self._leader[node] = target
             self.size[target] += 1
-        self.locked[node] = False
+        self._locked[node] = False
 
     def _leader_signal(self, leader: int) -> None:
         if leader not in self.signal_count:
@@ -286,31 +302,32 @@ class ClusteringSim:
         if self.informed.get(leader, False):
             return
         self.informed[leader] = True
+        self._informed_count += 1
         if self.size[leader] >= self.params.min_active_size:
             self.switch_times[leader] = self.sim.now
             self.active_leaders.append(leader)
+        # Termination is detected here (the only place `informed`
+        # changes) instead of polling every event.
+        if self._broadcast_started and self._informed_count == self._total_leaders:
+            self.sim.stop()
 
     # ------------------------------------------------------------------
     def run(self, *, max_time: float = 500.0, sample_every: float = 1.0) -> Clustering:
         """Run until every leader learned of the switch (or ``max_time``)."""
 
         def sample() -> None:
-            fraction = float(np.count_nonzero(self.leader_of >= 0)) / self.n
-            self.clustered_trajectory.append((self.sim.now, fraction))
-            self.sim.schedule_in(sample_every, sample, tag="sampler")
+            clustered = sum(1 for leader in self._leader if leader >= 0)
+            self.clustered_trajectory.append((self.sim.now, clustered / self.n))
+            self.sim.schedule_in(sample_every, sample)
 
-        self.sim.schedule_in(sample_every, sample, tag="sampler")
-
-        def done() -> bool:
-            return self._broadcast_started and all(self.informed.values())
-
-        self.sim.run(until=max_time, stop_when=done)
+        self.sim.schedule_in(sample_every, sample)
+        self.sim.run(until=max_time)
         if not self.active_leaders:
             raise SimulationError(
                 "clustering produced no active cluster; increase max_time or n"
             )
         return Clustering(
-            leader_of=self.leader_of.copy(),
+            leader_of=self.leader_of,
             active_leaders=sorted(self.active_leaders),
             switch_times=dict(self.switch_times),
             elapsed=self.sim.now,

@@ -27,6 +27,11 @@ Nodes whose generation reaches the budget ``G*`` set ``finished`` and
 push their color to every sample — the ``O(log n)`` full-consensus tail.
 Unclustered nodes and members of inactive clusters take no actions but
 receive pushes, exactly as in Theorem 27's accounting.
+
+Engine notes: randomness comes from block-prefetched pools, events are
+``(time, seq, bound_method, payload)`` tuples, and per-node state lives
+in plain Python lists with numpy snapshot properties — see
+:mod:`repro.core.single_leader` for the rationale.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.results import GenerationBirth, RunResult, StepStats
+from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.multileader.cluster_leader import (
@@ -78,7 +84,14 @@ class MultiLeaderConsensusSim:
         self.k = params.k
         self._rng = rng
         self.sim = Simulator()
-        self.leader_of = clustering.leader_of
+        self._leader_of: list[int] = clustering.leader_of.tolist()
+
+        self._tick_wait = ExponentialPool(rng, params.clock_rate)
+        self._latency = ExponentialPool(rng, params.latency_rate)
+        self._contact = IntegerPool(rng, self.n - 1)
+        # Three sample channels concurrently, then the two leader
+        # channels concurrently — one composite pooled draw per cycle.
+        self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=(3, 2))
 
         sizes = clustering.cluster_sizes()
         self.leaders: dict[int, ClusterLeaderState] = {
@@ -87,45 +100,100 @@ class MultiLeaderConsensusSim:
         }
         if not self.leaders:
             raise ConfigurationError("clustering has no active leaders")
-        self._active_member = np.array(
-            [int(self.leader_of[v]) in self.leaders for v in range(self.n)]
-        )
+        active_member = [leader in self.leaders for leader in self._leader_of]
+        self._active_member = np.array(active_member)
+        # Line 1's (0, 3, ·) signal is identical every tick for a given
+        # node — precompute the dispatch payload once per node.
+        self._tick_signal: list[tuple | None] = [
+            (self.leaders[leader], 0, 3, False) if leader in self.leaders else None
+            for leader in self._leader_of
+        ]
 
-        self.cols = counts_to_assignment(counts, rng)
-        self.gens = np.zeros(self.n, dtype=np.int64)
-        self.finished = np.zeros(self.n, dtype=bool)
-        self.locked = np.zeros(self.n, dtype=bool)
-        self.tmp_gen = np.zeros(self.n, dtype=np.int64)
-        self.tmp_state = np.zeros(self.n, dtype=np.int64)
+        self._cols: list[int] = counts_to_assignment(counts, rng).tolist()
+        self._gens: list[int] = [0] * self.n
+        self._finished: list[bool] = [False] * self.n
+        self._locked: list[bool] = [False] * self.n
+        self._tmp_gen: list[int] = [0] * self.n
+        self._tmp_state: list[int] = [0] * self.n
 
         rows = params.max_generation + 2
-        self.matrix = np.zeros((rows, self.k), dtype=np.int64)
-        self.matrix[0, :] = counts
-        self.color_counts = counts.copy()
+        self._matrix: list[list[int]] = [[0] * self.k for _ in range(rows)]
+        self._matrix[0] = [int(c) for c in counts]
+        self._color_counts: list[int] = [int(c) for c in counts]
         self.plurality = plurality_color(counts)
         self.births: list[GenerationBirth] = []
-        self._birth_seen = np.zeros(rows, dtype=bool)
+        self._birth_seen: list[bool] = [False] * rows
         self._birth_seen[0] = True
         self.trajectory: list[StepStats] = []
         self.good_ticks = 0
         self.total_ticks = 0
 
+        # Convergence detection lives in _set_state (see
+        # repro.core.single_leader), not in a per-event stop_when poll.
+        self._eps_target: int | None = None
+        self._eps_stop = False
+        self._eps_time: float | None = None
+
+        schedule_in = self.sim.schedule_in
+        tick = self._tick
+        wait = self._tick_wait
         for node in range(self.n):
-            if self._active_member[node]:
-                self._schedule_tick(node)
+            if active_member[node]:
+                schedule_in(wait(), tick, node)
+
+    # ------------------------------------------------------------------
+    # numpy snapshot views (external consumers: tests, experiments)
+    # ------------------------------------------------------------------
+    @property
+    def leader_of(self) -> np.ndarray:
+        """Per-node leader assignment, ``-1`` when unclustered (snapshot)."""
+        return np.asarray(self._leader_of, dtype=np.int64)
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Per-node colors (snapshot array)."""
+        return np.asarray(self._cols, dtype=np.int64)
+
+    @property
+    def gens(self) -> np.ndarray:
+        """Per-node generations (snapshot array)."""
+        return np.asarray(self._gens, dtype=np.int64)
+
+    @property
+    def finished(self) -> np.ndarray:
+        """Per-node finished flags (snapshot array)."""
+        return np.asarray(self._finished, dtype=bool)
+
+    @property
+    def locked(self) -> np.ndarray:
+        """Per-node locked flags (snapshot array)."""
+        return np.asarray(self._locked, dtype=bool)
+
+    @property
+    def tmp_gen(self) -> np.ndarray:
+        """Stored own-leader generation per node (snapshot array)."""
+        return np.asarray(self._tmp_gen, dtype=np.int64)
+
+    @property
+    def tmp_state(self) -> np.ndarray:
+        """Stored own-leader state per node (snapshot array)."""
+        return np.asarray(self._tmp_state, dtype=np.int64)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Generation×color count matrix (snapshot array)."""
+        return np.asarray(self._matrix, dtype=np.int64)
+
+    @property
+    def color_counts(self) -> np.ndarray:
+        """Current per-color node counts (snapshot array)."""
+        return np.asarray(self._color_counts, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
-    def _schedule_tick(self, node: int) -> None:
-        wait = self._rng.exponential(1.0 / self.params.clock_rate)
-        self.sim.schedule_in(wait, lambda node=node: self._tick(node), tag="tick")
-
-    def _latency(self) -> float:
-        return float(self._rng.exponential(1.0 / self.params.latency_rate))
-
     def _sample_other(self, node: int) -> int:
-        draw = int(self._rng.integers(self.n - 1))
+        draw = self._contact()
         return draw + 1 if draw >= node else draw
 
     def _signal(self, leader: int, i: int, s: int, has_changed: bool) -> None:
@@ -133,60 +201,67 @@ class MultiLeaderConsensusSim:
         if state is None:
             return
         self.sim.schedule_in(
-            self._latency(),
-            lambda: state.on_signal(i, s, has_changed, self.sim.now),
-            tag="signal",
+            self._latency(), self._deliver_signal, (state, i, s, has_changed)
         )
+
+    def _deliver_signal(
+        self, payload: tuple[ClusterLeaderState, int, int, bool]
+    ) -> None:
+        state, i, s, has_changed = payload
+        state.on_signal(i, s, has_changed, self.sim.now)
 
     def _tick(self, node: int) -> None:
         self.total_ticks += 1
-        self._schedule_tick(node)
-        own = int(self.leader_of[node])
-        self._signal(own, 0, 3, False)  # line 1: (0, 3, ·)-signal every tick
-        if self.locked[node]:
+        sim = self.sim
+        sim.schedule_in(self._tick_wait(), self._tick, node)
+        payload = self._tick_signal[node]
+        if payload is not None:  # line 1: (0, 3, ·)-signal every tick
+            sim.schedule_in(self._latency(), self._deliver_signal, payload)
+        if self._locked[node]:
             return
-        self.locked[node] = True
+        self._locked[node] = True
         self.good_ticks += 1
         v1 = self._sample_other(node)
         v2 = self._sample_other(node)
         v3 = self._sample_other(node)
-        # Three sample channels concurrently, then the two leader channels.
-        delay = max(self._latency(), self._latency(), self._latency()) + max(
-            self._latency(), self._latency()
-        )
-        self.sim.schedule_in(
-            delay,
-            lambda node=node, a=v1, b=v2, c=v3: self._exchange(node, a, b, c),
-            tag="exchange",
-        )
+        sim.schedule_in(self._channel_delay(), self._exchange, (node, v1, v2, v3))
 
-    def _exchange(self, node: int, v1: int, v2: int, v3: int) -> None:
-        own_leader = self.leaders.get(int(self.leader_of[node]))
+    def _exchange(self, payload: tuple[int, int, int, int]) -> None:
+        node, v1, v2, v3 = payload
+        leader_of = self._leader_of
+        finished = self._finished
+        gens = self._gens
+        cols = self._cols
+        own_leader = self.leaders.get(leader_of[node])
         # Lines 5-7: finished-flag push / pull.
-        if self.finished[node]:
+        if finished[node]:
+            col = cols[node]
             for sample in (v1, v2, v3):
-                self._set_state(sample, int(self.gens[sample]), int(self.cols[node]))
-                self.finished[sample] = True
-            self.locked[node] = False
+                self._set_state(sample, gens[sample], col)
+                finished[sample] = True
+            self._locked[node] = False
             return
         for sample in (v1, v2, v3):
-            if self.finished[sample]:
-                self._set_state(node, int(self.gens[node]), int(self.cols[sample]))
-                self.finished[node] = True
-                self.locked[node] = False
+            if finished[sample]:
+                self._set_state(node, gens[node], cols[sample])
+                finished[node] = True
+                self._locked[node] = False
                 return
 
-        sampled_leader = self.leaders.get(int(self.leader_of[v3]))
+        sampled_leader = self.leaders.get(leader_of[v3])
         if sampled_leader is None:
             # Line 8: non-active cluster sampled — abort the cycle.
-            self.locked[node] = False
+            self._locked[node] = False
             return
-        l_gen, l_state = sampled_leader.public_state
-        own_gen = int(self.gens[node])
-        gen_a, col_a = int(self.gens[v1]), int(self.cols[v1])
-        gen_b, col_b = int(self.gens[v2]), int(self.cols[v2])
-        in_sync_a = self.tmp_gen[v1] == l_gen and self.tmp_state[v1] == l_state
-        in_sync_b = self.tmp_gen[v2] == l_gen and self.tmp_state[v2] == l_state
+        l_gen = sampled_leader.gen
+        l_state = sampled_leader.state
+        own_gen = gens[node]
+        gen_a, col_a = gens[v1], cols[v1]
+        gen_b, col_b = gens[v2], cols[v2]
+        tmp_gen = self._tmp_gen
+        tmp_state = self._tmp_state
+        in_sync_a = tmp_gen[v1] == l_gen and tmp_state[v1] == l_state
+        in_sync_b = tmp_gen[v2] == l_gen and tmp_state[v2] == l_state
         promoted = False
         if (
             l_state == STATE_TWO_CHOICES
@@ -197,7 +272,7 @@ class MultiLeaderConsensusSim:
             and in_sync_b
         ):
             self._set_state(node, l_gen, col_a)
-            self._signal(int(self.leader_of[node]), l_gen, STATE_TWO_CHOICES, True)
+            self._signal(leader_of[node], l_gen, STATE_TWO_CHOICES, True)
             promoted = True
         elif l_state == STATE_PROPAGATION:
             candidate = -1
@@ -206,36 +281,47 @@ class MultiLeaderConsensusSim:
             elif gen_b == l_gen and own_gen < gen_b and in_sync_b:
                 candidate = v2
             if candidate >= 0:
-                self._set_state(node, int(self.gens[candidate]), int(self.cols[candidate]))
-                self._signal(
-                    int(self.leader_of[node]), int(self.gens[node]), STATE_PROPAGATION, True
-                )
+                self._set_state(node, gens[candidate], cols[candidate])
+                self._signal(leader_of[node], gens[node], STATE_PROPAGATION, True)
                 promoted = True
         if not promoted:
             # Line 18: relay the sampled leader's state to the own leader.
-            self._signal(int(self.leader_of[node]), l_gen, l_state, False)
+            self._signal(leader_of[node], l_gen, l_state, False)
         # Line 19: refresh the stored view of the *own* leader.
         if own_leader is not None:
-            self.tmp_gen[node], self.tmp_state[node] = own_leader.public_state
+            tmp_gen[node] = own_leader.gen
+            tmp_state[node] = own_leader.state
         # Line 20: the generation budget is the finish line.
-        if int(self.gens[node]) >= self.params.max_generation:
-            self.finished[node] = True
-        self.locked[node] = False
+        if gens[node] >= self.params.max_generation:
+            finished[node] = True
+        self._locked[node] = False
 
     def _set_state(self, node: int, gen: int, col: int) -> None:
-        old_gen, old_col = int(self.gens[node]), int(self.cols[node])
+        gens = self._gens
+        cols = self._cols
+        old_gen, old_col = gens[node], cols[node]
         if old_gen == gen and old_col == col:
             return
-        self.matrix[old_gen, old_col] -= 1
-        self.matrix[gen, col] += 1
+        matrix = self._matrix
+        matrix[old_gen][old_col] -= 1
+        matrix[gen][col] += 1
         if col != old_col:
-            self.color_counts[old_col] -= 1
-            self.color_counts[col] += 1
-        self.gens[node] = gen
-        self.cols[node] = col
+            counts = self._color_counts
+            counts[old_col] -= 1
+            new = counts[col] + 1
+            counts[col] = new
+            eps = self._eps_target
+            if eps is not None and self._eps_time is None and col == self.plurality and new >= eps:
+                self._eps_time = self.sim.now
+                if self._eps_stop:
+                    self.sim.stop()
+            if new == self.n:
+                self.sim.stop()
+        gens[node] = gen
+        cols[node] = col
         if not self._birth_seen[gen]:
             self._birth_seen[gen] = True
-            row = self.matrix[gen]
+            row = np.asarray(matrix[gen], dtype=np.int64)
             self.births.append(
                 GenerationBirth(
                     generation=gen,
@@ -250,14 +336,15 @@ class MultiLeaderConsensusSim:
     # observation
     # ------------------------------------------------------------------
     def stats(self) -> StepStats:
-        per_generation = self.matrix.sum(axis=1)
+        matrix = self.matrix
+        per_generation = matrix.sum(axis=1)
         occupied = np.nonzero(per_generation)[0]
         top = int(occupied[-1]) if occupied.size else 0
         return StepStats(
             time=self.sim.now,
             top_generation=top,
             top_generation_fraction=float(per_generation[top]) / self.n,
-            plurality_fraction=float(self.color_counts.max()) / self.n,
+            plurality_fraction=float(max(self._color_counts)) / self.n,
             bias=multiplicative_bias(self.color_counts),
         )
 
@@ -289,33 +376,48 @@ class MultiLeaderConsensusSim:
 
             def sample() -> None:
                 self.trajectory.append(self.stats())
-                self.sim.schedule_in(record_every, sample, tag="sampler")
+                self.sim.schedule_in(record_every, sample)
 
-            self.sim.schedule_in(record_every, sample, tag="sampler")
+            self.sim.schedule_in(record_every, sample)
         epsilon_target = None
         if epsilon is not None:
             epsilon_target = int(np.ceil((1.0 - epsilon) * self.n))
-        epsilon_time: float | None = None
+        n = self.n
+        counts = self._color_counts
+        plurality = self.plurality
+        self._eps_target = epsilon_target
+        self._eps_stop = stop_at_epsilon
+        self._eps_time = None
 
-        def done() -> bool:
-            nonlocal epsilon_time
-            leading = int(self.color_counts[self.plurality])
-            if epsilon_target is not None and epsilon_time is None:
-                if leading >= epsilon_target:
-                    epsilon_time = self.sim.now
+        already_converged = max(counts) == n
+        eps_pre_satisfied = (
+            epsilon_target is not None and counts[plurality] >= epsilon_target
+        )
+        if already_converged or eps_pre_satisfied:
+            # Degenerate starts cannot trigger the _set_state hooks.
+            def done() -> bool:
+                if (
+                    epsilon_target is not None
+                    and self._eps_time is None
+                    and counts[plurality] >= epsilon_target
+                ):
+                    self._eps_time = self.sim.now
                     if stop_at_epsilon:
                         return True
-            return int(self.color_counts.max()) == self.n
+                return max(counts) == n
 
-        self.sim.run(until=max_time, stop_when=done)
-        converged = int(self.color_counts.max()) == self.n
+            self.sim.run(until=max_time, stop_when=done)
+        else:
+            self.sim.run(until=max_time)
+        epsilon_time = self._eps_time
+        converged = max(counts) == n
         max_leader_gen = max(state.gen for state in self.leaders.values())
         return RunResult(
             converged=converged,
-            winner=int(np.argmax(self.color_counts)),
+            winner=int(np.argmax(counts)),
             plurality_color=self.plurality,
             elapsed=self.sim.now,
-            final_color_counts=self.color_counts.copy(),
+            final_color_counts=self.color_counts,
             epsilon_convergence_time=epsilon_time,
             trajectory=self.trajectory,
             births=self.births,

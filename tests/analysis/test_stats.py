@@ -46,6 +46,15 @@ class TestSummarize:
         assert summary.minimum <= summary.median <= summary.maximum
         assert summary.minimum <= summary.mean <= summary.maximum
 
+    def test_mean_of_equal_values_stays_in_range(self):
+        # Regression: numpy's pairwise summation rounded the mean of
+        # three equal values just above the maximum, so summarize now
+        # uses math.fsum and clamps into [minimum, maximum].
+        value = 349525.7865401887
+        summary = summarize([value, value, value])
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.mean == pytest.approx(value)
+
     def test_str_is_informative(self):
         text = str(summarize([1.0, 2.0]))
         assert "median" in text and "n=2" in text

@@ -1,0 +1,139 @@
+"""Hypothesis property tests for the tuple-based :class:`EventQueue`.
+
+The queue is the substrate every protocol trajectory rests on, so its
+contract is pinned down property-style: pops come out time-ordered,
+ties break FIFO by insertion order, tombstoned events never dispatch,
+and ``peek_time``/``pop`` agree under arbitrary interleavings of
+pushes, cancels, peeks, and pops.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.events import EventQueue
+
+times = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+def noop() -> None:
+    pass
+
+
+class TestOrdering:
+    @given(st.lists(times, min_size=1, max_size=200))
+    def test_pop_order_is_sorted(self, schedule):
+        queue = EventQueue()
+        for time in schedule:
+            queue.push(time, noop)
+        popped = [queue.pop()[0] for _ in range(len(schedule))]
+        assert popped == sorted(schedule)
+
+    @given(st.lists(times, min_size=1, max_size=100), st.integers(2, 10))
+    def test_equal_timestamps_pop_fifo(self, schedule, dupes):
+        # Duplicate every timestamp several times; payloads record the
+        # insertion order, which must be preserved within each tie.
+        queue = EventQueue()
+        order = 0
+        for time in schedule:
+            for _ in range(dupes):
+                queue.push(time, noop, order)
+                order += 1
+        popped = [queue.pop() for _ in range(order)]
+        assert [entry[0] for entry in popped] == sorted(
+            entry[0] for entry in popped
+        )
+        for first, second in zip(popped, popped[1:]):
+            if first[0] == second[0]:
+                assert first[3] < second[3]  # FIFO within the tie
+
+
+class TestCancellation:
+    @given(
+        st.lists(times, min_size=2, max_size=60),
+        st.data(),
+    )
+    def test_tombstoned_events_never_pop(self, schedule, data):
+        queue = EventQueue()
+        handles = [queue.push(time, noop, index) for index, time in enumerate(schedule)]
+        to_cancel = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=len(handles) - 1),
+                max_size=len(handles),
+            )
+        )
+        for index in to_cancel:
+            queue.cancel(handles[index])
+        live = sorted(
+            (time, index)
+            for index, time in enumerate(schedule)
+            if index not in to_cancel
+        )
+        popped = []
+        while queue:
+            entry = queue.pop()
+            popped.append((entry[0], entry[3]))
+            assert entry[3] not in to_cancel
+        assert popped == live
+        assert len(queue) == 0
+
+    @given(st.lists(times, min_size=1, max_size=60))
+    def test_cancel_all_empties_queue(self, schedule):
+        queue = EventQueue()
+        handles = [queue.push(time, noop) for time in schedule]
+        for handle in handles:
+            queue.cancel(handle)
+        assert not queue
+        assert queue.peek_time() is None
+
+
+@st.composite
+def operations(draw):
+    """A random interleaving of push/cancel/peek/pop operations."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), times),
+                st.tuples(st.just("cancel"), st.integers(0, 200)),
+                st.tuples(st.just("peek"), st.none()),
+                st.tuples(st.just("pop"), st.none()),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+
+
+class TestPeekPopConsistency:
+    @settings(max_examples=200)
+    @given(operations())
+    def test_peek_matches_next_pop_under_interleaving(self, ops):
+        queue = EventQueue()
+        handles: list[int] = []
+        cancelled: set[int] = set()
+        for op, value in ops:
+            if op == "push":
+                handles.append(queue.push(value, noop))
+            elif op == "cancel" and handles:
+                handle = handles[value % len(handles)]
+                queue.cancel(handle)
+                cancelled.add(handle)
+            elif op == "peek":
+                expected = queue.peek_time()
+                if expected is None:
+                    assert not queue
+                else:
+                    assert queue  # a live event exists
+            elif op == "pop" and queue:
+                peeked = queue.peek_time()
+                time, seq, _, _ = queue.pop()
+                assert time == peeked
+                assert seq not in cancelled
+        # Drain: whatever survives must still be ordered and live.
+        previous = float("-inf")
+        while queue:
+            time, seq, _, _ = queue.pop()
+            assert time >= previous
+            assert seq not in cancelled
+            previous = time

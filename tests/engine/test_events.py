@@ -1,12 +1,10 @@
-"""Unit and property tests for the event queue."""
+"""Unit tests for the tuple-based event queue."""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
-from repro.engine.events import Event, EventQueue
+from repro.engine.events import EventQueue
 from repro.errors import SchedulingError
 
 
@@ -27,25 +25,33 @@ class TestEventQueueBasics:
 
     def test_push_pop_single(self):
         queue = EventQueue()
-        queue.push(1.5, noop, tag="a")
-        event = queue.pop()
-        assert event.time == 1.5
-        assert event.tag == "a"
+        handle = queue.push(1.5, noop, "payload")
+        time, seq, action, payload = queue.pop()
+        assert time == 1.5
+        assert seq == handle
+        assert action is noop
+        assert payload == "payload"
         assert not queue
 
     def test_orders_by_time(self):
         queue = EventQueue()
-        queue.push(3.0, noop, tag="late")
-        queue.push(1.0, noop, tag="early")
-        queue.push(2.0, noop, tag="mid")
-        tags = [queue.pop().tag for _ in range(3)]
-        assert tags == ["early", "mid", "late"]
+        queue.push(3.0, noop, "late")
+        queue.push(1.0, noop, "early")
+        queue.push(2.0, noop, "mid")
+        payloads = [queue.pop()[3] for _ in range(3)]
+        assert payloads == ["early", "mid", "late"]
 
     def test_ties_are_fifo(self):
         queue = EventQueue()
         for index in range(10):
-            queue.push(1.0, noop, tag=str(index))
-        assert [queue.pop().tag for _ in range(10)] == [str(i) for i in range(10)]
+            queue.push(1.0, noop, index)
+        assert [queue.pop()[3] for _ in range(10)] == list(range(10))
+
+    def test_handles_are_monotonic(self):
+        queue = EventQueue()
+        handles = [queue.push(0.0, noop) for _ in range(5)]
+        assert handles == sorted(handles)
+        assert len(set(handles)) == 5
 
     def test_nan_time_rejected(self):
         with pytest.raises(SchedulingError):
@@ -53,11 +59,11 @@ class TestEventQueueBasics:
 
     def test_cancel_skips_event(self):
         queue = EventQueue()
-        keep = queue.push(1.0, noop, tag="keep")
-        drop = queue.push(0.5, noop, tag="drop")
+        keep = queue.push(1.0, noop, "keep")
+        drop = queue.push(0.5, noop, "drop")
         queue.cancel(drop)
         assert len(queue) == 1
-        assert queue.pop() is keep
+        assert queue.pop()[1] == keep
 
     def test_cancel_updates_peek(self):
         queue = EventQueue()
@@ -71,46 +77,16 @@ class TestEventQueueBasics:
         seen = []
 
         def push_more():
-            queue.push(1.5, noop, tag="inserted")
+            queue.push(1.5, noop, "inserted")
 
-        queue.push(1.0, push_more, tag="first")
-        queue.push(2.0, noop, tag="last")
-        for event in queue.drain():
-            seen.append(event.tag)
-            event.action()
+        queue.push(1.0, push_more, "first")
+        queue.push(2.0, noop, "last")
+        for _, _, action, payload in queue.drain():
+            seen.append(payload)
+            action()
         assert seen == ["first", "inserted", "last"]
 
-    def test_event_comparison(self):
-        early = Event(time=1.0, seq=0, action=noop)
-        late = Event(time=1.0, seq=1, action=noop)
-        assert early < late
-
-
-class TestEventQueueProperties:
-    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
-    def test_pop_order_is_sorted(self, times):
+    def test_default_payload_is_none(self):
         queue = EventQueue()
-        for time in times:
-            queue.push(time, noop)
-        popped = [queue.pop().time for _ in range(len(times))]
-        assert popped == sorted(times)
-
-    @given(
-        st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=50),
-        st.data(),
-    )
-    def test_cancellation_never_loses_live_events(self, times, data):
-        queue = EventQueue()
-        events = [queue.push(time, noop) for time in times]
-        to_cancel = data.draw(
-            st.sets(st.integers(min_value=0, max_value=len(events) - 1), max_size=len(events))
-        )
-        for index in to_cancel:
-            queue.cancel(events[index])
-        live = sorted(
-            event.time for index, event in enumerate(events) if index not in to_cancel
-        )
-        popped = []
-        while queue:
-            popped.append(queue.pop().time)
-        assert popped == live
+        queue.push(0.0, noop)
+        assert queue.pop()[3] is None

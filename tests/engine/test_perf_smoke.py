@@ -1,0 +1,43 @@
+"""Performance smoke test: the fast engine must stay fast.
+
+Pins an events/second floor for the tuple dispatcher + draw-pool hot
+path so a regression back to per-event numpy calls or object allocation
+fails loudly in the default suite.  The floor is ~5× below the measured
+rate on a development machine (~1.3M events/s) to stay robust on slow
+or loaded CI hardware while still catching order-of-magnitude
+regressions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine.rng import ExponentialPool
+from repro.engine.simulator import Simulator
+
+EVENTS = 100_000
+FLOOR_EVENTS_PER_SECOND = 250_000.0
+
+
+def test_event_loop_throughput_floor():
+    sim = Simulator()
+    waits = ExponentialPool(np.random.Generator(np.random.PCG64(0)), 1.0)
+    remaining = [EVENTS]
+
+    def hop() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule_in(waits(), hop)
+
+    sim.schedule_in(0.0, hop)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert sim.events_executed == EVENTS
+    rate = EVENTS / elapsed
+    assert rate > FLOOR_EVENTS_PER_SECOND, (
+        f"event loop ran at {rate:,.0f} events/s, "
+        f"below the {FLOOR_EVENTS_PER_SECOND:,.0f} floor"
+    )

@@ -1,11 +1,25 @@
-"""Tests for deterministic RNG substreams."""
+"""Tests for deterministic RNG substreams and the batched draw pools."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.engine.rng import RngRegistry, stable_name_key
+from repro.engine.latency import ConstantLatency, GammaLatency
+from repro.engine.rng import (
+    ChannelDelayPool,
+    ExponentialPool,
+    IntegerPool,
+    LatencyPool,
+    RngRegistry,
+    UniformPool,
+    stable_name_key,
+)
 from repro.errors import ConfigurationError
+
+
+def generator(seed: int = 0) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
 
 
 class TestStableNameKey:
@@ -74,3 +88,82 @@ class TestRngRegistry:
 
     def test_root_entropy_exposed(self):
         assert RngRegistry(31337).root_entropy == 31337
+
+
+class TestDrawPools:
+    def test_exponential_pool_matches_scalar_draws(self):
+        # NumPy fills block draws with the same per-element sampler, so
+        # one pool over one generator reproduces the scalar sequence.
+        pool = ExponentialPool(generator(7), 2.0, block=16)
+        pooled = [pool() for _ in range(40)]
+        rng = generator(7)
+        scalar = [float(rng.exponential(0.5)) for _ in range(40)]
+        assert pooled == scalar
+
+    def test_uniform_pool_matches_scalar_draws(self):
+        pool = UniformPool(generator(5), block=8)
+        pooled = [pool() for _ in range(20)]
+        rng = generator(5)
+        scalar = [float(rng.random()) for _ in range(20)]
+        assert pooled == scalar
+
+    def test_integer_pool_matches_scalar_draws_and_bounds(self):
+        pool = IntegerPool(generator(3), 17, block=32)
+        pooled = [pool() for _ in range(100)]
+        rng = generator(3)
+        scalar = [int(rng.integers(17)) for _ in range(100)]
+        assert pooled == scalar
+        assert all(0 <= value < 17 for value in pooled)
+
+    def test_latency_pool_constant_model(self):
+        pool = LatencyPool(ConstantLatency(2.5), generator(0), block=4)
+        assert [pool() for _ in range(10)] == [2.5] * 10
+
+    def test_latency_pool_gamma_mean(self):
+        pool = LatencyPool(GammaLatency(shape=2.0, rate=1.0), generator(1), block=512)
+        draws = [pool() for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.1)
+
+    def test_channel_delay_matches_scalar_composition(self):
+        # stages=(2, 1): max of two concurrent latencies plus the leader
+        # channel — bit-identical to the seed engine's scalar arithmetic.
+        pool = ChannelDelayPool(generator(9), 1.5, stages=(2, 1), block=1)
+        composite = [pool() for _ in range(25)]
+        rng = generator(9)
+        expected = []
+        for _ in range(25):
+            a, b, c = (float(rng.exponential(1.0 / 1.5)) for _ in range(3))
+            expected.append(max(a, b) + c)
+        assert composite == expected
+
+    def test_channel_delay_sequential_plan(self):
+        pool = ChannelDelayPool(generator(4), 1.0, stages=(1, 1, 1), block=1)
+        total = [pool() for _ in range(10)]
+        rng = generator(4)
+        expected = []
+        for _ in range(10):
+            expected.append(sum(float(rng.exponential(1.0)) for _ in range(3)))
+        assert total == pytest.approx(expected)
+
+    def test_refill_is_transparent(self):
+        pool = ExponentialPool(generator(2), 1.0, block=4)
+        assert pool.remaining == 0
+        first = pool()
+        assert pool.remaining == 3
+        for _ in range(4):  # crosses a refill boundary
+            pool()
+        assert first > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialPool(generator(0), 0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialPool(generator(0), 1.0, block=0)
+        with pytest.raises(ConfigurationError):
+            IntegerPool(generator(0), 0)
+        with pytest.raises(ConfigurationError):
+            ChannelDelayPool(generator(0), 1.0, stages=())
+        with pytest.raises(ConfigurationError):
+            ChannelDelayPool(generator(0), 1.0, stages=(2, 0))
+        with pytest.raises(ConfigurationError):
+            ChannelDelayPool(generator(0), 0.0)
