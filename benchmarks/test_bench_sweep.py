@@ -1,0 +1,83 @@
+"""Sweep orchestrator benchmarks: serial vs parallel vs cached.
+
+A 32-run single-leader sweep measured three ways: serially, fanned out
+over 4 worker processes, and replayed from a warm cache. The parallel
+speedup scales with physical cores — on a multi-core machine the
+4-worker run must beat serial by >= 2.5x; on fewer cores the ratio is
+recorded without asserting. The cached replay must execute zero runs
+(hence zero simulator events) regardless of hardware, and all three
+must aggregate to byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow  # experiment-scale wall-clock
+
+from repro.sweep.aggregate import aggregate_table
+from repro.sweep.cache import RunCache
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import SweepSpec
+
+
+def sweep_spec() -> SweepSpec:
+    # 4 grid points x 8 reps = 32 runs, each heavy enough (~10^5 events)
+    # that fork/pickle overhead is noise next to simulation time.
+    return SweepSpec(
+        target="single_leader",
+        base={"k": 4, "alpha": 2.0},
+        grid={"n": [500, 750, 1000, 1250]},
+        repetitions=8,
+        seed=0,
+        name="bench-sweep",
+    )
+
+
+def test_bench_sweep_serial_vs_parallel_vs_cached(tmp_path, output_dir):
+    spec = sweep_spec()
+
+    started = time.perf_counter()
+    serial = run_sweep(spec, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_sweep(spec, workers=4)
+    parallel_seconds = time.perf_counter() - started
+
+    cache = RunCache(tmp_path / "runs")
+    warm = run_sweep(spec, cache=cache, workers=4)
+    started = time.perf_counter()
+    cached = run_sweep(spec, cache=cache, workers=1)
+    cached_seconds = time.perf_counter() - started
+
+    # Cached replay executes nothing — zero runs, zero simulator events.
+    assert warm.executed == spec.size
+    assert cached.executed == 0
+    assert cached.cached == spec.size
+
+    # Byte-identical aggregation across execution strategies.
+    table = aggregate_table(spec, serial.records).render()
+    assert aggregate_table(spec, parallel.records).render() == table
+    assert aggregate_table(spec, cached.records).render() == table
+
+    speedup = serial_seconds / parallel_seconds
+    cores = os.cpu_count() or 1
+    lines = [
+        f"# sweep benchmark ({spec.size} runs, target={spec.target})",
+        "",
+        f"- serial: {serial_seconds:.2f} s",
+        f"- 4 workers: {parallel_seconds:.2f} s (speedup {speedup:.2f}x on {cores} core(s))",
+        f"- cached replay: {cached_seconds:.3f} s, {cached.executed} runs executed",
+        "",
+        table,
+        "",
+    ]
+    (output_dir / "sweep.md").write_text("\n".join(lines))
+
+    if cores >= 4:
+        assert speedup >= 2.5, f"4-worker speedup {speedup:.2f}x below 2.5x floor"
+    assert cached_seconds < serial_seconds / 10

@@ -1,6 +1,7 @@
 """Metrics, statistics, and rendering for experiments."""
 
 from repro.analysis.metrics import BatchSummary, summarize_batch
+from repro.analysis.records import field_values, numeric_fields, rate, summarize_field
 from repro.analysis.report import run_report
 from repro.analysis.series import Series, ascii_plot
 from repro.analysis.stats import Summary, bootstrap_ci, geometric_mean, summarize
@@ -19,4 +20,8 @@ __all__ = [
     "format_cell",
     "render_markdown_table",
     "render_table",
+    "field_values",
+    "numeric_fields",
+    "rate",
+    "summarize_field",
 ]

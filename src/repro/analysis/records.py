@@ -1,0 +1,86 @@
+"""Aggregation over cached run *records* (plain JSON dicts).
+
+The sweep layer persists each run as a flat scalar record
+(:mod:`repro.sweep.cache`), so aggregation must work from dicts read
+back off disk rather than from in-memory :class:`~repro.core.results.RunResult`
+objects. These helpers are the record-side mirror of
+:func:`repro.analysis.metrics.summarize_batch`: pull one field across a
+batch of records, skip ``None``/missing entries, and condense to the
+:class:`~repro.analysis.stats.Summary` statistics the tables report.
+
+Examples
+--------
+>>> records = [{"elapsed": 10.0, "plurality_won": True},
+...            {"elapsed": 14.0, "plurality_won": False},
+...            {"elapsed": None, "plurality_won": True}]
+>>> field_values(records, "elapsed")
+[10.0, 14.0]
+>>> summarize_field(records, "elapsed").mean
+12.0
+>>> rate(records, "plurality_won")
+0.6666666666666666
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.errors import ConfigurationError
+
+__all__ = ["field_values", "summarize_field", "rate", "numeric_fields"]
+
+Record = Mapping[str, Any]
+
+
+def field_values(records: Sequence[Record], name: str) -> list[float]:
+    """``name``'s values across ``records`` as floats, skipping ``None``."""
+    values = []
+    for record in records:
+        value = record.get(name)
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"record field {name!r} is not numeric: {value!r}"
+            )
+        values.append(float(value))
+    return values
+
+
+def summarize_field(records: Sequence[Record], name: str) -> Summary | None:
+    """Summary statistics of one record field; ``None`` if no values."""
+    values = field_values(records, name)
+    return summarize(values) if values else None
+
+
+def rate(records: Sequence[Record], name: str) -> float:
+    """Fraction of records whose ``name`` field is truthy.
+
+    Unlike :func:`summarize_field` this counts missing/``None`` entries
+    in the denominator — a run that never reached the milestone still
+    happened.
+    """
+    if not records:
+        raise ConfigurationError("cannot compute a rate over zero records")
+    return sum(bool(record.get(name)) for record in records) / len(records)
+
+
+def numeric_fields(
+    records: Sequence[Record], *, exclude: Sequence[str] = ()
+) -> list[str]:
+    """Field names holding numbers in any record, in first-seen order.
+
+    Booleans count (they aggregate as rates); ``exclude`` drops fields
+    that vary between otherwise-identical runs (e.g. wall-clock time).
+    """
+    seen: dict[str, None] = {}
+    for record in records:
+        for key, value in record.items():
+            if key in exclude or key in seen:
+                continue
+            if isinstance(value, (bool, int, float)):
+                seen[key] = None
+    return list(seen)

@@ -33,6 +33,19 @@ class Series:
     def __len__(self) -> int:
         return len(self.xs)
 
+    def to_dict(self) -> dict:
+        """JSON form (cache/persistence); inverse of :meth:`from_dict`."""
+        return {"label": self.label, "xs": list(self.xs), "ys": list(self.ys)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Series":
+        """Rebuild a series from :meth:`to_dict` output."""
+        return cls(
+            label=str(data["label"]),
+            xs=[float(x) for x in data["xs"]],
+            ys=[float(y) for y in data["ys"]],
+        )
+
     def to_csv(self, path: str | Path, *, x_name: str = "x", y_name: str = "y") -> Path:
         """Write ``x,y`` rows; returns the path."""
         path = Path(path)

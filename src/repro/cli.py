@@ -6,8 +6,14 @@ Usage::
     repro run fig1 [--full] [--seed S]  # run one experiment, print tables
     repro reproduce [--full] [--out F]  # run everything, write Markdown
     repro demo [--n N] [--k K] ...      # one synchronous + one async run
+    repro sweep TARGET --grid n=1e3,1e4 # parameter sweep, cached+parallel
+    repro cache stats|gc [--dry-run]    # inspect / clean the run cache
 
-The same entry point is reachable as ``python -m repro``.
+``reproduce`` and ``sweep`` share the orchestration layer in
+:mod:`repro.sweep`: work fans out over ``--workers`` processes and
+completed runs land in a content-addressed cache (``--cache-dir``), so
+re-invocations only execute what is missing. The same entry point is
+reachable as ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -17,9 +23,25 @@ import sys
 from pathlib import Path
 
 from repro import quick_async, quick_sync
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+from repro.sweep.cache import DEFAULT_CACHE_DIR, RunCache
+from repro.sweep.runner import run_experiments, run_sweep
+from repro.sweep.spec import SweepSpec, parse_grid, parse_overrides
+from repro.sweep.targets import target_names
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser, *, default_dir: Path | None) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=default_dir,
+        help="run-cache directory (content-addressed JSON records)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="execute everything, touch no cache"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     repro_parser.add_argument(
         "--only", nargs="*", default=None, help="subset of experiment ids"
     )
+    repro_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, 0 = one per CPU)",
+    )
+    _add_cache_arguments(repro_parser, default_dir=None)
 
     demo_parser = sub.add_parser("demo", help="run the protocol once and print the outcome")
     demo_parser.add_argument("--n", type=int, default=100_000)
@@ -56,7 +83,55 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument(
         "--report", action="store_true", help="print a full Markdown run report"
     )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a cached, parallel parameter sweep over one target"
+    )
+    sweep_parser.add_argument(
+        "target", choices=target_names(), help="registered simulation entry point"
+    )
+    sweep_parser.add_argument(
+        "--grid", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="sweep this parameter over the listed values (repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE", dest="overrides",
+        help="fix this parameter for every run (repeatable)",
+    )
+    sweep_parser.add_argument("--reps", type=int, default=1, help="repetitions per grid point")
+    sweep_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, 0 = one per CPU)",
+    )
+    sweep_parser.add_argument("--name", default=None, help="label used in the output table")
+    _add_cache_arguments(sweep_parser, default_dir=DEFAULT_CACHE_DIR)
+
+    cache_parser = sub.add_parser("cache", help="inspect or clean the run cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    stats_parser = cache_sub.add_parser("stats", help="entry/byte/corruption counts")
+    stats_parser.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE_DIR)
+    gc_parser = cache_sub.add_parser(
+        "gc", help="delete corrupt entries (and optionally old or all entries)"
+    )
+    gc_parser.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE_DIR)
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="report deletions without deleting"
+    )
+    gc_parser.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="also delete valid entries older than this",
+    )
+    gc_parser.add_argument(
+        "--all", action="store_true", dest="delete_all", help="delete every entry"
+    )
     return parser
+
+
+def _open_cache(args: argparse.Namespace) -> RunCache | None:
+    if getattr(args, "no_cache", False) or args.cache_dir is None:
+        return None
+    return RunCache(args.cache_dir)
 
 
 def _command_list() -> int:
@@ -67,6 +142,8 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_experiment
+
     result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
     print(result.render(plot=not args.no_plot))
     return 0
@@ -74,13 +151,21 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_reproduce(args: argparse.Namespace) -> int:
     names = args.only if args.only else list(EXPERIMENTS)
+    outcomes = run_experiments(
+        names,
+        quick=not args.full,
+        seed=args.seed,
+        cache=_open_cache(args),
+        workers=args.workers,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
     sections = []
-    for name in names:
-        print(f"[repro] running {name} ...", file=sys.stderr)
-        result = run_experiment(name, quick=not args.full, seed=args.seed)
-        print(result.render(plot=False))
+    for outcome in outcomes:
+        if outcome.cached:
+            print(f"[repro] {outcome.name}: cached", file=sys.stderr)
+        print(outcome.result.render(plot=False))
         print()
-        sections.append(result.render_markdown())
+        sections.append(outcome.result.render_markdown())
     if args.out is not None:
         args.out.write_text("\n\n".join(sections) + "\n")
         print(f"[repro] wrote {args.out}", file=sys.stderr)
@@ -111,6 +196,48 @@ def _command_demo(args: argparse.Namespace) -> int:
     return 0 if result.plurality_won else 1
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep.aggregate import aggregate_table
+
+    spec = SweepSpec(
+        target=args.target,
+        base=parse_overrides(args.overrides),
+        grid=parse_grid(args.grid),
+        repetitions=args.reps,
+        seed=args.seed,
+        name=args.name,
+    )
+    report = run_sweep(
+        spec,
+        cache=_open_cache(args),
+        workers=args.workers,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    print(aggregate_table(spec, report.records).render())
+    print()
+    print(report.summary())
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = RunCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(cache.stats().render())
+        return 0
+    if args.cache_command == "gc":
+        doomed = cache.gc(
+            dry_run=args.dry_run,
+            max_age_days=args.max_age_days,
+            delete_all=args.delete_all,
+        )
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"cache {cache.root}: {verb} {len(doomed)} entr{'y' if len(doomed) == 1 else 'ies'}")
+        for path in doomed:
+            print(f"  {path.name}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -121,6 +248,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_reproduce(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "cache":
+        return _command_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -135,6 +135,18 @@ class DrawPool:
     value; an exhausted buffer triggers one vectorized refill.  The
     refill is the only numpy call on the path, so per-draw cost is a
     couple of list operations.
+
+    Examples
+    --------
+    >>> rng = np.random.Generator(np.random.PCG64(0))
+    >>> pool = UniformPool(rng, block=4)
+    >>> value = pool()                  # triggers the first refill
+    >>> 0.0 <= value < 1.0
+    True
+    >>> pool.remaining                  # three prefetched draws left
+    3
+    >>> pool() == value                 # draws advance, never repeat
+    False
     """
 
     __slots__ = ("_rng", "_block", "_buf", "_pos")

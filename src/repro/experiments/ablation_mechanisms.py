@@ -1,6 +1,6 @@
 """Mechanism ablation — why each half of the protocol matters.
 
-DESIGN.md calls out two load-bearing design choices of Algorithm 1:
+docs/paper-map.md calls out two load-bearing design choices of Algorithm 1:
 
 1. **paired promotion** (two samples must agree): this is what squares
    the bias; promoting on a *single* sample copies the parent
@@ -60,7 +60,7 @@ def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:
     result = ExperimentResult(
         name="ablation",
         description=(
-            "Mechanism ablation (DESIGN.md design choices): the full protocol vs "
+            "Mechanism ablation (docs/paper-map.md design choices): the full protocol vs "
             "single-sample promotion (no bias squaring) vs two-choices at every "
             "step (no growth phase). Small bias = below Theorem 1's floor, "
             "where amplification decides the winner."

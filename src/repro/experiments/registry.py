@@ -1,9 +1,11 @@
 """Registry of all reproduction experiments.
 
 Every figure and theorem-level claim of the paper maps to one entry
-(see DESIGN.md's experiment index). ``python -m repro list`` prints this
-table; ``python -m repro run <id>`` executes one experiment;
-``python -m repro reproduce`` regenerates EXPERIMENTS.md content.
+(see ``docs/paper-map.md`` for the full claim → module → test index).
+``python -m repro list`` prints this table; ``python -m repro run <id>``
+executes one experiment; ``python -m repro reproduce`` regenerates
+EXPERIMENTS.md content (cached and parallel with ``--cache-dir`` /
+``--workers``).
 """
 
 from __future__ import annotations
@@ -95,7 +97,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
         Experiment(
             name="ablation",
-            artifact="DESIGN.md design-choice ablations",
+            artifact="docs/paper-map.md design-choice ablations",
             description="Full protocol vs single-sample promotion vs no-propagation",
             runner=ablation_mechanisms.run,
         ),

@@ -1,0 +1,96 @@
+"""Turn sweep records into the tables experiments report.
+
+Aggregation is a pure function of ``(spec, records)`` with records in
+spec-expansion order, so a table built from a serial run, a 4-worker
+run, or a fully cached re-run is byte-identical — the determinism test
+in ``tests/sweep/test_runner.py`` pins exactly that.
+
+Fields that vary between executions of the *same* config (wall-clock
+time) and label-like fields (the winning color id) are excluded from
+aggregation; boolean fields become rates, numeric fields means.
+
+Examples
+--------
+>>> from repro.sweep.spec import SweepSpec
+>>> spec = SweepSpec(target="demo", grid={"n": [10, 20]}, repetitions=2)
+>>> records = [{"elapsed": 1.0, "plurality_won": True},
+...            {"elapsed": 3.0, "plurality_won": True},
+...            {"elapsed": 5.0, "plurality_won": False},
+...            {"elapsed": 7.0, "plurality_won": True}]
+>>> table = aggregate_table(spec, records)
+>>> table.headers
+['n', 'runs', 'elapsed', 'plurality_won rate']
+>>> table.rows
+[[10, 2, 2.0, 1.0], [20, 2, 6.0, 0.5]]
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.records import numeric_fields, rate, summarize_field
+from repro.errors import ConfigurationError
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["aggregate_table", "group_records", "NON_AGGREGATED_FIELDS"]
+
+#: Record fields never aggregated into tables: ``wall_time`` varies run
+#: to run on the same config; ``winner`` is a color label, not a metric.
+NON_AGGREGATED_FIELDS = ("wall_time", "winner")
+
+#: Boolean fields render as `<name> rate` columns.
+_BOOLEAN_HINTS = ("converged", "plurality_won")
+
+
+def group_records(spec: SweepSpec, records: Sequence[dict]) -> list[tuple[dict, list[dict]]]:
+    """Pair each grid point with its repetition records.
+
+    ``records`` must be in :meth:`SweepSpec.expand` order (grid-point
+    major, repetition minor) — which is what
+    :class:`~repro.sweep.runner.SweepReport` guarantees.
+    """
+    if len(records) != spec.size:
+        raise ConfigurationError(
+            f"expected {spec.size} records for sweep {spec.name!r}, got {len(records)}"
+        )
+    groups = []
+    reps = spec.repetitions
+    for index, point in enumerate(spec.points()):
+        groups.append((point, list(records[index * reps : (index + 1) * reps])))
+    return groups
+
+
+def aggregate_table(spec: SweepSpec, records: Sequence[dict]):
+    """One row per grid point: grid values, run count, aggregated metrics.
+
+    Returns an :class:`~repro.experiments.common.ExperimentTable` so
+    sweep output renders through the same text/Markdown machinery as
+    the registry experiments.
+    """
+    from repro.experiments.common import ExperimentTable
+
+    groups = group_records(spec, records)
+    # Sorted, not first-seen: cached records round-trip through
+    # key-sorted JSON, and column order must not depend on whether a
+    # record came from memory or from disk.
+    fields = sorted(numeric_fields(records, exclude=NON_AGGREGATED_FIELDS))
+    boolean = [f for f in fields if f in _BOOLEAN_HINTS]
+    numeric = [f for f in fields if f not in _BOOLEAN_HINTS]
+    headers = (
+        spec.grid_keys
+        + ["runs"]
+        + numeric
+        + [f"{name} rate" for name in boolean]
+    )
+    rows = []
+    for point, batch in groups:
+        row: list = [point[key] for key in spec.grid_keys]
+        row.append(len(batch))
+        for name in numeric:
+            summary = summarize_field(batch, name)
+            row.append(summary.mean if summary is not None else float("nan"))
+        for name in boolean:
+            row.append(rate(batch, name))
+        rows.append(row)
+    title = f"sweep: {spec.name} (target={spec.target}, seed={spec.seed}, reps={spec.repetitions})"
+    return ExperimentTable(title=title, headers=headers, rows=rows)

@@ -1,0 +1,288 @@
+"""Sweep execution: serial or process-pool fan-out with run caching.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec`,
+satisfies every config it can from the :class:`~repro.sweep.cache.RunCache`,
+and executes only the misses — serially, or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`. Three invariants make
+the fan-out safe:
+
+* **Picklable work units** — a worker receives only the config *dict*
+  and rebuilds everything (target function, RNG) by name inside
+  :func:`execute_run`, so no simulator state, closure, or generator
+  crosses the process boundary.
+* **Order-independent randomness** — each run's generator is
+  ``RngRegistry(seed).stream(config.stream)``; the substream name is a
+  pure function of the config, so a run draws identical randomness
+  whether it executes first or last, in-process or on worker 3.
+* **Deterministic collection** — records are placed by config index,
+  never completion order, so serial and parallel sweeps aggregate to
+  byte-identical tables.
+
+The same module hosts the experiment-level plumbing used by
+``repro reproduce``: :func:`run_experiments` fans whole registry
+experiments out across workers and caches their rendered
+:class:`~repro.experiments.common.ExperimentResult` by
+``(experiment, quick, seed, library version)``, and
+:func:`map_substreams` is the in-process repetition seam that
+:func:`repro.experiments.common.repeat` delegates to.
+
+Examples
+--------
+>>> from repro.sweep.spec import SweepSpec
+>>> spec = SweepSpec(target="synchronous", base={"k": 2, "alpha": 2.0},
+...                  grid={"n": [200, 400]}, repetitions=2, seed=3)
+>>> report = run_sweep(spec)           # no cache, serial
+>>> (report.executed, report.cached, len(report.records))
+(4, 0, 4)
+>>> all(r["plurality_won"] for r in report.records)
+True
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+from repro.sweep.cache import RunCache
+from repro.sweep.spec import RunConfig, SweepSpec
+from repro.sweep.targets import get_target
+
+__all__ = [
+    "execute_run",
+    "run_sweep",
+    "SweepReport",
+    "map_substreams",
+    "run_experiments",
+    "experiment_config",
+]
+
+
+def derive_rng(config: Mapping[str, Any]) -> np.random.Generator:
+    """The generator a config's run draws from (config-content keyed)."""
+    run = config if isinstance(config, RunConfig) else RunConfig.from_dict(config)
+    return RngRegistry(run.seed).stream(run.stream)
+
+
+def execute_run(config: Mapping[str, Any]) -> dict:
+    """Execute one run config and return its record.
+
+    Module-level and dict-in/dict-out, so it can be shipped to a
+    process-pool worker as-is.
+    """
+    run = config if isinstance(config, RunConfig) else RunConfig.from_dict(config)
+    target = get_target(run.target)
+    started = time.perf_counter()
+    record = dict(target(run.params_dict, derive_rng(run)))
+    record.setdefault("wall_time", time.perf_counter() - started)
+    return record
+
+
+@dataclass
+class SweepReport:
+    """Everything one :func:`run_sweep` invocation produced.
+
+    ``records`` is aligned with ``configs`` (spec expansion order), so
+    downstream aggregation is independent of execution order.
+    """
+
+    spec: SweepSpec
+    configs: list[RunConfig]
+    records: list[dict]
+    executed: int = 0
+    cached: int = 0
+    wall_time: float = 0.0
+    workers: int = 1
+
+    def summary(self) -> str:
+        """One-line accounting of the sweep."""
+        return (
+            f"sweep {self.spec.name}: {len(self.configs)} runs "
+            f"({self.executed} executed, {self.cached} cached) "
+            f"on {self.workers} worker(s) in {self.wall_time:.2f}s"
+        )
+
+
+def _resolve_workers(workers: int | None) -> int:
+    import os
+
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    cache: RunCache | None = None,
+    workers: int = 1,
+    echo: Callable[[str], None] | None = None,
+) -> SweepReport:
+    """Run every config of ``spec`` that the cache cannot satisfy.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run.
+    cache:
+        Optional run cache; hits skip execution entirely and fresh
+        records are stored back. ``None`` disables caching.
+    workers:
+        ``1`` runs in-process (no pool, no pickling); ``> 1`` fans the
+        cache misses out over that many worker processes; ``0`` means
+        one worker per CPU.
+    echo:
+        Optional progress sink (the CLI passes a stderr printer).
+    """
+    workers = _resolve_workers(workers)
+    started = time.perf_counter()
+    configs = spec.expand()
+    records: list[dict | None] = [None] * len(configs)
+    misses: list[int] = []
+    for index, config in enumerate(configs):
+        hit = cache.get(config.as_dict()) if cache is not None else None
+        if hit is not None:
+            records[index] = hit
+        else:
+            misses.append(index)
+    if echo is not None and cache is not None:
+        echo(f"[sweep] {len(configs) - len(misses)} cached, {len(misses)} to run")
+
+    if misses and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fresh = pool.map(execute_run, [configs[i].as_dict() for i in misses])
+            for index, record in zip(misses, fresh):
+                records[index] = record
+    else:
+        for index in misses:
+            records[index] = execute_run(configs[index])
+
+    if cache is not None:
+        for index in misses:
+            cache.put(configs[index].as_dict(), records[index])
+
+    return SweepReport(
+        spec=spec,
+        configs=configs,
+        records=[dict(r) for r in records],  # type: ignore[union-attr]
+        executed=len(misses),
+        cached=len(configs) - len(misses),
+        wall_time=time.perf_counter() - started,
+        workers=workers,
+    )
+
+
+def map_substreams(
+    fn: Callable[[np.random.Generator], Any],
+    rngs: RngRegistry,
+    prefix: str,
+    repetitions: int,
+) -> list[Any]:
+    """Apply ``fn`` to ``repetitions`` independent substreams, in order.
+
+    This is the in-process repetition seam behind
+    :func:`repro.experiments.common.repeat`. It stays serial by design:
+    experiment closures capture simulators and parameter objects that
+    must not cross a process boundary, and the substream-per-repetition
+    contract already makes the results order-independent — process-level
+    parallelism happens one level up, where ``repro sweep`` and
+    ``repro reproduce --workers`` fan out *named* work units instead.
+    """
+    if repetitions < 1:
+        raise ConfigurationError("repetitions must be >= 1")
+    return [fn(rngs.stream(f"{prefix}/{index}")) for index in range(repetitions)]
+
+
+# --------------------------------------------------------------------------
+# Experiment-level orchestration (the `repro reproduce` path).
+
+
+def experiment_config(name: str, *, quick: bool, seed: int) -> dict:
+    """Cache config identifying one registry experiment invocation.
+
+    The library version participates in the digest so a code upgrade
+    naturally invalidates stale experiment tables.
+    """
+    import repro
+
+    return {
+        "kind": "experiment",
+        "experiment": name,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "version": repro.__version__,
+    }
+
+
+def _execute_experiment(item: tuple[str, bool, int]) -> dict:
+    """Worker entry: run one registry experiment, return its dict form."""
+    from repro.experiments.registry import run_experiment
+
+    name, quick, seed = item
+    return run_experiment(name, quick=quick, seed=seed).to_dict()
+
+
+@dataclass
+class ExperimentRun:
+    """One experiment's outcome within a ``reproduce`` invocation."""
+
+    name: str
+    result: Any  # ExperimentResult (deferred import keeps layers acyclic)
+    cached: bool = False
+
+
+def run_experiments(
+    names: Sequence[str],
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    cache: RunCache | None = None,
+    workers: int = 1,
+    echo: Callable[[str], None] | None = None,
+) -> list[ExperimentRun]:
+    """Run registry experiments, optionally cached and in parallel.
+
+    Results come back in ``names`` order regardless of which worker
+    finished first, and cache hits skip the experiment entirely.
+    """
+    from repro.experiments.common import ExperimentResult
+
+    workers = _resolve_workers(workers)
+    outcomes: list[ExperimentRun | None] = [None] * len(names)
+    misses: list[int] = []
+    for index, name in enumerate(names):
+        hit = (
+            cache.get(experiment_config(name, quick=quick, seed=seed))
+            if cache is not None
+            else None
+        )
+        if hit is not None:
+            outcomes[index] = ExperimentRun(
+                name=name, result=ExperimentResult.from_dict(hit), cached=True
+            )
+        else:
+            misses.append(index)
+
+    items = [(names[i], quick, seed) for i in misses]
+    if echo is not None:
+        for index in misses:
+            echo(f"[repro] running {names[index]} ...")
+    if items and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads: Iterable[dict] = pool.map(_execute_experiment, items)
+    else:
+        payloads = map(_execute_experiment, items)
+    for index, payload in zip(misses, payloads):
+        if cache is not None:
+            cache.put(experiment_config(names[index], quick=quick, seed=seed), payload)
+        outcomes[index] = ExperimentRun(
+            name=names[index], result=ExperimentResult.from_dict(payload), cached=False
+        )
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,296 @@
+"""Sweep specifications: parameter grids expanded into run configs.
+
+A :class:`SweepSpec` names a *target* (a registered simulation entry
+point, see :mod:`repro.sweep.targets`), a ``base`` parameter set, a
+``grid`` of per-parameter value lists, and a repetition count.
+:meth:`SweepSpec.expand` turns it into concrete :class:`RunConfig`\\ s —
+one per (grid point × repetition) — in a deterministic order.
+
+Two properties make the sweep layer composable:
+
+* **Content addressing** — a config is identified by the SHA-256 of its
+  :func:`canonical_json` form (sorted keys, compact separators), so the
+  digest is independent of dict insertion order and Python hash
+  randomization. The on-disk cache (:mod:`repro.sweep.cache`) files runs
+  under this digest.
+* **Order-independent seeding** — each run derives its generator from
+  the sweep's root seed through a named
+  :class:`~repro.engine.rng.RngRegistry` substream
+  (:attr:`RunConfig.stream`), so results are bit-identical regardless
+  of worker count, scheduling order, or which subset of the grid is
+  re-run.
+
+Examples
+--------
+>>> spec = SweepSpec(target="synchronous", base={"k": 2},
+...                  grid={"n": [100, 200]}, repetitions=2, seed=7)
+>>> spec.size
+4
+>>> [(c.params_dict["n"], c.rep) for c in spec.expand()]
+[(100, 0), (100, 1), (200, 0), (200, 1)]
+>>> config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "canonical_json",
+    "config_digest",
+    "coerce_scalar",
+    "parse_grid",
+    "parse_overrides",
+    "RunConfig",
+    "SweepSpec",
+]
+
+#: Parameter values must be JSON scalars so configs hash stably.
+SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to deterministic JSON.
+
+    Keys are sorted and separators compacted, so two dicts with the same
+    content but different insertion order serialize — and therefore
+    hash — identically.
+
+    >>> canonical_json({"b": 1, "a": 2})
+    '{"a":2,"b":1}'
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def config_digest(config: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a config's canonical JSON form."""
+    return hashlib.sha256(canonical_json(dict(config)).encode("utf-8")).hexdigest()
+
+
+def coerce_scalar(text: str) -> Any:
+    """Parse a CLI token into int, float, bool, None, or str (in that order).
+
+    >>> [coerce_scalar(t) for t in ["4", "0.5", "true", "none", "adaptive"]]
+    [4, 0.5, True, None, 'adaptive']
+    """
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _split_assignment(assignment: str) -> tuple[str, str]:
+    key, eq, value = assignment.partition("=")
+    if not eq or not key.strip() or not value.strip():
+        raise ConfigurationError(
+            f"expected 'key=value[,value...]', got {assignment!r}"
+        )
+    return key.strip(), value
+
+
+def parse_grid(assignments: Sequence[str]) -> dict[str, list[Any]]:
+    """Parse ``["n=500,1000", "k=4"]`` into ``{"n": [500, 1000], "k": [4]}``.
+
+    >>> parse_grid(["n=500,1000", "gamma=0.4,0.5"])
+    {'n': [500, 1000], 'gamma': [0.4, 0.5]}
+    """
+    grid: dict[str, list[Any]] = {}
+    for assignment in assignments:
+        key, value = _split_assignment(assignment)
+        if key in grid:
+            raise ConfigurationError(f"grid parameter {key!r} given twice")
+        tokens = value.split(",")
+        if any(not token.strip() for token in tokens):
+            raise ConfigurationError(
+                f"empty value in grid assignment {assignment!r} "
+                "(trailing or doubled comma?)"
+            )
+        grid[key] = [coerce_scalar(token) for token in tokens]
+    return grid
+
+
+def parse_overrides(assignments: Sequence[str]) -> dict[str, Any]:
+    """Parse ``["alpha=2.0", "epsilon=0.02"]`` into a scalar dict."""
+    overrides: dict[str, Any] = {}
+    for assignment in assignments:
+        key, value = _split_assignment(assignment)
+        if key in overrides:
+            raise ConfigurationError(f"parameter {key!r} given twice")
+        overrides[key] = coerce_scalar(value)
+    return overrides
+
+
+def _check_scalar(name: str, value: Any) -> None:
+    if not isinstance(value, SCALAR_TYPES):
+        raise ConfigurationError(
+            f"sweep parameter {name!r} must be a JSON scalar "
+            f"(bool/int/float/str/None), got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One concrete, hashable unit of sweep work.
+
+    ``params`` is stored as a tuple of sorted ``(key, value)`` items so
+    the config itself is hashable; :attr:`params_dict` rebuilds the
+    mapping the target function receives.
+    """
+
+    target: str
+    params: tuple[tuple[str, Any], ...]
+    seed: int
+    rep: int
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        """The target's keyword parameters as a plain dict."""
+        return dict(self.params)
+
+    @property
+    def stream(self) -> str:
+        """The RngRegistry substream name this run draws from.
+
+        Depends only on config content, never on scheduling, so a run's
+        randomness is identical whether it executes first or last,
+        serially or on a worker process.
+        """
+        return f"{self.target}/{canonical_json(self.params_dict)}#rep{self.rep}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form used for hashing, caching, and worker dispatch.
+
+        The library version participates (and hence in the digest), so
+        a code upgrade invalidates cached records computed by the old
+        simulators instead of silently serving them. It deliberately
+        does *not* participate in :attr:`stream` — randomness is a
+        contract of (seed, config), not of the code revision.
+        """
+        from repro import __version__
+
+        return {
+            "target": self.target,
+            "params": self.params_dict,
+            "seed": self.seed,
+            "rep": self.rep,
+            "version": __version__,
+        }
+
+    @property
+    def digest(self) -> str:
+        """Content address of this config (cache filename stem)."""
+        return config_digest(self.as_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            target=str(data["target"]),
+            params=tuple(sorted(dict(data["params"]).items())),
+            seed=int(data["seed"]),
+            rep=int(data["rep"]),
+        )
+
+
+@dataclass
+class SweepSpec:
+    """A parameter sweep: target × base params × grid × repetitions.
+
+    Parameters
+    ----------
+    target:
+        Name of a registered sweep target (``repro sweep --list-targets``
+        or :func:`repro.sweep.targets.target_names`).
+    base:
+        Parameters shared by every run.
+    grid:
+        Per-parameter value lists; the sweep covers their cross product.
+        Grid keys may not collide with ``base`` keys — overriding a base
+        value silently is how sweeps diverge from what their digest says
+        they ran.
+    repetitions:
+        Independent repetitions per grid point (distinct substreams).
+    seed:
+        Root seed all run substreams derive from.
+    name:
+        Label used in output tables; defaults to the target name.
+    """
+
+    target: str
+    base: dict[str, Any] = field(default_factory=dict)
+    grid: dict[str, list[Any]] = field(default_factory=dict)
+    repetitions: int = 1
+    seed: int = 0
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        if self.seed < 0:
+            raise ConfigurationError(f"seed must be non-negative, got {self.seed}")
+        collisions = sorted(set(self.base) & set(self.grid))
+        if collisions:
+            raise ConfigurationError(
+                f"parameters {collisions} appear in both base and grid"
+            )
+        for key, value in self.base.items():
+            _check_scalar(key, value)
+        for key, values in self.grid.items():
+            if not values:
+                raise ConfigurationError(f"grid parameter {key!r} has no values")
+            for value in values:
+                _check_scalar(key, value)
+        if self.name is None:
+            self.name = self.target
+
+    @property
+    def grid_keys(self) -> list[str]:
+        """Grid parameter names in declaration order (table columns)."""
+        return list(self.grid)
+
+    @property
+    def size(self) -> int:
+        """Total number of runs the sweep expands to."""
+        points = 1
+        for values in self.grid.values():
+            points *= len(values)
+        return points * self.repetitions
+
+    def points(self) -> list[dict[str, Any]]:
+        """All grid points (cross product), in deterministic order."""
+        keys = self.grid_keys
+        if not keys:
+            return [{}]
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.grid[key] for key in keys))
+        ]
+
+    def expand(self) -> list[RunConfig]:
+        """Concrete run configs: every grid point × every repetition."""
+        configs = []
+        for point in self.points():
+            params = tuple(sorted({**self.base, **point}.items()))
+            for rep in range(self.repetitions):
+                configs.append(
+                    RunConfig(target=self.target, params=params, seed=self.seed, rep=rep)
+                )
+        return configs

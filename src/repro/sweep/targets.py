@@ -1,0 +1,274 @@
+"""Registry of sweep targets — picklable simulation entry points.
+
+A *target* is a module-level function ``fn(params, rng) -> record``:
+it receives one grid point's parameter dict and a dedicated
+:class:`numpy.random.Generator`, runs one simulation, and returns a
+flat JSON-serializable record (scalars only). Because targets are
+looked up by name and live at module level, a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker can execute any
+run from nothing but the config dict — closures never cross the process
+boundary.
+
+Built-in targets cover the paper's protocols:
+
+``synchronous``
+    Algorithm 1 with a fixed or adaptive two-choices schedule
+    (``gamma`` is the generation-growth fraction of Section 2.2).
+``single_leader``
+    Algorithms 2+3 under exponential, constant, or Gamma edge
+    latencies (``latency`` selects the law — Section 5 sensitivity).
+``multileader``
+    Section 4's decentralized clustering + consensus pipeline.
+``voter`` / ``two_choices`` / ``three_majority`` / ``undecided``
+    Related-work baselines (Section 1.1).
+
+Examples
+--------
+>>> sorted(target_names())[:3]
+['multileader', 'single_leader', 'synchronous']
+>>> from repro.engine.rng import RngRegistry
+>>> rec = get_target("synchronous")({"n": 400, "k": 2, "alpha": 2.0},
+...                                 RngRegistry(1).stream("doc"))
+>>> rec["plurality_won"]
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.core.params import SingleLeaderParams
+from repro.core.results import RunResult
+from repro.core.schedule import AdaptiveSchedule, FixedSchedule
+from repro.core.single_leader import SingleLeaderSim
+from repro.core.synchronous import run_synchronous
+from repro.engine.latency import ConstantLatency, GammaLatency, LatencyModel
+from repro.errors import ConfigurationError
+from repro.multileader.params import MultiLeaderParams
+from repro.multileader.protocol import run_multileader
+from repro.workloads.opinions import biased_counts
+
+__all__ = ["register_target", "get_target", "target_names"]
+
+Target = Callable[[Mapping[str, Any], np.random.Generator], dict]
+
+_TARGETS: dict[str, Target] = {}
+
+
+def register_target(name: str) -> Callable[[Target], Target]:
+    """Decorator: register ``fn(params, rng) -> record`` under ``name``."""
+
+    def decorator(fn: Target) -> Target:
+        if name in _TARGETS:
+            raise ConfigurationError(f"sweep target {name!r} already registered")
+        _TARGETS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_target(name: str) -> Target:
+    """Look up a target; unknown names raise with the valid list."""
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep target {name!r}; available: {', '.join(sorted(_TARGETS))}"
+        ) from None
+
+
+def target_names() -> list[str]:
+    """All registered target names, sorted."""
+    return sorted(_TARGETS)
+
+
+def _take(params: Mapping[str, Any], defaults: dict[str, Any]) -> dict[str, Any]:
+    """Merge ``params`` over ``defaults``; unknown keys are errors.
+
+    Typos in a grid (``latencyrate=2``) would otherwise silently run the
+    default configuration 32 times.
+    """
+    unknown = sorted(set(params) - set(defaults))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown sweep parameter(s) {unknown}; valid: {sorted(defaults)}"
+        )
+    merged = dict(defaults)
+    merged.update(params)
+    return merged
+
+
+def _record(result: RunResult, *, time_unit: float | None = None) -> dict:
+    """Flatten a :class:`RunResult` into a JSON-scalar record."""
+    record: dict[str, Any] = {
+        "converged": bool(result.converged),
+        "plurality_won": bool(result.plurality_won),
+        "winner": int(result.winner),
+        "elapsed": float(result.elapsed),
+        "epsilon_time": (
+            float(result.epsilon_convergence_time)
+            if result.epsilon_convergence_time is not None
+            else None
+        ),
+        "generations": len(result.births),
+    }
+    if time_unit is not None:
+        record["elapsed_units"] = record["elapsed"] / time_unit
+        if record["epsilon_time"] is not None:
+            record["epsilon_units"] = record["epsilon_time"] / time_unit
+    return record
+
+
+def _latency_model(name: str, rate: float, shape: float) -> LatencyModel | None:
+    """Resolve a latency-law name; ``None`` keeps the pooled exponential."""
+    if name in ("exponential", "exp"):
+        return None
+    if name in ("constant", "const"):
+        return ConstantLatency(1.0 / rate)
+    if name == "gamma":
+        return GammaLatency(shape=shape, rate=shape * rate)
+    raise ConfigurationError(
+        f"unknown latency law {name!r}; use exponential, constant, or gamma"
+    )
+
+
+@register_target("synchronous")
+def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+    """Algorithm 1 (synchronous two-choices + propagation rounds)."""
+    p = _take(
+        params,
+        {
+            "n": 1000,
+            "k": 4,
+            "alpha": 2.0,
+            "gamma": 0.5,
+            "schedule": "fixed",
+            "engine": "aggregate",
+            "max_steps": 10_000,
+            "epsilon": None,
+        },
+    )
+    if p["schedule"] == "fixed":
+        schedule = FixedSchedule(n=p["n"], k=p["k"], alpha0=p["alpha"], gamma=p["gamma"])
+    elif p["schedule"] == "adaptive":
+        schedule = AdaptiveSchedule(n=p["n"], alpha0=p["alpha"], gamma=p["gamma"])
+    else:
+        raise ConfigurationError(
+            f"unknown schedule {p['schedule']!r}; use 'fixed' or 'adaptive'"
+        )
+    counts = biased_counts(p["n"], p["k"], p["alpha"])
+    result = run_synchronous(
+        counts,
+        schedule,
+        rng,
+        engine=p["engine"],
+        max_steps=p["max_steps"],
+        epsilon=p["epsilon"],
+    )
+    return _record(result)
+
+
+@register_target("single_leader")
+def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+    """Algorithms 2+3 (asynchronous single-leader protocol)."""
+    p = _take(
+        params,
+        {
+            "n": 1000,
+            "k": 4,
+            "alpha": 2.0,
+            "gamma": 0.5,
+            "latency_rate": 1.0,
+            "latency": "exponential",
+            "latency_shape": 2.0,
+            "max_time": 4000.0,
+            "epsilon": None,
+        },
+    )
+    sim_params = SingleLeaderParams(
+        n=p["n"],
+        k=p["k"],
+        alpha0=p["alpha"],
+        latency_rate=p["latency_rate"],
+        gen_size_fraction=p["gamma"],
+    )
+    counts = biased_counts(p["n"], p["k"], p["alpha"])
+    model = _latency_model(p["latency"], p["latency_rate"], p["latency_shape"])
+    sim = SingleLeaderSim(sim_params, counts, rng, latency_model=model)
+    result = sim.run(max_time=p["max_time"], epsilon=p["epsilon"])
+    record = _record(result, time_unit=sim_params.time_unit)
+    record["events"] = int(sim.sim.events_executed)
+    return record
+
+
+@register_target("multileader")
+def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+    """Section 4's decentralized pipeline: clustering then consensus."""
+    p = _take(
+        params,
+        {
+            "n": 1000,
+            "k": 4,
+            "alpha": 2.0,
+            "latency_rate": 1.0,
+            "clustering_max_time": 500.0,
+            "max_time": 3000.0,
+            "epsilon": None,
+        },
+    )
+    sim_params = MultiLeaderParams(
+        n=p["n"], k=p["k"], alpha0=p["alpha"], latency_rate=p["latency_rate"]
+    )
+    counts = biased_counts(p["n"], p["k"], p["alpha"])
+    result = run_multileader(
+        sim_params,
+        counts,
+        rng,
+        clustering_max_time=p["clustering_max_time"],
+        max_time=p["max_time"],
+        epsilon=p["epsilon"],
+    )
+    record = _record(result, time_unit=sim_params.time_unit)
+    record["clusters"] = int(result.info.get("clusters", 0))
+    return record
+
+
+def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
+    def run_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+        from repro.baselines.base import run_dynamics
+
+        p = _take(
+            params,
+            {"n": 1000, "k": 4, "alpha": 2.0, "max_rounds": 100_000, "epsilon": None},
+        )
+        counts = biased_counts(p["n"], p["k"], p["alpha"])
+        result = run_dynamics(
+            dynamics_factory(p["k"]),
+            counts,
+            rng,
+            max_rounds=p["max_rounds"],
+            epsilon=p["epsilon"],
+        )
+        return _record(result)
+
+    return run_target
+
+
+def _register_baselines() -> None:
+    from repro.baselines.three_majority import ThreeMajority
+    from repro.baselines.two_choices import TwoChoices
+    from repro.baselines.undecided import UndecidedStateDynamics
+    from repro.baselines.voter import PullVoting
+
+    for name, factory in [
+        ("voter", lambda k: PullVoting()),
+        ("two_choices", lambda k: TwoChoices()),
+        ("three_majority", lambda k: ThreeMajority()),
+        ("undecided", lambda k: UndecidedStateDynamics()),
+    ]:
+        register_target(name)(_baseline_target(factory))
+
+
+_register_baselines()

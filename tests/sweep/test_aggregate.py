@@ -1,0 +1,104 @@
+"""Tests for record aggregation into tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.records import field_values, numeric_fields, rate, summarize_field
+from repro.errors import ConfigurationError
+from repro.sweep.aggregate import NON_AGGREGATED_FIELDS, aggregate_table, group_records
+from repro.sweep.spec import SweepSpec
+
+
+def records_for(spec: SweepSpec, base: float = 0.0) -> list[dict]:
+    return [
+        {
+            "elapsed": base + index,
+            "wall_time": 0.123 + index,  # must never reach a table
+            "winner": index % 2,
+            "converged": True,
+            "plurality_won": index % 2 == 0,
+        }
+        for index in range(spec.size)
+    ]
+
+
+class TestGroupRecords:
+    def test_groups_by_point_in_order(self):
+        spec = SweepSpec(target="t", grid={"n": [1, 2]}, repetitions=2)
+        groups = group_records(spec, records_for(spec))
+        assert [point for point, _ in groups] == [{"n": 1}, {"n": 2}]
+        assert [r["elapsed"] for r in groups[0][1]] == [0.0, 1.0]
+        assert [r["elapsed"] for r in groups[1][1]] == [2.0, 3.0]
+
+    def test_size_mismatch_rejected(self):
+        spec = SweepSpec(target="t", grid={"n": [1, 2]}, repetitions=2)
+        with pytest.raises(ConfigurationError, match="expected 4 records"):
+            group_records(spec, records_for(spec)[:-1])
+
+
+class TestAggregateTable:
+    def test_rows_and_headers(self):
+        spec = SweepSpec(target="t", grid={"n": [1, 2]}, repetitions=2, seed=5)
+        table = aggregate_table(spec, records_for(spec))
+        assert table.headers[0] == "n"
+        assert "runs" in table.headers
+        assert "elapsed" in table.headers
+        assert "plurality_won rate" in table.headers
+        assert table.rows[0][:2] == [1, 2]  # point n=1, two runs
+        assert "seed=5" in table.title
+
+    def test_excluded_fields_never_surface(self):
+        spec = SweepSpec(target="t", grid={"n": [1, 2]}, repetitions=2)
+        table = aggregate_table(spec, records_for(spec))
+        for name in NON_AGGREGATED_FIELDS:
+            assert all(name not in header for header in table.headers)
+
+    def test_boolean_fields_become_rates(self):
+        spec = SweepSpec(target="t", grid={"n": [1]}, repetitions=4)
+        table = aggregate_table(spec, records_for(spec))
+        row = dict(zip(table.headers, table.rows[0]))
+        assert row["converged rate"] == 1.0
+        assert row["plurality_won rate"] == 0.5
+
+    def test_none_values_skipped_in_means(self):
+        spec = SweepSpec(target="t", grid={"n": [1]}, repetitions=2)
+        records = [{"epsilon_time": 4.0}, {"epsilon_time": None}]
+        table = aggregate_table(spec, records)
+        row = dict(zip(table.headers, table.rows[0]))
+        assert row["epsilon_time"] == 4.0
+
+    def test_renders_through_table_machinery(self):
+        spec = SweepSpec(target="t", grid={"n": [1]}, repetitions=1)
+        rendered = aggregate_table(spec, [{"elapsed": 2.0}]).render()
+        assert "sweep: t" in rendered
+        assert "elapsed" in rendered
+
+
+class TestRecordHelpers:
+    RECORDS = [
+        {"elapsed": 10.0, "plurality_won": True},
+        {"elapsed": 14.0, "plurality_won": False},
+        {"elapsed": None, "plurality_won": True},
+    ]
+
+    def test_field_values_skips_none(self):
+        assert field_values(self.RECORDS, "elapsed") == [10.0, 14.0]
+
+    def test_field_values_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            field_values([{"x": "text"}], "x")
+
+    def test_summarize_field(self):
+        assert summarize_field(self.RECORDS, "elapsed").mean == 12.0
+        assert summarize_field(self.RECORDS, "missing") is None
+
+    def test_rate_counts_missing_in_denominator(self):
+        assert rate(self.RECORDS, "plurality_won") == pytest.approx(2 / 3)
+        with pytest.raises(ConfigurationError):
+            rate([], "plurality_won")
+
+    def test_numeric_fields_order_and_exclude(self):
+        records = [{"a": 1, "s": "text", "b": 2.0}, {"c": True, "a": 3}]
+        assert numeric_fields(records) == ["a", "b", "c"]
+        assert numeric_fields(records, exclude=("b",)) == ["a", "c"]

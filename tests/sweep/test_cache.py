@@ -1,0 +1,190 @@
+"""Tests for the content-addressed run cache.
+
+The satellite requirements pinned here: digest stability across dict
+ordering, recovery from corrupt/partial cache files, atomic writes, and
+gc semantics (dry-run, age-based, delete-all).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sweep.cache import CACHE_VERSION, RunCache
+from repro.sweep.spec import config_digest
+
+CONFIG = {"target": "demo", "params": {"n": 10, "k": 2}, "seed": 0, "rep": 0}
+RECORD = {"elapsed": 12.5, "plurality_won": True}
+
+
+@pytest.fixture()
+def cache(tmp_path) -> RunCache:
+    return RunCache(tmp_path / "runs")
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(CONFIG) is None
+        cache.put(CONFIG, RECORD)
+        assert cache.get(CONFIG) == RECORD
+
+    def test_creates_directory(self, tmp_path):
+        root = tmp_path / "deep" / "nested" / "runs"
+        RunCache(root)
+        assert root.is_dir()
+
+    def test_filename_is_config_digest(self, cache):
+        path = cache.put(CONFIG, RECORD)
+        assert path.stem == config_digest(CONFIG)
+        assert path.parent == cache.root
+
+    def test_hit_across_dict_ordering(self, cache):
+        cache.put(CONFIG, RECORD)
+        reordered = {
+            "rep": 0,
+            "seed": 0,
+            "params": {"k": 2, "n": 10},
+            "target": "demo",
+        }
+        assert cache.path_for(reordered) == cache.path_for(CONFIG)
+        assert cache.get(reordered) == RECORD
+
+    def test_distinct_configs_distinct_entries(self, cache):
+        cache.put(CONFIG, RECORD)
+        other = {**CONFIG, "rep": 1}
+        cache.put(other, {"elapsed": 1.0})
+        assert cache.get(CONFIG) == RECORD
+        assert cache.get(other) == {"elapsed": 1.0}
+
+    def test_put_overwrites(self, cache):
+        cache.put(CONFIG, RECORD)
+        cache.put(CONFIG, {"elapsed": 99.0})
+        assert cache.get(CONFIG) == {"elapsed": 99.0}
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(CONFIG, RECORD)
+        assert list(cache.root.glob("*.tmp")) == []
+
+
+class TestCorruptionRecovery:
+    def test_garbage_bytes_read_as_miss(self, cache):
+        path = cache.path_for(CONFIG)
+        path.write_text("{not json at all")
+        assert cache.get(CONFIG) is None
+
+    def test_truncated_entry_read_as_miss(self, cache):
+        cache.put(CONFIG, RECORD)
+        path = cache.path_for(CONFIG)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(CONFIG) is None
+
+    def test_wrong_version_read_as_miss(self, cache):
+        cache.put(CONFIG, RECORD)
+        path = cache.path_for(CONFIG)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert cache.get(CONFIG) is None
+
+    def test_digest_mismatch_read_as_miss(self, cache):
+        # An entry whose embedded config does not hash to its filename
+        # (e.g. a file renamed or copied by hand) must not be trusted.
+        cache.put(CONFIG, RECORD)
+        source = cache.path_for(CONFIG)
+        other = {**CONFIG, "rep": 5}
+        source.rename(cache.path_for(other))
+        assert cache.get(other) is None
+
+    def test_non_dict_payload_read_as_miss(self, cache):
+        cache.path_for(CONFIG).write_text('["not", "an", "envelope"]')
+        assert cache.get(CONFIG) is None
+
+    def test_put_repairs_corrupt_entry(self, cache):
+        cache.path_for(CONFIG).write_text("garbage")
+        cache.put(CONFIG, RECORD)
+        assert cache.get(CONFIG) == RECORD
+
+
+class TestStatsAndGc:
+    def test_stats_counts(self, cache):
+        cache.put(CONFIG, RECORD)
+        cache.put({**CONFIG, "rep": 1}, RECORD)
+        (cache.root / f"{'0' * 64}.json").write_text("garbage")
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.corrupt == 1
+        assert stats.bytes > 0
+        assert "2 entries" in stats.render()
+
+    def test_gc_removes_only_corrupt_by_default(self, cache):
+        cache.put(CONFIG, RECORD)
+        bad = cache.root / f"{'0' * 64}.json"
+        bad.write_text("garbage")
+        doomed = cache.gc()
+        assert doomed == [bad]
+        assert not bad.exists()
+        assert cache.get(CONFIG) == RECORD
+
+    def test_gc_dry_run_deletes_nothing(self, cache):
+        bad = cache.root / f"{'0' * 64}.json"
+        bad.write_text("garbage")
+        doomed = cache.gc(dry_run=True)
+        assert doomed == [bad]
+        assert bad.exists()
+
+    def test_gc_max_age(self, cache):
+        cache.put(CONFIG, RECORD)
+        fresh = {**CONFIG, "rep": 1}
+        cache.put(fresh, RECORD)
+        old_path = cache.path_for(CONFIG)
+        os.utime(old_path, (0, 0))  # epoch: far past any cutoff
+        doomed = cache.gc(max_age_days=1)
+        assert doomed == [old_path]
+        assert cache.get(CONFIG) is None
+        assert cache.get(fresh) == RECORD
+
+    def test_gc_delete_all(self, cache):
+        cache.put(CONFIG, RECORD)
+        cache.put({**CONFIG, "rep": 1}, RECORD)
+        assert len(cache.gc(delete_all=True)) == 2
+        assert cache.stats().entries == 0
+
+    def test_gc_sweeps_stale_temp_files(self, cache):
+        stray = cache.root / "tmpabc123.tmp"
+        stray.write_text("crash leftover")
+        os.utime(stray, (0, 0))  # far older than STALE_TMP_SECONDS
+        assert stray in cache.gc()
+        assert not stray.exists()
+
+    def test_gc_spares_fresh_temp_files(self, cache):
+        # A just-created .tmp may be a concurrent put() mid-write.
+        stray = cache.root / "tmpabc123.tmp"
+        stray.write_text("possibly mid-write")
+        assert cache.gc() == []
+        assert stray.exists()
+        assert stray in cache.gc(delete_all=True)
+
+    def test_foreign_json_files_never_touched(self, cache):
+        # A user's own JSON in the cache dir is not digest-named: it
+        # must be invisible to stats and survive even `gc --all`.
+        foreign = cache.root / "my-results.json"
+        foreign.write_text('{"precious": true}')
+        cache.put(CONFIG, RECORD)
+        assert cache.stats().entries == 1
+        assert cache.stats().corrupt == 0
+        cache.gc(delete_all=True)
+        assert foreign.exists()
+
+
+class TestNanInfRecords:
+    def test_nan_and_inf_round_trip(self, cache):
+        # Experiment tables legitimately contain NaN ("-" cells) and
+        # Inf; the cache must round-trip them instead of crashing.
+        record = {"mean": float("nan"), "worst": float("inf"), "ok": 1.5}
+        cache.put(CONFIG, record)
+        loaded = cache.get(CONFIG)
+        assert loaded["mean"] != loaded["mean"]  # NaN
+        assert loaded["worst"] == float("inf")
+        assert loaded["ok"] == 1.5

@@ -1,0 +1,158 @@
+"""Tests for sweep specs: grid expansion, hashing, CLI parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep.spec import (
+    RunConfig,
+    SweepSpec,
+    canonical_json,
+    coerce_scalar,
+    config_digest,
+    parse_grid,
+    parse_overrides,
+)
+
+
+class TestCanonicalJson:
+    def test_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_digest_stable_across_dict_ordering(self):
+        first = {"target": "t", "params": {"n": 5, "k": 2}, "seed": 0, "rep": 1}
+        second = {"rep": 1, "seed": 0, "params": {"k": 2, "n": 5}, "target": "t"}
+        assert config_digest(first) == config_digest(second)
+
+    def test_digest_sensitive_to_values(self):
+        base = {"target": "t", "params": {"n": 5}, "seed": 0, "rep": 0}
+        changed = {**base, "seed": 1}
+        assert config_digest(base) != config_digest(changed)
+
+    def test_nested_dicts_sorted_too(self):
+        assert canonical_json({"p": {"z": 1, "a": 2}}) == '{"p":{"a":2,"z":1}}'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4", 4),
+            ("-3", -3),
+            ("0.5", 0.5),
+            ("1e3", 1000.0),
+            ("true", True),
+            ("False", False),
+            ("none", None),
+            ("adaptive", "adaptive"),
+        ],
+    )
+    def test_scalars(self, text, expected):
+        assert coerce_scalar(text) == expected
+
+    def test_int_stays_int(self):
+        assert isinstance(coerce_scalar("4"), int)
+
+    def test_parse_grid(self):
+        assert parse_grid(["n=500,1000", "gamma=0.4,0.5"]) == {
+            "n": [500, 1000],
+            "gamma": [0.4, 0.5],
+        }
+
+    def test_parse_grid_duplicate_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_grid(["n=1", "n=2"])
+
+    @pytest.mark.parametrize("bad", ["n", "=5", "n=", ""])
+    def test_parse_grid_malformed_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_grid([bad])
+
+    @pytest.mark.parametrize("bad", ["n=100,200,", "n=100,,200", "n=,100"])
+    def test_parse_grid_empty_tokens_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="empty value"):
+            parse_grid([bad])
+
+    def test_parse_overrides(self):
+        assert parse_overrides(["alpha=2.0", "schedule=fixed"]) == {
+            "alpha": 2.0,
+            "schedule": "fixed",
+        }
+
+
+class TestSweepSpec:
+    def test_expand_order_point_major_rep_minor(self):
+        spec = SweepSpec(
+            target="t", base={"k": 2}, grid={"n": [10, 20]}, repetitions=2, seed=7
+        )
+        expanded = [(c.params_dict["n"], c.rep) for c in spec.expand()]
+        assert expanded == [(10, 0), (10, 1), (20, 0), (20, 1)]
+        assert spec.size == 4
+
+    def test_grid_cross_product(self):
+        spec = SweepSpec(target="t", grid={"a": [1, 2], "b": [3, 4, 5]})
+        assert spec.size == 6
+        assert len(spec.points()) == 6
+
+    def test_no_grid_is_single_point(self):
+        spec = SweepSpec(target="t", base={"n": 5}, repetitions=3)
+        assert spec.size == 3
+        assert spec.points() == [{}]
+
+    def test_base_grid_collision_rejected(self):
+        with pytest.raises(ConfigurationError, match="both base and grid"):
+            SweepSpec(target="t", base={"n": 5}, grid={"n": [1, 2]})
+
+    def test_bad_repetitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(target="t", repetitions=0)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(target="t", seed=-1)
+
+    def test_empty_grid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(target="t", grid={"n": []})
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON scalar"):
+            SweepSpec(target="t", base={"n": [1, 2]})
+
+    def test_name_defaults_to_target(self):
+        assert SweepSpec(target="t").name == "t"
+        assert SweepSpec(target="t", name="label").name == "label"
+
+
+class TestRunConfig:
+    def test_dict_round_trip(self):
+        config = SweepSpec(target="t", base={"n": 5}, repetitions=2, seed=9).expand()[1]
+        assert RunConfig.from_dict(config.as_dict()) == config
+
+    def test_stream_is_content_keyed(self):
+        spec = SweepSpec(target="t", base={"n": 5}, repetitions=2)
+        first, second = spec.expand()
+        assert first.stream != second.stream  # rep participates
+        again = SweepSpec(target="t", base={"n": 5}, repetitions=2).expand()[0]
+        assert again.stream == first.stream
+
+    def test_as_dict_keyed_by_library_version(self):
+        # A code upgrade must invalidate cached run records.
+        import repro
+
+        config = SweepSpec(target="t", base={"n": 5}).expand()[0]
+        assert config.as_dict()["version"] == repro.__version__
+        # ...but randomness is a contract of (seed, config) only.
+        assert repro.__version__ not in config.stream
+
+    def test_digest_distinguishes_target_seed_rep(self):
+        base = SweepSpec(target="t", base={"n": 5}).expand()[0]
+        other_target = SweepSpec(target="u", base={"n": 5}).expand()[0]
+        other_seed = SweepSpec(target="t", base={"n": 5}, seed=1).expand()[0]
+        digests = {base.digest, other_target.digest, other_seed.digest}
+        assert len(digests) == 3

@@ -1,0 +1,82 @@
+"""Tests for the sweep target registry and built-in targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep.targets import get_target, register_target, target_names
+
+REQUIRED_KEYS = {"converged", "plurality_won", "winner", "elapsed", "generations"}
+
+
+class TestRegistry:
+    def test_builtin_targets_present(self):
+        names = target_names()
+        for expected in ("synchronous", "single_leader", "multileader", "voter"):
+            assert expected in names
+
+    def test_unknown_target_raises_with_list(self):
+        with pytest.raises(ConfigurationError, match="single_leader"):
+            get_target("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_target("synchronous")(lambda params, rng: {})
+
+
+class TestBuiltinTargets:
+    def test_synchronous_record_shape(self, rng):
+        record = get_target("synchronous")({"n": 300, "k": 2, "alpha": 2.0}, rng)
+        assert REQUIRED_KEYS <= set(record)
+        assert record["plurality_won"] in (True, False)
+
+    def test_synchronous_adaptive_schedule(self, rng):
+        record = get_target("synchronous")(
+            {"n": 300, "k": 2, "alpha": 2.0, "schedule": "adaptive", "gamma": 0.4}, rng
+        )
+        assert record["converged"]
+
+    def test_synchronous_unknown_schedule_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="unknown schedule"):
+            get_target("synchronous")({"n": 100, "k": 2, "schedule": "nope"}, rng)
+
+    def test_unknown_parameter_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="unknown sweep parameter"):
+            get_target("synchronous")({"n": 100, "latencyrate": 2.0}, rng)
+
+    def test_single_leader_record_has_units_and_events(self, rng):
+        record = get_target("single_leader")({"n": 200, "k": 2, "alpha": 2.0}, rng)
+        assert REQUIRED_KEYS <= set(record)
+        assert record["events"] > 0
+        # C1 (steps per unit) > 1, so time in units is below time in steps.
+        assert 0 < record["elapsed_units"] < record["elapsed"]
+
+    @pytest.mark.parametrize("law", ["constant", "gamma"])
+    def test_single_leader_latency_laws(self, law, rng):
+        record = get_target("single_leader")(
+            {"n": 200, "k": 2, "alpha": 2.0, "latency": law}, rng
+        )
+        assert record["elapsed"] > 0
+
+    def test_single_leader_unknown_latency_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="unknown latency law"):
+            get_target("single_leader")({"n": 200, "k": 2, "latency": "pareto"}, rng)
+
+    def test_multileader_record_has_clusters(self, rng):
+        record = get_target("multileader")({"n": 300, "k": 2, "alpha": 2.0}, rng)
+        assert REQUIRED_KEYS <= set(record)
+        assert record["clusters"] >= 1
+
+    @pytest.mark.parametrize(
+        "name", ["voter", "two_choices", "three_majority", "undecided"]
+    )
+    def test_baseline_targets_run(self, name, rng):
+        record = get_target(name)({"n": 200, "k": 2, "alpha": 3.0}, rng)
+        assert REQUIRED_KEYS <= set(record)
+
+    def test_epsilon_threads_through(self, rng):
+        record = get_target("synchronous")(
+            {"n": 300, "k": 2, "alpha": 2.0, "epsilon": 0.05}, rng
+        )
+        assert record["epsilon_time"] is not None

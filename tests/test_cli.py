@@ -57,6 +57,65 @@ class TestCommands:
         assert content.startswith("### fig1")
 
 
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "synchronous",
+        "--grid", "n=100,200", "--set", "k=2", "--set", "alpha=2.0",
+        "--reps", "2", "--seed", "3",
+    ]
+
+    def test_sweep_without_cache(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: synchronous" in out
+        assert "4 runs (4 executed, 0 cached)" in out
+
+    def test_sweep_second_invocation_fully_cached(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "runs")
+        assert main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "4 runs (0 executed, 4 cached)" in second
+        # Identical aggregated table either way.
+        assert first.split("\n\n")[0] == second.split("\n\n")[0]
+
+    def test_sweep_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "unknown-target"])
+
+
+class TestCacheCommand:
+    def test_stats_and_gc_dry_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "runs")
+        main(
+            ["sweep", "synchronous", "--grid", "n=100", "--set", "k=2",
+             "--cache-dir", cache_dir]
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        (tmp_path / "runs" / ("0" * 64 + ".json")).write_text("garbage")
+        assert main(["cache", "gc", "--dry-run", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "would delete 1" in out
+        assert (tmp_path / "runs" / ("0" * 64 + ".json")).exists()
+        assert main(["cache", "gc", "--cache-dir", cache_dir]) == 0
+        assert "deleted 1" in capsys.readouterr().out
+        assert not (tmp_path / "runs" / ("0" * 64 + ".json")).exists()
+
+
+class TestReproduceCache:
+    def test_reproduce_uses_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "runs")
+        args = ["reproduce", "--only", "fig1", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
 class TestReportFlag:
     def test_demo_report_sync(self, capsys):
         code = main(["demo", "--n", "5000", "--k", "3", "--alpha", "2.0",

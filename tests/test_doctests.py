@@ -6,14 +6,27 @@ import doctest
 
 import pytest
 
+import repro.analysis.records
 import repro.engine.hypoexp
 import repro.engine.rng
+import repro.experiments.common
+import repro.sweep.aggregate
+import repro.sweep.cache
+import repro.sweep.runner
+import repro.sweep.spec
+import repro.sweep.targets
 
 MODULES = [
     repro.engine.rng,
     repro.engine.hypoexp,
+    repro.experiments.common,
+    repro.analysis.records,
+    repro.sweep.spec,
+    repro.sweep.cache,
+    repro.sweep.targets,
+    repro.sweep.runner,
+    repro.sweep.aggregate,
 ]
-
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_module_doctests(module):
