@@ -14,6 +14,9 @@ Bankhamer, Elsässer, Kaaser, Krnc). The library provides:
   exponential edge latencies, hypoexponential cycle-time math);
 * :mod:`repro.baselines` — voter, two-choices, 3-majority,
   undecided-state dynamics, and population protocols for comparison;
+* :mod:`repro.scenarios` — the robustness layer: sparse topologies
+  (every protocol takes ``graph=``), composable fault models (message
+  loss, churn, stragglers), and adversarial initial configurations;
 * :mod:`repro.workloads`, :mod:`repro.analysis`,
   :mod:`repro.experiments` — workload generators, statistics, and the
   experiment registry reproducing every figure/claim of the paper.

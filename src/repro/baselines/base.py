@@ -10,6 +10,15 @@ opinion (group) the distribution over next opinions. The shared
 :func:`run_dynamics` runner draws those multinomials and reports the
 same :class:`~repro.core.results.RunResult` the paper's protocol
 runners use, so head-to-head experiments are one loop.
+
+The multinomial shortcut is exact only on the complete graph. On a
+sparse substrate (``graph=`` parameter) :func:`run_dynamics` switches
+to a literal per-node engine: each node samples
+:attr:`OpinionDynamics.sample_size` neighbors from its CSR adjacency
+and applies the dynamic's local rule
+(:meth:`OpinionDynamics.local_update_batch`) — fully vectorized per
+round, and distributionally identical to the multinomial path when the
+graph happens to be dense.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.results import RunResult, StepStats
+from repro.engine.network import CompleteGraph
 from repro.errors import ConfigurationError
 from repro.workloads.bias import multiplicative_bias, plurality_color, validate_counts
 
@@ -34,6 +44,9 @@ class OpinionDynamics:
 
     #: Human-readable protocol name (used in tables).
     name: str = "dynamics"
+
+    #: Uniform contacts one node samples per round (graph-restricted path).
+    sample_size: int = 1
 
     def initial_state(self, counts: np.ndarray) -> np.ndarray:
         """Internal state-count vector for initial opinion ``counts``."""
@@ -54,6 +67,22 @@ class OpinionDynamics:
     def is_converged(self, state: np.ndarray) -> bool:
         """Default: a single opinion survives."""
         return int(np.count_nonzero(self.project_colors(state))) == 1
+
+    def local_update_batch(
+        self, own: np.ndarray, samples: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-node rule: next internal state from the sampled states.
+
+        ``own`` is the length-``n`` current state per node and
+        ``samples`` the ``(n, sample_size)`` matrix of sampled contact
+        states; returns the length-``n`` next-state array. Only needed
+        for graph-restricted simulation — dynamics that do not override
+        it remain complete-graph (multinomial) only.
+        """
+        raise ConfigurationError(
+            f"{self.name} does not define a local update rule; "
+            "it can only run on the complete graph"
+        )
 
     def step(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """One exact synchronous round: a multinomial per state group."""
@@ -77,6 +106,40 @@ class OpinionDynamics:
         return new_state
 
 
+class _GraphDynamicsEngine:
+    """Literal per-node engine for dynamics on a sparse graph.
+
+    Holds one internal state per node; each round samples
+    ``dynamics.sample_size`` CSR neighbors per node (batched uniform
+    draws, no per-call ``rng.choice``) and applies the local rule
+    simultaneously across the population.
+    """
+
+    def __init__(self, dynamics: OpinionDynamics, counts: np.ndarray, graph, rng):
+        state_counts = dynamics.initial_state(counts)
+        self.states = int(state_counts.size)
+        self.n = int(state_counts.sum())
+        if len(graph) != self.n:
+            raise ConfigurationError(
+                f"graph has {len(graph)} nodes but counts sum to {self.n}"
+            )
+        if graph.min_degree < 1:
+            raise ConfigurationError("graph has isolated nodes; dynamics need degree >= 1")
+        self._graph = graph
+        self._dynamics = dynamics
+        self.node_state = np.repeat(np.arange(self.states), state_counts)
+        rng.shuffle(self.node_state)
+
+    def step(self, rng: np.random.Generator) -> np.ndarray:
+        """One synchronous round; returns the new state-count vector."""
+        dynamics = self._dynamics
+        samples = np.empty((self.n, dynamics.sample_size), dtype=np.int64)
+        for column in range(dynamics.sample_size):
+            samples[:, column] = self.node_state[self._graph.sample_per_node(rng)]
+        self.node_state = dynamics.local_update_batch(self.node_state, samples, rng)
+        return np.bincount(self.node_state, minlength=self.states).astype(np.int64)
+
+
 def run_dynamics(
     dynamics: OpinionDynamics,
     counts: np.ndarray,
@@ -85,22 +148,29 @@ def run_dynamics(
     max_rounds: int = 100_000,
     epsilon: float | None = None,
     record_trajectory: bool = False,
+    graph=None,
 ) -> RunResult:
     """Run ``dynamics`` from initial opinion ``counts`` to consensus.
 
     Mirrors :func:`repro.core.synchronous.run_synchronous`'s contract:
     never raises on non-convergence — inspect ``result.converged``.
+    ``graph=None`` (or a :class:`~repro.engine.network.CompleteGraph`)
+    uses the exact multinomial engine; a sparse graph switches to the
+    per-node engine driven by the dynamic's local rule.
     """
     counts = validate_counts(counts)
     n = int(counts.sum())
     plurality = plurality_color(counts)
+    if graph is not None and isinstance(graph, CompleteGraph):
+        graph = None  # identical semantics, keep the exact multinomial path
+    engine = None if graph is None else _GraphDynamicsEngine(dynamics, counts, graph, rng)
     state = dynamics.initial_state(counts)
     trajectory: list[StepStats] = []
     epsilon_time: float | None = None
     rounds = 0
     converged = False
     while rounds < max_rounds:
-        state = dynamics.step(state, rng)
+        state = dynamics.step(state, rng) if engine is None else engine.step(rng)
         rounds += 1
         colors = dynamics.project_colors(state)
         if record_trajectory:

@@ -30,6 +30,16 @@ class ThreeMajority(OpinionDynamics):
     """Three-sample majority with uniform tie-breaking."""
 
     name = "3-majority"
+    sample_size = 3
+
+    def local_update_batch(
+        self, own: np.ndarray, samples: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        a, b, c = samples[:, 0], samples[:, 1], samples[:, 2]
+        # Majority among the three samples; an all-distinct tie adopts
+        # one of the three uniformly at random (matching adoption_law).
+        tie_pick = samples[np.arange(samples.shape[0]), rng.integers(3, size=samples.shape[0])]
+        return np.where((a == b) | (a == c), a, np.where(b == c, b, tie_pick))
 
     @staticmethod
     def adoption_law(fractions: np.ndarray) -> np.ndarray:

@@ -21,6 +21,13 @@ class TwoChoices(OpinionDynamics):
     """Two-sample voting: adopt iff both samples agree."""
 
     name = "two-choices"
+    sample_size = 2
+
+    def local_update_batch(
+        self, own: np.ndarray, samples: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        agree = samples[:, 0] == samples[:, 1]
+        return np.where(agree, samples[:, 0], own)
 
     def transition_probabilities(self, state: np.ndarray) -> np.ndarray:
         fractions = state / state.sum()

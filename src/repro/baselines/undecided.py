@@ -26,9 +26,23 @@ class UndecidedStateDynamics(OpinionDynamics):
     """One-sample undecided-state dynamics, k opinions + undecided."""
 
     name = "undecided-state"
+    sample_size = 1
+
+    def local_update_batch(
+        self, own: np.ndarray, samples: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        sampled = samples[:, 0]
+        # The undecided state index is k (the last internal state),
+        # recorded when the initial state vector was built.
+        k = self._undecided_index
+        decided = own < k
+        next_decided = np.where((sampled == own) | (sampled == k), own, k)
+        next_undecided = np.where(sampled < k, sampled, k)
+        return np.where(decided, next_decided, next_undecided)
 
     def initial_state(self, counts: np.ndarray) -> np.ndarray:
         counts = validate_counts(counts)
+        self._undecided_index = int(counts.size)
         return np.concatenate([counts, [0]]).astype(np.int64)
 
     def project_colors(self, state: np.ndarray) -> np.ndarray:

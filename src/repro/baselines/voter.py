@@ -20,9 +20,15 @@ class PullVoting(OpinionDynamics):
     """One-sample pull voting: adopt the sampled node's opinion."""
 
     name = "pull-voting"
+    sample_size = 1
 
     def transition_probabilities(self, state: np.ndarray) -> np.ndarray:
         fractions = state / state.sum()
         # Every node's next opinion is one uniform sample, regardless of
         # its current opinion: all rows equal the population fractions.
         return np.tile(fractions, (state.size, 1))
+
+    def local_update_batch(
+        self, own: np.ndarray, samples: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return samples[:, 0]

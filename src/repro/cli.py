@@ -5,8 +5,11 @@ Usage::
     repro list                          # show the experiment registry
     repro run fig1 [--full] [--seed S]  # run one experiment, print tables
     repro reproduce [--full] [--out F]  # run everything, write Markdown
+    repro reproduce --list              # list experiments without running
     repro demo [--n N] [--k K] ...      # one synchronous + one async run
     repro sweep TARGET --grid n=1e3,1e4 # parameter sweep, cached+parallel
+    repro sweep --list-targets          # targets + their grid-able params
+    repro robustness [--quick]          # adversity tables (cached sweep)
     repro cache stats|gc [--dry-run]    # inspect / clean the run cache
 
 ``reproduce`` and ``sweep`` share the orchestration layer in
@@ -27,7 +30,7 @@ from repro.experiments.registry import EXPERIMENTS
 from repro.sweep.cache import DEFAULT_CACHE_DIR, RunCache
 from repro.sweep.runner import run_experiments, run_sweep
 from repro.sweep.spec import SweepSpec, parse_grid, parse_overrides
-from repro.sweep.targets import target_names
+from repro.sweep.targets import target_names, target_params
 
 __all__ = ["main", "build_parser"]
 
@@ -60,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--no-plot", action="store_true", help="skip ASCII plots")
 
     repro_parser = sub.add_parser("reproduce", help="run all experiments, emit Markdown")
+    repro_parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list registered experiments (id, artifact, description) and exit",
+    )
     repro_parser.add_argument("--full", action="store_true")
     repro_parser.add_argument("--seed", type=int, default=0)
     repro_parser.add_argument("--out", type=Path, default=None, help="write Markdown here")
@@ -88,7 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a cached, parallel parameter sweep over one target"
     )
     sweep_parser.add_argument(
-        "target", choices=target_names(), help="registered simulation entry point"
+        "target", nargs="?", choices=target_names(),
+        help="registered simulation entry point",
+    )
+    sweep_parser.add_argument(
+        "--list-targets", action="store_true", dest="list_targets",
+        help="list registered targets with their grid-able parameters and exit",
     )
     sweep_parser.add_argument(
         "--grid", action="append", default=[], metavar="KEY=V1,V2,...",
@@ -106,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--name", default=None, help="label used in the output table")
     _add_cache_arguments(sweep_parser, default_dir=DEFAULT_CACHE_DIR)
+
+    robust_parser = sub.add_parser(
+        "robustness", help="positive aging under adversity: cached topology/fault sweep"
+    )
+    robust_parser.add_argument("--full", action="store_true", help="full (slow) configuration")
+    robust_parser.add_argument(
+        "--quick", action="store_true",
+        help="quick configuration (the default; kept for symmetry/scripts)",
+    )
+    robust_parser.add_argument("--seed", type=int, default=0)
+    robust_parser.add_argument(
+        "--profile", choices=("smoke", "quick", "full"), default=None,
+        help="explicit scenario scale (overrides --quick/--full; smoke = CI-sized)",
+    )
+    robust_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, 0 = one per CPU)",
+    )
+    robust_parser.add_argument("--out", type=Path, default=None, help="write Markdown here")
+    _add_cache_arguments(robust_parser, default_dir=DEFAULT_CACHE_DIR)
 
     cache_parser = sub.add_parser("cache", help="inspect or clean the run cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -141,6 +173,16 @@ def _command_list() -> int:
     return 0
 
 
+def _command_list_targets() -> int:
+    for name in target_names():
+        print(name)
+        params = target_params(name)
+        width = max(len(key) for key in params) if params else 0
+        for key in sorted(params):
+            print(f"  {key.ljust(width)} = {params[key]!r}")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
     from repro.experiments.registry import run_experiment
 
@@ -150,6 +192,8 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_reproduce(args: argparse.Namespace) -> int:
+    if args.list_experiments:
+        return _command_list()
     names = args.only if args.only else list(EXPERIMENTS)
     outcomes = run_experiments(
         names,
@@ -199,6 +243,11 @@ def _command_demo(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.sweep.aggregate import aggregate_table
 
+    if args.list_targets:
+        return _command_list_targets()
+    if args.target is None:
+        print("error: a sweep target is required (or pass --list-targets)", file=sys.stderr)
+        return 2
     spec = SweepSpec(
         target=args.target,
         base=parse_overrides(args.overrides),
@@ -216,6 +265,29 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print(aggregate_table(spec, report.records).render())
     print()
     print(report.summary())
+    return 0
+
+
+def _command_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments.robustness import run_robustness
+
+    report = run_robustness(
+        quick=not args.full,
+        seed=args.seed,
+        cache=_open_cache(args),
+        workers=args.workers,
+        profile=args.profile,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.result.render(plot=False))
+    print(
+        f"[robustness] {report.executed} runs executed, {report.cached} cached",
+        file=sys.stderr,
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.result.render_markdown() + "\n")
+        print(f"[robustness] wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -250,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_demo(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "robustness":
+        return _command_robustness(args)
     if args.command == "cache":
         return _command_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -52,6 +52,8 @@ class DelayedExchangeSim(SingleLeaderSim):
         ``μ`` of the exponential message-exchange delay. Larger means
         faster exchange; ``μ → ∞`` recovers the paper's instant-exchange
         model (up to the extra revalidation round-trip).
+    graph:
+        Communication substrate (see :class:`SingleLeaderSim`).
     """
 
     def __init__(
@@ -61,11 +63,12 @@ class DelayedExchangeSim(SingleLeaderSim):
         rng: np.random.Generator,
         *,
         exchange_rate: float = 2.0,
+        graph=None,
     ):
         self.exchange_rate = check_positive("exchange_rate", exchange_rate)
         self.committed_updates = 0
         self.aborted_updates = 0
-        super().__init__(params, counts, rng)
+        super().__init__(params, counts, rng, graph=graph)
         # Lazy refills mean construction order does not consume draws.
         self._exchange_delay = ExponentialPool(rng, self.exchange_rate)
         # Reading the three peers' messages costs an exchange delay

@@ -45,7 +45,8 @@ from repro.core.leader import Leader
 from repro.core.params import SingleLeaderParams
 from repro.core.results import GenerationBirth, RunResult, StepStats
 from repro.engine.latency import ChannelPlan, LatencyModel
-from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool, LatencyPool
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import ChannelDelayPool, ExponentialPool, LatencyPool
 from repro.engine.simulator import Simulator
 from repro.engine.tracing import Tracer
 from repro.errors import ConfigurationError
@@ -81,6 +82,12 @@ class SingleLeaderSim:
         given, it replaces the ``Exp(params.latency_rate)`` draws; note
         that ``params.time_unit`` then no longer applies — use
         :func:`repro.engine.latency.empirical_time_unit` for reporting.
+    graph:
+        Communication substrate; any object with the
+        :class:`~repro.engine.network.CompleteGraph` sampling contract
+        (see :mod:`repro.scenarios.topology`). Defaults to ``K_n`` —
+        the paper's model — with a draw sequence bit-identical to the
+        pre-scenario engine.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class SingleLeaderSim:
         *,
         tracer: Tracer | None = None,
         latency_model: "LatencyModel | None" = None,
+        graph=None,
     ):
         counts = validate_counts(counts)
         if int(counts.sum()) != params.n:
@@ -99,9 +107,18 @@ class SingleLeaderSim:
             )
         if counts.size != params.k:
             raise ConfigurationError(f"counts has {counts.size} colors but params.k={params.k}")
+        if graph is None:
+            graph = CompleteGraph(params.n)
+        elif len(graph) != params.n:
+            raise ConfigurationError(
+                f"graph has {len(graph)} nodes but params.n={params.n}"
+            )
+        elif getattr(graph, "min_degree", 1) < 1:
+            raise ConfigurationError("graph has isolated nodes; contact sampling needs degree >= 1")
         self.params = params
         self.n = params.n
         self.k = params.k
+        self.graph = graph
         self._rng = rng
         self._latency_model = latency_model
         self.sim = Simulator(tracer=tracer)
@@ -122,7 +139,10 @@ class SingleLeaderSim:
         else:
             self._latency = ExponentialPool(rng, params.latency_rate)
             self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=stages)
-        self._contact = IntegerPool(rng, self.n - 1)
+        # Bound sampler from the graph's pooled degree-class sampler; on
+        # K_n this is the same IntegerPool + shift-trick sequence as the
+        # original inline implementation (regression-guarded).
+        self._sample_neighbor = graph.neighbor_pool(rng).sample
 
         # Hot per-node state: plain Python lists (see module docstring).
         self._cols: list[int] = counts_to_assignment(counts, rng).tolist()
@@ -233,10 +253,6 @@ class SingleLeaderSim:
         first = self._sample_neighbor(node)
         second = self._sample_neighbor(node)
         sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
-
-    def _sample_neighbor(self, node: int) -> int:
-        draw = self._contact()
-        return draw + 1 if draw >= node else draw
 
     def _exchange(self, payload: tuple[int, int, int]) -> None:
         node, first, second = payload
@@ -409,9 +425,10 @@ def run_single_leader(
     epsilon: float | None = None,
     stop_at_epsilon: bool = False,
     record_every: float | None = None,
+    graph=None,
 ) -> RunResult:
     """Build a :class:`SingleLeaderSim` and run it (convenience front-end)."""
-    sim = SingleLeaderSim(params, counts, rng)
+    sim = SingleLeaderSim(params, counts, rng, graph=graph)
     return sim.run(
         max_time=max_time,
         epsilon=epsilon,

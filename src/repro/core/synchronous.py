@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.results import GenerationBirth, RunResult, StepStats
 from repro.core.schedule import Schedule
+from repro.engine.network import CompleteGraph
 from repro.errors import ConfigurationError
 from repro.workloads.bias import (
     collision_probability,
@@ -175,9 +176,22 @@ class PerNodeSynchronousSim(_SynchronousBase):
         Two-choices schedule (see :mod:`repro.core.schedule`).
     rng:
         Generator for sampling and the initial shuffle.
+    graph:
+        Communication substrate with the
+        :class:`~repro.engine.network.CompleteGraph` contract; sampling
+        then draws from each node's CSR neighbor list instead of the
+        whole population. ``None`` (or a ``CompleteGraph``) keeps the
+        original clique path bit-identically.
     """
 
-    def __init__(self, counts: np.ndarray, schedule: Schedule, rng: np.random.Generator):
+    def __init__(
+        self,
+        counts: np.ndarray,
+        schedule: Schedule,
+        rng: np.random.Generator,
+        *,
+        graph=None,
+    ):
         counts = validate_counts(counts)
         self.n = int(counts.sum())
         if self.n < 2:
@@ -186,6 +200,14 @@ class PerNodeSynchronousSim(_SynchronousBase):
         self.schedule = schedule
         schedule.reset()
         self._rng = rng
+        if graph is not None and isinstance(graph, CompleteGraph):
+            graph = None  # identical semantics, keep the fast clique path
+        if graph is not None:
+            if len(graph) != self.n:
+                raise ConfigurationError(f"graph has {len(graph)} nodes but counts sum to {self.n}")
+            if graph.min_degree < 1:
+                raise ConfigurationError("graph has isolated nodes; per-node sampling needs degree >= 1")
+        self.graph = graph
         self.colors = counts_to_assignment(counts, rng)
         self.generations = np.zeros(self.n, dtype=np.int64)
         self.steps_done = 0
@@ -195,10 +217,18 @@ class PerNodeSynchronousSim(_SynchronousBase):
     def _sample_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """Two independent uniform neighbors per node, never the node itself.
 
-        One batched ``rng.integers`` call per sample vector plus the
-        shift trick (skip the sampler's own index) — the whole round's
-        contact sampling is two numpy calls.
+        On the clique: one batched ``rng.integers`` call per sample
+        vector plus the shift trick (skip the sampler's own index). On a
+        sparse graph: one batched
+        :meth:`~repro.scenarios.topology.SparseGraph.sample_per_node`
+        call per vector — the whole round's contact sampling stays two
+        numpy expressions.
         """
+        if self.graph is not None:
+            return (
+                self.graph.sample_per_node(self._rng),
+                self.graph.sample_per_node(self._rng),
+            )
         nodes = self._nodes
         first = self._rng.integers(self.n - 1, size=self.n)
         second = self._rng.integers(self.n - 1, size=self.n)
@@ -269,7 +299,13 @@ class AggregateSynchronousSim(_SynchronousBase):
         rng: np.random.Generator,
         *,
         promotion: str = "pair",
+        graph=None,
     ):
+        if graph is not None and not isinstance(graph, CompleteGraph):
+            raise ConfigurationError(
+                "the aggregate (mean-field multinomial) engine is exact only on "
+                "the complete graph; use engine='pernode' for sparse topologies"
+            )
         counts = validate_counts(counts)
         self.n = int(counts.sum())
         if self.n < 2:
@@ -348,16 +384,19 @@ def run_synchronous(
     max_steps: int = 10_000,
     epsilon: float | None = None,
     record_trajectory: bool = False,
+    graph=None,
 ) -> RunResult:
     """Convenience front-end: build a simulator and run it.
 
     ``engine`` is ``"aggregate"`` (count-matrix, scales to huge ``n``) or
-    ``"pernode"`` (literal per-node simulation).
+    ``"pernode"`` (literal per-node simulation). A sparse ``graph``
+    requires the per-node engine — the multinomial engine's mean-field
+    law is only exact on ``K_n``.
     """
     if engine == "aggregate":
-        sim: _SynchronousBase = AggregateSynchronousSim(counts, schedule, rng)
+        sim: _SynchronousBase = AggregateSynchronousSim(counts, schedule, rng, graph=graph)
     elif engine == "pernode":
-        sim = PerNodeSynchronousSim(counts, schedule, rng)
+        sim = PerNodeSynchronousSim(counts, schedule, rng, graph=graph)
     else:
         raise ConfigurationError(f"unknown engine {engine!r}; use 'aggregate' or 'pernode'")
     return sim.run(

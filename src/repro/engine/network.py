@@ -11,9 +11,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.rng import IntegerPool
 from repro.util.validation import check_positive_int
 
-__all__ = ["CompleteGraph"]
+__all__ = ["CompleteGraph", "CompleteNeighborPool"]
+
+
+class CompleteNeighborPool:
+    """Block-prefetched neighbor sampling on ``K_n``.
+
+    Wraps one :class:`~repro.engine.rng.IntegerPool` over ``n - 1``
+    values and applies the shift trick per call, so the draw sequence —
+    and therefore every protocol trajectory — is bit-identical to the
+    inline ``IntegerPool`` + shift implementation the simulators used
+    before the topology subsystem existed.
+    """
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, n: int, rng: np.random.Generator, *, block: int | None = None):
+        self._pool = IntegerPool(rng, n - 1, block=block)
+
+    def sample(self, node: int) -> int:
+        """One uniform neighbor of ``node`` (never ``node`` itself)."""
+        draw = self._pool()
+        return draw + 1 if draw >= node else draw
 
 
 class CompleteGraph:
@@ -45,6 +67,25 @@ class CompleteGraph:
     def sample_uniform(self, rng: np.random.Generator) -> int:
         """A node chosen uniformly from the whole network (self allowed)."""
         return int(rng.integers(self.n))
+
+    def neighbor_pool(
+        self, rng: np.random.Generator, *, block: int | None = None
+    ) -> CompleteNeighborPool:
+        """Pooled per-call neighbor sampler (the protocol hot path)."""
+        return CompleteNeighborPool(self.n, rng, block=block)
+
+    def degree(self, node: int) -> int:
+        """Every node of ``K_n`` has degree ``n - 1``."""
+        return self.n - 1
+
+    @property
+    def min_degree(self) -> int:
+        """Smallest node degree (uniformly ``n - 1`` on ``K_n``)."""
+        return self.n - 1
+
+    def is_connected(self) -> bool:
+        """``K_n`` is connected for every ``n >= 2``."""
+        return True
 
     def __contains__(self, node: int) -> bool:
         return 0 <= node < self.n

@@ -25,6 +25,7 @@ from repro.experiments import (
     gamma_ablation,
     generation_growth,
     multileader_consensus,
+    robustness,
     sync_scaling,
 )
 from repro.experiments.common import Experiment, ExperimentResult
@@ -118,6 +119,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             artifact="Section 1.1 related work",
             description="Generations vs voter/two-choices/3-majority/undecided/population",
             runner=baselines_faceoff.run,
+        ),
+        Experiment(
+            name="robustness",
+            artifact="beyond the paper (docs/paper-map.md)",
+            description="Positive aging under adversity: topology, loss, churn, hard starts",
+            runner=robustness.run,
         ),
     ]
 }

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import ChannelDelayPool, ExponentialPool
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.multileader.clustering import Clustering
@@ -52,15 +53,23 @@ class BroadcastSim:
         rng: np.random.Generator,
         *,
         source: int | None = None,
+        graph=None,
     ):
         if clustering.n != params.n:
             raise ConfigurationError("clustering size does not match params.n")
+        if graph is None:
+            graph = CompleteGraph(params.n)
+        elif len(graph) != params.n:
+            raise ConfigurationError(f"graph has {len(graph)} nodes but params.n={params.n}")
+        elif getattr(graph, "min_degree", 1) < 1:
+            raise ConfigurationError("graph has isolated nodes; contact sampling needs degree >= 1")
         self.params = params
         self.n = params.n
+        self.graph = graph
         self._rng = rng
         self.sim = Simulator()
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
-        self._contact = IntegerPool(rng, self.n - 1)
+        self._sample_other = graph.neighbor_pool(rng).sample
         # Own leader + two sampled nodes concurrently, then their leaders.
         self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=(3, 2))
         self._leader_of: list[int] = clustering.leader_of.tolist()
@@ -93,10 +102,6 @@ class BroadcastSim:
     def locked(self) -> np.ndarray:
         """Per-node locked flags (snapshot array)."""
         return np.asarray(self._locked, dtype=bool)
-
-    def _sample_other(self, node: int) -> int:
-        draw = self._contact()
-        return draw + 1 if draw >= node else draw
 
     def _tick(self, node: int) -> None:
         sim = self.sim
@@ -151,6 +156,9 @@ def run_broadcast(
     *,
     source: int | None = None,
     max_time: float = 200.0,
+    graph=None,
 ) -> BroadcastResult:
     """Build a :class:`BroadcastSim` and run it (convenience front-end)."""
-    return BroadcastSim(params, clustering, rng, source=source).run(max_time=max_time)
+    return BroadcastSim(params, clustering, rng, source=source, graph=graph).run(
+        max_time=max_time
+    )

@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import ChannelDelayPool, ExponentialPool
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError, SimulationError
 from repro.multileader.params import MultiLeaderParams
@@ -152,6 +153,9 @@ class ClusteringSim:
         member signals, then reopen until the cap.
     pause_units:
         Length of the pause window (only with ``faithful_pause``).
+    graph:
+        Communication substrate (defaults to ``K_n``, bit-identical to
+        the pre-scenario engine; see :mod:`repro.scenarios.topology`).
     """
 
     def __init__(
@@ -162,14 +166,22 @@ class ClusteringSim:
         ready_units: float = 2.0,
         faithful_pause: bool = False,
         pause_units: float = 1.0,
+        graph=None,
     ):
+        if graph is None:
+            graph = CompleteGraph(params.n)
+        elif len(graph) != params.n:
+            raise ConfigurationError(f"graph has {len(graph)} nodes but params.n={params.n}")
+        elif getattr(graph, "min_degree", 1) < 1:
+            raise ConfigurationError("graph has isolated nodes; contact sampling needs degree >= 1")
         self.params = params
         self.n = params.n
+        self.graph = graph
         self._rng = rng
         self.sim = Simulator()
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
         self._latency = ExponentialPool(rng, params.latency_rate)
-        self._contact = IntegerPool(rng, self.n - 1)
+        self._sample_other = graph.neighbor_pool(rng).sample
         # Three concurrent channels to the sampled nodes per cycle.
         self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=(3,))
         self._leader: list[int] = [-1] * self.n
@@ -219,10 +231,6 @@ class ClusteringSim:
     def locked(self) -> np.ndarray:
         """Per-node locked flags (snapshot array)."""
         return np.asarray(self._locked, dtype=bool)
-
-    def _sample_other(self, node: int) -> int:
-        draw = self._contact()
-        return draw + 1 if draw >= node else draw
 
     def _tick(self, node: int) -> None:
         sim = self.sim
@@ -340,7 +348,8 @@ def run_clustering(
     *,
     max_time: float = 500.0,
     ready_units: float = 2.0,
+    graph=None,
 ) -> Clustering:
     """Build a :class:`ClusteringSim` and run it (convenience front-end)."""
-    sim = ClusteringSim(params, rng, ready_units=ready_units)
+    sim = ClusteringSim(params, rng, ready_units=ready_units, graph=graph)
     return sim.run(max_time=max_time)

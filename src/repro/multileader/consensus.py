@@ -39,7 +39,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.results import GenerationBirth, RunResult, StepStats
-from repro.engine.rng import ChannelDelayPool, ExponentialPool, IntegerPool
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import ChannelDelayPool, ExponentialPool
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.multileader.cluster_leader import (
@@ -69,7 +70,15 @@ class MultiLeaderConsensusSim:
         clustering: Clustering,
         counts: np.ndarray,
         rng: np.random.Generator,
+        *,
+        graph=None,
     ):
+        if graph is None:
+            graph = CompleteGraph(params.n)
+        elif len(graph) != params.n:
+            raise ConfigurationError(f"graph has {len(graph)} nodes but params.n={params.n}")
+        elif getattr(graph, "min_degree", 1) < 1:
+            raise ConfigurationError("graph has isolated nodes; contact sampling needs degree >= 1")
         counts = validate_counts(counts)
         if int(counts.sum()) != params.n:
             raise ConfigurationError(
@@ -82,13 +91,14 @@ class MultiLeaderConsensusSim:
         self.params = params
         self.n = params.n
         self.k = params.k
+        self.graph = graph
         self._rng = rng
         self.sim = Simulator()
         self._leader_of: list[int] = clustering.leader_of.tolist()
 
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
         self._latency = ExponentialPool(rng, params.latency_rate)
-        self._contact = IntegerPool(rng, self.n - 1)
+        self._sample_other = graph.neighbor_pool(rng).sample
         # Three sample channels concurrently, then the two leader
         # channels concurrently — one composite pooled draw per cycle.
         self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=(3, 2))
@@ -192,10 +202,6 @@ class MultiLeaderConsensusSim:
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
-    def _sample_other(self, node: int) -> int:
-        draw = self._contact()
-        return draw + 1 if draw >= node else draw
-
     def _signal(self, leader: int, i: int, s: int, has_changed: bool) -> None:
         state = self.leaders.get(leader)
         if state is None:
@@ -443,9 +449,10 @@ def run_multileader_consensus(
     epsilon: float | None = None,
     stop_at_epsilon: bool = False,
     record_every: float | None = None,
+    graph=None,
 ) -> RunResult:
     """Build a :class:`MultiLeaderConsensusSim` and run it."""
-    sim = MultiLeaderConsensusSim(params, clustering, counts, rng)
+    sim = MultiLeaderConsensusSim(params, clustering, counts, rng, graph=graph)
     return sim.run(
         max_time=max_time,
         epsilon=epsilon,

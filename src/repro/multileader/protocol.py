@@ -29,6 +29,8 @@ def run_multileader(
     epsilon: float | None = None,
     stop_at_epsilon: bool = False,
     record_every: float | None = None,
+    graph=None,
+    instrument=None,
 ) -> RunResult:
     """Run clustering, then the consensus phase, on one population.
 
@@ -38,9 +40,18 @@ def run_multileader(
     ``info`` carries the clustering split:
     ``clustering_time``, ``clustered_fraction``, ``active_fraction``,
     ``switch_spread`` (Theorem 27's ``t_l − t_f``), ``clusters``.
+    Both phases sample contacts from ``graph`` (default ``K_n``).
+    ``instrument`` is called with each phase simulator after
+    construction and before running — the seam fault injection
+    (:func:`repro.scenarios.faults.inject_faults`) hooks into.
     """
-    clustering = ClusteringSim(params, rng).run(max_time=clustering_max_time)
-    consensus = MultiLeaderConsensusSim(params, clustering, counts, rng)
+    clustering_sim = ClusteringSim(params, rng, graph=graph)
+    if instrument is not None:
+        instrument(clustering_sim)
+    clustering = clustering_sim.run(max_time=clustering_max_time)
+    consensus = MultiLeaderConsensusSim(params, clustering, counts, rng, graph=graph)
+    if instrument is not None:
+        instrument(consensus)
     result = consensus.run(
         max_time=max_time,
         epsilon=epsilon,

@@ -1,0 +1,64 @@
+"""Topology and fault-injection scenarios.
+
+The paper analyzes its protocols on the complete graph ``K_n`` with
+ideal communication. This package is the robustness layer around that
+ideal world: alternative communication substrates
+(:mod:`~repro.scenarios.topology`), composable fault models injected at
+the simulator layer (:mod:`~repro.scenarios.faults`), and adversarial
+initial configurations (:mod:`~repro.scenarios.adversary`). Every
+engine-driven protocol accepts a ``graph=`` parameter with the same
+sampling contract as :class:`~repro.engine.network.CompleteGraph`;
+faults wrap an already-built simulator without touching protocol code.
+"""
+
+from repro.scenarios.adversary import (
+    adversarial_counts,
+    init_names,
+    minimal_bias_counts,
+    opinion_ramp_counts,
+    planted_tie_counts,
+)
+from repro.scenarios.faults import (
+    CrashAtTimes,
+    CrashChurn,
+    FaultModel,
+    GilbertElliottDrop,
+    IidDrop,
+    Stragglers,
+    build_faults,
+    inject_faults,
+)
+from repro.scenarios.topology import (
+    ClusterGraph,
+    ErdosRenyiGraph,
+    RandomRegularGraph,
+    RingLattice,
+    SparseGraph,
+    TorusGrid,
+    build_graph,
+    graph_names,
+)
+
+__all__ = [
+    "SparseGraph",
+    "RandomRegularGraph",
+    "ErdosRenyiGraph",
+    "RingLattice",
+    "TorusGrid",
+    "ClusterGraph",
+    "build_graph",
+    "graph_names",
+    "FaultModel",
+    "IidDrop",
+    "GilbertElliottDrop",
+    "Stragglers",
+    "CrashChurn",
+    "CrashAtTimes",
+    "inject_faults",
+    "build_faults",
+    "adversarial_counts",
+    "init_names",
+    "minimal_bias_counts",
+    "planted_tie_counts",
+    "opinion_ramp_counts",
+]

@@ -1,0 +1,163 @@
+"""Adversarial initial configurations.
+
+The paper's canonical workload (:func:`repro.workloads.opinions.biased_counts`)
+already minimizes the collision probability for a given ``(k, α)``; the
+related literature points at harder starts still. Cooper et al.
+(*Asynchronous 3-Majority Dynamics with Many Opinions*, 2024) study
+initial-bias adversaries and opinion counts polynomial in ``n``;
+Bankhamer et al. (*Fast Consensus via the Unconstrained Undecided State
+Dynamics*, 2021) stress near-tied configurations. This module builds
+those configurations as count vectors compatible with every runner in
+the repository:
+
+* :func:`minimal_bias_counts` — the plurality leads by exactly one
+  node (additive bias 1, multiplicative bias ``1 + o(1)``);
+* :func:`planted_tie_counts` — the two leading colors are exactly
+  tied, so "plurality wins" is at best a coin flip;
+* :func:`opinion_ramp_counts` — ``k = ceil(n^a)`` near-uniform
+  opinions, the many-opinions regime.
+
+:func:`adversarial_counts` dispatches by name so sweeps can put the
+initial configuration on a grid axis (``init=...``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive, check_positive_int
+from repro.workloads.opinions import biased_counts, uniform_counts
+
+__all__ = [
+    "minimal_bias_counts",
+    "planted_tie_counts",
+    "opinion_ramp_counts",
+    "adversarial_counts",
+    "init_names",
+]
+
+
+def minimal_bias_counts(n: int, k: int) -> np.ndarray:
+    """Counts where color 0 leads the runner-up by the smallest strict gap.
+
+    The weakest strict plurality that exists for ``(n, k)``: a one-node
+    lead whenever the division of nodes allows it, otherwise (a tie
+    whose tail colors are already at one node, including the ``k == 2``
+    even-``n`` parity case) the two-node minimum.
+
+    >>> minimal_bias_counts(10, 3).tolist()
+    [4, 3, 3]
+    >>> minimal_bias_counts(10, 2).tolist()
+    [6, 4]
+    >>> minimal_bias_counts(5, 3).tolist()
+    [3, 1, 1]
+    """
+    n = check_positive_int("n", n, minimum=3)
+    k = check_positive_int("k", k, minimum=2)
+    if k + 1 > n:
+        raise ConfigurationError(f"cannot host a minimal-bias lead with n={n}, k={k}")
+    # uniform_counts puts leftover nodes on the lowest color indices, so
+    # counts[0] - counts[1] is either 0 or 1 already. A tie is broken by
+    # moving one node from the smallest tail color to the top (lead 1);
+    # when that color is already at one node no lead-1 configuration
+    # exists, and the donor is the runner-up itself (lead 2).
+    counts = uniform_counts(n, k)
+    if counts[0] == counts[1]:
+        counts[0] += 1
+        counts[1 if counts[-1] <= 1 else -1] -= 1
+    lead = int(counts[0] - counts[1:].max())
+    assert counts.sum() == n and 1 <= lead <= 2 and int(counts.min()) >= 1
+    return counts
+
+
+def planted_tie_counts(n: int, k: int) -> np.ndarray:
+    """Counts where colors 0 and 1 are exactly tied at the top.
+
+    There is no plurality to find — a correct protocol must still
+    converge, and which of the two leaders wins is (empirically) a fair
+    coin. ``plurality_won`` rates near 0.5 are the expected signature.
+
+    >>> planted_tie_counts(10, 3).tolist()
+    [4, 4, 2]
+    """
+    n = check_positive_int("n", n, minimum=4)
+    k = check_positive_int("k", k, minimum=2)
+    if 2 * (k - 1) > n:
+        raise ConfigurationError(f"cannot host a planted tie with n={n}, k={k}")
+    if k == 2:
+        if n % 2:
+            raise ConfigurationError(f"an exact 2-color tie needs even n, got n={n}")
+        return np.array([n // 2, n // 2], dtype=np.int64)
+    # Give the tail one node per color, then split the rest evenly on top.
+    tail = np.ones(k - 2, dtype=np.int64)
+    rest = n - int(tail.sum())
+    top = rest // 2
+    counts = np.concatenate([[top, rest - top], tail]).astype(np.int64)
+    if counts[0] != counts[1]:
+        # Odd remainder: move the spare node into the tail.
+        counts[0] = counts[1] = top
+        counts[-1] += rest - 2 * top
+    if counts.size > 2 and counts[0] < counts[2:].max():
+        # Tiny populations (e.g. n=4, k=3) cannot tie two colors at the
+        # top without a tail color overtaking them.
+        raise ConfigurationError(f"cannot host a planted tie with n={n}, k={k}")
+    assert counts.sum() == n and counts[0] == counts[1] >= counts[2:].max(initial=0)
+    return counts
+
+
+def opinion_ramp_counts(n: int, exponent: float) -> np.ndarray:
+    """Near-uniform counts over ``k = ceil(n^exponent)`` opinions.
+
+    The many-opinions regime (``k = n^a`` for ``a in (0, 1)``): the
+    plurality exists (leftover nodes land on color 0) but its support is
+    a vanishing fraction of ``n``.
+
+    >>> opinion_ramp_counts(100, 0.5).size
+    10
+    """
+    n = check_positive_int("n", n, minimum=2)
+    check_positive("exponent", exponent)
+    if exponent >= 1.0:
+        raise ConfigurationError(f"exponent must be < 1 (k < n), got {exponent}")
+    k = max(2, math.ceil(n**exponent))
+    counts = uniform_counts(n, k)
+    if counts[0] == counts[1:].max():
+        # Perfectly divisible: create a minimal strict plurality so the
+        # plurality-won metric stays well defined.
+        counts[0] += 1
+        counts[-1] -= 1
+    return counts
+
+
+#: Named initial-configuration families (the ``init=`` sweep axis).
+_INITS = ("biased", "minimal", "tie", "ramp", "uniform")
+
+
+def init_names() -> list[str]:
+    """All named initial configurations, sorted."""
+    return sorted(_INITS)
+
+
+def adversarial_counts(kind: str, n: int, k: int, alpha: float) -> np.ndarray:
+    """Dispatch a named initial configuration to its builder.
+
+    ``alpha`` is only consulted by ``biased``; ``ramp`` reinterprets
+    ``k`` as ``10 * a`` — e.g. ``k=5`` means ``k = ceil(n^0.5)`` — so
+    the axis stays a JSON scalar in sweep grids.
+    """
+    if kind == "biased":
+        return biased_counts(n, k, alpha)
+    if kind == "minimal":
+        return minimal_bias_counts(n, k)
+    if kind == "tie":
+        return planted_tie_counts(n, k)
+    if kind == "ramp":
+        return opinion_ramp_counts(n, k / 10.0)
+    if kind == "uniform":
+        return uniform_counts(n, k)
+    raise ConfigurationError(
+        f"unknown initial configuration {kind!r}; available: {', '.join(init_names())}"
+    )

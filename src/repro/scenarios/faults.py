@@ -1,0 +1,561 @@
+"""Composable fault models injected at the simulator layer.
+
+Faults are *event-stream transforms*: :func:`inject_faults` wraps an
+already-built protocol simulator's :meth:`Simulator.schedule_in` with a
+classifier + transform chain, so protocol code is untouched. Events are
+classified by their bound handler's name — the repository-wide protocol
+convention (``_tick`` clock events, ``_exchange``/``_tentative_exchange``/
+``_commit``/``_join`` channel-completion events, ``_leader_signal``/
+``_deliver_signal`` one-way signals); anything else (samplers, fault
+internals) passes through untouched.
+
+Fault semantics:
+
+* **Dropping a signal** simply loses it — leaders count fewer 0-signals
+  and phase transitions slow down, exactly the knob the paper's
+  threshold analysis stresses.
+* **Dropping an exchange** models a failed channel: the initiating node
+  gives up its cycle (it is unlocked through the protocol adapter so it
+  can tick again), and no state is read.
+* **Crash/churn** marks nodes crashed; a crashed node's pending events
+  are suppressed at dispatch time through a guard trampoline, its clock
+  tick is deferred to the rejoin time (keeping the Poisson clock alive),
+  and on rejoin its protocol state is reset (generation 0, cleared
+  leader views) — the "state reset on rejoin" model of self-stabilizing
+  population dynamics.
+* **Stragglers** multiply channel-establishment delays of a fixed
+  random subset of nodes.
+
+Known limitation (documented, not hidden): the initial batch of tick
+events is scheduled during protocol construction, *before*
+:func:`inject_faults` can wrap the simulator, so each node's very first
+tick escapes the churn guard. All subsequent events are governed.
+
+Randomness flows from the generator handed to :func:`inject_faults`
+through block-prefetched pools (:mod:`repro.engine.rng`), so faulty
+runs stay exactly reproducible and cheap on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.rng import UniformPool
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive
+
+__all__ = [
+    "FaultModel",
+    "IidDrop",
+    "GilbertElliottDrop",
+    "Stragglers",
+    "CrashChurn",
+    "CrashAtTimes",
+    "ProtocolAdapter",
+    "FaultInjection",
+    "inject_faults",
+    "build_faults",
+    "fault_model_names",
+]
+
+#: Handler-name → event category. Everything unlisted is internal.
+TICK = "tick"
+EXCHANGE = "exchange"
+MESSAGE = "message"
+_CATEGORY: dict[str, str] = {
+    "_tick": TICK,
+    "_exchange": EXCHANGE,
+    "_tentative_exchange": EXCHANGE,
+    "_commit": EXCHANGE,
+    "_join": EXCHANGE,
+    "_leader_signal": MESSAGE,
+    "_deliver_signal": MESSAGE,
+}
+
+
+def _node_of(name: str, payload: Any) -> int | None:
+    """Best-effort owner node of an event (None when not attributable)."""
+    if name == "_tick":
+        return payload if isinstance(payload, int) else None
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], int):
+        return payload[0]
+    return None
+
+
+class ProtocolAdapter:
+    """Duck-typed bridge from generic faults to one protocol simulator.
+
+    Works for every event-driven simulator in the repository
+    (:class:`~repro.core.single_leader.SingleLeaderSim` and subclasses,
+    :class:`~repro.multileader.consensus.MultiLeaderConsensusSim`,
+    :class:`~repro.multileader.clustering.ClusteringSim`): they all keep
+    ``_locked`` lists, and the generation-based ones expose
+    ``_set_state`` plus per-node view lists that a rejoin reset clears.
+    """
+
+    def __init__(self, sim_obj: Any):
+        self._sim_obj = sim_obj
+        self.n = int(sim_obj.n)
+
+    def unlock(self, node: int) -> None:
+        """Abort the node's current cycle (failed channel semantics)."""
+        locked = getattr(self._sim_obj, "_locked", None)
+        if locked is not None:
+            locked[node] = False
+
+    def reset(self, node: int) -> None:
+        """Reset protocol state on rejoin: generation 0, cleared views.
+
+        On :class:`~repro.multileader.clustering.ClusteringSim` the
+        reset means forgetting cluster membership: a rejoining follower
+        is unclustered again (its old cluster shrinks). A crashed
+        *leader* keeps its role — leader failure is a different fault
+        model than node churn.
+        """
+        sim = self._sim_obj
+        if hasattr(sim, "_set_state") and hasattr(sim, "_cols"):
+            sim._set_state(node, 0, sim._cols[node])
+        for attr, value in (
+            ("_seen_gen", -1),
+            ("_seen_prop", -1),
+            ("_tmp_gen", 0),
+            ("_tmp_state", 0),
+            ("_finished", False),
+        ):
+            store = getattr(sim, attr, None)
+            if store is not None:
+                store[node] = value
+        membership = getattr(sim, "_leader", None)
+        sizes = getattr(sim, "size", None)
+        if membership is not None and sizes is not None:
+            own = membership[node]
+            if own >= 0 and own != node:
+                membership[node] = -1
+                if own in sizes:
+                    sizes[own] -= 1
+        self.unlock(node)
+
+
+class FaultModel:
+    """Base class: one composable transform over the scheduled stream."""
+
+    def install(self, wiring: "FaultInjection") -> None:
+        """Bind to one injection (draw pools, schedule internal events)."""
+
+    def transform(self, category: str, node: int | None, delay: float) -> float | None:
+        """Return the (possibly modified) delay, or ``None`` to drop."""
+        return delay
+
+    def crashed_until(self, node: int | None) -> float | None:
+        """Churn hook: time the node rejoins, ``inf`` if never, ``None`` if alive."""
+        return None
+
+    def describe(self) -> str:
+        """Human-readable one-liner for tables/logs."""
+        return type(self).__name__
+
+    def info(self) -> dict[str, float]:
+        """Telemetry merged into run records (counters, not config)."""
+        return {}
+
+
+class IidDrop(FaultModel):
+    """Drop each message/exchange independently with probability ``rate``."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"drop rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.dropped = 0
+
+    def install(self, wiring: "FaultInjection") -> None:
+        self._pool = UniformPool(wiring.rng)
+
+    def transform(self, category: str, node: int | None, delay: float) -> float | None:
+        if self.rate and self._pool() < self.rate:
+            self.dropped += 1
+            return None
+        return delay
+
+    def describe(self) -> str:
+        return f"iid drop p={self.rate:g}"
+
+    def info(self) -> dict[str, float]:
+        return {"iid_dropped": float(self.dropped)}
+
+
+class GilbertElliottDrop(FaultModel):
+    """Bursty message loss: the classic two-state Gilbert–Elliott channel.
+
+    The channel alternates between a *good* state (loss probability
+    ``drop_good``) and a *bad* state (``drop_bad``); the state chain
+    advances once per message event, so mean burst length is
+    ``1 / to_good`` messages. One global channel is modeled — bursts
+    hit the whole network at once, the hardest correlated-loss case.
+    """
+
+    def __init__(
+        self,
+        *,
+        drop_good: float = 0.0,
+        drop_bad: float = 0.9,
+        to_bad: float = 0.05,
+        to_good: float = 0.5,
+    ):
+        for name, value in (
+            ("drop_good", drop_good),
+            ("drop_bad", drop_bad),
+            ("to_bad", to_bad),
+            ("to_good", to_good),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        self.drop_good, self.drop_bad = float(drop_good), float(drop_bad)
+        self.to_bad, self.to_good = float(to_bad), float(to_good)
+        self.bad = False
+        self.dropped = 0
+        self.bursts = 0
+
+    def install(self, wiring: "FaultInjection") -> None:
+        self._pool = UniformPool(wiring.rng)
+
+    def transform(self, category: str, node: int | None, delay: float) -> float | None:
+        if self.bad:
+            if self._pool() < self.to_good:
+                self.bad = False
+        elif self._pool() < self.to_bad:
+            self.bad = True
+            self.bursts += 1
+        if self._pool() < (self.drop_bad if self.bad else self.drop_good):
+            self.dropped += 1
+            return None
+        return delay
+
+    def describe(self) -> str:
+        return (
+            f"Gilbert-Elliott drop good={self.drop_good:g} bad={self.drop_bad:g} "
+            f"(to_bad={self.to_bad:g}, to_good={self.to_good:g})"
+        )
+
+    def info(self) -> dict[str, float]:
+        return {"ge_dropped": float(self.dropped), "ge_bursts": float(self.bursts)}
+
+
+class Stragglers(FaultModel):
+    """A random node subset whose channel delays are multiplied.
+
+    ``fraction`` of nodes (drawn once at install) see every exchange
+    they initiate slowed by ``slowdown``; signals without an
+    attributable owner are unaffected.
+    """
+
+    def __init__(self, fraction: float, slowdown: float = 4.0):
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"straggler fraction must be in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.slowdown = check_positive("slowdown", slowdown)
+        self.count = 0
+
+    def install(self, wiring: "FaultInjection") -> None:
+        mask = wiring.rng.random(wiring.adapter.n) < self.fraction
+        self._slow: list[bool] = mask.tolist()
+        self.count = int(mask.sum())
+
+    def transform(self, category: str, node: int | None, delay: float) -> float | None:
+        if node is not None and self._slow[node]:
+            return delay * self.slowdown
+        return delay
+
+    def describe(self) -> str:
+        return f"stragglers {self.fraction:g} x{self.slowdown:g}"
+
+    # No info() counters: the straggler count is a gauge derived from
+    # config (fraction * n), and gauges must not be sum-merged when one
+    # run instruments several phase simulators.
+
+
+class _ChurnBase(FaultModel):
+    """Shared crash bookkeeping: crashed-until map + rejoin resets."""
+
+    def __init__(self, *, reset_on_rejoin: bool = True):
+        self.reset_on_rejoin = reset_on_rejoin
+        self._down: dict[int, float] = {}
+        self.crashes = 0
+        self.rejoins = 0
+
+    def crashed_until(self, node: int | None) -> float | None:
+        if node is None:
+            return None
+        return self._down.get(node)
+
+    def _crash_node(self, node: int, until: float) -> None:
+        self._down[node] = until
+        self.crashes += 1
+
+    def _rejoin(self, node: int) -> None:
+        if self._down.pop(node, None) is not None:
+            self.rejoins += 1
+            if self.reset_on_rejoin:
+                self._wiring.adapter.reset(node)
+
+    def info(self) -> dict[str, float]:
+        return {"crashes": float(self.crashes), "rejoins": float(self.rejoins)}
+
+
+class CrashChurn(_ChurnBase):
+    """Poisson churn: nodes crash at global rate ``rate`` and rejoin.
+
+    Crash times form a Poisson process of intensity ``rate`` (crashes
+    per simulated time unit, over the whole network); the crashed node
+    is uniform and stays down for an ``Exp(1/mean_downtime)`` period,
+    after which it rejoins with reset state (when ``reset_on_rejoin``).
+    """
+
+    def __init__(self, rate: float, *, mean_downtime: float = 1.0, reset_on_rejoin: bool = True):
+        super().__init__(reset_on_rejoin=reset_on_rejoin)
+        self.rate = check_positive("rate", rate)
+        self.mean_downtime = check_positive("mean_downtime", mean_downtime)
+
+    def install(self, wiring: "FaultInjection") -> None:
+        self._wiring = wiring
+        self._rng = wiring.rng
+        wiring.schedule_internal(float(self._rng.exponential(1.0 / self.rate)), self._next_crash)
+
+    def _next_crash(self, _payload: Any = None) -> None:
+        wiring = self._wiring
+        node = int(self._rng.integers(wiring.adapter.n))
+        if node not in self._down:
+            downtime = float(self._rng.exponential(self.mean_downtime))
+            self._crash_node(node, wiring.sim.now + downtime)
+            wiring.schedule_internal(downtime, self._rejoin, node)
+        wiring.schedule_internal(float(self._rng.exponential(1.0 / self.rate)), self._next_crash)
+
+    def describe(self) -> str:
+        return f"Poisson churn rate={self.rate:g} downtime={self.mean_downtime:g}"
+
+
+class CrashAtTimes(_ChurnBase):
+    """Deterministic crash schedule: ``{node: crash_time}``.
+
+    ``downtime=None`` crashes nodes permanently (their clocks die);
+    otherwise each node rejoins ``downtime`` later with reset state.
+    """
+
+    def __init__(
+        self,
+        schedule: dict[int, float],
+        *,
+        downtime: float | None = None,
+        reset_on_rejoin: bool = True,
+    ):
+        super().__init__(reset_on_rejoin=reset_on_rejoin)
+        if not schedule:
+            raise ConfigurationError("crash schedule must name at least one node")
+        self.schedule = {int(node): float(when) for node, when in schedule.items()}
+        self.downtime = None if downtime is None else check_positive("downtime", downtime)
+
+    def install(self, wiring: "FaultInjection") -> None:
+        self._wiring = wiring
+        for node, when in sorted(self.schedule.items()):
+            if not 0 <= node < wiring.adapter.n:
+                raise ConfigurationError(f"crash schedule names unknown node {node}")
+            wiring.schedule_internal(max(0.0, when - wiring.sim.now), self._crash_now, node)
+
+    def _crash_now(self, node: int) -> None:
+        wiring = self._wiring
+        if self.downtime is None:
+            self._crash_node(node, math.inf)
+        else:
+            self._crash_node(node, wiring.sim.now + self.downtime)
+            wiring.schedule_internal(self.downtime, self._rejoin, node)
+
+    def describe(self) -> str:
+        tail = "permanently" if self.downtime is None else f"for {self.downtime:g}"
+        return f"crash {len(self.schedule)} node(s) {tail}"
+
+
+class FaultInjection:
+    """One wiring of fault models into a protocol simulator.
+
+    Created by :func:`inject_faults`; exposes telemetry through
+    :meth:`info` and the internal scheduling seam fault models use.
+    """
+
+    def __init__(self, sim_obj: Any, faults: Sequence[FaultModel], rng: np.random.Generator):
+        self.adapter = ProtocolAdapter(sim_obj)
+        self.sim = sim_obj.sim
+        self.rng = rng
+        self.faults = list(faults)
+        self.dropped_messages = 0
+        self.dropped_exchanges = 0
+        self.deferred_ticks = 0
+        self.dead_ticks = 0
+        self._original_schedule_in = self.sim.schedule_in
+        self._has_churn = any(
+            isinstance(fault, _ChurnBase) or type(fault).crashed_until is not FaultModel.crashed_until
+            for fault in faults
+        )
+        # Instance-attribute override: every protocol handler looks
+        # schedule_in up on the simulator object per call.
+        self.sim.schedule_in = self._schedule_in
+        for fault in self.faults:
+            fault.install(self)
+
+    # -- seam for fault internals (bypasses classification) ------------
+    def schedule_internal(self, delay: float, action: Callable, payload: Any = None) -> int:
+        """Schedule a fault-model event outside the transform chain."""
+        return self._original_schedule_in(delay, action, payload)
+
+    # -- the wrapped scheduling path ------------------------------------
+    def _schedule_in(self, delay: float, action: Callable, payload: Any = None) -> int:
+        name = getattr(action, "__name__", "")
+        category = _CATEGORY.get(name)
+        if category is None:
+            return self._original_schedule_in(delay, action, payload)
+        node = _node_of(name, payload)
+        if category is not TICK:
+            for fault in self.faults:
+                transformed = fault.transform(category, node, delay)
+                if transformed is None:
+                    self._note_drop(category, node)
+                    # Hand back a fresh (never-pushed) handle so caller
+                    # code that stores it keeps working.
+                    queue = self.sim.queue
+                    handle = queue._next_seq
+                    queue._next_seq = handle + 1
+                    return handle
+                delay = transformed
+        if self._has_churn:
+            return self._original_schedule_in(
+                delay, self._guard, (action, payload, category, node)
+            )
+        return self._original_schedule_in(delay, action, payload)
+
+    def _guard(self, bundle: tuple) -> None:
+        """Dispatch-time churn check (the trampoline for governed events)."""
+        action, payload, category, node = bundle
+        until = None
+        for fault in self.faults:
+            down = fault.crashed_until(node)
+            if down is not None:
+                until = down if until is None else max(until, down)
+        if until is None:
+            if payload is None:
+                action()
+            else:
+                action(payload)
+            return
+        if category is TICK:
+            if until is math.inf:
+                # Permanently crashed: the node's clock dies silently.
+                self.dead_ticks += 1
+                return
+            # Keep the Poisson clock alive: resume the tick at rejoin.
+            # The rejoin event carries an earlier sequence number, so
+            # the node is reset before this tick fires.
+            self.deferred_ticks += 1
+            self._original_schedule_in(max(0.0, until - self.sim.now), self._guard, bundle)
+            return
+        self._note_drop(category, node)
+
+    def _note_drop(self, category: str, node: int | None) -> None:
+        if category is MESSAGE:
+            self.dropped_messages += 1
+        else:
+            self.dropped_exchanges += 1
+            if node is not None:
+                self.adapter.unlock(node)
+
+    # -- telemetry ------------------------------------------------------
+    def info(self) -> dict[str, float]:
+        """Flat counters for run records (prefixed ``fault_``)."""
+        merged: dict[str, float] = {
+            "fault_dropped_messages": float(self.dropped_messages),
+            "fault_dropped_exchanges": float(self.dropped_exchanges),
+            "fault_deferred_ticks": float(self.deferred_ticks),
+            "fault_dead_ticks": float(self.dead_ticks),
+        }
+        for fault in self.faults:
+            for key, value in fault.info().items():
+                merged[f"fault_{key}"] = merged.get(f"fault_{key}", 0.0) + value
+        return merged
+
+    def describe(self) -> str:
+        return ", ".join(fault.describe() for fault in self.faults) or "no faults"
+
+
+def inject_faults(
+    sim_obj: Any, faults: Sequence[FaultModel], rng: np.random.Generator
+) -> FaultInjection | None:
+    """Wire ``faults`` into a built (not yet run) protocol simulator.
+
+    Returns the :class:`FaultInjection` (telemetry handle), or ``None``
+    when ``faults`` is empty — the zero-fault path leaves the simulator
+    byte-identical to an uninstrumented run.
+    """
+    faults = [fault for fault in faults if fault is not None]
+    if not faults:
+        return None
+    return FaultInjection(sim_obj, faults, rng)
+
+
+#: Named drop models for the ``drop_model=`` sweep axis.
+_DROP_MODELS = ("iid", "bursty")
+
+
+def fault_model_names() -> list[str]:
+    """Named drop models usable from sweep grids."""
+    return sorted(_DROP_MODELS)
+
+
+def build_faults(
+    *,
+    drop: float = 0.0,
+    drop_model: str = "iid",
+    churn: float = 0.0,
+    churn_downtime: float = 1.0,
+    stragglers: float = 0.0,
+    straggler_slowdown: float = 4.0,
+) -> list[FaultModel]:
+    """Build a fault list from flat scalar knobs (the sweep-axis seam).
+
+    ``drop`` is the marginal loss rate: ``iid`` uses it directly, and
+    ``bursty`` maps it onto a Gilbert–Elliott channel whose stationary
+    loss matches *exactly* (bad-state dwell tuned to burst ~2 messages;
+    beyond the bad state's capacity the residual loss is assigned to
+    the good state, so iid-vs-bursty grid comparisons stay honest at
+    every rate).
+    """
+    if not 0.0 <= drop < 1.0:
+        raise ConfigurationError(f"drop rate must be in [0, 1), got {drop}")
+    faults: list[FaultModel] = []
+    if drop:
+        if drop_model == "iid":
+            faults.append(IidDrop(drop))
+        elif drop_model == "bursty":
+            # Stationary bad fraction is to_bad/(to_bad+to_good), capped
+            # at 2/3 by to_bad <= 1; the marginal loss
+            # stationary*drop_bad + (1-stationary)*drop_good is solved
+            # to equal the requested rate exactly.
+            to_good = 0.5
+            drop_bad = max(0.9, drop)
+            stationary = min(2.0 / 3.0, drop / drop_bad)
+            to_bad = stationary * to_good / (1.0 - stationary)
+            drop_good = max(0.0, (drop - stationary * drop_bad) / (1.0 - stationary))
+            faults.append(
+                GilbertElliottDrop(
+                    drop_good=drop_good, drop_bad=drop_bad, to_bad=to_bad, to_good=to_good
+                )
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown drop model {drop_model!r}; available: {', '.join(fault_model_names())}"
+            )
+    if churn:
+        faults.append(CrashChurn(churn, mean_downtime=churn_downtime))
+    if stragglers:
+        faults.append(Stragglers(stragglers, slowdown=straggler_slowdown))
+    return faults

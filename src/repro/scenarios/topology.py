@@ -1,0 +1,581 @@
+"""Communication substrates beyond the complete graph.
+
+Every graph here satisfies the :class:`~repro.engine.network.CompleteGraph`
+sampling contract — ``sample_neighbor`` / ``sample_neighbors`` /
+``sample_uniform`` / ``neighbor_pool`` / ``len`` / ``in`` — so any
+engine-driven protocol runs on any of them through its ``graph=``
+parameter.
+
+Sparse topologies are stored as CSR-style flat adjacency (``indptr`` /
+``indices`` numpy arrays, plus plain-list mirrors for the event hot
+path). The per-event sampler is *pooled* per degree class, mirroring
+the PR 1 draw-pool design: regular graphs draw offsets from one
+:class:`~repro.engine.rng.IntegerPool` over the common degree, and
+irregular graphs scale one :class:`~repro.engine.rng.UniformPool` draw
+by the caller's degree — one vectorized numpy call per few thousand
+samples either way, never a per-call ``rng.choice``.
+
+Random constructions draw from whatever generator they are given;
+experiments pass :class:`~repro.engine.rng.RngRegistry` substreams so a
+graph is a pure function of ``(seed, stream name, parameters)`` —
+bit-identical regardless of worker count or construction order.
+
+Construction notes (documented approximations, both standard for
+simulation studies):
+
+* :class:`RandomRegularGraph` uses the configuration-model pairing with
+  a vectorized swap-repair pass for self-loops/multi-edges instead of
+  whole-matching rejection (whose acceptance probability decays like
+  ``exp(-(d^2-1)/4)``).
+* :class:`ErdosRenyiGraph` draws ``m ~ Binomial(C(n,2), p)`` and then
+  ``m`` distinct edges by batched sampling with de-duplication — exact
+  ``G(n, p)`` up to the uniformity of the top-up subsample.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import IntegerPool, UniformPool
+from repro.errors import ConfigurationError, SimulationError
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "SparseGraph",
+    "RandomRegularGraph",
+    "ErdosRenyiGraph",
+    "RingLattice",
+    "TorusGrid",
+    "ClusterGraph",
+    "build_graph",
+    "graph_names",
+    "GRAPH_BUILDERS",
+]
+
+#: Construction retries before a connectivity-constrained random graph
+#: gives up (each retry consumes fresh draws from the same generator).
+MAX_CONNECT_ATTEMPTS = 64
+
+
+class _RegularNeighborPool:
+    """Pooled sampler for graphs whose nodes share one degree ``d``.
+
+    Draws offsets in ``[0, d)`` from one :class:`IntegerPool` (one
+    vectorized refill per block) and resolves them through the flat
+    adjacency list.
+    """
+
+    __slots__ = ("_pool", "_indices", "_degree")
+
+    def __init__(self, indices: list[int], degree: int, rng: np.random.Generator, *, block=None):
+        self._pool = IntegerPool(rng, degree, block=block)
+        self._indices = indices
+        self._degree = degree
+
+    def sample(self, node: int) -> int:
+        return self._indices[node * self._degree + self._pool()]
+
+
+class _GeneralNeighborPool:
+    """Pooled sampler for graphs with heterogeneous degrees.
+
+    One uniform ``[0, 1)`` draw per call (block-prefetched) scaled by
+    the caller's degree — no per-call numpy work at all.
+    """
+
+    __slots__ = ("_pool", "_indices", "_indptr", "_degrees")
+
+    def __init__(self, graph: "SparseGraph", rng: np.random.Generator, *, block=None):
+        self._pool = UniformPool(rng, block=block)
+        self._indices = graph._indices_list
+        self._indptr = graph._indptr_list
+        self._degrees = graph._degrees_list
+
+    def sample(self, node: int) -> int:
+        degree = self._degrees[node]
+        if not degree:
+            raise SimulationError(f"node {node} is isolated; cannot sample a neighbor")
+        return self._indices[self._indptr[node] + int(self._pool() * degree)]
+
+
+class SparseGraph:
+    """A fixed undirected graph in CSR form with pooled uniform sampling.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (addresses ``0 .. n-1``).
+    indptr, indices:
+        Flat CSR adjacency: the neighbors of ``v`` are
+        ``indices[indptr[v]:indptr[v+1]]``. Neighbor lists must not
+        contain ``v`` itself (no self-loops) or duplicates.
+    """
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray):
+        self.n = check_positive_int("n", n, minimum=2)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.size != n + 1 or self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ConfigurationError("malformed CSR adjacency (indptr does not cover indices)")
+        self.degrees = np.diff(self.indptr)
+        self._offsets = self.indptr[:-1]
+        # Plain-list mirrors: the per-event samplers index these with
+        # scalar Python ints, avoiding a numpy round-trip per event.
+        self._indptr_list: list[int] = self.indptr.tolist()
+        self._indices_list: list[int] = self.indices.tolist()
+        self._degrees_list: list[int] = self.degrees.tolist()
+
+    # -- CompleteGraph sampling contract --------------------------------
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """One uniform neighbor of ``node`` (unpooled, for casual use)."""
+        degree = self._degrees_list[node]
+        if not degree:
+            raise SimulationError(f"node {node} is isolated; cannot sample a neighbor")
+        return self._indices_list[self._indptr_list[node] + int(rng.integers(degree))]
+
+    def sample_neighbors(self, node: int, count: int, rng: np.random.Generator) -> list[int]:
+        """``count`` independent uniform neighbors (with replacement)."""
+        degree = self._degrees_list[node]
+        if not degree:
+            raise SimulationError(f"node {node} is isolated; cannot sample a neighbor")
+        start = self._indptr_list[node]
+        return [self._indices_list[start + int(d)] for d in rng.integers(degree, size=count)]
+
+    def sample_uniform(self, rng: np.random.Generator) -> int:
+        """A node chosen uniformly from the whole network (self allowed)."""
+        return int(rng.integers(self.n))
+
+    def neighbor_pool(self, rng: np.random.Generator, *, block: int | None = None):
+        """Pooled per-call sampler; picks the degree-class implementation."""
+        if self.is_regular:
+            return _RegularNeighborPool(
+                self._indices_list, self._degrees_list[0], rng, block=block
+            )
+        return _GeneralNeighborPool(self, rng, block=block)
+
+    def sample_per_node(self, rng: np.random.Generator) -> np.ndarray:
+        """One uniform neighbor for *every* node, in one batched draw.
+
+        The synchronous engines' round primitive: a single uniform
+        vector scaled by the per-node degrees and resolved through the
+        flat CSR adjacency. Requires minimum degree 1.
+        """
+        if self.min_degree < 1:
+            raise SimulationError("graph has isolated nodes; batched sampling needs degree >= 1")
+        return self.indices[
+            self._offsets + (rng.random(self.n) * self.degrees).astype(np.int64)
+        ]
+
+    # -- structure ------------------------------------------------------
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.size) // 2
+
+    @property
+    def min_degree(self) -> int:
+        """Smallest node degree (0 means isolated nodes exist)."""
+        return int(self.degrees.min()) if self.degrees.size else 0
+
+    @property
+    def is_regular(self) -> bool:
+        """True when every node has the same (positive) degree."""
+        degrees = self.degrees
+        return bool(degrees.size and degrees[0] > 0 and (degrees == degrees[0]).all())
+
+    def degree(self, node: int) -> int:
+        """Degree of one node."""
+        return self._degrees_list[node]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """The neighbor ids of ``node`` (CSR slice view)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def is_connected(self) -> bool:
+        """BFS reachability of every node from node 0."""
+        return _csr_connected(self.n, self.indptr, self.indices)
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self.n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n}, edges={self.edge_count})"
+
+
+def _csr_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build deduplicated, sorted CSR arrays from undirected edge lists."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    keys = np.unique(lo * n + hi)
+    lo, hi = keys // n, keys % n
+    heads = np.concatenate([lo, hi])
+    tails = np.concatenate([hi, lo])
+    order = np.lexsort((tails, heads))
+    indices = tails[order]
+    counts = np.bincount(heads, minlength=n)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return indptr, indices
+
+
+def _csr_connected(n: int, indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """BFS reachability of every node from node 0 over raw CSR arrays."""
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    frontier = np.array([0], dtype=np.int64)
+    while frontier.size:
+        parts = [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+        reached = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        fresh = reached[~visited[reached]]
+        if not fresh.size:
+            break
+        visited[fresh] = True
+        frontier = np.unique(fresh)
+    return bool(visited.all())
+
+
+def _with_connectivity(
+    build_csr, n: int, ensure_connected: bool, what: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``build_csr() -> (indptr, indices)`` until connected.
+
+    Operates on raw CSR arrays so rejected attempts never pay for the
+    :class:`SparseGraph` plain-list mirrors — those are built once, from
+    the winning attempt.
+    """
+    if not ensure_connected:
+        return build_csr()
+    for _ in range(MAX_CONNECT_ATTEMPTS):
+        indptr, indices = build_csr()
+        if _csr_connected(n, indptr, indices):
+            return indptr, indices
+    raise SimulationError(
+        f"could not draw a connected {what} in {MAX_CONNECT_ATTEMPTS} attempts; "
+        "lower the connectivity requirement or raise the degree"
+    )
+
+
+class RandomRegularGraph(SparseGraph):
+    """A random ``d``-regular graph via the repaired configuration model.
+
+    ``n * d`` must be even and ``d < n``. The pairing of ``n*d`` stubs
+    is drawn with one shuffle; self-loops and duplicate edges are then
+    repaired by vectorized partner swaps (a bounded number of rounds),
+    which is the standard practical substitute for whole-matching
+    rejection.
+
+    Parameters
+    ----------
+    n, d:
+        Node count and common degree.
+    rng:
+        Drives the stub shuffle and repair swaps (pass an
+        :class:`~repro.engine.rng.RngRegistry` substream for
+        reproducible graphs).
+    ensure_connected:
+        Redraw (up to :data:`MAX_CONNECT_ATTEMPTS` times) until the
+        graph is connected; for ``d >= 3`` random regular graphs are
+        connected with high probability, so retries are rare.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        rng: np.random.Generator,
+        *,
+        ensure_connected: bool = True,
+    ):
+        n = check_positive_int("n", n, minimum=2)
+        d = check_positive_int("d", d, minimum=1)
+        if d >= n:
+            raise ConfigurationError(f"degree d={d} needs at least n={d + 1} nodes, got n={n}")
+        if (n * d) % 2:
+            raise ConfigurationError(f"n*d must be even for a d-regular graph, got n={n}, d={d}")
+        self.d = d
+
+        def build_csr() -> tuple[np.ndarray, np.ndarray]:
+            u, v = _regular_pairing(n, d, rng)
+            return _csr_from_edges(n, u, v)
+
+        indptr, indices = _with_connectivity(
+            build_csr, n, ensure_connected, f"{d}-regular graph"
+        )
+        if not (np.diff(indptr) == d).all():
+            raise SimulationError("configuration-model repair failed to restore regularity")
+        super().__init__(n, indptr, indices)
+
+
+def _regular_pairing(n: int, d: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """One repaired configuration-model pairing (u, v edge arrays)."""
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    for _ in range(MAX_CONNECT_ATTEMPTS):
+        rng.shuffle(stubs)
+        u, v = stubs[0::2].copy(), stubs[1::2].copy()
+        for _ in range(4 * MAX_CONNECT_ATTEMPTS):
+            bad = _bad_pairs(n, u, v)
+            if not bad.size:
+                return u, v
+            # Scalar swaps: a vectorized fancy-index swap can silently
+            # drop stubs when two bad pairs draw the same partner, which
+            # would break regularity. Bad pairs are O(d^2), so this loop
+            # is cheap.
+            partners = rng.integers(u.size, size=bad.size)
+            for index, partner in zip(bad.tolist(), partners.tolist()):
+                v[index], v[partner] = v[partner], v[index]
+    raise SimulationError(
+        f"could not repair a simple {d}-regular pairing for n={n}; "
+        "this indicates d is too close to n"
+    )
+
+
+def _bad_pairs(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Indices of pairs that are self-loops or non-first duplicates."""
+    keys = np.minimum(u, v) * n + np.maximum(u, v)
+    order = np.argsort(keys, kind="stable")
+    dup_follow = np.zeros(keys.size, dtype=bool)
+    dup_follow[order[1:]] = keys[order[1:]] == keys[order[:-1]]
+    return np.nonzero(dup_follow | (u == v))[0]
+
+
+class ErdosRenyiGraph(SparseGraph):
+    """The binomial random graph ``G(n, p)``.
+
+    Drawn as ``m ~ Binomial(C(n, 2), p)`` distinct uniform edges (the
+    conditional law of ``G(n, p)`` given its edge count), with edges
+    sampled in batches and de-duplicated.
+
+    Parameters
+    ----------
+    n, p:
+        Node count and edge probability.
+    rng:
+        Drives the edge-count and edge draws.
+    ensure_connected:
+        Redraw until connected (see :data:`MAX_CONNECT_ATTEMPTS`);
+        requires ``p`` comfortably above the ``ln n / n`` threshold to
+        succeed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        p: float,
+        rng: np.random.Generator,
+        *,
+        ensure_connected: bool = False,
+    ):
+        n = check_positive_int("n", n, minimum=2)
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"edge probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        total = n * (n - 1) // 2
+
+        def build_csr() -> tuple[np.ndarray, np.ndarray]:
+            m = int(rng.binomial(total, p))
+            u, v = _distinct_edges(n, m, rng)
+            return _csr_from_edges(n, u, v)
+
+        indptr, indices = _with_connectivity(
+            build_csr, n, ensure_connected, f"G({n}, {p:g}) graph"
+        )
+        super().__init__(n, indptr, indices)
+
+
+def _distinct_edges(n: int, m: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """``m`` distinct uniform node pairs as (u, v) arrays."""
+    keys = np.empty(0, dtype=np.int64)
+    while keys.size < m:
+        need = m - keys.size
+        u = rng.integers(n, size=need + need // 8 + 16)
+        v = rng.integers(n - 1, size=u.size)
+        v += v >= u
+        fresh = np.minimum(u, v) * n + np.maximum(u, v)
+        keys = np.unique(np.concatenate([keys, fresh]))
+    if keys.size > m:
+        keys = keys[rng.permutation(keys.size)[:m]]
+    return keys // n, keys % n
+
+
+class RingLattice(SparseGraph):
+    """The circulant ring: node ``v`` connects to ``v ± 1 .. v ± radius``.
+
+    Deterministic (no randomness consumed); degree ``2 * radius``. The
+    slowest substrate in the suite — consensus information travels at
+    diameter speed ``n / (2 radius)``.
+    """
+
+    def __init__(self, n: int, radius: int = 1):
+        n = check_positive_int("n", n, minimum=3)
+        radius = check_positive_int("radius", radius, minimum=1)
+        if 2 * radius >= n:
+            raise ConfigurationError(f"ring radius {radius} too large for n={n}")
+        self.radius = radius
+        nodes = np.arange(n, dtype=np.int64)
+        offsets = np.arange(1, radius + 1, dtype=np.int64)
+        u = np.repeat(nodes, radius)
+        v = (u + np.tile(offsets, n)) % n
+        super().__init__(n, *_csr_from_edges(n, u, v))
+
+
+class TorusGrid(SparseGraph):
+    """The 4-regular two-dimensional torus lattice ``rows × cols``.
+
+    Deterministic; both dimensions must be at least 3 so wrap-around
+    edges stay simple.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        rows = check_positive_int("rows", rows, minimum=3)
+        cols = check_positive_int("cols", cols, minimum=3)
+        self.rows, self.cols = rows, cols
+        n = rows * cols
+        nodes = np.arange(n, dtype=np.int64)
+        r, c = nodes // cols, nodes % cols
+        right = r * cols + (c + 1) % cols
+        down = ((r + 1) % rows) * cols + c
+        u = np.concatenate([nodes, nodes])
+        v = np.concatenate([right, down])
+        super().__init__(n, *_csr_from_edges(n, u, v))
+
+    @classmethod
+    def near_square(cls, n: int) -> "TorusGrid":
+        """The most-square ``rows × cols = n`` factorization (rows >= 3)."""
+        n = check_positive_int("n", n, minimum=9)
+        rows = int(math.isqrt(n))
+        while rows >= 3 and n % rows:
+            rows -= 1
+        if rows < 3 or n // rows < 3:
+            raise ConfigurationError(f"n={n} has no torus factorization with both sides >= 3")
+        return cls(rows, n // rows)
+
+
+class ClusterGraph(SparseGraph):
+    """Two-tier topology: dense clusters joined by sparse random bridges.
+
+    Nodes are partitioned into ``clusters`` near-equal contiguous
+    groups; each group is a clique, and every node additionally draws
+    ``bridges_per_node`` uniform contacts outside its own cluster. The
+    substrate mirrors the paper's Section 4 world view (well-mixed
+    clusters, expensive inter-cluster communication).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        clusters: int,
+        rng: np.random.Generator,
+        *,
+        bridges_per_node: int = 1,
+    ):
+        n = check_positive_int("n", n, minimum=4)
+        clusters = check_positive_int("clusters", clusters, minimum=2)
+        bridges_per_node = check_positive_int("bridges_per_node", bridges_per_node, minimum=1)
+        if clusters * 2 > n:
+            raise ConfigurationError(f"need clusters at size >= 2, got n={n}, clusters={clusters}")
+        self.clusters = clusters
+        sizes = np.full(clusters, n // clusters, dtype=np.int64)
+        sizes[: n % clusters] += 1
+        starts = np.concatenate([[0], np.cumsum(sizes)])
+        edge_u, edge_v = [], []
+        for c in range(clusters):
+            lo, size = int(starts[c]), int(sizes[c])
+            iu, iv = np.triu_indices(size, k=1)
+            edge_u.append(iu + lo)
+            edge_v.append(iv + lo)
+        # Bridges: per node, uniform contacts outside the own (contiguous)
+        # cluster block via the shift trick over n - own_cluster_size ids.
+        nodes = np.arange(n, dtype=np.int64)
+        cluster_of = np.repeat(np.arange(clusters), sizes)
+        own_start = starts[cluster_of]
+        own_size = sizes[cluster_of]
+        for _ in range(bridges_per_node):
+            draw = (rng.random(n) * (n - own_size)).astype(np.int64)
+            target = np.where(draw < own_start, draw, draw + own_size)
+            edge_u.append(nodes)
+            edge_v.append(target)
+        u = np.concatenate(edge_u)
+        v = np.concatenate(edge_v)
+        super().__init__(n, *_csr_from_edges(n, u, v))
+
+
+# --------------------------------------------------------------------------
+# Named builders (the sweep/CLI integration point).
+
+
+def _build_complete(n, rng, *, degree, clusters, ensure_connected):
+    return CompleteGraph(n)
+
+
+def _build_regular(n, rng, *, degree, clusters, ensure_connected):
+    # No silent degree adjustment: an odd n*d raises (in the
+    # constructor) rather than building a graph the swept 'degree'
+    # parameter would misreport.
+    return RandomRegularGraph(n, int(degree), rng, ensure_connected=ensure_connected)
+
+
+def _build_gnp(n, rng, *, degree, clusters, ensure_connected):
+    p = min(1.0, float(degree) / (n - 1))
+    return ErdosRenyiGraph(n, p, rng, ensure_connected=ensure_connected)
+
+
+def _build_ring(n, rng, *, degree, clusters, ensure_connected):
+    return RingLattice(n, radius=max(1, int(degree) // 2))
+
+
+def _build_torus(n, rng, *, degree, clusters, ensure_connected):
+    return TorusGrid.near_square(n)
+
+
+def _build_cluster(n, rng, *, degree, clusters, ensure_connected):
+    return ClusterGraph(n, int(clusters), rng)
+
+
+GRAPH_BUILDERS = {
+    "complete": _build_complete,
+    "regular": _build_regular,
+    "gnp": _build_gnp,
+    "ring": _build_ring,
+    "torus": _build_torus,
+    "cluster": _build_cluster,
+}
+
+
+def graph_names() -> list[str]:
+    """All named topologies, sorted (the ``topology=`` sweep axis)."""
+    return sorted(GRAPH_BUILDERS)
+
+
+def build_graph(
+    name: str,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    degree: float = 8,
+    clusters: int = 8,
+    ensure_connected: bool = True,
+):
+    """Build a named topology from scalar parameters.
+
+    ``degree`` is interpreted per family: exact degree for ``regular``,
+    expected degree for ``gnp`` (``p = degree / (n - 1)``), and
+    ``2 * radius`` for ``ring``; ``torus`` and ``complete`` ignore it.
+    ``clusters`` only applies to the ``cluster`` topology. Building
+    ``complete`` consumes no randomness, which keeps the default sweep
+    path bit-identical to the pre-scenario engine.
+    """
+    try:
+        builder = GRAPH_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; available: {', '.join(graph_names())}"
+        ) from None
+    return builder(n, rng, degree=degree, clusters=clusters, ensure_connected=ensure_connected)

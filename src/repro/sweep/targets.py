@@ -9,6 +9,10 @@ looked up by name and live at module level, a
 run from nothing but the config dict — closures never cross the process
 boundary.
 
+Every target registers its parameter defaults alongside the function,
+so ``repro sweep --list-targets`` (and :func:`target_params`) can show
+the grid-able axes without reading this file.
+
 Built-in targets cover the paper's protocols:
 
 ``synchronous``
@@ -22,6 +26,16 @@ Built-in targets cover the paper's protocols:
 ``voter`` / ``two_choices`` / ``three_majority`` / ``undecided``
     Related-work baselines (Section 1.1).
 
+All targets additionally take the scenario axes from
+:mod:`repro.scenarios`: ``topology`` / ``degree`` / ``clusters``
+(communication substrate) and ``init`` (initial configuration); the
+event-driven targets (``single_leader``, ``multileader``) also take the
+fault axes ``drop`` / ``drop_model`` / ``churn`` / ``churn_downtime`` /
+``stragglers`` / ``straggler_slowdown``. The defaults —
+``topology="complete"``, no faults, ``init="biased"`` — consume no
+extra randomness and leave every record byte-identical to the
+pre-scenario engine (regression-guarded in ``tests/scenarios/``).
+
 Examples
 --------
 >>> sorted(target_names())[:3]
@@ -30,6 +44,8 @@ Examples
 >>> rec = get_target("synchronous")({"n": 400, "k": 2, "alpha": 2.0},
 ...                                 RngRegistry(1).stream("doc"))
 >>> rec["plurality_won"]
+True
+>>> "topology" in target_params("single_leader")
 True
 """
 
@@ -48,22 +64,48 @@ from repro.engine.latency import ConstantLatency, GammaLatency, LatencyModel
 from repro.errors import ConfigurationError
 from repro.multileader.params import MultiLeaderParams
 from repro.multileader.protocol import run_multileader
-from repro.workloads.opinions import biased_counts
+from repro.scenarios.adversary import adversarial_counts
+from repro.scenarios.faults import build_faults, inject_faults
+from repro.scenarios.topology import build_graph
 
-__all__ = ["register_target", "get_target", "target_names"]
+__all__ = ["register_target", "get_target", "target_names", "target_params"]
 
 Target = Callable[[Mapping[str, Any], np.random.Generator], dict]
 
 _TARGETS: dict[str, Target] = {}
+_TARGET_DEFAULTS: dict[str, dict[str, Any]] = {}
+
+#: Substrate + initial-configuration axes (all targets).
+_TOPOLOGY_DEFAULTS: dict[str, Any] = {
+    "topology": "complete",
+    "degree": 8,
+    "clusters": 8,
+    "init": "biased",
+}
+
+#: Fault axes (event-driven targets only).
+_FAULT_DEFAULTS: dict[str, Any] = {
+    "drop": 0.0,
+    "drop_model": "iid",
+    "churn": 0.0,
+    "churn_downtime": 1.0,
+    "stragglers": 0.0,
+    "straggler_slowdown": 4.0,
+}
 
 
-def register_target(name: str) -> Callable[[Target], Target]:
-    """Decorator: register ``fn(params, rng) -> record`` under ``name``."""
+def register_target(name: str, defaults: Mapping[str, Any] | None = None) -> Callable[[Target], Target]:
+    """Decorator: register ``fn(params, rng) -> record`` under ``name``.
+
+    ``defaults`` documents the target's parameters (the grid-able axes
+    shown by ``repro sweep --list-targets``).
+    """
 
     def decorator(fn: Target) -> Target:
         if name in _TARGETS:
             raise ConfigurationError(f"sweep target {name!r} already registered")
         _TARGETS[name] = fn
+        _TARGET_DEFAULTS[name] = dict(defaults or {})
         return fn
 
     return decorator
@@ -82,6 +124,12 @@ def get_target(name: str) -> Target:
 def target_names() -> list[str]:
     """All registered target names, sorted."""
     return sorted(_TARGETS)
+
+
+def target_params(name: str) -> dict[str, Any]:
+    """A target's parameters and their defaults (the grid-able axes)."""
+    get_target(name)  # raise with the standard message on unknown names
+    return dict(_TARGET_DEFAULTS[name])
 
 
 def _take(params: Mapping[str, Any], defaults: dict[str, Any]) -> dict[str, Any]:
@@ -134,94 +182,162 @@ def _latency_model(name: str, rate: float, shape: float) -> LatencyModel | None:
     )
 
 
-@register_target("synchronous")
+def _scenario_graph(p: Mapping[str, Any], rng: np.random.Generator):
+    """Build the run's substrate; ``None`` keeps the bit-identical K_n path."""
+    if p["topology"] == "complete":
+        return None
+    return build_graph(
+        p["topology"], p["n"], rng, degree=p["degree"], clusters=int(p["clusters"])
+    )
+
+
+def _scenario_counts(p: Mapping[str, Any]) -> np.ndarray:
+    """Initial configuration for the run (``init`` axis).
+
+    Callers must size protocol parameters from ``counts.size``, not
+    ``p["k"]`` — ``init="ramp"`` reinterprets ``k`` as an exponent and
+    returns a different number of colors.
+    """
+    return adversarial_counts(p["init"], p["n"], p["k"], p["alpha"])
+
+
+def _scenario_faults(p: Mapping[str, Any]) -> list:
+    """Fault-model list from the flat fault axes (fresh per simulator)."""
+    return build_faults(
+        drop=p["drop"],
+        drop_model=p["drop_model"],
+        churn=p["churn"],
+        churn_downtime=p["churn_downtime"],
+        stragglers=p["stragglers"],
+        straggler_slowdown=p["straggler_slowdown"],
+    )
+
+
+_SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
+    "n": 1000,
+    "k": 4,
+    "alpha": 2.0,
+    "gamma": 0.5,
+    "schedule": "fixed",
+    "engine": "aggregate",
+    "max_steps": 10_000,
+    "epsilon": None,
+    **_TOPOLOGY_DEFAULTS,
+}
+
+
+@register_target("synchronous", _SYNCHRONOUS_DEFAULTS)
 def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
     """Algorithm 1 (synchronous two-choices + propagation rounds)."""
-    p = _take(
-        params,
-        {
-            "n": 1000,
-            "k": 4,
-            "alpha": 2.0,
-            "gamma": 0.5,
-            "schedule": "fixed",
-            "engine": "aggregate",
-            "max_steps": 10_000,
-            "epsilon": None,
-        },
-    )
+    p = _take(params, _SYNCHRONOUS_DEFAULTS)
+    graph = _scenario_graph(p, rng)
+    counts = _scenario_counts(p)
     if p["schedule"] == "fixed":
-        schedule = FixedSchedule(n=p["n"], k=p["k"], alpha0=p["alpha"], gamma=p["gamma"])
+        schedule = FixedSchedule(
+            n=p["n"], k=int(counts.size), alpha0=p["alpha"], gamma=p["gamma"]
+        )
     elif p["schedule"] == "adaptive":
         schedule = AdaptiveSchedule(n=p["n"], alpha0=p["alpha"], gamma=p["gamma"])
     else:
         raise ConfigurationError(
             f"unknown schedule {p['schedule']!r}; use 'fixed' or 'adaptive'"
         )
-    counts = biased_counts(p["n"], p["k"], p["alpha"])
+    # The mean-field multinomial engine is exact only on K_n; sparse
+    # substrates require the literal per-node engine.
+    engine = p["engine"]
+    if graph is not None and engine == "aggregate":
+        engine = "pernode"
     result = run_synchronous(
         counts,
         schedule,
         rng,
-        engine=p["engine"],
+        engine=engine,
         max_steps=p["max_steps"],
         epsilon=p["epsilon"],
+        graph=graph,
     )
-    return _record(result)
+    record = _record(result)
+    if engine != p["engine"]:
+        # Boolean, not a string: aggregation only keeps numeric fields,
+        # so a string marker would vanish from sweep tables and the
+        # substitution would stay invisible exactly where it matters.
+        record["engine_substituted"] = True
+        record["engine_effective"] = engine
+    return record
 
 
-@register_target("single_leader")
+_SINGLE_LEADER_DEFAULTS: dict[str, Any] = {
+    "n": 1000,
+    "k": 4,
+    "alpha": 2.0,
+    "gamma": 0.5,
+    "latency_rate": 1.0,
+    "latency": "exponential",
+    "latency_shape": 2.0,
+    "max_time": 4000.0,
+    "epsilon": None,
+    **_TOPOLOGY_DEFAULTS,
+    **_FAULT_DEFAULTS,
+}
+
+
+@register_target("single_leader", _SINGLE_LEADER_DEFAULTS)
 def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
     """Algorithms 2+3 (asynchronous single-leader protocol)."""
-    p = _take(
-        params,
-        {
-            "n": 1000,
-            "k": 4,
-            "alpha": 2.0,
-            "gamma": 0.5,
-            "latency_rate": 1.0,
-            "latency": "exponential",
-            "latency_shape": 2.0,
-            "max_time": 4000.0,
-            "epsilon": None,
-        },
-    )
+    p = _take(params, _SINGLE_LEADER_DEFAULTS)
+    graph = _scenario_graph(p, rng)
+    counts = _scenario_counts(p)
     sim_params = SingleLeaderParams(
         n=p["n"],
-        k=p["k"],
+        k=int(counts.size),  # init="ramp" reinterprets k (see _scenario_counts)
         alpha0=p["alpha"],
         latency_rate=p["latency_rate"],
         gen_size_fraction=p["gamma"],
     )
-    counts = biased_counts(p["n"], p["k"], p["alpha"])
     model = _latency_model(p["latency"], p["latency_rate"], p["latency_shape"])
-    sim = SingleLeaderSim(sim_params, counts, rng, latency_model=model)
+    sim = SingleLeaderSim(sim_params, counts, rng, latency_model=model, graph=graph)
+    wiring = inject_faults(sim, _scenario_faults(p), rng)
     result = sim.run(max_time=p["max_time"], epsilon=p["epsilon"])
     record = _record(result, time_unit=sim_params.time_unit)
     record["events"] = int(sim.sim.events_executed)
+    if wiring is not None:
+        record.update(wiring.info())
     return record
 
 
-@register_target("multileader")
+_MULTILEADER_DEFAULTS: dict[str, Any] = {
+    "n": 1000,
+    "k": 4,
+    "alpha": 2.0,
+    "latency_rate": 1.0,
+    "clustering_max_time": 500.0,
+    "max_time": 3000.0,
+    "epsilon": None,
+    **_TOPOLOGY_DEFAULTS,
+    **_FAULT_DEFAULTS,
+}
+
+
+@register_target("multileader", _MULTILEADER_DEFAULTS)
 def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
     """Section 4's decentralized pipeline: clustering then consensus."""
-    p = _take(
-        params,
-        {
-            "n": 1000,
-            "k": 4,
-            "alpha": 2.0,
-            "latency_rate": 1.0,
-            "clustering_max_time": 500.0,
-            "max_time": 3000.0,
-            "epsilon": None,
-        },
-    )
+    p = _take(params, _MULTILEADER_DEFAULTS)
+    graph = _scenario_graph(p, rng)
+    counts = _scenario_counts(p)
     sim_params = MultiLeaderParams(
-        n=p["n"], k=p["k"], alpha0=p["alpha"], latency_rate=p["latency_rate"]
+        n=p["n"], k=int(counts.size), alpha0=p["alpha"], latency_rate=p["latency_rate"]
     )
-    counts = biased_counts(p["n"], p["k"], p["alpha"])
+    wirings = []
+
+    def instrument(sim_obj) -> None:
+        # Fresh fault-model instances per phase simulator (they are
+        # stateful); no-op when every fault axis sits at its default.
+        # Note each phase draws its own straggler subset — the phases
+        # are separate simulators over separate event streams.
+        wiring = inject_faults(sim_obj, _scenario_faults(p), rng)
+        if wiring is not None:
+            wirings.append(wiring)
+
     result = run_multileader(
         sim_params,
         counts,
@@ -229,27 +345,41 @@ def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         clustering_max_time=p["clustering_max_time"],
         max_time=p["max_time"],
         epsilon=p["epsilon"],
+        graph=graph,
+        instrument=instrument,
     )
     record = _record(result, time_unit=sim_params.time_unit)
     record["clusters"] = int(result.info.get("clusters", 0))
+    for wiring in wirings:
+        for key, value in wiring.info().items():
+            record[key] = record.get(key, 0.0) + value
     return record
+
+
+_BASELINE_DEFAULTS: dict[str, Any] = {
+    "n": 1000,
+    "k": 4,
+    "alpha": 2.0,
+    "max_rounds": 100_000,
+    "epsilon": None,
+    **_TOPOLOGY_DEFAULTS,
+}
 
 
 def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
     def run_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
         from repro.baselines.base import run_dynamics
 
-        p = _take(
-            params,
-            {"n": 1000, "k": 4, "alpha": 2.0, "max_rounds": 100_000, "epsilon": None},
-        )
-        counts = biased_counts(p["n"], p["k"], p["alpha"])
+        p = _take(params, _BASELINE_DEFAULTS)
+        graph = _scenario_graph(p, rng)
+        counts = _scenario_counts(p)
         result = run_dynamics(
             dynamics_factory(p["k"]),
             counts,
             rng,
             max_rounds=p["max_rounds"],
             epsilon=p["epsilon"],
+            graph=graph,
         )
         return _record(result)
 
@@ -268,7 +398,7 @@ def _register_baselines() -> None:
         ("three_majority", lambda k: ThreeMajority()),
         ("undecided", lambda k: UndecidedStateDynamics()),
     ]:
-        register_target(name)(_baseline_target(factory))
+        register_target(name, _BASELINE_DEFAULTS)(_baseline_target(factory))
 
 
 _register_baselines()

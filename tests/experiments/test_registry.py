@@ -28,6 +28,7 @@ EXPECTED_IDS = {
     "ext-delayed",
     "ext-distributions",
     "baselines",
+    "robustness",
 }
 
 

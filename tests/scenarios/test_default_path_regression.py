@@ -1,0 +1,142 @@
+"""Default-path regression guard: no graph argument == pre-scenario engine.
+
+``golden_default_path.json`` was generated from the repository *before*
+the scenario subsystem existed (same seeds, same configurations). Every
+protocol invoked with ``graph=None`` or ``graph=CompleteGraph(n)`` must
+reproduce those trajectories byte-for-byte — the scenario layer is not
+allowed to perturb the paper-faithful default world, not even by one
+RNG draw.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import ThreeMajority, run_dynamics
+from repro.core.delayed_exchange import DelayedExchangeSim
+from repro.core.params import SingleLeaderParams
+from repro.core.schedule import FixedSchedule
+from repro.core.single_leader import SingleLeaderSim
+from repro.core.synchronous import PerNodeSynchronousSim
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import RngRegistry
+from repro.multileader.params import MultiLeaderParams
+from repro.multileader.protocol import run_multileader
+from repro.sweep.runner import execute_run
+from repro.sweep.spec import SweepSpec
+from repro.workloads.opinions import biased_counts
+
+GOLDEN = json.loads((Path(__file__).parent / "golden_default_path.json").read_text())
+
+#: graph= values that must hit the identical code path.
+DEFAULT_GRAPHS = [None, "complete"]
+
+
+def _graph(tag, n):
+    return CompleteGraph(n) if tag == "complete" else None
+
+
+@pytest.mark.parametrize("tag", DEFAULT_GRAPHS)
+class TestByteIdenticalDefaults:
+    def test_single_leader(self, tag):
+        rngs = RngRegistry(42)
+        params = SingleLeaderParams(n=300, k=3, alpha0=2.0)
+        sim = SingleLeaderSim(
+            params, biased_counts(300, 3, 2.0), rngs.stream("sl"), graph=_graph(tag, 300)
+        )
+        result = sim.run(max_time=800.0)
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+            int(sim.sim.events_executed),
+        ] == GOLDEN["single_leader"]
+
+    def test_delayed_exchange(self, tag):
+        rngs = RngRegistry(42)
+        params = SingleLeaderParams(n=300, k=3, alpha0=2.0)
+        sim = DelayedExchangeSim(
+            params,
+            biased_counts(300, 3, 2.0),
+            rngs.stream("dx"),
+            exchange_rate=2.0,
+            graph=_graph(tag, 300),
+        )
+        result = sim.run(max_time=1200.0)
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+            int(sim.sim.events_executed),
+        ] == GOLDEN["delayed"]
+
+    def test_pernode_synchronous(self, tag):
+        rngs = RngRegistry(42)
+        counts = biased_counts(400, 4, 2.0)
+        sim = PerNodeSynchronousSim(
+            counts,
+            FixedSchedule(n=400, k=4, alpha0=2.0),
+            rngs.stream("sync"),
+            graph=_graph(tag, 400),
+        )
+        result = sim.run(max_steps=4000)
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+        ] == GOLDEN["pernode_sync"]
+
+    def test_multileader(self, tag):
+        rngs = RngRegistry(42)
+        params = MultiLeaderParams(n=400, k=3, alpha0=2.0)
+        result = run_multileader(
+            params,
+            biased_counts(400, 3, 2.0),
+            rngs.stream("ml"),
+            clustering_max_time=300.0,
+            max_time=1500.0,
+            graph=_graph(tag, 400),
+        )
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+        ] == GOLDEN["multileader"]
+
+    def test_baseline_dynamics(self, tag):
+        rngs = RngRegistry(42)
+        result = run_dynamics(
+            ThreeMajority(),
+            biased_counts(500, 4, 2.0),
+            rngs.stream("b3m"),
+            max_rounds=5000,
+            graph=_graph(tag, 500),
+        )
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+        ] == GOLDEN["three_majority"]
+
+
+class TestSweepRecords:
+    def test_default_target_records_byte_identical(self):
+        spec = SweepSpec(
+            target="single_leader",
+            base={"k": 3, "alpha": 2.0},
+            grid={"n": [200, 300]},
+            repetitions=2,
+            seed=7,
+        )
+        records = [execute_run(config) for config in spec.expand()]
+        for record in records:
+            record.pop("wall_time", None)
+        assert records == GOLDEN["sweep_records"]

@@ -1,0 +1,168 @@
+"""Fault-injection behavior on real protocol simulators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import SingleLeaderParams
+from repro.core.single_leader import SingleLeaderSim
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+from repro.scenarios.faults import (
+    CrashAtTimes,
+    CrashChurn,
+    GilbertElliottDrop,
+    IidDrop,
+    Stragglers,
+    build_faults,
+    inject_faults,
+)
+from repro.workloads.opinions import biased_counts
+
+
+def _sim(seed: int, n: int = 200, k: int = 3) -> SingleLeaderSim:
+    rngs = RngRegistry(seed)
+    params = SingleLeaderParams(n=n, k=k, alpha0=2.0)
+    return SingleLeaderSim(params, biased_counts(n, k, 2.0), rngs.stream("sim"))
+
+
+class TestInjection:
+    def test_empty_fault_list_is_identity(self, rngs):
+        baseline = _sim(1)
+        reference = baseline.run(max_time=600.0)
+        instrumented = _sim(1)
+        assert inject_faults(instrumented, [], rngs.stream("faults")) is None
+        result = instrumented.run(max_time=600.0)
+        assert result.elapsed == reference.elapsed
+        assert result.final_color_counts.tolist() == reference.final_color_counts.tolist()
+        assert instrumented.sim.events_executed == baseline.sim.events_executed
+
+    def test_iid_drop_loses_leader_signals(self, rngs):
+        clean = _sim(2)
+        clean.run(max_time=100.0)
+        lossy = _sim(2)
+        wiring = inject_faults(lossy, [IidDrop(0.5)], rngs.stream("faults"))
+        lossy.run(max_time=100.0)
+        info = wiring.info()
+        assert info["fault_dropped_messages"] > 0
+        assert info["fault_dropped_exchanges"] > 0
+        # Half the 0-signals never arrive, so the leader counts far
+        # fewer than in the clean run over the same time span.
+        assert lossy.leader.zero_signals < 0.75 * clean.leader.zero_signals
+
+    def test_dropped_exchange_unlocks_node(self, rngs):
+        sim = _sim(3, n=100)
+        inject_faults(sim, [IidDrop(0.9)], rngs.stream("faults"))
+        sim.run(max_time=50.0)
+        # With 90% loss almost every cycle aborts; if aborted cycles
+        # leaked locks the whole population would be locked and good
+        # ticks would stop early.
+        assert sim.locked.sum() < sim.n
+        assert sim.good_ticks > sim.n
+
+    def test_bursty_drop_records_bursts(self, rngs):
+        sim = _sim(4, n=100)
+        wiring = inject_faults(
+            sim, [GilbertElliottDrop(drop_bad=0.9, to_bad=0.1, to_good=0.5)], rngs.stream("f")
+        )
+        sim.run(max_time=100.0)
+        info = wiring.info()
+        assert info["fault_ge_bursts"] > 0
+        assert info["fault_ge_dropped"] > 0
+
+    def test_stragglers_slow_the_run(self, rngs):
+        fast = _sim(5)
+        fast_result = fast.run(max_time=2000.0, epsilon=0.1)
+        slow = _sim(5)
+        wiring = inject_faults(slow, [Stragglers(0.5, slowdown=20.0)], rngs.stream("f"))
+        slow_result = slow.run(max_time=2000.0, epsilon=0.1)
+        assert wiring.faults[0].count > 0
+        assert slow_result.epsilon_convergence_time is None or (
+            fast_result.epsilon_convergence_time is not None
+            and slow_result.epsilon_convergence_time > fast_result.epsilon_convergence_time
+        )
+
+
+class TestChurn:
+    def test_poisson_churn_crashes_and_rejoins(self, rngs):
+        sim = _sim(6)
+        churn = CrashChurn(2.0, mean_downtime=2.0)
+        wiring = inject_faults(sim, [churn], rngs.stream("f"))
+        result = sim.run(max_time=300.0)
+        assert churn.crashes > 0
+        assert churn.rejoins > 0
+        info = wiring.info()
+        assert info["fault_crashes"] == churn.crashes
+        # The run must still terminate (converge or budget) despite churn.
+        assert result.elapsed <= 300.0
+
+    def test_rejoin_resets_generation(self, rngs):
+        sim = _sim(7, n=100)
+        # Crash node 5 once generations exist; stop just after rejoin so
+        # the node cannot have re-adopted a generation yet.
+        fault = CrashAtTimes({5: 30.0}, downtime=5.0)
+        inject_faults(sim, [fault], rngs.stream("f"))
+        sim.run(max_time=35.01)
+        assert fault.crashes == 1
+        assert fault.rejoins == 1
+        assert sim.gens[5] == 0
+        assert sim.gens.max() > 0  # the rest of the population moved on
+
+    def test_permanent_crash_silences_node(self, rngs):
+        sim = _sim(8, n=100)
+        fault = CrashAtTimes({0: 0.5, 1: 0.5})
+        wiring = inject_faults(sim, [fault], rngs.stream("f"))
+        sim.run(max_time=60.0)
+        assert fault.crashes == 2
+        assert fault.rejoins == 0
+        assert fault.crashed_until(0) == math.inf
+        # Crashed nodes' events were suppressed, not executed; their
+        # clocks die as dead ticks, not as dropped exchanges.
+        assert wiring.dead_ticks > 0
+        assert wiring.dropped_exchanges <= 2  # at most the in-flight cycles
+
+    def test_crash_schedule_validates_nodes(self, rngs):
+        sim = _sim(9, n=50)
+        with pytest.raises(ConfigurationError):
+            inject_faults(sim, [CrashAtTimes({999: 1.0})], rngs.stream("f"))
+
+
+class TestBuildFaults:
+    def test_zero_knobs_build_nothing(self):
+        assert build_faults() == []
+
+    def test_iid_and_bursty_and_churn(self):
+        faults = build_faults(drop=0.2, drop_model="iid", churn=0.5, stragglers=0.1)
+        kinds = [type(fault).__name__ for fault in faults]
+        assert kinds == ["IidDrop", "CrashChurn", "Stragglers"]
+        bursty = build_faults(drop=0.2, drop_model="bursty")
+        assert type(bursty[0]).__name__ == "GilbertElliottDrop"
+
+    def test_unknown_drop_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_faults(drop=0.2, drop_model="lossy")
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IidDrop(1.5)
+        with pytest.raises(ConfigurationError):
+            Stragglers(-0.1)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottDrop(drop_bad=2.0)
+
+    def test_reproducible_under_same_streams(self):
+        def run(seed):
+            rngs = RngRegistry(seed)
+            sim = SingleLeaderSim(
+                SingleLeaderParams(n=150, k=3, alpha0=2.0),
+                biased_counts(150, 3, 2.0),
+                rngs.stream("sim"),
+            )
+            inject_faults(sim, build_faults(drop=0.3, churn=0.5), rngs.stream("faults"))
+            result = sim.run(max_time=200.0)
+            return (result.elapsed, result.final_color_counts.tolist())
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)

@@ -1,0 +1,64 @@
+"""The robustness experiment: cached sweep plumbing and coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.robustness import PROFILES, run_robustness
+from repro.sweep.cache import RunCache
+
+
+class TestRobustnessSmoke:
+    @pytest.fixture(scope="class")
+    def reports(self, tmp_path_factory):
+        cache = RunCache(tmp_path_factory.mktemp("runs"))
+        first = run_robustness(profile="smoke", seed=0, cache=cache)
+        second = run_robustness(profile="smoke", seed=0, cache=cache)
+        return first, second
+
+    def test_second_invocation_executes_zero_runs(self, reports):
+        first, second = reports
+        assert first.executed > 0
+        assert second.executed == 0
+        assert second.cached >= first.executed
+
+    def test_cached_tables_byte_identical(self, reports):
+        first, second = reports
+        assert [t.render() for t in first.result.tables] == [
+            t.render() for t in second.result.tables
+        ]
+
+    def test_covers_topologies_and_fault_models(self, reports):
+        first, _ = reports
+        rendered = "\n".join(table.render() for table in first.result.tables)
+        # >= 3 topologies ...
+        for topology in ("complete", "regular", "gnp", "torus", "cluster"):
+            assert topology in rendered
+        # ... x >= 2 fault models (iid + bursty drop, plus churn).
+        assert "iid" in rendered
+        assert "bursty" in rendered
+        assert any(table.title.startswith("sweep: churn") for table in first.result.tables)
+
+    def test_markdown_renders(self, reports):
+        first, _ = reports
+        markdown = first.result.render_markdown()
+        assert markdown.startswith("### robustness")
+        assert "| topology" in markdown
+
+    def test_accounting_note_present(self, reports):
+        first, _ = reports
+        assert any("runs executed" in note for note in first.result.notes)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"smoke", "quick", "full"}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            run_robustness(profile="gigantic")
+
+    def test_registry_entry_exists(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "robustness" in EXPERIMENTS

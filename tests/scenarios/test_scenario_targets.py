@@ -1,0 +1,205 @@
+"""Scenario axes through the sweep targets, protocols on sparse graphs,
+and the CLI discoverability commands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PullVoting,
+    ThreeMajority,
+    TwoChoices,
+    UndecidedStateDynamics,
+    run_dynamics,
+)
+from repro.cli import main
+from repro.core.params import SingleLeaderParams
+from repro.core.schedule import FixedSchedule
+from repro.core.single_leader import SingleLeaderSim
+from repro.core.synchronous import run_synchronous
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+from repro.multileader.params import MultiLeaderParams
+from repro.multileader.protocol import run_multileader
+from repro.scenarios.topology import RandomRegularGraph
+from repro.sweep.targets import get_target, target_names, target_params
+from repro.workloads.opinions import biased_counts
+
+
+class TestProtocolsOnSparseGraphs:
+    def test_single_leader_progresses_on_regular_graph(self, rngs):
+        graph = RandomRegularGraph(200, 16, rngs.stream("g"))
+        sim = SingleLeaderSim(
+            SingleLeaderParams(n=200, k=3, alpha0=2.0),
+            biased_counts(200, 3, 2.0),
+            rngs.stream("run"),
+            graph=graph,
+        )
+        result = sim.run(max_time=1500.0, epsilon=0.1)
+        assert result.epsilon_convergence_time is not None
+        assert result.plurality_won
+
+    def test_graph_size_mismatch_rejected(self, rngs):
+        graph = RandomRegularGraph(100, 4, rngs.stream("g"))
+        with pytest.raises(ConfigurationError):
+            SingleLeaderSim(
+                SingleLeaderParams(n=200, k=3, alpha0=2.0),
+                biased_counts(200, 3, 2.0),
+                rngs.stream("run"),
+                graph=graph,
+            )
+
+    def test_aggregate_engine_rejects_sparse_graph(self, rngs):
+        graph = RandomRegularGraph(100, 4, rngs.stream("g"))
+        with pytest.raises(ConfigurationError):
+            run_synchronous(
+                biased_counts(100, 2, 2.0),
+                FixedSchedule(n=100, k=2, alpha0=2.0),
+                rngs.stream("run"),
+                engine="aggregate",
+                graph=graph,
+            )
+
+    def test_pernode_engine_runs_on_sparse_graph(self, rngs):
+        graph = RandomRegularGraph(200, 16, rngs.stream("g"))
+        result = run_synchronous(
+            biased_counts(200, 2, 3.0),
+            FixedSchedule(n=200, k=2, alpha0=3.0),
+            rngs.stream("run"),
+            engine="pernode",
+            max_steps=2000,
+            graph=graph,
+        )
+        assert result.plurality_won
+
+    def test_multileader_runs_on_sparse_graph(self, rngs):
+        graph = RandomRegularGraph(400, 32, rngs.stream("g"))
+        result = run_multileader(
+            MultiLeaderParams(n=400, k=2, alpha0=2.0),
+            biased_counts(400, 2, 2.0),
+            rngs.stream("run"),
+            clustering_max_time=300.0,
+            max_time=1500.0,
+            epsilon=0.1,
+            graph=graph,
+        )
+        assert result.elapsed > 0
+
+    @pytest.mark.parametrize(
+        "dynamics",
+        [PullVoting(), TwoChoices(), ThreeMajority(), UndecidedStateDynamics()],
+        ids=lambda d: d.name,
+    )
+    def test_baseline_local_rules_run_on_graphs(self, dynamics, rngs):
+        graph = RandomRegularGraph(200, 12, rngs.stream("g"))
+        result = run_dynamics(
+            dynamics,
+            biased_counts(200, 3, 3.0),
+            rngs.stream(dynamics.name),
+            max_rounds=20_000,
+            graph=graph,
+        )
+        assert result.converged
+        assert int(result.final_color_counts.sum()) == 200
+
+    def test_local_rule_matches_mean_field_on_dense_graph(self, rngs):
+        # On a dense random graph the per-node engine's winner statistics
+        # should track the multinomial engine's (same dynamics, easy bias).
+        graph = RandomRegularGraph(300, 64, rngs.stream("g"))
+        wins = 0
+        for rep in range(5):
+            result = run_dynamics(
+                ThreeMajority(),
+                biased_counts(300, 2, 4.0),
+                rngs.stream(f"rep/{rep}"),
+                max_rounds=5000,
+                graph=graph,
+            )
+            wins += bool(result.plurality_won)
+        assert wins >= 4
+
+
+class TestScenarioTargets:
+    def test_every_target_documents_topology_axes(self):
+        for name in target_names():
+            params = target_params(name)
+            assert "topology" in params and "init" in params, name
+
+    def test_single_leader_target_with_faults(self):
+        rng = RngRegistry(1).stream("t")
+        record = get_target("single_leader")(
+            {
+                "n": 200,
+                "k": 3,
+                "alpha": 2.0,
+                "topology": "regular",
+                "degree": 16,
+                "drop": 0.2,
+                "churn": 0.2,
+                "max_time": 1000.0,
+                "epsilon": 0.1,
+            },
+            rng,
+        )
+        assert record["fault_dropped_messages"] > 0
+        assert "fault_crashes" in record
+
+    def test_synchronous_target_switches_to_pernode_on_sparse(self):
+        rng = RngRegistry(2).stream("t")
+        record = get_target("synchronous")(
+            {"n": 144, "k": 2, "alpha": 3.0, "topology": "torus", "max_steps": 2000},
+            rng,
+        )
+        assert isinstance(record["converged"], bool)
+
+    def test_baseline_target_on_graph_with_adversarial_init(self):
+        rng = RngRegistry(3).stream("t")
+        record = get_target("two_choices")(
+            {"n": 200, "k": 3, "alpha": 2.0, "topology": "gnp", "degree": 12, "init": "minimal"},
+            rng,
+        )
+        assert record["converged"]
+
+    def test_unknown_scenario_parameter_rejected(self):
+        rng = RngRegistry(4).stream("t")
+        with pytest.raises(ConfigurationError):
+            get_target("single_leader")({"topo": "regular"}, rng)
+
+
+class TestCliDiscoverability:
+    def test_sweep_list_targets(self, capsys):
+        assert main(["sweep", "--list-targets"]) == 0
+        out = capsys.readouterr().out
+        assert "single_leader" in out
+        assert "topology" in out
+        assert "drop_model" in out
+
+    def test_sweep_without_target_errors(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "list-targets" in capsys.readouterr().err
+
+    def test_reproduce_list(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "robustness" in out
+        assert "thm13" in out
+
+    def test_robustness_cli_smoke_cached(self, tmp_path, capsys):
+        cache = tmp_path / "runs"
+        out_file = tmp_path / "robustness.md"
+        assert (
+            main(
+                ["robustness", "--profile", "smoke", "--cache-dir", str(cache),
+                 "--out", str(out_file)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert out_file.read_text().startswith("### robustness")
+        # Second invocation replays entirely from the cache.
+        assert (
+            main(["robustness", "--profile", "smoke", "--cache-dir", str(cache)]) == 0
+        )
+        err = capsys.readouterr().err
+        assert "0 runs executed" in err

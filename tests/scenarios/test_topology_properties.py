@@ -1,0 +1,196 @@
+"""Hypothesis property tests for the graph samplers.
+
+Mirrors ``tests/engine/test_event_queue_properties.py``: the topology
+layer is the substrate every scenario trajectory rests on, so its
+contract is pinned down property-style — no self-loops, degree bounds
+respected, the connectivity flag honored, and construction bit-identical
+across worker counts through :class:`~repro.engine.rng.RngRegistry`
+substreams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+from repro.scenarios.topology import (
+    ClusterGraph,
+    ErdosRenyiGraph,
+    RandomRegularGraph,
+    RingLattice,
+    TorusGrid,
+    build_graph,
+    graph_names,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _stream(seed: int, name: str = "graph") -> np.random.Generator:
+    return RngRegistry(seed).stream(name)
+
+
+def _assert_simple(graph) -> None:
+    """No self-loops, no duplicate edges, symmetric adjacency."""
+    for node in range(graph.n):
+        neighbors = graph.neighbors(node)
+        assert node not in neighbors, f"self-loop at {node}"
+        assert len(np.unique(neighbors)) == neighbors.size, f"duplicate edge at {node}"
+        for other in neighbors:
+            assert node in graph.neighbors(int(other)), "asymmetric edge"
+
+
+class TestRandomRegular:
+    @settings(max_examples=25, deadline=None)
+    @given(seeds, st.integers(2, 60).map(lambda x: 2 * x), st.integers(2, 8))
+    def test_degree_bounds_and_simplicity(self, seed, n, d):
+        if d >= n:
+            d = n - 1 if ((n - 1) * n) % 2 == 0 else n - 2
+        graph = RandomRegularGraph(n, d, _stream(seed), ensure_connected=False)
+        assert (graph.degrees == d).all()
+        _assert_simple(graph)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_connectivity_flag_honored(self, seed):
+        graph = RandomRegularGraph(80, 4, _stream(seed), ensure_connected=True)
+        assert graph.is_connected()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_bit_identical_across_registries(self, seed):
+        # Two fresh registries with the same root seed and stream name
+        # model two worker processes constructing the same run's graph.
+        a = RandomRegularGraph(120, 6, _stream(seed, "run/3"))
+        b = RandomRegularGraph(120, 6, _stream(seed, "run/3"))
+        assert (a.indptr == b.indptr).all()
+        assert (a.indices == b.indices).all()
+
+    def test_odd_stub_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomRegularGraph(5, 3, _stream(0))
+
+
+class TestErdosRenyi:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, st.integers(10, 150), st.floats(0.05, 0.5))
+    def test_simple_and_in_range(self, seed, n, p):
+        graph = ErdosRenyiGraph(n, p, _stream(seed))
+        _assert_simple(graph)
+        assert graph.edge_count <= n * (n - 1) // 2
+        assert (graph.degrees <= n - 1).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_connectivity_flag_honored(self, seed):
+        graph = ErdosRenyiGraph(60, 0.2, _stream(seed), ensure_connected=True)
+        assert graph.is_connected()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_bit_identical_across_registries(self, seed):
+        a = ErdosRenyiGraph(90, 0.1, _stream(seed, "er/0"))
+        b = ErdosRenyiGraph(90, 0.1, _stream(seed, "er/0"))
+        assert (a.indptr == b.indptr).all()
+        assert (a.indices == b.indices).all()
+
+    def test_empty_probability_gives_empty_graph(self):
+        graph = ErdosRenyiGraph(20, 0.0, _stream(1))
+        assert graph.edge_count == 0
+
+
+class TestLattices:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 200), st.integers(1, 4))
+    def test_ring_is_regular_and_connected(self, n, radius):
+        if 2 * radius >= n:
+            radius = (n - 1) // 2
+        graph = RingLattice(n, radius)
+        assert (graph.degrees == 2 * radius).all()
+        assert graph.is_connected()
+        _assert_simple(graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 15), st.integers(3, 15))
+    def test_torus_is_4_regular_and_connected(self, rows, cols):
+        graph = TorusGrid(rows, cols)
+        assert (graph.degrees == 4).all()
+        assert graph.is_connected()
+        _assert_simple(graph)
+
+    def test_torus_near_square_rejects_primes(self):
+        with pytest.raises(ConfigurationError):
+            TorusGrid.near_square(97)
+
+
+class TestClusterGraph:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(24, 120), st.integers(2, 6))
+    def test_simple_and_connected_enough(self, seed, n, clusters):
+        graph = ClusterGraph(n, clusters, _stream(seed))
+        _assert_simple(graph)
+        # Every node has its intra-cluster clique plus >= 1 bridge draw,
+        # so the minimum degree is at least the smallest clique size - 1.
+        assert int(graph.degrees.min()) >= n // clusters - 1
+
+
+class TestNeighborPools:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_pool_samples_are_neighbors(self, seed):
+        graph = ErdosRenyiGraph(50, 0.2, _stream(seed), ensure_connected=True)
+        pool = graph.neighbor_pool(_stream(seed, "pool"))
+        for node in range(graph.n):
+            sample = pool.sample(node)
+            assert sample in graph.neighbors(node)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_regular_pool_samples_are_neighbors(self, seed):
+        graph = RandomRegularGraph(60, 4, _stream(seed))
+        pool = graph.neighbor_pool(_stream(seed, "pool"))
+        for node in range(graph.n):
+            assert pool.sample(node) in graph.neighbors(node)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, st.integers(2, 40))
+    def test_complete_pool_matches_inline_shift_trick(self, seed, n):
+        # The pooled K_n sampler must replay the exact inline sequence
+        # the protocols used pre-scenario (the bit-identical guarantee).
+        pool = CompleteGraph(n).neighbor_pool(_stream(seed))
+        rng = _stream(seed)
+        from repro.engine.rng import IntegerPool
+
+        reference = IntegerPool(rng, n - 1)
+        for node in range(min(n, 25)):
+            draw = reference()
+            expected = draw + 1 if draw >= node else draw
+            assert pool.sample(node) == expected
+
+
+class TestBuilders:
+    def test_graph_names_sorted(self):
+        names = graph_names()
+        assert names == sorted(names)
+        assert {"complete", "regular", "gnp", "ring", "torus", "cluster"} <= set(names)
+
+    @pytest.mark.parametrize("name", ["complete", "regular", "gnp", "ring", "torus", "cluster"])
+    def test_builders_build_requested_size(self, name):
+        graph = build_graph(name, 144, _stream(11, name))
+        assert len(graph) == 144
+        assert 0 in graph and 143 in graph and 144 not in graph
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_graph("smallworld", 100, _stream(0))
+
+    def test_complete_builder_consumes_no_randomness(self):
+        rng = _stream(5)
+        before = rng.bit_generator.state
+        build_graph("complete", 64, rng)
+        assert rng.bit_generator.state == before

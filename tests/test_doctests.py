@@ -10,6 +10,7 @@ import repro.analysis.records
 import repro.engine.hypoexp
 import repro.engine.rng
 import repro.experiments.common
+import repro.scenarios.adversary
 import repro.sweep.aggregate
 import repro.sweep.cache
 import repro.sweep.runner
@@ -21,6 +22,7 @@ MODULES = [
     repro.engine.hypoexp,
     repro.experiments.common,
     repro.analysis.records,
+    repro.scenarios.adversary,
     repro.sweep.spec,
     repro.sweep.cache,
     repro.sweep.targets,
