@@ -78,6 +78,13 @@ def test_bench_sweep_serial_vs_parallel_vs_cached(tmp_path, output_dir):
     ]
     (output_dir / "sweep.md").write_text("\n".join(lines))
 
+    # The multi-core assertion is gated on core count and has only ever
+    # been exercised on multi-core CI runners — print an unmistakable
+    # marker so CI can *fail* if the gate silently skips there (the dev
+    # container exposes 1 CPU; see ROADMAP "Open items").
     if cores >= 4:
+        print(f"\nMULTICORE-GATE: entered ({cores} cores, speedup {speedup:.2f}x)")
         assert speedup >= 2.5, f"4-worker speedup {speedup:.2f}x below 2.5x floor"
+    else:
+        print(f"\nMULTICORE-GATE: skipped ({cores} core(s), speedup {speedup:.2f}x)")
     assert cached_seconds < serial_seconds / 10

@@ -64,29 +64,21 @@ class DelayedExchangeSim(SingleLeaderSim):
         *,
         exchange_rate: float = 2.0,
         graph=None,
+        simulator=None,
     ):
         self.exchange_rate = check_positive("exchange_rate", exchange_rate)
         self.committed_updates = 0
         self.aborted_updates = 0
-        super().__init__(params, counts, rng, graph=graph)
+        super().__init__(params, counts, rng, graph=graph, simulator=simulator)
         # Lazy refills mean construction order does not consume draws.
         self._exchange_delay = ExponentialPool(rng, self.exchange_rate)
         # Reading the three peers' messages costs an exchange delay
         # each; sample reads run concurrently, the leader read follows.
         self._read_delay = ChannelDelayPool(rng, self.exchange_rate, stages=(2, 1))
 
-    def _tick(self, node: int) -> None:
-        self.total_ticks += 1
-        sim = self.sim
-        sim.schedule_in(self._tick_wait(), self._tick, node)
-        sim.schedule_in(self._latency(), self._leader_signal, 0)
-        if self._locked[node]:
-            return
-        self._locked[node] = True
-        self.good_ticks += 1
-        first = self._sample_neighbor(node)
-        second = self._sample_neighbor(node)
-        sim.schedule_in(
+    def _begin_cycle(self, node: int, first: int, second: int) -> None:
+        """Channels plus the extra read delay (window batching inherited)."""
+        self.sim.schedule_in(
             self._channel_delay() + self._read_delay(),
             self._tentative_exchange,
             (node, first, second),
@@ -104,7 +96,7 @@ class DelayedExchangeSim(SingleLeaderSim):
         ):
             self._seen_gen[node] = leader_gen
             self._seen_prop[node] = int(leader_prop)
-            self._locked[node] = False
+            self._unlock(node)
             return
         gens = self._gens
         cols = self._cols
@@ -125,7 +117,7 @@ class DelayedExchangeSim(SingleLeaderSim):
                     if tentative is None or gen_s > tentative[0]:
                         tentative = (gen_s, col_s)
         if tentative is None:
-            self._locked[node] = False
+            self._unlock(node)
             return
         # Phase two: revalidate against the leader before committing.
         revalidate = self._latency() + self._exchange_delay()
@@ -148,4 +140,4 @@ class DelayedExchangeSim(SingleLeaderSim):
             self._seen_gen[node] = leader.gen
             self._seen_prop[node] = int(leader.prop)
             self.aborted_updates += 1
-        self._locked[node] = False
+        self._unlock(node)

@@ -22,9 +22,19 @@ Engine notes (the hot path):
 * all randomness comes from block-prefetched draw pools
   (:mod:`repro.engine.rng`) over the caller's generator — one vectorized
   numpy call per few thousand events instead of one per event;
-* events are ``(time, seq, bound_method, payload)`` tuples; payloads are
-  node ids (ticks/signals) or ``(node, first, second)`` triples
-  (exchanges) — no per-event closures;
+* scheduling is *batch-granular* on the batch engine, via skip-tick
+  chains: each node pre-draws
+  :attr:`~repro.engine.simulator.Simulator.tick_window` future tick
+  times per refill and bulk-inserts the whole line-1 0-signal fan-out
+  with one :meth:`~repro.engine.simulator.Simulator.schedule_many_at`
+  call; tick *events* exist only while the node is unlocked (a locked
+  tick is a no-op by lines 3-4, so it is counted at unlock — exactly
+  as many as the event engine would dispatch — never dispatched).
+  With window 1 (the heap fallback, or block-1 pools) everything
+  degenerates to the event-granular draw/push sequence of the
+  pre-batching engine, draw-for-draw and seq-for-seq;
+* payloads are node ids (ticks/signals) or ``(node, first, second)``
+  triples (exchanges) — no per-event closures;
 * per-node state lives in plain Python lists (``gens``, ``cols``,
   ``matrix`` and friends are numpy *snapshot* properties built on
   access), so handler bodies are pure scalar Python with no numpy
@@ -41,7 +51,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.leader import Leader
+from repro.core.leader import Leader, LeaderPhaseChange
 from repro.core.params import SingleLeaderParams
 from repro.core.results import GenerationBirth, RunResult, StepStats
 from repro.engine.latency import ChannelPlan, LatencyModel
@@ -99,6 +109,7 @@ class SingleLeaderSim:
         tracer: Tracer | None = None,
         latency_model: "LatencyModel | None" = None,
         graph=None,
+        simulator: Simulator | None = None,
     ):
         counts = validate_counts(counts)
         if int(counts.sum()) != params.n:
@@ -115,13 +126,20 @@ class SingleLeaderSim:
             )
         elif getattr(graph, "min_degree", 1) < 1:
             raise ConfigurationError("graph has isolated nodes; contact sampling needs degree >= 1")
+        if simulator is not None and tracer is not None:
+            raise ConfigurationError(
+                "pass the tracer to the pre-built simulator, not the protocol"
+            )
         self.params = params
         self.n = params.n
         self.k = params.k
         self.graph = graph
         self._rng = rng
         self._latency_model = latency_model
-        self.sim = Simulator(tracer=tracer)
+        # A pre-built simulator (e.g. pre-wrapped by
+        # repro.scenarios.faults.prepare_faulty_simulator) governs even
+        # the construction-time initial tick scheduling below.
+        self.sim = Simulator(tracer=tracer) if simulator is None else simulator
         self.leader = Leader(params)
         self._phase_changes_seen = 0
 
@@ -169,11 +187,36 @@ class SingleLeaderSim:
         self._eps_stop = False
         self._eps_time: float | None = None
 
+        # Tick scheduling.  Window 1 (heap fallback / block-1 pools):
+        # the legacy event-granular pattern, one tick event per tick.
+        # Window > 1 (batch engine): *skip-tick chains* — each node's
+        # future tick times are pre-drawn per window and only the ticks
+        # that can matter (the node is unlocked) become events; ticks
+        # elapsing while the node is locked mid-cycle are no-ops by
+        # Algorithm 2 and are counted exactly at unlock instead of
+        # dispatched.  Their line-1 0-signals are real events either
+        # way, bulk-inserted one latency-pool block per chain extension.
+        self._window = self.sim.tick_window
+        self._skip = self._window > 1
         schedule_in = self.sim.schedule_in
         tick = self._tick
         wait = self._tick_wait
-        for node in range(self.n):
-            schedule_in(wait(), tick, node)
+        if self._skip:
+            latency = self._latency
+            signal = self._leader_signal
+            schedule = self.sim.schedule
+            now = self.sim.now
+            self._chain: list[list[float]] = [[] for _ in range(self.n)]
+            self._cptr: list[int] = [0] * self.n
+            self._tick_pending: list[bool] = [True] * self.n
+            for node in range(self.n):
+                first_tick = now + wait()
+                self._chain[node].append(first_tick)
+                schedule(first_tick, tick, node)
+                schedule(first_tick + latency(), signal)
+        else:
+            for node in range(self.n):
+                schedule_in(wait(), tick, node)
 
     # ------------------------------------------------------------------
     # numpy snapshot views (external consumers: tests, experiments)
@@ -220,8 +263,26 @@ class SingleLeaderSim:
         """Fire-and-forget i-signal to the leader (one-way latency)."""
         self.sim.schedule_in(self._latency(), self._leader_signal, i)
 
-    def _leader_signal(self, i: int) -> None:
-        self.leader.on_signal(i, self.sim.now)
+    def _leader_signal(self, i: int = 0) -> None:
+        leader = self.leader
+        if i == 0:
+            # Inlined Leader.on_signal zero-path: 0-signals are ~2/3 of
+            # all events, and all but one per phase are pure counter
+            # bumps.  Mirrors Leader.on_signal exactly (pinned by the
+            # block-1 replay suite).
+            leader.zero_signals += 1
+            count = leader.tick_count + 1
+            leader.tick_count = count
+            if count != leader._params.prop_signal_threshold or leader.prop:
+                return
+            leader.prop = True
+            leader.phase_changes.append(
+                LeaderPhaseChange(
+                    kind="propagation", time=self.sim.now, generation=leader.gen
+                )
+            )
+        else:
+            leader.on_signal(i, self.sim.now)
         changes = self.leader.phase_changes
         while self._phase_changes_seen < len(changes):
             change = changes[self._phase_changes_seen]
@@ -241,18 +302,105 @@ class SingleLeaderSim:
                     )
                 )
 
+    def _extend_chain(self, node: int) -> None:
+        """Pre-draw the node's next tick window and its 0-signal fan-out.
+
+        One pool-block take each for waits and latencies, one cumsum for
+        the tick times, and one bulk insert for the whole line-1 signal
+        block — the signals are real events (the leader must count them
+        whether or not the sending node's tick itself needs dispatching).
+        The tick times only extend the chain; tick *events* are created
+        lazily for unlocked nodes (see :meth:`_tick` / :meth:`_unlock`).
+        """
+        window = self._window
+        waits = self._tick_wait.take(window)
+        lats = self._latency.take(window)
+        chain = self._chain[node]
+        ptr = self._cptr[node]
+        if ptr > 64:
+            # Prune the consumed prefix, always keeping the newest entry
+            # (consumed or not) as the extension base time.
+            drop = min(ptr, len(chain) - 1)
+            del chain[:drop]
+            self._cptr[node] = ptr - drop
+        # Plain-Python cumsum: at window sizes numpy's per-call overhead
+        # costs more than the loop (measured; see docs/architecture.md).
+        t = chain[-1]
+        now = self.sim.now
+        sigs = []
+        for j in range(window):
+            t += waits[j]
+            chain.append(t)
+            arrival = t + lats[j]
+            # An extension behind the clock (a cycle outlived the
+            # pre-drawn window) delivers overdue signals immediately
+            # rather than in the past.
+            sigs.append(arrival if arrival > now else now)
+        self.sim.schedule_many_at(sigs, self._leader_signal)
+
+    def _schedule_next_tick(self, node: int) -> None:
+        """Arrange the next tick *event* (the next chain time ahead of now)."""
+        if not self._tick_pending[node]:
+            self._tick_pending[node] = True
+            self.sim.schedule(self._chain[node][self._cptr[node]], self._tick, node)
+
+    def _unlock(self, node: int) -> None:
+        """End the node's cycle: count ticks it slept through, tick again.
+
+        In skip mode the chain entries that elapsed while the node was
+        locked were no-ops by Algorithm 2 (lines 3-4 only run unlocked),
+        so they are *counted* here — exactly as many as the event engine
+        would have dispatched — and only the next upcoming chain time
+        becomes a real event.
+        """
+        self._locked[node] = False
+        if not self._skip:
+            return
+        chain = self._chain[node]
+        ptr = self._cptr[node]
+        now = self.sim.now
+        skipped = 0
+        while chain[ptr] <= now:
+            ptr += 1
+            skipped += 1
+            if ptr >= len(chain):
+                self._cptr[node] = ptr
+                self._extend_chain(node)
+                chain = self._chain[node]
+                ptr = self._cptr[node]
+        self._cptr[node] = ptr
+        self.total_ticks += skipped
+        self._schedule_next_tick(node)
+
+    def _begin_cycle(self, node: int, first: int, second: int) -> None:
+        """Open the cycle's channels (hook for the delayed-exchange variant)."""
+        self.sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
+
     def _tick(self, node: int) -> None:
         self.total_ticks += 1
-        sim = self.sim
-        sim.schedule_in(self._tick_wait(), self._tick, node)
-        sim.schedule_in(self._latency(), self._leader_signal, 0)  # line 1: every tick
-        if self._locked[node]:
-            return
+        if self._skip:
+            ptr = self._cptr[node] + 1
+            self._cptr[node] = ptr
+            if ptr >= len(self._chain[node]):
+                self._extend_chain(node)
+            self._tick_pending[node] = False
+            if self._locked[node]:
+                # Only reachable through fault deferral (a crashed
+                # node's tick resumed mid-cycle); the unlock path will
+                # resume the chain.
+                return
+        else:
+            # Event-granular fallback: the legacy draw/push sequence.
+            sim = self.sim
+            sim.schedule_in(self._tick_wait(), self._tick, node)
+            sim.schedule_in(self._latency(), self._leader_signal, 0)  # line 1
+            if self._locked[node]:
+                return
         self._locked[node] = True
         self.good_ticks += 1
         first = self._sample_neighbor(node)
         second = self._sample_neighbor(node)
-        sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
+        self._begin_cycle(node, first, second)
 
     def _exchange(self, payload: tuple[int, int, int]) -> None:
         node, first, second = payload
@@ -286,7 +434,7 @@ class SingleLeaderSim:
         else:
             self._seen_gen[node] = leader_gen
             self._seen_prop[node] = int(leader_prop)
-        self._locked[node] = False
+        self._unlock(node)
 
     def _set_state(self, node: int, gen: int, col: int) -> None:
         gens = self._gens
@@ -393,6 +541,23 @@ class SingleLeaderSim:
             self.sim.run(until=max_time, stop_when=done)
         else:
             self.sim.run(until=max_time)
+        if self._skip:
+            # Ticks that elapsed while a node sat locked at the end of
+            # the run were never dispatched; count them so total_ticks
+            # matches the event-granular engine exactly.
+            end = self.sim.now
+            chains = self._chain
+            cptrs = self._cptr
+            extra = 0
+            for node in range(n):
+                if self._locked[node]:
+                    chain = chains[node]
+                    ptr = cptrs[node]
+                    while ptr < len(chain) and chain[ptr] <= end:
+                        ptr += 1
+                        extra += 1
+                    cptrs[node] = ptr
+            self.total_ticks += extra
         epsilon_time = self._eps_time
         converged = max(counts) == n
         return RunResult(

@@ -7,7 +7,7 @@ deterministic RNG substreams, and structured tracing.
 """
 
 from repro.engine.clocks import PoissonClock
-from repro.engine.events import EventQueue
+from repro.engine.events import BatchEventQueue, EventQueue
 from repro.engine.hypoexp import Hypoexponential
 from repro.engine.latency import (
     ChannelPlan,
@@ -30,7 +30,7 @@ from repro.engine.rng import (
     RngRegistry,
     UniformPool,
 )
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import DEFAULT_ENGINE, DEFAULT_TICK_WINDOW, Simulator
 from repro.engine.tracing import (
     NULL_TRACER,
     CountingTracer,
@@ -43,6 +43,7 @@ from repro.engine.tracing import (
 __all__ = [
     "PoissonClock",
     "EventQueue",
+    "BatchEventQueue",
     "ChannelDelayPool",
     "DrawPool",
     "ExponentialPool",
@@ -62,6 +63,8 @@ __all__ = [
     "CompleteGraph",
     "RngRegistry",
     "Simulator",
+    "DEFAULT_ENGINE",
+    "DEFAULT_TICK_WINDOW",
     "NULL_TRACER",
     "CountingTracer",
     "NullTracer",

@@ -130,11 +130,14 @@ class RngRegistry:
 class DrawPool:
     """Base class for block-prefetched scalar draws.
 
-    Subclasses implement :meth:`_refill`, returning a fresh block of
-    draws as a plain Python list.  Calling the pool returns the next
-    value; an exhausted buffer triggers one vectorized refill.  The
-    refill is the only numpy call on the path, so per-draw cost is a
-    couple of list operations.
+    Subclasses implement :meth:`_refill_array`, returning a fresh block
+    of draws as a numpy array.  Calling the pool returns the next value
+    from a plain-list view of the block; an exhausted buffer triggers
+    one vectorized refill.  The refill is the only numpy call on the
+    path, so per-draw cost is a couple of list operations.  The numpy
+    block itself is kept alongside the list, so :meth:`take_array`
+    hands out zero-copy array slices for bulk consumers (the
+    window-batched protocol schedulers).
 
     Examples
     --------
@@ -149,7 +152,7 @@ class DrawPool:
     False
     """
 
-    __slots__ = ("_rng", "_block", "_buf", "_pos")
+    __slots__ = ("_rng", "_block", "_buf", "_arr", "_pos")
 
     def __init__(self, rng: np.random.Generator, *, block: int | None = None):
         if block is None:
@@ -159,10 +162,16 @@ class DrawPool:
         self._rng = rng
         self._block = block
         self._buf: list = []
+        self._arr: np.ndarray | None = None
         self._pos = 0
 
-    def _refill(self) -> list:
+    def _refill_array(self) -> np.ndarray:
         raise NotImplementedError
+
+    def _refill(self) -> list:
+        arr = self._refill_array()
+        self._arr = arr
+        return arr.tolist()
 
     def __call__(self):
         pos = self._pos
@@ -174,6 +183,69 @@ class DrawPool:
             return self._buf[0]
         self._pos = pos + 1
         return value
+
+    def take(self, count: int) -> list:
+        """The next ``count`` draws as a list (the bulk hot-path API).
+
+        Consumes the generator exactly like ``count`` scalar calls —
+        values come off the same prefetched buffer, refilled in the same
+        block granularity — so block-1 pools hand out the seed scalar
+        sequence whether drawn one at a time or in bulk.
+        """
+        buf = self._buf
+        pos = self._pos
+        end = pos + count
+        if end <= len(buf):
+            self._pos = end
+            return buf[pos:end]
+        out = buf[pos:]
+        need = count - len(out)
+        while True:
+            buf = self._refill()
+            if need < len(buf):
+                out += buf[:need]
+                self._buf = buf
+                self._pos = need
+                return out
+            out += buf
+            need -= len(buf)
+            if not need:
+                self._buf = buf
+                self._pos = len(buf)
+                return out
+
+    def take_array(self, count: int) -> np.ndarray:
+        """The next ``count`` draws as a numpy array (zero-copy slice).
+
+        Same draw sequence as :meth:`take`/scalar calls; within one
+        block the result is a view of the prefetched array, so bulk
+        consumers never pay a list->array conversion.
+        """
+        pos = self._pos
+        buf = self._buf
+        end = pos + count
+        arr = self._arr
+        if arr is not None and end <= len(buf):
+            self._pos = end
+            return arr[pos:end]
+        parts = []
+        have = len(buf) - pos
+        if have:
+            parts.append(arr[pos:] if arr is not None else np.asarray(buf[pos:]))
+        need = count - have
+        while need:
+            buf = self._refill()
+            arr = self._arr
+            if need < len(buf):
+                parts.append(arr[:need])
+                self._buf = buf
+                self._pos = need
+                break
+            parts.append(arr)
+            need -= len(buf)
+            self._buf = buf
+            self._pos = len(buf)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     @property
     def remaining(self) -> int:
@@ -194,8 +266,8 @@ class ExponentialPool(DrawPool):
         super().__init__(rng, block=block)
         self.scale = 1.0 / rate
 
-    def _refill(self) -> list:
-        return self._rng.exponential(self.scale, self._block).tolist()
+    def _refill_array(self) -> np.ndarray:
+        return self._rng.exponential(self.scale, self._block)
 
 
 class UniformPool(DrawPool):
@@ -203,8 +275,8 @@ class UniformPool(DrawPool):
 
     __slots__ = ()
 
-    def _refill(self) -> list:
-        return self._rng.random(self._block).tolist()
+    def _refill_array(self) -> np.ndarray:
+        return self._rng.random(self._block)
 
 
 class IntegerPool(DrawPool):
@@ -222,8 +294,8 @@ class IntegerPool(DrawPool):
         super().__init__(rng, block=block)
         self.high = high
 
-    def _refill(self) -> list:
-        return self._rng.integers(self.high, size=self._block).tolist()
+    def _refill_array(self) -> np.ndarray:
+        return self._rng.integers(self.high, size=self._block)
 
 
 class LatencyPool(DrawPool):
@@ -240,8 +312,8 @@ class LatencyPool(DrawPool):
         super().__init__(rng, block=block)
         self.model = model
 
-    def _refill(self) -> list:
-        return np.asarray(self.model.draw(self._rng, size=self._block), dtype=float).tolist()
+    def _refill_array(self) -> np.ndarray:
+        return np.asarray(self.model.draw(self._rng, size=self._block), dtype=float)
 
 
 class ChannelDelayPool(DrawPool):
@@ -287,7 +359,7 @@ class ChannelDelayPool(DrawPool):
         self.model = model
         self._width = sum(self.stages)
 
-    def _refill(self) -> list:
+    def _refill_array(self) -> np.ndarray:
         shape = (self._block, self._width)
         if self.model is None:
             draws = self._rng.exponential(self.scale, shape)
@@ -299,4 +371,4 @@ class ChannelDelayPool(DrawPool):
             segment = draws[:, start : start + group]
             total += segment[:, 0] if group == 1 else segment.max(axis=1)
             start += group
-        return total.tolist()
+        return total

@@ -4,12 +4,28 @@
 the classic event loop: repeatedly pop the earliest event, advance the
 clock to its timestamp, and execute its action.  Actions schedule
 further events through :meth:`Simulator.schedule` /
-:meth:`Simulator.schedule_in`.
+:meth:`Simulator.schedule_in` / :meth:`Simulator.schedule_many`.
 
-Events are ``(time, seq, action, payload)`` tuples (see
-:mod:`repro.engine.events`); the run loop manipulates the queue's heap
-directly, skipping tombstoned entries inline, so dispatching one event
-costs a ``heappop``, one or two attribute loads, and the callback
+Two queue engines are available (``Simulator(engine=...)``):
+
+* ``"batch"`` (the default) — :class:`~repro.engine.events.BatchEventQueue`:
+  the C tuple heap plus *deferred bulk intake*.  :meth:`schedule_many`
+  / :meth:`schedule_many_at` file a whole block of events (one
+  DrawPool block worth of pre-drawn times, passed as a zero-copy
+  array view) with two list appends, flushed into the heap in one
+  C-level loop only when the clock approaches the block.  Protocol
+  simulators key their tick-window batching off :attr:`tick_window`,
+  which collapses to 1 when the draw-pool block size is 1 — that
+  degenerate configuration replays the scalar-draw reference engine
+  draw for draw (see ``tests/engine/test_fast_equivalence.py``).
+* ``"heap"`` — the PR 1 tuple dispatcher: ``(time, seq, action,
+  payload)`` tuples on a raw ``heapq`` with lazy tombstones.  This is
+  the compatibility fallback; protocols running on it schedule one
+  event per call exactly as before, so its trajectories are
+  bit-identical to the pre-batching engine
+  (``tests/scenarios/test_default_path_regression.py`` pins them).
+
+Dispatching one event costs a couple of list loads and the callback
 itself.  Protocol components (nodes, leaders, clocks) are plain Python
 objects holding a reference to the simulator; there is no
 process/coroutine machinery — the paper's protocols are reactive state
@@ -19,14 +35,32 @@ payloads.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
-from repro.engine.events import EventQueue
+import numpy as np
+
+import repro.engine.rng as engine_rng
+from repro.engine.events import BatchEventQueue, EventQueue
 from repro.engine.tracing import NULL_TRACER, Tracer
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "DEFAULT_ENGINE", "DEFAULT_TICK_WINDOW", "schedule_tick_window"]
+
+#: Engine used when ``Simulator(engine=None)`` and ``$REPRO_ENGINE`` is
+#: unset.  ``"batch"`` = struct-of-arrays queue + window batching;
+#: ``"heap"`` = the PR 1 tuple heap (bit-identical legacy trajectories).
+DEFAULT_ENGINE = "batch"
+
+#: Ticks a protocol simulator pre-schedules per node and refill on the
+#: batch engine.  The effective window is
+#: ``min(DEFAULT_TICK_WINDOW, rng.DEFAULT_BLOCK)`` so that forcing draw
+#: pools to block size 1 (the equivalence suite) also forces
+#: event-granular scheduling in the exact scalar draw order.
+DEFAULT_TICK_WINDOW = 8
+
+_ENGINES = ("batch", "heap")
 
 
 class Simulator:
@@ -36,6 +70,11 @@ class Simulator:
     ----------
     tracer:
         Receives structured trace records; defaults to a no-op tracer.
+    engine:
+        ``"batch"`` (struct-of-arrays queue, bulk scheduling) or
+        ``"heap"`` (tuple-heap fallback).  ``None`` resolves the
+        ``REPRO_ENGINE`` environment variable and then
+        :data:`DEFAULT_ENGINE`.
 
     Notes
     -----
@@ -44,8 +83,18 @@ class Simulator:
     this library never need it and it is almost always a bug.
     """
 
-    def __init__(self, *, tracer: Tracer | None = None):
-        self.queue = EventQueue()
+    def __init__(self, *, tracer: Tracer | None = None, engine: str | None = None):
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; available: {', '.join(_ENGINES)}"
+            )
+        self.engine = engine
+        self._batched = engine == "batch"
+        self.queue: BatchEventQueue | EventQueue = (
+            BatchEventQueue() if self._batched else EventQueue()
+        )
         self.now = 0.0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._events_executed = 0
@@ -55,6 +104,23 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events executed so far (telemetry)."""
         return self._events_executed
+
+    @property
+    def batched(self) -> bool:
+        """True when the struct-of-arrays engine is active."""
+        return self._batched
+
+    @property
+    def tick_window(self) -> int:
+        """Events a protocol should pre-schedule per bulk call.
+
+        ``min(DEFAULT_TICK_WINDOW, DEFAULT_BLOCK)`` on the batch engine
+        (so block-1 pools imply window 1 and exact scalar draw order);
+        always 1 on the heap fallback.
+        """
+        if not self._batched:
+            return 1
+        return max(1, min(DEFAULT_TICK_WINDOW, engine_rng.DEFAULT_BLOCK))
 
     def schedule(
         self, time: float, action: Callable[..., Any], payload: Any = None
@@ -68,9 +134,11 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule event at {time} in the past (now={self.now})"
             )
+        queue = self.queue
+        if self._batched:
+            return queue.push(time, action, payload)
         # Inlined EventQueue.push — one event is scheduled per event
         # executed in steady state, so this is as hot as the run loop.
-        queue = self.queue
         seq = queue._next_seq
         queue._next_seq = seq + 1
         heappush(queue._heap, (time, seq, action, payload))
@@ -85,12 +153,94 @@ class Simulator:
         if not delay >= 0:  # rejects negative delays and NaN
             raise SchedulingError(f"negative delay {delay}")
         queue = self.queue
+        if self._batched:
+            return queue.push(self.now + delay, action, payload)
         seq = queue._next_seq
         queue._next_seq = seq + 1
         heappush(queue._heap, (self.now + delay, seq, action, payload))
         if queue._live is not None:
             queue._live.add(seq)
         return seq
+
+    def schedule_many(
+        self,
+        delays: Sequence[float],
+        action: Callable[..., Any],
+        payloads: Sequence[Any] | None = None,
+    ) -> range:
+        """Bulk-schedule ``action`` after each non-negative delay from now.
+
+        The bulk counterpart of :meth:`schedule_in`: one call files a
+        whole block of events (typically a DrawPool block of delays).
+        ``payloads`` is a parallel sequence; ``None`` dispatches every
+        event with no arguments.  Returns the contiguous range of
+        sequence handles.
+
+        On the batch engine the block costs a few C-level column
+        extends; on the heap fallback it degrades to a local
+        ``heappush`` loop with identical semantics, so callers never
+        need to branch on the engine.
+        """
+        if len(delays):
+            # min() rejects negatives; a NaN anywhere poisons sum().
+            total = sum(delays)
+            if not min(delays) >= 0 or total != total:
+                raise SchedulingError(
+                    f"negative or NaN delay in bulk schedule: {list(delays)}"
+                )
+        now = self.now
+        return self.schedule_many_at([now + d for d in delays], action, payloads)
+
+    def schedule_many_at(
+        self,
+        times: Sequence[float],
+        action: Callable[..., Any],
+        payloads: Sequence[Any] | None = None,
+    ) -> range:
+        """Bulk-schedule ``action`` at each *absolute* simulated time.
+
+        The absolute-time twin of :meth:`schedule_many` — the protocol
+        hot path uses it because window refills compute cumulative tick
+        times anyway.  Past times (and a NaN in first position) raise;
+        semantics otherwise match :meth:`schedule_many`.
+        """
+        queue = self.queue
+        if self._batched:
+            if len(times):
+                lo = times.min() if isinstance(times, np.ndarray) else min(times)
+                if not lo >= self.now:
+                    raise SchedulingError(
+                        f"bulk schedule contains a past or NaN time (now={self.now})"
+                    )
+            return queue.push_many(times, action, payloads)
+        now = self.now
+        seq = queue._next_seq
+        start = seq
+        heap = queue._heap
+        if payloads is None:
+            for time in times:
+                if not time >= now:
+                    raise SchedulingError(
+                        f"cannot schedule event at {time} in the past (now={now})"
+                    )
+                heappush(heap, (time, seq, action, None))
+                seq += 1
+        else:
+            if len(payloads) != len(times):
+                raise SchedulingError(
+                    f"schedule_many got {len(times)} times but {len(payloads)} payloads"
+                )
+            for time, payload in zip(times, payloads):
+                if not time >= now:
+                    raise SchedulingError(
+                        f"cannot schedule event at {time} in the past (now={now})"
+                    )
+                heappush(heap, (time, seq, action, payload))
+                seq += 1
+        queue._next_seq = seq
+        if queue._live is not None:
+            queue._live.update(range(start, seq))
+        return range(start, seq)
 
     def cancel(self, handle: int) -> None:
         """Cancel a previously scheduled event by its sequence handle."""
@@ -126,6 +276,16 @@ class Simulator:
             The simulated time when the loop exited.
         """
         self._stop_requested = False
+        if self._batched:
+            return self._run_batch(until, max_events, stop_when)
+        return self._run_heap(until, max_events, stop_when)
+
+    def _run_batch(
+        self,
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> float:
         executed = 0
         queue = self.queue
         heap = queue._heap
@@ -135,6 +295,92 @@ class Simulator:
                 # Tight loop: protocol runs stop via Simulator.stop()
                 # (convergence is detected at the state update, not
                 # polled per event), so only the horizon is checked.
+                # Deferred push_many blocks are flushed into the heap
+                # the moment their earliest event could be next.
+                while True:
+                    if not heap:
+                        if not queue._blk:
+                            break
+                        queue._flush_blocks()
+                        continue
+                    entry = heap[0]
+                    if queue._blk_min <= entry[0]:
+                        queue._flush_blocks()
+                        entry = heap[0]
+                    live = queue._live
+                    if live is not None and entry[1] not in live:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if time > horizon:
+                        self.now = until
+                        return self.now
+                    heappop(heap)
+                    if live is not None:
+                        live.remove(entry[1])
+                    self.now = time
+                    payload = entry[3]
+                    if payload is None:
+                        entry[2]()
+                    else:
+                        entry[2](payload)
+                    executed += 1
+                    if self._stop_requested:
+                        break
+            else:
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    if not heap:
+                        if not queue._blk:
+                            break
+                        queue._flush_blocks()
+                        continue
+                    entry = heap[0]
+                    if queue._blk_min <= entry[0]:
+                        queue._flush_blocks()
+                        entry = heap[0]
+                    live = queue._live
+                    if live is not None and entry[1] not in live:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if time > horizon:
+                        self.now = until
+                        return self.now
+                    heappop(heap)
+                    if live is not None:
+                        live.remove(entry[1])
+                    self.now = time
+                    payload = entry[3]
+                    if payload is None:
+                        entry[2]()
+                    else:
+                        entry[2](payload)
+                    executed += 1
+                    if self._stop_requested:
+                        break
+                    if stop_when is not None and stop_when():
+                        break
+        finally:
+            self._events_executed += executed
+        if until is not None and not queue and self.now < until:
+            self.now = until
+        return self.now
+
+    def _run_heap(
+        self,
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> float:
+        executed = 0
+        queue = self.queue
+        heap = queue._heap
+        horizon = float("inf") if until is None else until
+        try:
+            if max_events is None and stop_when is None:
+                # Tight loop; see _run_batch for the stop semantics.
                 # queue._live is re-read per event because a callback
                 # can trigger the first cancellation mid-run.
                 while heap:
@@ -191,3 +437,19 @@ class Simulator:
         if until is not None and not queue and self.now < until:
             self.now = until
         return self.now
+
+
+def schedule_tick_window(sim: Simulator, wait_pool, tick, node: int, window: int) -> None:
+    """Pre-schedule a node's next ``window`` ticks (wait-only chains).
+
+    The shared refill for protocols whose ticks carry no pre-computable
+    side events (clustering, broadcast): the soonest tick goes in as a
+    scalar so the bulk block matures late, the rest as one
+    :meth:`Simulator.schedule_many_at` array block.  ``window`` must be
+    at least 2 (window 1 uses the caller's event-granular fallback).
+    """
+    waits = wait_pool.take_array(window)
+    ticks = np.cumsum(waits)
+    ticks += sim.now
+    sim.schedule_in(float(waits[0]), tick, node)  # soonest tick: scalar
+    sim.schedule_many_at(ticks[1:], tick, [node] * (window - 1))

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.engine.network import CompleteGraph
 from repro.engine.rng import ChannelDelayPool, ExponentialPool
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import Simulator, schedule_tick_window
 from repro.errors import ConfigurationError
 from repro.multileader.clustering import Clustering
 from repro.multileader.params import MultiLeaderParams
@@ -54,6 +54,7 @@ class BroadcastSim:
         *,
         source: int | None = None,
         graph=None,
+        simulator=None,
     ):
         if clustering.n != params.n:
             raise ConfigurationError("clustering size does not match params.n")
@@ -67,7 +68,7 @@ class BroadcastSim:
         self.n = params.n
         self.graph = graph
         self._rng = rng
-        self.sim = Simulator()
+        self.sim = Simulator() if simulator is None else simulator
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
         self._sample_other = graph.neighbor_pool(rng).sample
         # Own leader + two sampled nodes concurrently, then their leaders.
@@ -86,12 +87,26 @@ class BroadcastSim:
         self.trajectory: list[tuple[float, int]] = [(0.0, 1)]
         self._locked: list[bool] = [False] * self.n
         self._active = set(self.leaders)
+        # One initial tick per member (identical to the scalar engine);
+        # each node's first tick then grows its chain to a full window.
+        self._window = self.sim.tick_window
+        self._credit: list[int] = [1] * self.n
         schedule_in = self.sim.schedule_in
         tick = self._tick
         wait = self._tick_wait
         for node in range(self.n):
             if self._leader_of[node] in self._active:
                 schedule_in(wait(), tick, node)
+
+    def _refill_window(self, node: int) -> None:
+        """Pre-schedule the node's next tick window (one bulk insert)."""
+        window = self._window
+        if window == 1:
+            # Event-granular fallback: the legacy draw/push sequence.
+            self.sim.schedule_in(self._tick_wait(), self._tick, node)
+            return
+        schedule_tick_window(self.sim, self._tick_wait, self._tick, node, window)
+        self._credit[node] = window
 
     @property
     def leader_of(self) -> np.ndarray:
@@ -104,13 +119,17 @@ class BroadcastSim:
         return np.asarray(self._locked, dtype=bool)
 
     def _tick(self, node: int) -> None:
-        sim = self.sim
-        sim.schedule_in(self._tick_wait(), self._tick, node)
+        credit = self._credit
+        c = credit[node] - 1
+        if c:
+            credit[node] = c
+        else:
+            self._refill_window(node)
         if self._locked[node]:
             return
         self._locked[node] = True
         first, second = self._sample_other(node), self._sample_other(node)
-        sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
+        self.sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
 
     def _exchange(self, payload: tuple[int, int, int]) -> None:
         node, first, second = payload

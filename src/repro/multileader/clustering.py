@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.engine.network import CompleteGraph
 from repro.engine.rng import ChannelDelayPool, ExponentialPool
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import Simulator, schedule_tick_window
 from repro.errors import ConfigurationError, SimulationError
 from repro.multileader.params import MultiLeaderParams
 from repro.util.validation import check_positive_int
@@ -167,6 +167,7 @@ class ClusteringSim:
         faithful_pause: bool = False,
         pause_units: float = 1.0,
         graph=None,
+        simulator=None,
     ):
         if graph is None:
             graph = CompleteGraph(params.n)
@@ -178,7 +179,7 @@ class ClusteringSim:
         self.n = params.n
         self.graph = graph
         self._rng = rng
-        self.sim = Simulator()
+        self.sim = Simulator() if simulator is None else simulator
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
         self._latency = ExponentialPool(rng, params.latency_rate)
         self._sample_other = graph.neighbor_pool(rng).sample
@@ -215,11 +216,31 @@ class ClusteringSim:
         self._broadcast_started = False
         self.first_ready_time: float | None = None
         self.clustered_trajectory: list[tuple[float, float]] = []
+        # One initial tick per node (identical to the scalar engine);
+        # each node's first tick then grows its chain to a full window.
+        self._window = self.sim.tick_window
+        self._credit: list[int] = [1] * self.n
         schedule_in = self.sim.schedule_in
         tick = self._tick
         wait = self._tick_wait
         for node in range(self.n):
             schedule_in(wait(), tick, node)
+
+    def _refill_window(self, node: int) -> None:
+        """Pre-schedule the node's next tick window (one bulk insert).
+
+        Unlike the consensus phase, the member 0-signal's *target*
+        (the node's leader) changes as clusters form, so signals are
+        drawn per tick in :meth:`_tick`; only the unconditional tick
+        chain is batched.
+        """
+        window = self._window
+        if window == 1:
+            # Event-granular fallback: the legacy draw/push sequence.
+            self.sim.schedule_in(self._tick_wait(), self._tick, node)
+            return
+        schedule_tick_window(self.sim, self._tick_wait, self._tick, node, window)
+        self._credit[node] = window
 
     # ------------------------------------------------------------------
     @property
@@ -234,7 +255,12 @@ class ClusteringSim:
 
     def _tick(self, node: int) -> None:
         sim = self.sim
-        sim.schedule_in(self._tick_wait(), self._tick, node)
+        credit = self._credit
+        c = credit[node] - 1
+        if c:
+            credit[node] = c
+        else:
+            self._refill_window(node)
         own = self._leader[node]
         if own >= 0:
             # Member (or leader itself): 0-signal to the own leader.

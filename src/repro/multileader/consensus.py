@@ -72,6 +72,7 @@ class MultiLeaderConsensusSim:
         rng: np.random.Generator,
         *,
         graph=None,
+        simulator=None,
     ):
         if graph is None:
             graph = CompleteGraph(params.n)
@@ -93,7 +94,7 @@ class MultiLeaderConsensusSim:
         self.k = params.k
         self.graph = graph
         self._rng = rng
-        self.sim = Simulator()
+        self.sim = Simulator() if simulator is None else simulator
         self._leader_of: list[int] = clustering.leader_of.tolist()
 
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
@@ -144,12 +145,39 @@ class MultiLeaderConsensusSim:
         self._eps_stop = False
         self._eps_time: float | None = None
 
+        # One initial tick per active member (identical to the scalar
+        # engine); the first tick grows each chain to a full window.
+        self._window = self.sim.tick_window
+        self._credit: list[int] = [1] * self.n
         schedule_in = self.sim.schedule_in
         tick = self._tick
         wait = self._tick_wait
         for node in range(self.n):
             if active_member[node]:
                 schedule_in(wait(), tick, node)
+
+    def _refill_window(self, node: int) -> None:
+        """Next tick window + (0, 3, ·)-signal fan-out, two bulk inserts."""
+        window = self._window
+        sim = self.sim
+        payload = self._tick_signal[node]
+        if window == 1:
+            # Event-granular fallback: the legacy draw/push sequence.
+            sim.schedule_in(self._tick_wait(), self._tick, node)
+            sim.schedule_in(self._latency(), self._deliver_signal, payload)
+            return
+        waits = self._tick_wait.take_array(window)
+        lats = self._latency.take_array(window)
+        # Soonest tick + the firing tick's signal as scalars; the rest
+        # in two array blocks (see core.single_leader._refill_window).
+        ticks = np.cumsum(waits)
+        ticks += sim.now
+        sim.schedule_in(float(lats[0]), self._deliver_signal, payload)  # line 1
+        sigs = ticks[:-1] + lats[1:]
+        sim.schedule_in(float(waits[0]), self._tick, node)
+        sim.schedule_many_at(ticks[1:], self._tick, [node] * (window - 1))
+        sim.schedule_many_at(sigs, self._deliver_signal, [payload] * (window - 1))
+        self._credit[node] = window
 
     # ------------------------------------------------------------------
     # numpy snapshot views (external consumers: tests, experiments)
@@ -218,11 +246,12 @@ class MultiLeaderConsensusSim:
 
     def _tick(self, node: int) -> None:
         self.total_ticks += 1
-        sim = self.sim
-        sim.schedule_in(self._tick_wait(), self._tick, node)
-        payload = self._tick_signal[node]
-        if payload is not None:  # line 1: (0, 3, ·)-signal every tick
-            sim.schedule_in(self._latency(), self._deliver_signal, payload)
+        credit = self._credit
+        c = credit[node] - 1
+        if c:
+            credit[node] = c
+        else:
+            self._refill_window(node)
         if self._locked[node]:
             return
         self._locked[node] = True
@@ -230,7 +259,7 @@ class MultiLeaderConsensusSim:
         v1 = self._sample_other(node)
         v2 = self._sample_other(node)
         v3 = self._sample_other(node)
-        sim.schedule_in(self._channel_delay(), self._exchange, (node, v1, v2, v3))
+        self.sim.schedule_in(self._channel_delay(), self._exchange, (node, v1, v2, v3))
 
     def _exchange(self, payload: tuple[int, int, int, int]) -> None:
         node, v1, v2, v3 = payload

@@ -31,6 +31,7 @@ def run_multileader(
     record_every: float | None = None,
     graph=None,
     instrument=None,
+    prepare=None,
 ) -> RunResult:
     """Run clustering, then the consensus phase, on one population.
 
@@ -41,15 +42,28 @@ def run_multileader(
     ``clustering_time``, ``clustered_fraction``, ``active_fraction``,
     ``switch_spread`` (Theorem 27's ``t_l − t_f``), ``clusters``.
     Both phases sample contacts from ``graph`` (default ``K_n``).
-    ``instrument`` is called with each phase simulator after
-    construction and before running — the seam fault injection
-    (:func:`repro.scenarios.faults.inject_faults`) hooks into.
+    Two fault-injection seams: ``prepare()`` is called before each phase
+    simulator is constructed and may return a pre-wrapped
+    :class:`~repro.engine.simulator.Simulator` (or ``None``) — see
+    :func:`repro.scenarios.faults.prepare_faulty_simulator` — so even
+    construction-time tick scheduling is governed; ``instrument`` is
+    called with each phase simulator after construction and before
+    running (bind adapters, collect telemetry handles).
     """
-    clustering_sim = ClusteringSim(params, rng, graph=graph)
+    clustering_sim = ClusteringSim(
+        params, rng, graph=graph, simulator=None if prepare is None else prepare()
+    )
     if instrument is not None:
         instrument(clustering_sim)
     clustering = clustering_sim.run(max_time=clustering_max_time)
-    consensus = MultiLeaderConsensusSim(params, clustering, counts, rng, graph=graph)
+    consensus = MultiLeaderConsensusSim(
+        params,
+        clustering,
+        counts,
+        rng,
+        graph=graph,
+        simulator=None if prepare is None else prepare(),
+    )
     if instrument is not None:
         instrument(consensus)
     result = consensus.run(

@@ -1,8 +1,8 @@
 """Composable fault models injected at the simulator layer.
 
-Faults are *event-stream transforms*: :func:`inject_faults` wraps an
-already-built protocol simulator's :meth:`Simulator.schedule_in` with a
-classifier + transform chain, so protocol code is untouched. Events are
+Faults are *event-stream transforms*: :func:`inject_faults` wraps a
+protocol simulator's scheduling methods with a classifier + transform
+chain, so protocol code is untouched. Events are
 classified by their bound handler's name — the repository-wide protocol
 convention (``_tick`` clock events, ``_exchange``/``_tentative_exchange``/
 ``_commit``/``_join`` channel-completion events, ``_leader_signal``/
@@ -26,10 +26,17 @@ Fault semantics:
 * **Stragglers** multiply channel-establishment delays of a fixed
   random subset of nodes.
 
-Known limitation (documented, not hidden): the initial batch of tick
-events is scheduled during protocol construction, *before*
-:func:`inject_faults` can wrap the simulator, so each node's very first
-tick escapes the churn guard. All subsequent events are governed.
+Both scalar (``schedule_in``) and bulk (``schedule_many`` /
+``schedule_many_at``) scheduling are intercepted — window-batched
+protocols (see :mod:`repro.engine.simulator`) degrade to per-event
+scheduling under faults, so fault semantics never depend on batching.
+Two residual notes: (1) with :func:`inject_faults` the initial batch of
+tick events is scheduled during protocol construction, *before* the
+wrapper exists, so each node's very first tick escapes the churn guard
+— construct the protocol over :func:`prepare_faulty_simulator`'s
+pre-wrapped simulator to close that hole; (2) a crashed node's
+already-scheduled 0-signals still arrive (in-flight messages survive
+their sender's crash), bounded by one tick window.
 
 Randomness flows from the generator handed to :func:`inject_faults`
 through block-prefetched pools (:mod:`repro.engine.rng`), so faulty
@@ -44,6 +51,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.engine.rng import UniformPool
+from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.util.validation import check_positive
 
@@ -57,6 +65,7 @@ __all__ = [
     "ProtocolAdapter",
     "FaultInjection",
     "inject_faults",
+    "prepare_faulty_simulator",
     "build_faults",
     "fault_model_names",
 ]
@@ -101,7 +110,17 @@ class ProtocolAdapter:
         self.n = int(sim_obj.n)
 
     def unlock(self, node: int) -> None:
-        """Abort the node's current cycle (failed channel semantics)."""
+        """Abort the node's current cycle (failed channel semantics).
+
+        Prefers the protocol's own ``_unlock`` hook when it exists —
+        skip-tick protocols resume the node's pre-drawn tick chain there
+        (see :meth:`repro.core.single_leader.SingleLeaderSim._unlock`);
+        plain ``_locked`` clearing would silence the node forever.
+        """
+        unlock = getattr(self._sim_obj, "_unlock", None)
+        if unlock is not None:
+            unlock(node)
+            return
         locked = getattr(self._sim_obj, "_locked", None)
         if locked is not None:
             locked[node] = False
@@ -260,7 +279,7 @@ class Stragglers(FaultModel):
         self.count = 0
 
     def install(self, wiring: "FaultInjection") -> None:
-        mask = wiring.rng.random(wiring.adapter.n) < self.fraction
+        mask = wiring.rng.random(wiring.n) < self.fraction
         self._slow: list[bool] = mask.tolist()
         self.count = int(mask.sum())
 
@@ -298,8 +317,9 @@ class _ChurnBase(FaultModel):
     def _rejoin(self, node: int) -> None:
         if self._down.pop(node, None) is not None:
             self.rejoins += 1
-            if self.reset_on_rejoin:
-                self._wiring.adapter.reset(node)
+            adapter = self._wiring.adapter
+            if self.reset_on_rejoin and adapter is not None:
+                adapter.reset(node)
 
     def info(self) -> dict[str, float]:
         return {"crashes": float(self.crashes), "rejoins": float(self.rejoins)}
@@ -326,7 +346,7 @@ class CrashChurn(_ChurnBase):
 
     def _next_crash(self, _payload: Any = None) -> None:
         wiring = self._wiring
-        node = int(self._rng.integers(wiring.adapter.n))
+        node = int(self._rng.integers(wiring.n))
         if node not in self._down:
             downtime = float(self._rng.exponential(self.mean_downtime))
             self._crash_node(node, wiring.sim.now + downtime)
@@ -360,7 +380,7 @@ class CrashAtTimes(_ChurnBase):
     def install(self, wiring: "FaultInjection") -> None:
         self._wiring = wiring
         for node, when in sorted(self.schedule.items()):
-            if not 0 <= node < wiring.adapter.n:
+            if not 0 <= node < wiring.n:
                 raise ConfigurationError(f"crash schedule names unknown node {node}")
             wiring.schedule_internal(max(0.0, when - wiring.sim.now), self._crash_now, node)
 
@@ -380,36 +400,88 @@ class CrashAtTimes(_ChurnBase):
 class FaultInjection:
     """One wiring of fault models into a protocol simulator.
 
-    Created by :func:`inject_faults`; exposes telemetry through
-    :meth:`info` and the internal scheduling seam fault models use.
+    Created by :func:`inject_faults` (wrap + bind in one step, after
+    protocol construction) or :func:`prepare_faulty_simulator` (wrap a
+    bare :class:`~repro.engine.simulator.Simulator` *before* protocol
+    construction, then :meth:`bind` the protocol object — the only way
+    the nodes' initial ticks are governed too).  Exposes telemetry
+    through :meth:`info` and the internal scheduling seam fault models
+    use.
+
+    Both the scalar (``schedule_in``) and the bulk (``schedule_many`` /
+    ``schedule_many_at``) scheduling paths are intercepted; bulk blocks
+    are routed through the same per-event transform chain, so fault
+    semantics are independent of how the protocol batches its inserts.
     """
 
-    def __init__(self, sim_obj: Any, faults: Sequence[FaultModel], rng: np.random.Generator):
-        self.adapter = ProtocolAdapter(sim_obj)
-        self.sim = sim_obj.sim
+    def __init__(
+        self,
+        sim: Any,
+        faults: Sequence[FaultModel],
+        rng: np.random.Generator,
+        *,
+        n: int,
+    ):
+        self.adapter: ProtocolAdapter | None = None
+        self.n = int(n)
+        self.sim = sim
         self.rng = rng
         self.faults = list(faults)
         self.dropped_messages = 0
         self.dropped_exchanges = 0
         self.deferred_ticks = 0
         self.dead_ticks = 0
-        self._original_schedule_in = self.sim.schedule_in
+        self._original_schedule = sim.schedule
+        self._original_schedule_in = sim.schedule_in
+        self._original_schedule_many = sim.schedule_many
+        self._original_schedule_many_at = sim.schedule_many_at
         self._has_churn = any(
             isinstance(fault, _ChurnBase) or type(fault).crashed_until is not FaultModel.crashed_until
             for fault in faults
         )
-        # Instance-attribute override: every protocol handler looks
-        # schedule_in up on the simulator object per call.
-        self.sim.schedule_in = self._schedule_in
+        # Instance-attribute overrides: every protocol handler looks the
+        # scheduling methods up on the simulator object per call.
+        sim.schedule = self._schedule
+        sim.schedule_in = self._schedule_in
+        sim.schedule_many = self._schedule_many
+        sim.schedule_many_at = self._schedule_many_at
         for fault in self.faults:
             fault.install(self)
+
+    def bind(self, sim_obj: Any) -> "FaultInjection":
+        """Attach the protocol object (unlock/reset seam) after construction."""
+        self.adapter = ProtocolAdapter(sim_obj)
+        return self
 
     # -- seam for fault internals (bypasses classification) ------------
     def schedule_internal(self, delay: float, action: Callable, payload: Any = None) -> int:
         """Schedule a fault-model event outside the transform chain."""
         return self._original_schedule_in(delay, action, payload)
 
-    # -- the wrapped scheduling path ------------------------------------
+    # -- the wrapped scheduling paths ------------------------------------
+    def _schedule(self, time: float, action: Callable, payload: Any = None) -> int:
+        """Absolute-time seam: route through the scalar transform chain."""
+        return self._schedule_in(time - self.sim.now, action, payload)
+
+    def _schedule_many(self, delays, action: Callable, payloads=None) -> list[int]:
+        """Bulk seam: route every event through the scalar transform chain."""
+        if payloads is None:
+            return [self._schedule_in(delay, action) for delay in delays]
+        return [
+            self._schedule_in(delay, action, payload)
+            for delay, payload in zip(delays, payloads)
+        ]
+
+    def _schedule_many_at(self, times, action: Callable, payloads=None) -> list[int]:
+        """Bulk seam (absolute times): per-event transform chain."""
+        now = self.sim.now
+        if payloads is None:
+            return [self._schedule_in(time - now, action) for time in times]
+        return [
+            self._schedule_in(time - now, action, payload)
+            for time, payload in zip(times, payloads)
+        ]
+
     def _schedule_in(self, delay: float, action: Callable, payload: Any = None) -> int:
         name = getattr(action, "__name__", "")
         category = _CATEGORY.get(name)
@@ -421,12 +493,9 @@ class FaultInjection:
                 transformed = fault.transform(category, node, delay)
                 if transformed is None:
                     self._note_drop(category, node)
-                    # Hand back a fresh (never-pushed) handle so caller
-                    # code that stores it keeps working.
-                    queue = self.sim.queue
-                    handle = queue._next_seq
-                    queue._next_seq = handle + 1
-                    return handle
+                    # Hand back a fresh (never-scheduled) handle so
+                    # caller code that stores it keeps working.
+                    return self.sim.queue.reserve_handle()
                 delay = transformed
         if self._has_churn:
             return self._original_schedule_in(
@@ -466,7 +535,7 @@ class FaultInjection:
             self.dropped_messages += 1
         else:
             self.dropped_exchanges += 1
-            if node is not None:
+            if node is not None and self.adapter is not None:
                 self.adapter.unlock(node)
 
     # -- telemetry ------------------------------------------------------
@@ -495,11 +564,43 @@ def inject_faults(
     Returns the :class:`FaultInjection` (telemetry handle), or ``None``
     when ``faults`` is empty — the zero-fault path leaves the simulator
     byte-identical to an uninstrumented run.
+
+    NOTE: the protocol's construction-time scheduling (each node's
+    initial tick) predates this call and therefore escapes the fault
+    transforms; use :func:`prepare_faulty_simulator` to govern a run
+    from its very first event.
     """
     faults = [fault for fault in faults if fault is not None]
     if not faults:
         return None
-    return FaultInjection(sim_obj, faults, rng)
+    return FaultInjection(sim_obj.sim, faults, rng, n=int(sim_obj.n)).bind(sim_obj)
+
+
+def prepare_faulty_simulator(
+    n: int,
+    faults: Sequence[FaultModel],
+    rng: np.random.Generator,
+    *,
+    engine: str | None = None,
+) -> "tuple[Simulator | None, FaultInjection | None]":
+    """Pre-wrap a fresh :class:`Simulator` so construction is governed too.
+
+    Returns ``(simulator, injection)``.  Pass the simulator to the
+    protocol constructor (``simulator=``) and call
+    ``injection.bind(protocol)`` once it is built — then even the
+    initial batch of tick events flows through the fault transforms,
+    closing the churn-guard escape that :func:`inject_faults` documents
+    (a node crashed at t=0 will never fire its first tick).
+
+    With an empty fault list both elements are ``None``: the protocol
+    builds its own simulator and stays byte-identical to an
+    uninstrumented run.
+    """
+    faults = [fault for fault in faults if fault is not None]
+    if not faults:
+        return None, None
+    simulator = Simulator(engine=engine)
+    return simulator, FaultInjection(simulator, faults, rng, n=n)
 
 
 #: Named drop models for the ``drop_model=`` sweep axis.

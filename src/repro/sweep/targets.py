@@ -65,7 +65,7 @@ from repro.errors import ConfigurationError
 from repro.multileader.params import MultiLeaderParams
 from repro.multileader.protocol import run_multileader
 from repro.scenarios.adversary import adversarial_counts
-from repro.scenarios.faults import build_faults, inject_faults
+from repro.scenarios.faults import build_faults, prepare_faulty_simulator
 from repro.scenarios.topology import build_graph
 
 __all__ = ["register_target", "get_target", "target_names", "target_params"]
@@ -295,8 +295,14 @@ def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) ->
         gen_size_fraction=p["gamma"],
     )
     model = _latency_model(p["latency"], p["latency_rate"], p["latency_shape"])
-    sim = SingleLeaderSim(sim_params, counts, rng, latency_model=model, graph=graph)
-    wiring = inject_faults(sim, _scenario_faults(p), rng)
+    # Pre-wrapped simulator: even the construction-time initial ticks
+    # flow through the fault transforms (no churn-guard escape).
+    simulator, wiring = prepare_faulty_simulator(p["n"], _scenario_faults(p), rng)
+    sim = SingleLeaderSim(
+        sim_params, counts, rng, latency_model=model, graph=graph, simulator=simulator
+    )
+    if wiring is not None:
+        wiring.bind(sim)
     result = sim.run(max_time=p["max_time"], epsilon=p["epsilon"])
     record = _record(result, time_unit=sim_params.time_unit)
     record["events"] = int(sim.sim.events_executed)
@@ -328,14 +334,23 @@ def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         n=p["n"], k=int(counts.size), alpha0=p["alpha"], latency_rate=p["latency_rate"]
     )
     wirings = []
+    pending = []
 
-    def instrument(sim_obj) -> None:
+    def prepare():
         # Fresh fault-model instances per phase simulator (they are
         # stateful); no-op when every fault axis sits at its default.
         # Note each phase draws its own straggler subset — the phases
         # are separate simulators over separate event streams.
-        wiring = inject_faults(sim_obj, _scenario_faults(p), rng)
+        simulator, wiring = prepare_faulty_simulator(
+            sim_params.n, _scenario_faults(p), rng
+        )
+        pending.append(wiring)
+        return simulator
+
+    def instrument(sim_obj) -> None:
+        wiring = pending.pop()
         if wiring is not None:
+            wiring.bind(sim_obj)
             wirings.append(wiring)
 
     result = run_multileader(
@@ -347,6 +362,7 @@ def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         epsilon=p["epsilon"],
         graph=graph,
         instrument=instrument,
+        prepare=prepare,
     )
     record = _record(result, time_unit=sim_params.time_unit)
     record["clusters"] = int(result.info.get("clusters", 0))

@@ -1,10 +1,14 @@
-"""Hypothesis property tests for the tuple-based :class:`EventQueue`.
+"""Hypothesis property tests for the event queues.
 
 The queue is the substrate every protocol trajectory rests on, so its
 contract is pinned down property-style: pops come out time-ordered,
 ties break FIFO by insertion order, tombstoned events never dispatch,
 and ``peek_time``/``pop`` agree under arbitrary interleavings of
-pushes, cancels, peeks, and pops.
+pushes, cancels, peeks, and pops.  The batched engine's
+:class:`BatchEventQueue` is additionally pinned against the tuple heap:
+under arbitrary interleavings of scalar pushes, bulk ``push_many``
+blocks, cancels, and pops the two implementations must be
+observationally identical.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.events import EventQueue
+from repro.engine.events import BatchEventQueue, EventQueue
 
 times = st.floats(min_value=0, max_value=1e6, allow_nan=False)
 
@@ -137,3 +141,84 @@ class TestPeekPopConsistency:
             assert time >= previous
             assert seq not in cancelled
             previous = time
+
+
+@st.composite
+def mixed_operations(draw):
+    """Interleaved scalar pushes, bulk pushes, cancels, and pops."""
+    ops = []
+    pushed = 0
+    for _ in range(draw(st.integers(1, 60))):
+        kind = draw(st.sampled_from(["push", "push_many", "cancel", "pop"]))
+        if kind == "push":
+            ops.append(("push", draw(times)))
+            pushed += 1
+        elif kind == "push_many":
+            block = draw(st.lists(times, min_size=0, max_size=12))
+            ops.append(("push_many", block))
+            pushed += len(block)
+        elif kind == "cancel":
+            ops.append(("cancel", draw(st.integers(0, max(0, pushed + 3)))))
+        else:
+            ops.append(("pop", None))
+    return ops
+
+
+class TestBatchQueueEquivalence:
+    """The struct-of-arrays :class:`BatchEventQueue` must be observationally
+    identical to the tuple heap under arbitrary interleavings — same pop
+    order (time + FIFO tie-break + payload), same peeks, same sizes,
+    same tombstone semantics — with bulk pushes exercised only on the
+    batched side (the heap receives them as scalar pushes)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(mixed_operations())
+    def test_pop_stream_matches_heap(self, ops):
+        reference = EventQueue()
+        batched = BatchEventQueue()
+        for op, arg in ops:
+            if op == "push":
+                assert reference.push(arg, noop, arg) == batched.push(arg, noop, arg)
+            elif op == "push_many":
+                for time in arg:
+                    reference.push(time, noop, time)
+                handles = batched.push_many(arg, noop, list(arg))
+                assert len(handles) == len(arg)
+            elif op == "cancel":
+                reference.cancel(arg)
+                batched.cancel(arg)
+            else:
+                assert len(reference) == len(batched)
+                assert reference.peek_time() == batched.peek_time()
+                if reference:
+                    left = reference.pop()
+                    right = batched.pop()
+                    assert left[:2] == right[:2]
+                    assert left[3] == right[3]
+        # Drain both completely: every remaining event agrees too.
+        while reference or batched:
+            left = reference.pop()
+            right = batched.pop()
+            assert left[:2] == right[:2]
+            assert left[3] == right[3]
+
+    @given(st.lists(times, min_size=1, max_size=50))
+    def test_bulk_block_pops_sorted_with_fifo_ties(self, block):
+        queue = BatchEventQueue()
+        queue.push_many(block, noop, list(range(len(block))))
+        popped = [queue.pop() for _ in range(len(block))]
+        assert [entry[0] for entry in popped] == sorted(block)
+        for first, second in zip(popped, popped[1:]):
+            if first[0] == second[0]:
+                assert first[3] < second[3]  # FIFO within the tie
+
+    @given(st.lists(times, min_size=1, max_size=30), st.data())
+    def test_cancelled_bulk_events_never_pop(self, block, data):
+        queue = BatchEventQueue()
+        handles = list(queue.push_many(block, noop))
+        doomed = set(data.draw(st.lists(st.sampled_from(handles), max_size=10)))
+        for handle in doomed:
+            queue.cancel(handle)
+        assert len(queue) == len(block) - len(doomed)
+        survivors = {entry[1] for entry in queue.drain()}
+        assert survivors == set(handles) - doomed

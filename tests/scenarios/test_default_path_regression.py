@@ -2,10 +2,15 @@
 
 ``golden_default_path.json`` was generated from the repository *before*
 the scenario subsystem existed (same seeds, same configurations). Every
-protocol invoked with ``graph=None`` or ``graph=CompleteGraph(n)`` must
-reproduce those trajectories byte-for-byte — the scenario layer is not
-allowed to perturb the paper-faithful default world, not even by one
-RNG draw.
+protocol invoked with ``graph=None`` or ``graph=CompleteGraph(n)`` on
+the **heap fallback engine** must reproduce those trajectories
+byte-for-byte — neither the scenario layer nor the batched-engine
+refactor is allowed to perturb the legacy world, not even by one RNG
+draw.  The batched default engine draws in window-granular order, so
+its trajectories differ (statistically equivalent — see
+``tests/engine/test_fast_equivalence.py``); they are pinned separately
+in ``golden_default_path_batch.json`` so future engine changes cannot
+slip through unnoticed.
 """
 
 from __future__ import annotations
@@ -29,10 +34,22 @@ from repro.sweep.runner import execute_run
 from repro.sweep.spec import SweepSpec
 from repro.workloads.opinions import biased_counts
 
+import repro.engine.simulator as engine_sim
+
 GOLDEN = json.loads((Path(__file__).parent / "golden_default_path.json").read_text())
+GOLDEN_BATCH = json.loads(
+    (Path(__file__).parent / "golden_default_path_batch.json").read_text()
+)
 
 #: graph= values that must hit the identical code path.
 DEFAULT_GRAPHS = [None, "complete"]
+
+
+@pytest.fixture(autouse=True)
+def _heap_engine(monkeypatch):
+    """The legacy goldens are heap-engine trajectories."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.setattr(engine_sim, "DEFAULT_ENGINE", "heap")
 
 
 def _graph(tag, n):
@@ -140,3 +157,41 @@ class TestSweepRecords:
         for record in records:
             record.pop("wall_time", None)
         assert records == GOLDEN["sweep_records"]
+
+
+class TestBatchEngineGolden:
+    """Pin the batched default engine's trajectories going forward."""
+
+    def test_single_leader_batch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.setattr(engine_sim, "DEFAULT_ENGINE", "batch")
+        rngs = RngRegistry(42)
+        params = SingleLeaderParams(n=300, k=3, alpha0=2.0)
+        sim = SingleLeaderSim(params, biased_counts(300, 3, 2.0), rngs.stream("sl"))
+        result = sim.run(max_time=800.0)
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+            int(sim.sim.events_executed),
+        ] == GOLDEN_BATCH["single_leader"]
+
+    def test_multileader_batch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.setattr(engine_sim, "DEFAULT_ENGINE", "batch")
+        rngs = RngRegistry(42)
+        params = MultiLeaderParams(n=400, k=3, alpha0=2.0)
+        result = run_multileader(
+            params,
+            biased_counts(400, 3, 2.0),
+            rngs.stream("ml"),
+            clustering_max_time=300.0,
+            max_time=1500.0,
+        )
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+        ] == GOLDEN_BATCH["multileader"]

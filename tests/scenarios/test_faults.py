@@ -18,6 +18,7 @@ from repro.scenarios.faults import (
     Stragglers,
     build_faults,
     inject_faults,
+    prepare_faulty_simulator,
 )
 from repro.workloads.opinions import biased_counts
 
@@ -166,3 +167,57 @@ class TestBuildFaults:
 
         assert run(11) == run(11)
         assert run(11) != run(12)
+
+
+class TestPreparedSimulator:
+    """`prepare_faulty_simulator` closes the initial-tick churn escape."""
+
+    def test_node_crashed_at_t0_never_ticks(self, rngs):
+        n = 60
+        params = SingleLeaderParams(n=n, k=3, alpha0=2.0)
+        simulator, wiring = prepare_faulty_simulator(
+            n, [CrashAtTimes({node: 0.0 for node in range(n)})], rngs.stream("f")
+        )
+        sim = SingleLeaderSim(
+            params, biased_counts(n, 3, 2.0), rngs.stream("sim"), simulator=simulator
+        )
+        wiring.bind(sim)
+        sim.run(max_time=30.0)
+        # Every node is crashed from t=0 permanently: with the pre-wrapped
+        # simulator even the construction-time initial ticks are guarded,
+        # so not a single tick ever fires.
+        assert sim.total_ticks == 0
+        assert sim.good_ticks == 0
+        assert wiring.dead_ticks == n
+
+    def test_inject_faults_documents_the_escape(self, rngs):
+        # The post-construction path cannot govern construction-time
+        # scheduling: the very first ticks still fire.  This pins the
+        # behavioral difference the prepared path exists to fix.
+        n = 60
+        sim = _sim(11, n=n)
+        wiring = inject_faults(
+            sim, [CrashAtTimes({node: 0.0 for node in range(n)})], rngs.stream("f")
+        )
+        sim.run(max_time=30.0)
+        assert sim.total_ticks > 0  # the escape
+        assert wiring.dead_ticks > 0  # everything after it is governed
+
+    def test_empty_fault_list_prepares_nothing(self, rngs):
+        simulator, wiring = prepare_faulty_simulator(50, [], rngs.stream("f"))
+        assert simulator is None
+        assert wiring is None
+
+    def test_prepared_run_converges_under_drop(self, rngs):
+        n = 120
+        params = SingleLeaderParams(n=n, k=3, alpha0=2.0)
+        simulator, wiring = prepare_faulty_simulator(
+            n, [IidDrop(0.2)], rngs.stream("f")
+        )
+        sim = SingleLeaderSim(
+            params, biased_counts(n, 3, 2.0), rngs.stream("sim"), simulator=simulator
+        )
+        wiring.bind(sim)
+        result = sim.run(max_time=600.0, epsilon=0.1)
+        assert result.epsilon_convergence_time is not None
+        assert wiring.dropped_messages > 0
