@@ -62,7 +62,7 @@ from repro.multileader import (
 )
 from repro.workloads import biased_counts, multiplicative_bias, uniform_counts, zipf_counts
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveSchedule",

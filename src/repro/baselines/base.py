@@ -19,6 +19,15 @@ and applies the dynamic's local rule
 (:meth:`OpinionDynamics.local_update_batch`) — fully vectorized per
 round, and distributionally identical to the multinomial path when the
 graph happens to be dense.
+
+Both paths consult an optional round-level fault wiring
+(:class:`repro.scenarios.round_faults.RoundFaults`): masked nodes keep
+their state for the round (their state stays readable as a contact),
+crashed nodes park in a down pool and rejoin through the dynamic's
+:meth:`OpinionDynamics.rejoin_states` /
+:meth:`OpinionDynamics.rejoin_counts` reset hook. With
+``round_faults=None`` every round consumes exactly the pre-fault
+randomness.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.core.results import RunResult, StepStats
 from repro.engine.network import CompleteGraph
 from repro.errors import ConfigurationError
 from repro.workloads.bias import multiplicative_bias, plurality_color, validate_counts
+from repro.workloads.opinions import validate_assignment
 
 __all__ = ["OpinionDynamics", "run_dynamics"]
 
@@ -68,6 +78,26 @@ class OpinionDynamics:
         """Default: a single opinion survives."""
         return int(np.count_nonzero(self.project_colors(state))) == 1
 
+    def rejoin_states(self, states: np.ndarray) -> np.ndarray:
+        """Internal states of rejoining nodes after a churn reset.
+
+        Default: identity — the anonymous dynamics carry no auxiliary
+        protocol state beyond the opinion itself, so a rejoining node
+        simply resumes with the opinion it held. Dynamics with derived
+        state override this (the undecided-state dynamic rejoins
+        *undecided*, the self-stabilizing reset).
+        """
+        return states
+
+    def rejoin_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Count-level twin of :meth:`rejoin_states` (multinomial engine).
+
+        ``counts`` are the rejoining nodes per internal state; the
+        return value redistributes them post-reset (identity by
+        default).
+        """
+        return counts
+
     def local_update_batch(
         self, own: np.ndarray, samples: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
@@ -86,24 +116,7 @@ class OpinionDynamics:
 
     def step(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """One exact synchronous round: a multinomial per state group."""
-        matrix = self.transition_probabilities(state)
-        if matrix.shape != (state.size, state.size):
-            raise ConfigurationError(
-                f"{self.name}: transition matrix shape {matrix.shape} "
-                f"does not match state size {state.size}"
-            )
-        new_state = np.zeros_like(state)
-        for group in np.nonzero(state)[0]:
-            # Clip float round-off (rows are built from complements and can
-            # dip a few ulp below zero) before the exactness check.
-            row = np.clip(matrix[group].astype(float), 0.0, None)
-            total = float(row.sum())
-            if not np.isclose(total, 1.0, atol=1e-9):
-                raise ConfigurationError(
-                    f"{self.name}: transition row {group} sums to {total}, expected 1"
-                )
-            new_state += rng.multinomial(int(state[group]), row / total)
-        return new_state
+        return _multinomial_round(self, state, rng)
 
 
 class _GraphDynamicsEngine:
@@ -115,7 +128,9 @@ class _GraphDynamicsEngine:
     simultaneously across the population.
     """
 
-    def __init__(self, dynamics: OpinionDynamics, counts: np.ndarray, graph, rng):
+    def __init__(
+        self, dynamics: OpinionDynamics, counts: np.ndarray, graph, rng, *, assignment=None
+    ):
         state_counts = dynamics.initial_state(counts)
         self.states = int(state_counts.size)
         self.n = int(state_counts.sum())
@@ -127,17 +142,106 @@ class _GraphDynamicsEngine:
             raise ConfigurationError("graph has isolated nodes; dynamics need degree >= 1")
         self._graph = graph
         self._dynamics = dynamics
-        self.node_state = np.repeat(np.arange(self.states), state_counts)
-        rng.shuffle(self.node_state)
+        if assignment is None:
+            self.node_state = np.repeat(np.arange(self.states), state_counts)
+            rng.shuffle(self.node_state)
+        else:
+            # Every dynamic in the suite maps opinion i to internal
+            # state i at initialization (auxiliary states start empty),
+            # so an opinion assignment is a valid initial state array.
+            self.node_state = validate_assignment(assignment, counts)
 
-    def step(self, rng: np.random.Generator) -> np.ndarray:
+    def step(
+        self, rng: np.random.Generator, *, round_faults=None, now: float = 0.0
+    ) -> np.ndarray:
         """One synchronous round; returns the new state-count vector."""
         dynamics = self._dynamics
+        active = None
+        if round_faults is not None:
+            active, rejoined = round_faults.begin_round(now)
+            if rejoined is not None:
+                self.node_state[rejoined] = dynamics.rejoin_states(
+                    self.node_state[rejoined]
+                )
         samples = np.empty((self.n, dynamics.sample_size), dtype=np.int64)
         for column in range(dynamics.sample_size):
             samples[:, column] = self.node_state[self._graph.sample_per_node(rng)]
-        self.node_state = dynamics.local_update_batch(self.node_state, samples, rng)
+        updated = dynamics.local_update_batch(self.node_state, samples, rng)
+        if active is not None:
+            # Masked nodes keep their state; they were still sampled
+            # above (a crashed node's opinion stays readable).
+            updated = np.where(active, updated, self.node_state)
+        self.node_state = updated
         return np.bincount(self.node_state, minlength=self.states).astype(np.int64)
+
+
+def _multinomial_round(
+    dynamics: OpinionDynamics,
+    state: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    participation: float = 1.0,
+    down: np.ndarray | None = None,
+) -> np.ndarray:
+    """One multinomial round, optionally thinned and partially frozen.
+
+    The single copy of the row clip/validate/normalize loop both count
+    paths share: :meth:`OpinionDynamics.step` calls it bare (the
+    ``participation=1.0``/``down=None`` path consumes the generator
+    exactly like the pre-fault implementation), and the faulty path
+    adds participation thinning (each group's movement probabilities
+    scaled by ``participation``, the remainder folded into staying)
+    plus per-category frozen (churned-down) counts that do not act.
+    """
+    matrix = dynamics.transition_probabilities(state)
+    if matrix.shape != (state.size, state.size):
+        raise ConfigurationError(
+            f"{dynamics.name}: transition matrix shape {matrix.shape} "
+            f"does not match state size {state.size}"
+        )
+    new_state = np.zeros_like(state)
+    for group in np.nonzero(state)[0]:
+        # Clip float round-off (rows are built from complements and can
+        # dip a few ulp below zero) before the exactness check.
+        row = np.clip(matrix[group].astype(float), 0.0, None)
+        total = float(row.sum())
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ConfigurationError(
+                f"{dynamics.name}: transition row {group} sums to {total}, expected 1"
+            )
+        row = row / total
+        if participation < 1.0:
+            row = row * participation
+            row[group] += 1.0 - participation
+        count = int(state[group])
+        frozen = 0 if down is None else min(int(down[group]), count)
+        new_state += rng.multinomial(count - frozen, row)
+        new_state[group] += frozen
+    return new_state
+
+
+def _faulty_count_step(
+    dynamics: OpinionDynamics,
+    state: np.ndarray,
+    rng: np.random.Generator,
+    round_faults,
+    now: float,
+) -> np.ndarray:
+    """One multinomial round under round-level faults.
+
+    Applies the count seam
+    (:meth:`repro.scenarios.round_faults.RoundFaults.count_round`):
+    rejoining counts are redistributed through
+    :meth:`OpinionDynamics.rejoin_counts`, then the shared
+    :func:`_multinomial_round` runs with the seam's participation
+    probability and down pool.
+    """
+    participation, rejoined, down = round_faults.count_round(now, np.asarray(state))
+    if rejoined is not None and rejoined.any():
+        state = state - rejoined + dynamics.rejoin_counts(rejoined)
+    return _multinomial_round(
+        dynamics, state, rng, participation=participation, down=down
+    )
 
 
 def run_dynamics(
@@ -149,6 +253,8 @@ def run_dynamics(
     epsilon: float | None = None,
     record_trajectory: bool = False,
     graph=None,
+    round_faults=None,
+    assignment=None,
 ) -> RunResult:
     """Run ``dynamics`` from initial opinion ``counts`` to consensus.
 
@@ -157,20 +263,37 @@ def run_dynamics(
     ``graph=None`` (or a :class:`~repro.engine.network.CompleteGraph`)
     uses the exact multinomial engine; a sparse graph switches to the
     per-node engine driven by the dynamic's local rule.
+    ``round_faults`` applies per-round loss/churn/straggler masks on
+    either path (see :mod:`repro.scenarios.round_faults`).
+    ``assignment`` fixes the per-node placement on the per-node path
+    (topology-correlated starts); the multinomial engine is anonymous,
+    so on ``K_n`` — where placement cannot matter — it is validated and
+    then ignored.
     """
     counts = validate_counts(counts)
     n = int(counts.sum())
     plurality = plurality_color(counts)
     if graph is not None and isinstance(graph, CompleteGraph):
         graph = None  # identical semantics, keep the exact multinomial path
-    engine = None if graph is None else _GraphDynamicsEngine(dynamics, counts, graph, rng)
+    if assignment is not None and graph is None:
+        validate_assignment(assignment, counts)  # anonymous engine: check, then ignore
+    engine = (
+        None
+        if graph is None
+        else _GraphDynamicsEngine(dynamics, counts, graph, rng, assignment=assignment)
+    )
     state = dynamics.initial_state(counts)
     trajectory: list[StepStats] = []
     epsilon_time: float | None = None
     rounds = 0
     converged = False
     while rounds < max_rounds:
-        state = dynamics.step(state, rng) if engine is None else engine.step(rng)
+        if engine is not None:
+            state = engine.step(rng, round_faults=round_faults, now=float(rounds + 1))
+        elif round_faults is not None:
+            state = _faulty_count_step(dynamics, state, rng, round_faults, float(rounds + 1))
+        else:
+            state = dynamics.step(state, rng)
         rounds += 1
         colors = dynamics.project_colors(state)
         if record_trajectory:

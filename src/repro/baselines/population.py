@@ -7,7 +7,11 @@ interaction counts by ``n`` [AGV15]. This module provides
 
 * :class:`PairwiseScheduler` — an exact sequential scheduler (each
   interaction is a uniform ordered pair of distinct nodes) with batched
-  pair sampling and a precomputed transition table;
+  pair sampling and a precomputed transition table; it optionally
+  restricts responders to graph neighbors (``graph=``), thins the
+  interaction stream through the round-level fault seam
+  (``round_faults=``, :mod:`repro.scenarios.round_faults`), and accepts
+  an explicit initial placement (``assignment=``);
 * :class:`ThreeStateMajority` — Angluin et al.'s 3-state approximate
   majority protocol [AAE08] (states ``X``, ``Y``, ``B``): a responder
   holding the opposite opinion of the initiator turns blank, a blank
@@ -29,6 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.workloads.bias import validate_counts
+from repro.workloads.opinions import validate_assignment
 
 __all__ = [
     "PopulationProtocol",
@@ -56,6 +61,16 @@ class PopulationProtocol:
     def output_color(self, state: int) -> int:
         """Opinion (0 or 1) a node in ``state`` would output."""
         raise NotImplementedError
+
+    def rejoin_state(self, state: int) -> int:
+        """State of a node rejoining after a crash (churn reset).
+
+        Identity by default: these protocols are anonymous and carry no
+        clock or counter state, and the exact-majority protocols *must*
+        keep their strong/weak tokens — resetting them would break the
+        ``#strong-X − #strong-Y`` invariant that makes them exact.
+        """
+        return state
 
     def is_converged(self, counts: np.ndarray) -> bool:
         """All nodes output the same opinion."""
@@ -107,18 +122,40 @@ class PairwiseScheduler:
         max_interactions: int | None = None,
         check_every: int = 64,
         batch: int = 4096,
+        graph=None,
+        round_faults=None,
+        assignment=None,
     ) -> PopulationResult:
         """Run until consensus output or ``max_interactions``.
 
         ``check_every`` controls how often the (O(states)) convergence
         predicate is evaluated; ``batch`` how many interaction pairs are
         prefetched per vectorized draw.
+
+        ``graph`` restricts the responder to a uniform neighbor of the
+        initiator (one vectorized CSR gather per block); ``None`` or a
+        :class:`~repro.engine.network.CompleteGraph` keeps the original
+        shift-trick pair law bit-identically.  ``round_faults``
+        (see :mod:`repro.scenarios.round_faults`) thins the interaction
+        stream: loss masks individual interactions, churn and straggler
+        masks advance once per *block* (``batch / n`` parallel-time
+        units — the documented granularity of the round seam here) and
+        void every interaction touching an inactive node; skipped
+        interactions still count toward the interaction clock, exactly
+        like an event-layer dropped exchange still spends its cycle.
+        ``assignment`` fixes the initial opinion placement per node
+        (both protocols encode opinion ``i`` as state ``i``
+        initially).
         """
         protocol = self.protocol
         state = protocol.initial_state(validate_counts(counts))
         n = int(state.sum())
         if n < 2:
             raise ConfigurationError("population needs at least 2 nodes")
+        if graph is not None and getattr(graph, "min_degree", 1) >= n - 1:
+            graph = None  # complete graph: keep the bit-identical shift-trick path
+        if graph is not None and len(graph) != n:
+            raise ConfigurationError(f"graph has {len(graph)} nodes but counts sum to {n}")
         if max_interactions is None:
             max_interactions = 500 * n * max(8, int(np.log2(n)) ** 2)
         num_states = int(state.size)
@@ -126,29 +163,54 @@ class PairwiseScheduler:
         trans = [
             [protocol.delta(a, b) for b in range(num_states)] for a in range(num_states)
         ]
-        node_state: list[int] = np.repeat(np.arange(num_states), state).tolist()
+        if assignment is None:
+            node_state: list[int] = np.repeat(np.arange(num_states), state).tolist()
+        else:
+            node_state = validate_assignment(assignment, counts).tolist()
         counts_list: list[int] = [int(c) for c in state]
         interactions = 0
         converged = protocol.is_converged(state)
         while not converged and interactions < max_interactions:
             block = min(batch, max_interactions - interactions)
-            initiators = rng.integers(n, size=block).tolist()
-            responders = rng.integers(n - 1, size=block).tolist()
+            initiator_draws = rng.integers(n, size=block)
+            if graph is None:
+                responders = rng.integers(n - 1, size=block).tolist()
+            else:
+                responders = graph.sample_neighbors_of(initiator_draws, rng).tolist()
+            initiators = initiator_draws.tolist()
+            active = keep = None
+            if round_faults is not None:
+                mask, rejoined = round_faults.begin_block((interactions + block) / n)
+                if rejoined is not None:
+                    for node in rejoined.tolist():
+                        old = node_state[node]
+                        new = protocol.rejoin_state(old)
+                        if new != old:
+                            node_state[node] = new
+                            counts_list[old] -= 1
+                            counts_list[new] += 1
+                active = None if mask is None else mask.tolist()
+                loss = round_faults.loss_mask(block)
+                keep = None if loss is None else loss.tolist()
             for index in range(block):
                 u = initiators[index]
                 v = responders[index]
-                if v >= u:
+                if graph is None and v >= u:
                     v += 1
-                a = node_state[u]
-                b = node_state[v]
-                new_a, new_b = trans[a][b]
-                if new_a != a or new_b != b:
-                    node_state[u] = new_a
-                    node_state[v] = new_b
-                    counts_list[a] -= 1
-                    counts_list[b] -= 1
-                    counts_list[new_a] += 1
-                    counts_list[new_b] += 1
+                delivered = (keep is None or keep[index]) and (
+                    active is None or (active[u] and active[v])
+                )
+                if delivered:
+                    a = node_state[u]
+                    b = node_state[v]
+                    new_a, new_b = trans[a][b]
+                    if new_a != a or new_b != b:
+                        node_state[u] = new_a
+                        node_state[v] = new_b
+                        counts_list[a] -= 1
+                        counts_list[b] -= 1
+                        counts_list[new_a] += 1
+                        counts_list[new_b] += 1
                 interactions += 1
                 if interactions % check_every == 0:
                     converged = protocol.is_converged(

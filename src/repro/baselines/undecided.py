@@ -45,6 +45,16 @@ class UndecidedStateDynamics(OpinionDynamics):
         self._undecided_index = int(counts.size)
         return np.concatenate([counts, [0]]).astype(np.int64)
 
+    def rejoin_states(self, states: np.ndarray) -> np.ndarray:
+        # Self-stabilizing churn reset: a node back from an outage has
+        # no trustworthy opinion and rejoins undecided.
+        return np.full_like(states, self._undecided_index)
+
+    def rejoin_counts(self, counts: np.ndarray) -> np.ndarray:
+        reset = np.zeros_like(counts)
+        reset[self._undecided_index] = counts.sum()
+        return reset
+
     def project_colors(self, state: np.ndarray) -> np.ndarray:
         return state[:-1]
 

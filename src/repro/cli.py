@@ -12,6 +12,19 @@ Usage::
     repro robustness [--quick]          # adversity tables (cached sweep)
     repro cache stats|gc [--dry-run]    # inspect / clean the run cache
 
+Every sweep target accepts the same scenario axes: the substrate
+(``topology=geometric ...``; ``single_leader`` additionally takes
+per-edge latency ``weights=distance/uniform``), the initial
+configuration (``init=clustered`` confines the plurality to one graph
+ball), and one fault vocabulary (``drop/drop_model/churn/
+churn_downtime/stragglers/straggler_slowdown``) that maps to the
+event-stream seam on the asynchronous targets and to the round-level
+seam on the synchronous/population ones, e.g.::
+
+    repro sweep synchronous --set topology=regular --set engine=pernode \\
+        --grid drop=0.1,0.3 --reps 4
+    repro sweep population --grid churn=0,1 --set drop=0.2
+
 ``reproduce`` and ``sweep`` share the orchestration layer in
 :mod:`repro.sweep`: work fans out over ``--workers`` processes and
 completed runs land in a content-addressed cache (``--cache-dir``), so

@@ -78,11 +78,12 @@ class DelayedExchangeSim(SingleLeaderSim):
 
     def _begin_cycle(self, node: int, first: int, second: int) -> None:
         """Channels plus the extra read delay (window batching inherited)."""
-        self.sim.schedule_in(
-            self._channel_delay() + self._read_delay(),
-            self._tentative_exchange,
-            (node, first, second),
-        )
+        delay = self._channel_delay() + self._read_delay()
+        if self._cycle_scale != 1.0:
+            # Weighted substrate: both the establishment and the read
+            # ride the same contact edges.
+            delay *= self._cycle_scale
+        self.sim.schedule_in(delay, self._tentative_exchange, (node, first, second))
 
     def _tentative_exchange(self, payload: tuple[int, int, int]) -> None:
         """Phase one: read everything, compute the tentative update."""

@@ -66,7 +66,7 @@ from repro.workloads.bias import (
     plurality_color,
     validate_counts,
 )
-from repro.workloads.opinions import counts_to_assignment
+from repro.workloads.opinions import counts_to_assignment, validate_assignment
 
 __all__ = ["SingleLeaderSim", "run_single_leader"]
 
@@ -110,6 +110,7 @@ class SingleLeaderSim:
         latency_model: "LatencyModel | None" = None,
         graph=None,
         simulator: Simulator | None = None,
+        assignment=None,
     ):
         counts = validate_counts(counts)
         if int(counts.sum()) != params.n:
@@ -159,11 +160,24 @@ class SingleLeaderSim:
             self._channel_delay = ChannelDelayPool(rng, params.latency_rate, stages=stages)
         # Bound sampler from the graph's pooled degree-class sampler; on
         # K_n this is the same IntegerPool + shift-trick sequence as the
-        # original inline implementation (regression-guarded).
-        self._sample_neighbor = graph.neighbor_pool(rng).sample
+        # original inline implementation (regression-guarded).  A
+        # weighted substrate (per-edge latency multipliers, see
+        # :mod:`repro.scenarios.topology`) switches contact sampling to
+        # the scaled variant: the cycle's channel-establishment delay is
+        # multiplied by the slowest contact edge's weight.
+        pool = graph.neighbor_pool(rng)
+        self._sample_neighbor = pool.sample
+        self._weighted = bool(getattr(graph, "is_weighted", False))
+        self._sample_scaled = getattr(pool, "sample_scaled", None)
+        self._cycle_scale = 1.0
 
         # Hot per-node state: plain Python lists (see module docstring).
-        self._cols: list[int] = counts_to_assignment(counts, rng).tolist()
+        if assignment is None:
+            self._cols: list[int] = counts_to_assignment(counts, rng).tolist()
+        else:
+            # Topology-correlated adversarial placement (the node→color
+            # map is the caller's, not a uniform shuffle).
+            self._cols = validate_assignment(assignment, counts).tolist()
         self._gens: list[int] = [0] * self.n
         self._locked: list[bool] = [False] * self.n
         self._seen_gen: list[int] = [-1] * self.n
@@ -374,7 +388,10 @@ class SingleLeaderSim:
 
     def _begin_cycle(self, node: int, first: int, second: int) -> None:
         """Open the cycle's channels (hook for the delayed-exchange variant)."""
-        self.sim.schedule_in(self._channel_delay(), self._exchange, (node, first, second))
+        delay = self._channel_delay()
+        if self._cycle_scale != 1.0:
+            delay *= self._cycle_scale
+        self.sim.schedule_in(delay, self._exchange, (node, first, second))
 
     def _tick(self, node: int) -> None:
         self.total_ticks += 1
@@ -398,8 +415,15 @@ class SingleLeaderSim:
                 return
         self._locked[node] = True
         self.good_ticks += 1
-        first = self._sample_neighbor(node)
-        second = self._sample_neighbor(node)
+        if self._weighted:
+            first, weight_a = self._sample_scaled(node)
+            second, weight_b = self._sample_scaled(node)
+            # Contacts are opened concurrently: the slowest edge
+            # dominates the establishment stage.
+            self._cycle_scale = weight_a if weight_a >= weight_b else weight_b
+        else:
+            first = self._sample_neighbor(node)
+            second = self._sample_neighbor(node)
         self._begin_cycle(node, first, second)
 
     def _exchange(self, payload: tuple[int, int, int]) -> None:

@@ -23,6 +23,15 @@ Two exact simulators are provided:
     directly and scales to millions of nodes. Its single approximation:
     pairs are sampled from the full population (the sampler itself
     included), an ``O(1/n)`` perturbation of the per-node law.
+
+Both engines consult an optional round-level fault wiring
+(:class:`repro.scenarios.round_faults.RoundFaults`) at the top of every
+step: message loss and stragglers mask which nodes *act* (their state
+stays readable as a contact), and churn parks nodes in a down pool from
+which they rejoin at generation 0 with their color kept — the same
+reset rule the event-stream faults apply to the asynchronous protocols.
+With ``round_faults=None`` (the default) the step consumes exactly the
+pre-fault randomness, so default trajectories stay byte-identical.
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ from repro.workloads.bias import (
     plurality_color,
     validate_counts,
 )
-from repro.workloads.opinions import counts_to_assignment
+from repro.workloads.opinions import counts_to_assignment, validate_assignment
 
 __all__ = ["PerNodeSynchronousSim", "AggregateSynchronousSim", "run_synchronous"]
 
@@ -182,6 +191,15 @@ class PerNodeSynchronousSim(_SynchronousBase):
         then draws from each node's CSR neighbor list instead of the
         whole population. ``None`` (or a ``CompleteGraph``) keeps the
         original clique path bit-identically.
+    round_faults:
+        Optional :class:`~repro.scenarios.round_faults.RoundFaults`
+        wiring consulted at the top of every step (loss/churn/straggler
+        masks; rejoining nodes reset to generation 0).
+    assignment:
+        Optional explicit per-node color array (topology-correlated
+        adversarial placement, see
+        :func:`repro.scenarios.adversary.clustered_assignment`); must
+        realize ``counts``. Default: ``counts`` shuffled uniformly.
     """
 
     def __init__(
@@ -191,6 +209,8 @@ class PerNodeSynchronousSim(_SynchronousBase):
         rng: np.random.Generator,
         *,
         graph=None,
+        round_faults=None,
+        assignment=None,
     ):
         counts = validate_counts(counts)
         self.n = int(counts.sum())
@@ -208,7 +228,11 @@ class PerNodeSynchronousSim(_SynchronousBase):
             if graph.min_degree < 1:
                 raise ConfigurationError("graph has isolated nodes; per-node sampling needs degree >= 1")
         self.graph = graph
-        self.colors = counts_to_assignment(counts, rng)
+        self._round_faults = round_faults
+        if assignment is None:
+            self.colors = counts_to_assignment(counts, rng)
+        else:
+            self.colors = validate_assignment(assignment, counts)
         self.generations = np.zeros(self.n, dtype=np.int64)
         self.steps_done = 0
         self._rows = schedule.max_generation + 2
@@ -238,6 +262,14 @@ class PerNodeSynchronousSim(_SynchronousBase):
 
     def step(self) -> None:
         self.steps_done += 1
+        active = None
+        if self._round_faults is not None:
+            # Rejoins are reported before this round's masks: a node
+            # back from an outage restarts at generation 0 (color kept)
+            # and may act again immediately.
+            active, rejoined = self._round_faults.begin_round(float(self.steps_done))
+            if rejoined is not None:
+                self.generations[rejoined] = 0
         first, second = self._sample_pairs()
         gen_a, col_a = self.generations[first], self.colors[first]
         gen_b, col_b = self.generations[second], self.colors[second]
@@ -251,6 +283,12 @@ class PerNodeSynchronousSim(_SynchronousBase):
         else:
             two_choices = np.zeros(self.n, dtype=bool)
         propagation = ~two_choices & (gen_a > self.generations)
+        if active is not None:
+            # Masked nodes learn nothing this round: no promotion, no
+            # adoption.  They were still sampled above — a crashed or
+            # cut-off node's state remains readable by its neighbors.
+            two_choices &= active
+            propagation &= active
         new_generations = np.where(
             two_choices, gen_a + 1, np.where(propagation, gen_a, self.generations)
         )
@@ -300,6 +338,7 @@ class AggregateSynchronousSim(_SynchronousBase):
         *,
         promotion: str = "pair",
         graph=None,
+        round_faults=None,
     ):
         if graph is not None and not isinstance(graph, CompleteGraph):
             raise ConfigurationError(
@@ -319,6 +358,7 @@ class AggregateSynchronousSim(_SynchronousBase):
                 f"promotion must be 'pair' or 'single', got {promotion!r}"
             )
         self.promotion = promotion
+        self._round_faults = round_faults
         self._rows = schedule.max_generation + 2
         self.matrix = np.zeros((self._rows, self.k), dtype=np.int64)
         self.matrix[0, :] = counts
@@ -329,6 +369,26 @@ class AggregateSynchronousSim(_SynchronousBase):
 
     def step(self) -> None:
         self.steps_done += 1
+        participation = 1.0
+        down = None
+        if self._round_faults is not None:
+            # Count seam: loss/stragglers thin every group's movement
+            # probabilities (each node independently acts with
+            # probability ``participation``, so group outcomes stay
+            # multinomial); churn parks counts in a per-category down
+            # pool whose members neither act nor move — but are still
+            # part of the sampled fractions below, matching the
+            # per-node engines where a crashed node's state stays
+            # readable.  Rejoins reset to generation 0, color kept.
+            participation, rejoined, down_flat = self._round_faults.count_round(
+                float(self.steps_done), self.matrix.ravel()
+            )
+            if rejoined is not None:
+                back = rejoined.reshape(self.matrix.shape)
+                self.matrix -= back
+                self.matrix[0] += back.sum(axis=0)
+            if down_flat is not None:
+                down = down_flat.reshape(self.matrix.shape)
         fractions = self.matrix / self.n
         per_generation = fractions.sum(axis=1)
         occupied = np.nonzero(per_generation)[0]
@@ -364,13 +424,17 @@ class AggregateSynchronousSim(_SynchronousBase):
             if total > 1.0:  # float round-off guard
                 flat = flat / total
                 total = 1.0
+            if participation < 1.0:
+                flat = flat * participation
+                total *= participation
             full = np.append(flat, 1.0 - total)
             for c in np.nonzero(self.matrix[g])[0]:
                 count = int(self.matrix[g, c])
-                outcome = self._rng.multinomial(count, full)
+                frozen = 0 if down is None else min(int(down[g, c]), count)
+                outcome = self._rng.multinomial(count - frozen, full)
                 moved = outcome[:flat_categories].reshape(self._rows, self.k)
                 new_matrix += moved
-                new_matrix[g, c] += outcome[flat_categories]
+                new_matrix[g, c] += outcome[flat_categories] + frozen
         assert new_matrix.sum() == self.n, "node conservation violated"
         self.matrix = new_matrix
 
@@ -385,18 +449,32 @@ def run_synchronous(
     epsilon: float | None = None,
     record_trajectory: bool = False,
     graph=None,
+    round_faults=None,
+    assignment=None,
 ) -> RunResult:
     """Convenience front-end: build a simulator and run it.
 
     ``engine`` is ``"aggregate"`` (count-matrix, scales to huge ``n``) or
-    ``"pernode"`` (literal per-node simulation). A sparse ``graph``
-    requires the per-node engine — the multinomial engine's mean-field
-    law is only exact on ``K_n``.
+    ``"pernode"`` (literal per-node simulation). A sparse ``graph`` or an
+    explicit ``assignment`` (topology-correlated placement) requires the
+    per-node engine — the multinomial engine's mean-field law is only
+    exact on ``K_n`` and carries no node identities. ``round_faults``
+    (see :mod:`repro.scenarios.round_faults`) works on both engines.
     """
     if engine == "aggregate":
-        sim: _SynchronousBase = AggregateSynchronousSim(counts, schedule, rng, graph=graph)
+        if assignment is not None:
+            raise ConfigurationError(
+                "the aggregate engine is anonymous; per-node placement "
+                "requires engine='pernode'"
+            )
+        sim: _SynchronousBase = AggregateSynchronousSim(
+            counts, schedule, rng, graph=graph, round_faults=round_faults
+        )
     elif engine == "pernode":
-        sim = PerNodeSynchronousSim(counts, schedule, rng, graph=graph)
+        sim = PerNodeSynchronousSim(
+            counts, schedule, rng, graph=graph, round_faults=round_faults,
+            assignment=assignment,
+        )
     else:
         raise ConfigurationError(f"unknown engine {engine!r}; use 'aggregate' or 'pernode'")
     return sim.run(

@@ -54,6 +54,19 @@ class LatencyModel:
         """Draw one latency (``size=None``) or a vector of ``size`` latencies."""
         raise NotImplementedError
 
+    def scaled(self, factor: float) -> "LatencyModel":
+        """The same law with every draw multiplied by ``factor``.
+
+        The weighted-edge seam: a sparse substrate with per-edge
+        multipliers (:attr:`repro.scenarios.topology.SparseGraph.weights`)
+        makes a channel over edge ``e`` distribute as
+        ``model.scaled(w_e)``.  The event engines apply the factor to
+        pooled draws directly (cheaper); this constructor exists for
+        closed-form reporting, e.g. feeding
+        :func:`empirical_time_unit` the per-edge law.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class ExponentialLatency(LatencyModel):
@@ -70,6 +83,10 @@ class ExponentialLatency(LatencyModel):
 
     def draw(self, rng: np.random.Generator, size: int | None = None):
         return rng.exponential(1.0 / self.rate, size=size)
+
+    def scaled(self, factor: float) -> "ExponentialLatency":
+        """Scaling an exponential divides its rate: ``Exp(rate / factor)``."""
+        return ExponentialLatency(self.rate / check_positive("factor", factor))
 
 
 @dataclass(frozen=True)
@@ -91,6 +108,9 @@ class ConstantLatency(LatencyModel):
             return self.value
         return np.full(size, self.value)
 
+    def scaled(self, factor: float) -> "ConstantLatency":
+        return ConstantLatency(self.value * check_positive("factor", factor))
+
 
 @dataclass(frozen=True)
 class GammaLatency(LatencyModel):
@@ -109,6 +129,10 @@ class GammaLatency(LatencyModel):
 
     def draw(self, rng: np.random.Generator, size: int | None = None):
         return rng.gamma(self.shape, 1.0 / self.rate, size=size)
+
+    def scaled(self, factor: float) -> "GammaLatency":
+        """Scaling a Gamma divides its rate (shape is scale-free)."""
+        return GammaLatency(shape=self.shape, rate=self.rate / check_positive("factor", factor))
 
 
 class ChannelPlan(Enum):

@@ -37,6 +37,16 @@ class CompleteNeighborPool:
         draw = self._pool()
         return draw + 1 if draw >= node else draw
 
+    def sample_scaled(self, node: int) -> tuple[int, float]:
+        """One neighbor plus its latency multiplier (always 1 on ``K_n``).
+
+        The weighted-edge seam of
+        :mod:`repro.scenarios.topology` — sparse graphs with per-edge
+        weights return the edge's multiplier here; the complete graph
+        is homogeneous by definition.
+        """
+        return self.sample(node), 1.0
+
 
 class CompleteGraph:
     """Address space and uniform sampling on the complete graph ``K_n``.
@@ -67,6 +77,14 @@ class CompleteGraph:
     def sample_uniform(self, rng: np.random.Generator) -> int:
         """A node chosen uniformly from the whole network (self allowed)."""
         return int(rng.integers(self.n))
+
+    def sample_neighbors_of(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One uniform neighbor per node in ``nodes`` (vectorized shift trick)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        draws = rng.integers(self.n - 1, size=nodes.size)
+        return draws + (draws >= nodes)
 
     def neighbor_pool(
         self, rng: np.random.Generator, *, block: int | None = None

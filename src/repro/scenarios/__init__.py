@@ -3,16 +3,25 @@
 The paper analyzes its protocols on the complete graph ``K_n`` with
 ideal communication. This package is the robustness layer around that
 ideal world: alternative communication substrates
-(:mod:`~repro.scenarios.topology`), composable fault models injected at
-the simulator layer (:mod:`~repro.scenarios.faults`), and adversarial
-initial configurations (:mod:`~repro.scenarios.adversary`). Every
-engine-driven protocol accepts a ``graph=`` parameter with the same
-sampling contract as :class:`~repro.engine.network.CompleteGraph`;
-faults wrap an already-built simulator without touching protocol code.
+(:mod:`~repro.scenarios.topology`), composable fault models for both
+engine families — event-stream transforms for the asynchronous
+protocols (:mod:`~repro.scenarios.faults`) and vectorized per-round
+masks for the synchronous/population engines
+(:mod:`~repro.scenarios.round_faults`) — and adversarial initial
+configurations including topology-correlated placement
+(:mod:`~repro.scenarios.adversary`). Every engine-driven protocol
+accepts a ``graph=`` parameter with the same sampling contract as
+:class:`~repro.engine.network.CompleteGraph`; faults wrap an
+already-built simulator (event seam) or are consulted once per round
+(round seam) without touching protocol update rules. Both fault seams
+share one knob vocabulary (``drop`` / ``drop_model`` / ``churn`` /
+``churn_downtime`` / ``stragglers`` / ``straggler_slowdown``) through
+:func:`build_faults` / :func:`build_round_faults`.
 """
 
 from repro.scenarios.adversary import (
     adversarial_counts,
+    clustered_assignment,
     init_names,
     minimal_bias_counts,
     opinion_ramp_counts,
@@ -26,11 +35,25 @@ from repro.scenarios.faults import (
     IidDrop,
     Stragglers,
     build_faults,
+    gilbert_elliott_params,
     inject_faults,
+)
+from repro.scenarios.round_faults import (
+    RoundBurstyLoss,
+    RoundChurn,
+    RoundCrashAtTimes,
+    RoundFaultModel,
+    RoundFaults,
+    RoundIidLoss,
+    RoundStragglers,
+    build_round_faults,
+    prepare_round_faults,
 )
 from repro.scenarios.topology import (
     ClusterGraph,
     ErdosRenyiGraph,
+    PreferentialAttachmentGraph,
+    RandomGeometricGraph,
     RandomRegularGraph,
     RingLattice,
     SparseGraph,
@@ -43,6 +66,8 @@ __all__ = [
     "SparseGraph",
     "RandomRegularGraph",
     "ErdosRenyiGraph",
+    "RandomGeometricGraph",
+    "PreferentialAttachmentGraph",
     "RingLattice",
     "TorusGrid",
     "ClusterGraph",
@@ -56,7 +81,18 @@ __all__ = [
     "CrashAtTimes",
     "inject_faults",
     "build_faults",
+    "gilbert_elliott_params",
+    "RoundFaultModel",
+    "RoundIidLoss",
+    "RoundBurstyLoss",
+    "RoundStragglers",
+    "RoundChurn",
+    "RoundCrashAtTimes",
+    "RoundFaults",
+    "prepare_round_faults",
+    "build_round_faults",
     "adversarial_counts",
+    "clustered_assignment",
     "init_names",
     "minimal_bias_counts",
     "planted_tie_counts",

@@ -15,7 +15,14 @@ the repository:
 * :func:`planted_tie_counts` — the two leading colors are exactly
   tied, so "plurality wins" is at best a coin flip;
 * :func:`opinion_ramp_counts` — ``k = ceil(n^a)`` near-uniform
-  opinions, the many-opinions regime.
+  opinions, the many-opinions regime;
+* :func:`clustered_assignment` — *topology-correlated* placement: the
+  plurality is confined to one ball of the communication graph (one
+  cluster of a :class:`~repro.scenarios.topology.ClusterGraph`, one
+  geographic region of a geometric graph) instead of being uniformly
+  interleaved. Counts alone cannot express this adversary — it is a
+  node→color map, consumed through the per-node engines'
+  ``assignment=`` seam.
 
 :func:`adversarial_counts` dispatches by name so sweeps can put the
 initial configuration on a grid axis (``init=...``).
@@ -29,12 +36,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.util.validation import check_positive, check_positive_int
+from repro.workloads.bias import validate_counts
 from repro.workloads.opinions import biased_counts, uniform_counts
 
 __all__ = [
     "minimal_bias_counts",
     "planted_tie_counts",
     "opinion_ramp_counts",
+    "clustered_assignment",
     "adversarial_counts",
     "init_names",
 ]
@@ -132,8 +141,80 @@ def opinion_ramp_counts(n: int, exponent: float) -> np.ndarray:
     return counts
 
 
+def _bfs_order(graph, seed: int, rng: np.random.Generator) -> np.ndarray:
+    """Every node in BFS order from ``seed`` (deterministic per layer).
+
+    Layers are expanded in sorted id order, so the order is a pure
+    function of (graph, seed). On the complete graph — where every
+    subset is a ball — the "BFS order" is a uniform permutation drawn
+    from ``rng``, making clustered placement degenerate gracefully to
+    the uniform shuffle it cannot improve upon there. Unreachable nodes
+    (disconnected graphs) are appended in id order.
+    """
+    indptr = getattr(graph, "indptr", None)
+    n = len(graph)
+    if indptr is None:
+        order = np.arange(n, dtype=np.int64)
+        rng.shuffle(order)
+        return order
+    indices = graph.indices
+    visited = np.zeros(n, dtype=bool)
+    visited[seed] = True
+    order = [np.array([seed], dtype=np.int64)]
+    frontier = order[0]
+    total = 1
+    while frontier.size and total < n:
+        parts = [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+        reached = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        fresh = np.unique(reached[~visited[reached]])
+        if not fresh.size:
+            break
+        visited[fresh] = True
+        order.append(fresh)
+        frontier = fresh
+        total += fresh.size
+    if total < n:
+        order.append(np.nonzero(~visited)[0].astype(np.int64))
+    return np.concatenate(order)
+
+
+def clustered_assignment(
+    graph, counts: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-node colors with the plurality confined to one graph ball.
+
+    The plurality color (index 0) occupies the ``counts[0]`` nodes
+    closest to a uniformly drawn seed node in BFS order — one cluster
+    of a two-tier graph, one geographic ball of a spatial graph — and
+    the remaining colors are shuffled uniformly over the rest.  This is
+    the placement adversary counts cannot express: the initial bias is
+    globally identical to the canonical workload, but locally the
+    plurality is a monoculture island whose information must *travel*
+    to win, instead of being sampled everywhere immediately.
+
+    Consumed through the per-node engines' ``assignment=`` parameter;
+    :func:`repro.workloads.opinions.validate_assignment` guards that
+    the placement realizes exactly ``counts``.
+    """
+    counts = validate_counts(counts)
+    n = int(counts.sum())
+    if len(graph) != n:
+        raise ConfigurationError(
+            f"graph has {len(graph)} nodes but counts sum to {n}"
+        )
+    seed = int(rng.integers(n))
+    order = _bfs_order(graph, seed, rng)
+    assignment = np.empty(n, dtype=np.int64)
+    ball = int(counts[0])
+    assignment[order[:ball]] = 0
+    rest = np.repeat(np.arange(1, counts.size, dtype=np.int64), counts[1:])
+    rng.shuffle(rest)
+    assignment[order[ball:]] = rest
+    return assignment
+
+
 #: Named initial-configuration families (the ``init=`` sweep axis).
-_INITS = ("biased", "minimal", "tie", "ramp", "uniform")
+_INITS = ("biased", "minimal", "tie", "ramp", "uniform", "clustered")
 
 
 def init_names() -> list[str]:
@@ -144,11 +225,14 @@ def init_names() -> list[str]:
 def adversarial_counts(kind: str, n: int, k: int, alpha: float) -> np.ndarray:
     """Dispatch a named initial configuration to its builder.
 
-    ``alpha`` is only consulted by ``biased``; ``ramp`` reinterprets
-    ``k`` as ``10 * a`` — e.g. ``k=5`` means ``k = ceil(n^0.5)`` — so
-    the axis stays a JSON scalar in sweep grids.
+    ``alpha`` is only consulted by ``biased`` and ``clustered``;
+    ``ramp`` reinterprets ``k`` as ``10 * a`` — e.g. ``k=5`` means
+    ``k = ceil(n^0.5)`` — so the axis stays a JSON scalar in sweep
+    grids. ``clustered`` uses the canonical biased *counts*; the
+    topology-correlated part is the placement, built separately by
+    :func:`clustered_assignment` once the run's graph exists.
     """
-    if kind == "biased":
+    if kind in ("biased", "clustered"):
         return biased_counts(n, k, alpha)
     if kind == "minimal":
         return minimal_bias_counts(n, k)

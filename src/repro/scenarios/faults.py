@@ -68,6 +68,7 @@ __all__ = [
     "prepare_faulty_simulator",
     "build_faults",
     "fault_model_names",
+    "gilbert_elliott_params",
 ]
 
 #: Handler-name → event category. Everything unlisted is internal.
@@ -612,6 +613,36 @@ def fault_model_names() -> list[str]:
     return sorted(_DROP_MODELS)
 
 
+def gilbert_elliott_params(drop: float) -> dict[str, float]:
+    """Gilbert–Elliott parameters whose stationary loss equals ``drop``.
+
+    Shared by the event-stream (:func:`build_faults`) and round-level
+    (:func:`repro.scenarios.round_faults.build_round_faults`) builders,
+    so matched ``drop`` knobs mean matched marginal loss on both seams.
+    The stationary bad fraction is ``to_bad / (to_bad + to_good)``,
+    capped at 2/3 by ``to_bad <= 1``; the marginal loss
+    ``stationary * drop_bad + (1 - stationary) * drop_good`` is solved
+    to equal the requested rate exactly (bad-state dwell tuned to burst
+    ~2 messages; beyond the bad state's capacity the residual loss is
+    assigned to the good state).
+    """
+    if not 0.0 <= drop < 1.0:
+        raise ConfigurationError(f"drop rate must be in [0, 1), got {drop}")
+    to_good = 0.5
+    drop_bad = max(0.9, drop)
+    stationary = min(2.0 / 3.0, drop / drop_bad) if drop else 0.0
+    to_bad = stationary * to_good / (1.0 - stationary)
+    drop_good = (
+        max(0.0, (drop - stationary * drop_bad) / (1.0 - stationary)) if drop else 0.0
+    )
+    return {
+        "drop_good": drop_good,
+        "drop_bad": drop_bad,
+        "to_bad": to_bad,
+        "to_good": to_good,
+    }
+
+
 def build_faults(
     *,
     drop: float = 0.0,
@@ -637,20 +668,7 @@ def build_faults(
         if drop_model == "iid":
             faults.append(IidDrop(drop))
         elif drop_model == "bursty":
-            # Stationary bad fraction is to_bad/(to_bad+to_good), capped
-            # at 2/3 by to_bad <= 1; the marginal loss
-            # stationary*drop_bad + (1-stationary)*drop_good is solved
-            # to equal the requested rate exactly.
-            to_good = 0.5
-            drop_bad = max(0.9, drop)
-            stationary = min(2.0 / 3.0, drop / drop_bad)
-            to_bad = stationary * to_good / (1.0 - stationary)
-            drop_good = max(0.0, (drop - stationary * drop_bad) / (1.0 - stationary))
-            faults.append(
-                GilbertElliottDrop(
-                    drop_good=drop_good, drop_bad=drop_bad, to_bad=to_bad, to_good=to_good
-                )
-            )
+            faults.append(GilbertElliottDrop(**gilbert_elliott_params(drop)))
         else:
             raise ConfigurationError(
                 f"unknown drop model {drop_model!r}; available: {', '.join(fault_model_names())}"

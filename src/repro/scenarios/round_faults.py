@@ -1,0 +1,669 @@
+"""Round-level fault models for the synchronous-round engines.
+
+The event-stream faults in :mod:`repro.scenarios.faults` wrap a
+:class:`~repro.engine.simulator.Simulator`'s scheduling methods — a
+seam that only exists for the event-driven protocols.  The synchronous
+engines (:mod:`repro.core.synchronous`), the opinion-dynamics runner
+(:mod:`repro.baselines.base`), and the population-protocol scheduler
+(:mod:`repro.baselines.population`) have no event stream: their unit of
+progress is a *round* (or, for population protocols, a block of
+pairwise interactions).  This module gives them the same adversity axes
+at round granularity:
+
+* **message loss** (iid or bursty) — a node whose round exchange is
+  lost learns nothing and keeps its state, exactly the "failed channel:
+  give up the cycle" semantics of the event layer.  Loss is drawn as
+  one vectorized boolean mask per round over the contact matrix, never
+  as a per-node Python transform.
+* **crash/rejoin churn** — a Poisson stream of crashes; a crashed node
+  skips rounds (its state stays readable by its neighbors, matching the
+  event engines where in-flight contacts still read a crashed node's
+  memory) and rejoins after an ``Exp(mean_downtime)`` outage with its
+  protocol state *reset* (the engines decide what reset means: the
+  generation protocol returns the node to generation 0 with its color
+  kept — the same rule :class:`repro.scenarios.faults.ProtocolAdapter`
+  applies).
+* **stragglers** — a fixed random subset whose members only *act* in a
+  ``1/slowdown`` fraction of rounds (a round-skip mask).  In
+  expectation this matches the event layer's delay multiplication: a
+  node whose cycles take ``slowdown`` times longer completes a
+  ``1/slowdown`` fraction of the rounds everyone else does.
+
+Two consumption surfaces cover the two engine families:
+
+:meth:`RoundFaults.begin_round`
+    Per-node engines.  Returns an *active* boolean mask (``True`` =
+    the node performs its update this round) plus the ids rejoining
+    this round (state-reset hook).  Inactive nodes keep their state
+    but remain sampleable as contacts.
+:meth:`RoundFaults.count_round`
+    Count-matrix (mean-field multinomial) engines, which have no node
+    identities.  Loss and straggling become a scalar *participation
+    probability* ``q`` — each node independently acts with probability
+    ``q``, so a group's outcome stays multinomial with its movement
+    probabilities thinned by ``q`` — and churn is tracked as per-category
+    down-counts drawn without replacement from the live matrix.
+
+``build_round_faults`` accepts exactly the knobs of
+:func:`repro.scenarios.faults.build_faults` (``drop`` / ``drop_model`` /
+``churn`` / ``churn_downtime`` / ``stragglers`` /
+``straggler_slowdown``), so every sweep target exposes one fault
+vocabulary regardless of which engine family runs underneath; the
+bursty mapping shares the Gilbert–Elliott parameter solver, so matched
+``drop`` rates mean matched stationary loss on both seams (pinned by
+``tests/scenarios/test_cross_engine_faults.py``).
+
+All randomness comes from the single generator handed to
+:func:`prepare_round_faults` — one vectorized draw per model per round.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scenarios.faults import gilbert_elliott_params, fault_model_names
+from repro.util.validation import check_positive
+
+__all__ = [
+    "RoundFaultModel",
+    "RoundIidLoss",
+    "RoundBurstyLoss",
+    "RoundStragglers",
+    "RoundChurn",
+    "RoundCrashAtTimes",
+    "RoundFaults",
+    "prepare_round_faults",
+    "build_round_faults",
+]
+
+
+class RoundFaultModel:
+    """One composable per-round adversity source."""
+
+    def install(self, wiring: "RoundFaults") -> None:
+        """Bind to one wiring (n, generator, counters)."""
+
+    def node_mask(self, now: float) -> np.ndarray | None:
+        """Node-availability mask (churn/straggler models; ``None`` = all up)."""
+        return None
+
+    def round_mask(self, now: float) -> np.ndarray | None:
+        """Participation mask for this round (``None`` = everyone acts).
+
+        For node-availability models this is :meth:`node_mask`; loss
+        models override it to express "this node's round exchange was
+        lost".  The population scheduler composes :meth:`node_mask`
+        and :meth:`loss_mask` separately (loss applies per interaction
+        there, not per node-round), so a loss model must never also
+        report a node mask — that would double-apply the rate.
+        """
+        return self.node_mask(now)
+
+    def rejoined(self, now: float) -> np.ndarray | None:
+        """Node ids rejoining this round (churn models only)."""
+        return None
+
+    def loss_mask(self, count: int) -> np.ndarray | None:
+        """Delivery mask over ``count`` interactions (loss models only)."""
+        return None
+
+    def participation_probability(self, now: float) -> float:
+        """Mean-field acting probability for count engines (advances state)."""
+        return 1.0
+
+    def count_step(
+        self, now: float, alive: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Churn hook for count engines: rejoined counts per category.
+
+        ``alive`` is the engine's flattened category-count vector
+        *including* currently-down nodes; the model keeps its own
+        per-category down bookkeeping (see :attr:`down_counts`) and
+        returns the counts rejoining this round (``None`` when nothing
+        rejoins).
+        """
+        return None
+
+    #: Per-category down counts (count engines); ``None`` = no churn.
+    down_counts: np.ndarray | None = None
+
+    #: Expected node-rounds this model suppressed on the count seam,
+    #: where no masks are drawn (participation thinning instead) —
+    #: folded into the model's drop/skip counters by :meth:`info` so
+    #: count-engine records never read "fault-free" at nonzero knobs.
+    count_seam_skips: float = 0.0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def info(self) -> dict[str, float]:
+        return {}
+
+
+class RoundIidLoss(RoundFaultModel):
+    """Each node's round exchange is lost independently with ``rate``.
+
+    Matches the event layer's one-drop-draw-per-cycle semantics of
+    :class:`repro.scenarios.faults.IidDrop` on exchanges: a lost round
+    is a wasted cycle, not a corrupted one.
+    """
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"drop rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.dropped = 0
+
+    def install(self, wiring: "RoundFaults") -> None:
+        self._rng = wiring.rng
+        self._n = wiring.n
+
+    def loss_mask(self, count: int) -> np.ndarray | None:
+        if not self.rate:
+            return None
+        keep = self._rng.random(count) >= self.rate
+        self.dropped += int(count - keep.sum())
+        return keep
+
+    def round_mask(self, now: float) -> np.ndarray | None:
+        return self.loss_mask(self._n)
+
+    def participation_probability(self, now: float) -> float:
+        return 1.0 - self.rate
+
+    def describe(self) -> str:
+        return f"round iid loss p={self.rate:g}"
+
+    def info(self) -> dict[str, float]:
+        return {"round_dropped": float(self.dropped) + self.count_seam_skips}
+
+
+class RoundBurstyLoss(RoundFaultModel):
+    """Gilbert–Elliott loss with the channel state advancing per round.
+
+    One global channel: a bad round hits the whole network at once.  The
+    two-state chain has the same stationary law as the per-message
+    event-layer channel, so the *marginal* loss rate matches
+    :class:`repro.scenarios.faults.GilbertElliottDrop` built from the
+    same knobs; burst lengths are measured in rounds here and in
+    messages there.
+    """
+
+    def __init__(
+        self,
+        *,
+        drop_good: float = 0.0,
+        drop_bad: float = 0.9,
+        to_bad: float = 0.05,
+        to_good: float = 0.5,
+    ):
+        for name, value in (
+            ("drop_good", drop_good),
+            ("drop_bad", drop_bad),
+            ("to_bad", to_bad),
+            ("to_good", to_good),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        self.drop_good, self.drop_bad = float(drop_good), float(drop_bad)
+        self.to_bad, self.to_good = float(to_bad), float(to_good)
+        self.bad = False
+        self.dropped = 0
+        self.bursts = 0
+
+    def install(self, wiring: "RoundFaults") -> None:
+        self._rng = wiring.rng
+        self._n = wiring.n
+
+    def _advance(self) -> float:
+        if self.bad:
+            if self._rng.random() < self.to_good:
+                self.bad = False
+        elif self._rng.random() < self.to_bad:
+            self.bad = True
+            self.bursts += 1
+        return self.drop_bad if self.bad else self.drop_good
+
+    def loss_mask(self, count: int) -> np.ndarray | None:
+        rate = self._advance()
+        if not rate:
+            return None
+        keep = self._rng.random(count) >= rate
+        self.dropped += int(count - keep.sum())
+        return keep
+
+    def round_mask(self, now: float) -> np.ndarray | None:
+        return self.loss_mask(self._n)
+
+    def participation_probability(self, now: float) -> float:
+        return 1.0 - self._advance()
+
+    def describe(self) -> str:
+        return (
+            f"round Gilbert-Elliott loss good={self.drop_good:g} bad={self.drop_bad:g} "
+            f"(to_bad={self.to_bad:g}, to_good={self.to_good:g})"
+        )
+
+    def info(self) -> dict[str, float]:
+        return {
+            "ge_dropped": float(self.dropped) + self.count_seam_skips,
+            "ge_bursts": float(self.bursts),
+        }
+
+
+class RoundStragglers(RoundFaultModel):
+    """A fixed random subset that acts only every ``1/slowdown`` rounds."""
+
+    def __init__(self, fraction: float, slowdown: float = 4.0):
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"straggler fraction must be in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.slowdown = check_positive("slowdown", slowdown)
+        self.count = 0
+        self.skipped = 0
+
+    def install(self, wiring: "RoundFaults") -> None:
+        self._rng = wiring.rng
+        self._slow = wiring.rng.random(wiring.n) < self.fraction
+        self.count = int(self._slow.sum())
+
+    def node_mask(self, now: float) -> np.ndarray | None:
+        if not self.count or self.slowdown <= 1.0:
+            return None
+        act = ~self._slow | (self._rng.random(self._slow.size) < 1.0 / self.slowdown)
+        self.skipped += int(act.size - act.sum())
+        return act
+
+    def participation_probability(self, now: float) -> float:
+        # Mean-field: membership in the slow subset is re-drawn per
+        # round (the count engines have no node identities to pin a
+        # fixed subset to).  The per-round acting probability matches.
+        if self.slowdown <= 1.0:
+            return 1.0
+        return 1.0 - self.fraction + self.fraction / self.slowdown
+
+    def describe(self) -> str:
+        return f"round stragglers {self.fraction:g} x{self.slowdown:g}"
+
+    def info(self) -> dict[str, float]:
+        return {"straggler_skips": float(self.skipped) + self.count_seam_skips}
+
+
+class _RoundChurnBase(RoundFaultModel):
+    """Shared crash bookkeeping for the per-node and count seams."""
+
+    def __init__(self) -> None:
+        self.crashes = 0
+        self.rejoins = 0
+        self._down_until: np.ndarray | None = None  # per-node seam
+        self.down_counts: np.ndarray | None = None  # count seam
+        self._rejoin_heap: list[tuple[float, int]] = []  # (time, category)
+
+    def install(self, wiring: "RoundFaults") -> None:
+        self._rng = wiring.rng
+        self._n = wiring.n
+        self._down_until = np.full(wiring.n, -np.inf)
+        self._last_now = 0.0
+
+    # -- per-node seam ---------------------------------------------------
+    def rejoined(self, now: float) -> np.ndarray | None:
+        down = self._down_until
+        back = (down <= now) & (down > -np.inf)
+        if not back.any():
+            return None
+        nodes = np.nonzero(back)[0]
+        down[nodes] = -np.inf
+        self.rejoins += len(nodes)
+        return nodes
+
+    def node_mask(self, now: float) -> np.ndarray | None:
+        self._crash_step(now)
+        down = self._down_until > now
+        if not down.any():
+            return None
+        return ~down
+
+    def _crash_step(self, now: float) -> None:
+        """Draw this round's crash victims (per-node seam)."""
+        raise NotImplementedError
+
+    # -- count seam ------------------------------------------------------
+    def count_step(
+        self, now: float, alive: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        if self.down_counts is None or self.down_counts.size != alive.size:
+            resized = np.zeros(alive.size, dtype=np.int64)
+            if self.down_counts is not None:
+                resized[: self.down_counts.size] = self.down_counts
+            self.down_counts = resized
+        # Crashes are drawn BEFORE rejoins are popped.  ``alive`` is the
+        # pre-rejoin category layout, and the engine relocates rejoined
+        # counts (e.g. to generation 0) right after this call — drawing
+        # victims first, from ``alive - down`` with the rejoiners still
+        # in the down pool, guarantees ``down[c] + victims[c] <=
+        # alive[c]`` per category, so the pool can never exceed the
+        # post-relocation matrix entry (a phantom down node would later
+        # rejoin out of a category that no longer holds it and drive a
+        # count negative).
+        self._count_crashes(now, alive, rng)
+        return self._pop_rejoins(now)
+
+    def _pop_rejoins(self, now: float) -> np.ndarray | None:
+        heap = self._rejoin_heap
+        if not heap or heap[0][0] > now:
+            return None
+        rejoined = np.zeros(self.down_counts.size, dtype=np.int64)
+        while heap and heap[0][0] <= now:
+            _, category = heapq.heappop(heap)
+            rejoined[category] += 1
+            self.down_counts[category] -= 1
+            self.rejoins += 1
+        return rejoined
+
+    def _count_crashes(self, now: float, alive: np.ndarray, rng) -> None:
+        raise NotImplementedError
+
+    def _crash_categories(
+        self, now: float, crashes: int, alive: np.ndarray, rng, downtimes: np.ndarray
+    ) -> None:
+        """Mark ``crashes`` uniform up-nodes down (count seam)."""
+        up = np.maximum(alive - self.down_counts, 0)
+        total = int(up.sum())
+        crashes = min(crashes, total)
+        if crashes <= 0:
+            return
+        victims = rng.multivariate_hypergeometric(up, crashes)
+        self.down_counts += victims
+        self.crashes += crashes
+        index = 0
+        for category in np.nonzero(victims)[0]:
+            for _ in range(int(victims[category])):
+                heapq.heappush(
+                    self._rejoin_heap, (now + float(downtimes[index]), int(category))
+                )
+                index += 1
+
+    def info(self) -> dict[str, float]:
+        return {"crashes": float(self.crashes), "rejoins": float(self.rejoins)}
+
+
+class RoundChurn(_RoundChurnBase):
+    """Poisson churn at round granularity.
+
+    Crashes arrive at network-wide intensity ``rate`` per simulated time
+    unit (one synchronous round = one time unit; the population
+    scheduler advances ``block / n`` parallel-time units per block), hit
+    a uniform currently-up node, and last ``Exp(mean_downtime)``.
+    """
+
+    def __init__(self, rate: float, *, mean_downtime: float = 1.0):
+        super().__init__()
+        self.rate = check_positive("rate", rate)
+        self.mean_downtime = check_positive("mean_downtime", mean_downtime)
+
+    def _crash_step(self, now: float) -> None:
+        dt = now - self._last_now
+        self._last_now = now
+        if dt <= 0:
+            return
+        crashes = int(self._rng.poisson(self.rate * dt))
+        if not crashes:
+            return
+        down = self._down_until
+        up = np.nonzero(down <= now)[0]
+        crashes = min(crashes, up.size)
+        if not crashes:
+            return
+        victims = self._rng.choice(up, size=crashes, replace=False)
+        down[victims] = now + self._rng.exponential(self.mean_downtime, size=crashes)
+        self.crashes += crashes
+
+    def _count_crashes(self, now: float, alive: np.ndarray, rng) -> None:
+        dt = now - self._last_now
+        self._last_now = now
+        if dt <= 0:
+            return
+        crashes = int(rng.poisson(self.rate * dt))
+        if crashes:
+            downtimes = rng.exponential(self.mean_downtime, size=crashes)
+            self._crash_categories(now, crashes, alive, rng, downtimes)
+
+    def describe(self) -> str:
+        return f"round Poisson churn rate={self.rate:g} downtime={self.mean_downtime:g}"
+
+
+class RoundCrashAtTimes(_RoundChurnBase):
+    """Deterministic crash schedule ``{node: time}`` (per-node engines only).
+
+    ``downtime=None`` crashes permanently.  The count engines have no
+    node identities, so this model raises if used through
+    :meth:`RoundFaults.count_round`.
+    """
+
+    def __init__(self, schedule: dict[int, float], *, downtime: float | None = None):
+        super().__init__()
+        if not schedule:
+            raise ConfigurationError("crash schedule must name at least one node")
+        self.schedule = {int(node): float(when) for node, when in schedule.items()}
+        self.downtime = None if downtime is None else check_positive("downtime", downtime)
+
+    def install(self, wiring: "RoundFaults") -> None:
+        super().install(wiring)
+        for node in self.schedule:
+            if not 0 <= node < wiring.n:
+                raise ConfigurationError(f"crash schedule names unknown node {node}")
+        self._pending = sorted(self.schedule.items(), key=lambda item: item[1])
+
+    def _crash_step(self, now: float) -> None:
+        while self._pending and self._pending[0][1] <= now:
+            node, _ = self._pending.pop(0)
+            self._down_until[node] = (
+                np.inf if self.downtime is None else now + self.downtime
+            )
+            self.crashes += 1
+
+    def _count_crashes(self, now: float, alive: np.ndarray, rng) -> None:
+        raise ConfigurationError(
+            "RoundCrashAtTimes names node ids; the count-matrix engines are "
+            "anonymous — use RoundChurn there instead"
+        )
+
+    def describe(self) -> str:
+        tail = "permanently" if self.downtime is None else f"for {self.downtime:g}"
+        return f"round crash {len(self.schedule)} node(s) {tail}"
+
+
+class RoundFaults:
+    """One wiring of round-fault models into a synchronous-round engine.
+
+    Engines call exactly one of the two seams per round:
+
+    * :meth:`begin_round` (per-node engines) — composes every model's
+      participation mask and collects rejoining node ids;
+    * :meth:`count_round` (count-matrix engines) — composes the scalar
+      participation probability, advances churn down-counts, and
+      reports rejoining counts per category.
+
+    The population scheduler additionally thins its interaction blocks
+    with :meth:`loss_mask` (loss applies per interaction there, not per
+    node-round).
+    """
+
+    def __init__(self, n: int, models: Sequence[RoundFaultModel], rng: np.random.Generator):
+        self.n = int(n)
+        self.rng = rng
+        self.models = list(models)
+        self.skipped_node_rounds = 0
+        for model in self.models:
+            model.install(self)
+
+    # -- per-node seam ---------------------------------------------------
+    def begin_round(self, now: float) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """``(active_mask, rejoined_nodes)`` for the round starting at ``now``.
+
+        ``active_mask`` is ``None`` when every node acts; ``rejoined``
+        is ``None`` when no node returns from an outage this round.
+        Rejoins are reported *before* the crash/skip masks are drawn, so
+        an engine resets a returning node's state in the same round the
+        node resumes acting.
+        """
+        rejoined = None
+        active = None
+        for model in self.models:
+            back = model.rejoined(now)
+            if back is not None:
+                rejoined = back if rejoined is None else np.union1d(rejoined, back)
+            mask = model.round_mask(now)
+            if mask is not None:
+                active = mask if active is None else active & mask
+        if active is not None:
+            self.skipped_node_rounds += int(active.size - active.sum())
+        return active, rejoined
+
+    # -- count seam ------------------------------------------------------
+    def count_round(
+        self, now: float, alive: np.ndarray
+    ) -> tuple[float, np.ndarray | None, np.ndarray | None]:
+        """``(participation, rejoined_counts, down_counts)`` for count engines.
+
+        ``alive`` is the engine's flattened category-count vector
+        including down nodes.  ``participation`` thins every group's
+        movement probabilities; ``down_counts`` (``None`` = no churn)
+        are per-category counts that must not act this round;
+        ``rejoined_counts`` left the down pool this round and should be
+        state-reset by the engine.
+        """
+        participation = 1.0
+        rejoined = None
+        down = None
+        for model in self.models:
+            back = model.count_step(now, alive, self.rng)
+            if back is not None:
+                rejoined = back if rejoined is None else rejoined + back
+            if model.down_counts is not None:
+                down = (
+                    model.down_counts.copy()
+                    if down is None
+                    else down + model.down_counts
+                )
+            q = model.participation_probability(now)
+            if q < 1.0:
+                model.count_seam_skips = (
+                    model.count_seam_skips + (1.0 - q) * float(alive.sum())
+                )
+            participation *= q
+        if participation < 1.0:
+            # The count seam never draws masks, so the skip counters
+            # (wiring-level here, per-model above) record the
+            # *expected* node-rounds lost (mean-field telemetry); the
+            # mask seam records realized counts.
+            self.skipped_node_rounds += (1.0 - participation) * float(alive.sum())
+        return participation, rejoined, down
+
+    # -- interaction seam (population scheduler) -------------------------
+    def begin_block(self, now: float) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """``(node_mask, rejoined)`` for an interaction block.
+
+        Like :meth:`begin_round` but composing only the node-*availability*
+        masks (churn downs, straggler skips) — message loss is applied
+        per interaction through :meth:`loss_mask` instead, so a single
+        ``drop`` knob is charged exactly once per interaction, never
+        once per endpoint and once per message.
+        """
+        rejoined = None
+        available = None
+        for model in self.models:
+            back = model.rejoined(now)
+            if back is not None:
+                rejoined = back if rejoined is None else np.union1d(rejoined, back)
+            mask = model.node_mask(now)
+            if mask is not None:
+                available = mask if available is None else available & mask
+        if available is not None:
+            self.skipped_node_rounds += int(available.size - available.sum())
+        return available, rejoined
+
+    def loss_mask(self, count: int) -> np.ndarray | None:
+        """Delivery mask over a block of ``count`` pairwise interactions.
+
+        Drop counters tally drawn mask entries, so a consumer that
+        abandons a block's tail (the population scheduler converging
+        mid-block) overcounts the telemetry by at most one block — the
+        delivered *physics* is exact either way.
+        """
+        keep = None
+        for model in self.models:
+            mask = model.loss_mask(count)
+            if mask is not None:
+                keep = mask if keep is None else keep & mask
+        return keep
+
+    # -- telemetry -------------------------------------------------------
+    def info(self) -> dict[str, float]:
+        """Flat counters for run records (prefixed ``fault_``)."""
+        merged: dict[str, float] = {
+            "fault_skipped_node_rounds": float(self.skipped_node_rounds),
+        }
+        for model in self.models:
+            for key, value in model.info().items():
+                merged[f"fault_{key}"] = merged.get(f"fault_{key}", 0.0) + value
+        return merged
+
+    def describe(self) -> str:
+        return ", ".join(model.describe() for model in self.models) or "no faults"
+
+
+def prepare_round_faults(
+    n: int, models: Sequence[RoundFaultModel], rng: np.random.Generator
+) -> RoundFaults | None:
+    """Wire ``models`` for an ``n``-node round engine.
+
+    Returns ``None`` for an empty model list — the zero-fault path
+    consumes no randomness and leaves every engine byte-identical to an
+    uninstrumented run (regression-guarded in
+    ``tests/scenarios/test_default_path_regression.py``).
+    """
+    models = [model for model in models if model is not None]
+    if not models:
+        return None
+    return RoundFaults(n, models, rng)
+
+
+def build_round_faults(
+    *,
+    drop: float = 0.0,
+    drop_model: str = "iid",
+    churn: float = 0.0,
+    churn_downtime: float = 1.0,
+    stragglers: float = 0.0,
+    straggler_slowdown: float = 4.0,
+) -> list[RoundFaultModel]:
+    """Round-level twin of :func:`repro.scenarios.faults.build_faults`.
+
+    Accepts the identical flat knobs, so a sweep grid axis means the
+    same adversity regardless of whether the target runs an event-driven
+    or a round-driven engine; the bursty mapping shares
+    :func:`repro.scenarios.faults.gilbert_elliott_params`, making the
+    stationary loss of matched ``drop`` rates equal across the seams.
+    """
+    if not 0.0 <= drop < 1.0:
+        raise ConfigurationError(f"drop rate must be in [0, 1), got {drop}")
+    models: list[RoundFaultModel] = []
+    if drop:
+        if drop_model == "iid":
+            models.append(RoundIidLoss(drop))
+        elif drop_model == "bursty":
+            models.append(RoundBurstyLoss(**gilbert_elliott_params(drop)))
+        else:
+            raise ConfigurationError(
+                f"unknown drop model {drop_model!r}; available: {', '.join(fault_model_names())}"
+            )
+    if churn:
+        models.append(RoundChurn(churn, mean_downtime=churn_downtime))
+    if stragglers:
+        models.append(RoundStragglers(stragglers, slowdown=straggler_slowdown))
+    return models

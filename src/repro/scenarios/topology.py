@@ -41,17 +41,21 @@ import numpy as np
 from repro.engine.network import CompleteGraph
 from repro.engine.rng import IntegerPool, UniformPool
 from repro.errors import ConfigurationError, SimulationError
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_positive, check_positive_int
 
 __all__ = [
     "SparseGraph",
     "RandomRegularGraph",
     "ErdosRenyiGraph",
+    "RandomGeometricGraph",
+    "PreferentialAttachmentGraph",
     "RingLattice",
     "TorusGrid",
     "ClusterGraph",
+    "assign_uniform_weights",
     "build_graph",
     "graph_names",
+    "weight_names",
     "GRAPH_BUILDERS",
 ]
 
@@ -68,15 +72,23 @@ class _RegularNeighborPool:
     adjacency list.
     """
 
-    __slots__ = ("_pool", "_indices", "_degree")
+    __slots__ = ("_pool", "_indices", "_degree", "_weights")
 
-    def __init__(self, indices: list[int], degree: int, rng: np.random.Generator, *, block=None):
+    def __init__(self, graph: "SparseGraph", rng: np.random.Generator, *, block=None):
+        degree = graph._degrees_list[0]
         self._pool = IntegerPool(rng, degree, block=block)
-        self._indices = indices
+        self._indices = graph._indices_list
         self._degree = degree
+        self._weights = graph._weights_list
 
     def sample(self, node: int) -> int:
         return self._indices[node * self._degree + self._pool()]
+
+    def sample_scaled(self, node: int) -> tuple[int, float]:
+        """One neighbor plus the edge's latency multiplier."""
+        slot = node * self._degree + self._pool()
+        weights = self._weights
+        return self._indices[slot], 1.0 if weights is None else weights[slot]
 
 
 #: Neighbor ids a :class:`_GeneralNeighborPool` pre-resolves per node and
@@ -98,7 +110,7 @@ class _GeneralNeighborPool:
     ``indices[indptr[v] + int(u * deg)]`` resolve per call.
     """
 
-    __slots__ = ("_pool", "_graph", "_degrees", "_bufs", "_pos")
+    __slots__ = ("_pool", "_graph", "_degrees", "_bufs", "_pos", "_wbufs")
 
     def __init__(self, graph: "SparseGraph", rng: np.random.Generator, *, block=None):
         self._pool = UniformPool(rng, block=block)
@@ -106,6 +118,9 @@ class _GeneralNeighborPool:
         self._degrees = graph._degrees_list
         self._bufs: list[list[int]] = [[]] * graph.n
         self._pos = [0] * graph.n
+        self._wbufs: list[list[float]] | None = (
+            None if graph.weights is None else [[]] * graph.n
+        )
 
     def _refill(self, node: int) -> list[int]:
         degree = self._degrees[node]
@@ -113,10 +128,12 @@ class _GeneralNeighborPool:
             raise SimulationError(f"node {node} is isolated; cannot sample a neighbor")
         graph = self._graph
         offsets = (self._pool.take_array(NEIGHBOR_BLOCK) * degree).astype(np.int64)
-        row = graph.indices[graph.indptr[node]:graph.indptr[node + 1]]
-        buf = row[offsets].tolist()
+        start, stop = graph.indptr[node], graph.indptr[node + 1]
+        buf = graph.indices[start:stop][offsets].tolist()
         self._bufs[node] = buf
         self._pos[node] = 1
+        if self._wbufs is not None:
+            self._wbufs[node] = graph.weights[start:stop][offsets].tolist()
         return buf
 
     def sample(self, node: int) -> int:
@@ -127,6 +144,16 @@ class _GeneralNeighborPool:
             pos_list[node] = pos + 1
             return buf[pos]
         return self._refill(node)[0]
+
+    def sample_scaled(self, node: int) -> tuple[int, float]:
+        """One neighbor plus the edge's latency multiplier."""
+        pos = self._pos[node]
+        buf = self._bufs[node]
+        if pos >= len(buf):
+            buf = self._refill(node)
+            pos = 0
+        self._pos[node] = pos + 1
+        return buf[pos], 1.0 if self._wbufs is None else self._wbufs[node][pos]
 
 
 class SparseGraph:
@@ -140,9 +167,23 @@ class SparseGraph:
         Flat CSR adjacency: the neighbors of ``v`` are
         ``indices[indptr[v]:indptr[v+1]]``. Neighbor lists must not
         contain ``v`` itself (no self-loops) or duplicates.
+    weights:
+        Optional per-edge latency multipliers aligned with ``indices``
+        (one entry per *directed* CSR entry; undirected edges carry the
+        same value in both directions). Consumed by the weighted
+        neighbor-pool seam (:meth:`neighbor_pool` samplers'
+        ``sample_scaled``) — the edge-latency model of Bankhamer et al.
+        (arXiv:1806.02596), where opening a channel over a slow edge
+        takes proportionally longer.
     """
 
-    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(
+        self,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+    ):
         self.n = check_positive_int("n", n, minimum=2)
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
@@ -155,6 +196,28 @@ class SparseGraph:
         self._indptr_list: list[int] = self.indptr.tolist()
         self._indices_list: list[int] = self.indices.tolist()
         self._degrees_list: list[int] = self.degrees.tolist()
+        self.weights: np.ndarray | None = None
+        self._weights_list: list[float] | None = None
+        if weights is not None:
+            self.set_weights(weights)
+
+    def set_weights(self, weights: np.ndarray) -> "SparseGraph":
+        """Attach per-edge latency multipliers (aligned with ``indices``)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != self.indices.shape:
+            raise ConfigurationError(
+                f"weights shape {weights.shape} does not match indices {self.indices.shape}"
+            )
+        if not np.isfinite(weights).all() or (weights <= 0).any():
+            raise ConfigurationError("edge weights must be finite and positive")
+        self.weights = weights
+        self._weights_list = weights.tolist()
+        return self
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when per-edge latency multipliers are attached."""
+        return self.weights is not None
 
     # -- CompleteGraph sampling contract --------------------------------
     def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
@@ -179,10 +242,25 @@ class SparseGraph:
     def neighbor_pool(self, rng: np.random.Generator, *, block: int | None = None):
         """Pooled per-call sampler; picks the degree-class implementation."""
         if self.is_regular:
-            return _RegularNeighborPool(
-                self._indices_list, self._degrees_list[0], rng, block=block
-            )
+            return _RegularNeighborPool(self, rng, block=block)
         return _GeneralNeighborPool(self, rng, block=block)
+
+    def sample_neighbors_of(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One uniform neighbor for each node in ``nodes`` (one gather).
+
+        The population scheduler's per-block primitive: a single
+        uniform vector scaled by the callers' degrees and resolved
+        through the flat CSR adjacency. Requires minimum degree 1.
+        """
+        if self.min_degree < 1:
+            raise SimulationError("graph has isolated nodes; batched sampling needs degree >= 1")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        degrees = self.degrees[nodes]
+        return self.indices[
+            self._offsets[nodes] + (rng.random(nodes.size) * degrees).astype(np.int64)
+        ]
 
     def sample_per_node(self, rng: np.random.Generator) -> np.ndarray:
         """One uniform neighbor for *every* node, in one batched draw.
@@ -270,21 +348,20 @@ def _csr_connected(n: int, indptr: np.ndarray, indices: np.ndarray) -> bool:
     return bool(visited.all())
 
 
-def _with_connectivity(
-    build_csr, n: int, ensure_connected: bool, what: str
-) -> tuple[np.ndarray, np.ndarray]:
-    """Run ``build_csr() -> (indptr, indices)`` until connected.
+def _with_connectivity(build_csr, n: int, ensure_connected: bool, what: str) -> tuple:
+    """Run ``build_csr() -> (indptr, indices, ...)`` until connected.
 
     Operates on raw CSR arrays so rejected attempts never pay for the
     :class:`SparseGraph` plain-list mirrors — those are built once, from
-    the winning attempt.
+    the winning attempt.  Extra tuple elements (e.g. edge weights) pass
+    through untouched.
     """
     if not ensure_connected:
         return build_csr()
     for _ in range(MAX_CONNECT_ATTEMPTS):
-        indptr, indices = build_csr()
-        if _csr_connected(n, indptr, indices):
-            return indptr, indices
+        result = build_csr()
+        if _csr_connected(n, result[0], result[1]):
+            return result
     raise SimulationError(
         f"could not draw a connected {what} in {MAX_CONNECT_ATTEMPTS} attempts; "
         "lower the connectivity requirement or raise the degree"
@@ -433,6 +510,192 @@ def _distinct_edges(n: int, m: int, rng: np.random.Generator) -> tuple[np.ndarra
     return keys // n, keys % n
 
 
+class RandomGeometricGraph(SparseGraph):
+    """The random geometric graph: points in the unit square, radius edges.
+
+    ``n`` points are dropped uniformly in ``[0, 1]^2`` and two nodes are
+    adjacent iff their Euclidean distance is at most ``radius`` — the
+    canonical *spatial* substrate (sensor fields, proximity networks),
+    where consensus must travel geographically rather than hop across a
+    well-mixed population.  Related work (arXiv:2103.10366) shows
+    undecided-state dynamics diverge sharply on such sparse/spatial
+    graphs versus ``K_n``; this class makes that regime sweepable.
+
+    With ``weighted=True`` every edge carries its length (normalized to
+    mean 1) as a latency multiplier — the heterogeneous-substrate model
+    of Bankhamer et al. (arXiv:1806.02596): longer links are slower.
+    Pair distances are computed in vectorized row blocks (pure numpy,
+    ``O(n^2)`` time but ``O(n * block)`` memory), fine for the ``n`` up
+    to a few 10^4 the per-node engines target.
+
+    Parameters
+    ----------
+    n, radius:
+        Node count and connection radius.
+    rng:
+        Drives the point cloud (pass an
+        :class:`~repro.engine.rng.RngRegistry` substream).
+    ensure_connected:
+        Redraw the cloud until the graph is connected; needs ``radius``
+        comfortably above the ``sqrt(ln n / (pi n))`` threshold.
+    weighted:
+        Attach edge lengths (mean-normalized) as latency multipliers.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        radius: float,
+        rng: np.random.Generator,
+        *,
+        ensure_connected: bool = True,
+        weighted: bool = False,
+    ):
+        n = check_positive_int("n", n, minimum=2)
+        if not 0.0 < radius <= math.sqrt(2.0):
+            raise ConfigurationError(
+                f"geometric radius must be in (0, sqrt(2)], got {radius}"
+            )
+        self.radius = float(radius)
+
+        def build_csr() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            points = rng.random((n, 2))
+            u, v, dist = _radius_pairs(points, self.radius)
+            self.points = points
+            return (*_csr_from_edges(n, u, v), _mirror_edge_values(n, u, v, dist))
+
+        indptr, indices, lengths = _with_connectivity(
+            build_csr, n, ensure_connected, f"geometric graph (r={radius:g})"
+        )
+        super().__init__(n, indptr, indices)
+        if weighted:
+            if not lengths.size:
+                raise ConfigurationError("cannot weight a graph with no edges")
+            # Mean-1 normalization keeps weighted runs comparable to
+            # unweighted ones (same average channel latency); a floor
+            # keeps coincident points from creating zero-latency edges.
+            self.set_weights(np.maximum(lengths / lengths.mean(), 0.05))
+
+    @classmethod
+    def from_expected_degree(
+        cls,
+        n: int,
+        degree: float,
+        rng: np.random.Generator,
+        *,
+        ensure_connected: bool = True,
+        weighted: bool = False,
+    ) -> "RandomGeometricGraph":
+        """Radius from a target mean degree: ``E[deg] ≈ (n-1) π r²``.
+
+        Boundary effects make the realized mean degree a little lower;
+        the sweep axis is a target, not a guarantee (same contract as
+        the ``gnp`` builder's expected degree).
+        """
+        check_positive("degree", degree)
+        radius = min(math.sqrt(2.0), math.sqrt(float(degree) / (math.pi * max(1, n - 1))))
+        return cls(n, radius, rng, ensure_connected=ensure_connected, weighted=weighted)
+
+
+def _radius_pairs(
+    points: np.ndarray, radius: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All index pairs within ``radius`` plus their distances.
+
+    Vectorized block sweep over the upper triangle: one ``(block, n)``
+    distance matrix at a time, so memory stays bounded while every
+    comparison is a numpy primitive.
+    """
+    n = points.shape[0]
+    block = max(1, (1 << 22) // max(1, n))
+    r2 = radius * radius
+    us, vs, ds = [], [], []
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        diff = points[start:stop, None, :] - points[None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        rows, cols = np.nonzero(dist2 <= r2)
+        keep = start + rows < cols  # upper triangle only (u < v)
+        if keep.any():
+            rows, cols = rows[keep], cols[keep]
+            us.append(start + rows)
+            vs.append(cols)
+            ds.append(np.sqrt(dist2[rows, cols]))
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0)
+    return np.concatenate(us), np.concatenate(vs), np.concatenate(ds)
+
+
+def _mirror_edge_values(
+    n: int, u: np.ndarray, v: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Per-undirected-edge values mapped onto CSR (directed) entry order.
+
+    ``(u, v)`` must already be unique upper-triangle pairs; the result
+    is aligned with the ``indices`` array :func:`_csr_from_edges`
+    produces for the same edge list (lexsorted by head then tail), with
+    each edge's value appearing in both directions.
+    """
+    if not u.size:
+        return np.empty(0)
+    heads = np.concatenate([u, v])
+    tails = np.concatenate([v, u])
+    both = np.concatenate([values, values])
+    order = np.lexsort((tails, heads))
+    return both[order]
+
+
+class PreferentialAttachmentGraph(SparseGraph):
+    """Barabási–Albert preferential attachment (heavy-tailed degrees).
+
+    Nodes arrive one at a time and attach ``m`` edges to distinct
+    existing nodes, chosen with probability proportional to current
+    degree (the repeated-endpoints list trick).  Node ``m`` connects to
+    all of ``0 .. m-1``, so the graph is connected by construction;
+    every *arriving* node has degree at least ``m`` (the ``m`` seed
+    nodes start at degree 1 and only grow if chosen).  The degree law
+    has the classic ``deg^-3`` tail — hubs that a uniform-contact
+    analysis on ``K_n`` never sees.
+    """
+
+    def __init__(self, n: int, m: int, rng: np.random.Generator):
+        n = check_positive_int("n", n, minimum=3)
+        m = check_positive_int("m", m, minimum=1)
+        if m >= n:
+            raise ConfigurationError(f"attachment count m={m} needs n > m, got n={n}")
+        self.m = m
+        edge_u = np.empty((n - m) * m, dtype=np.int64)
+        edge_v = np.empty((n - m) * m, dtype=np.int64)
+        # Every edge contributes both endpoints to the repeated list, so
+        # drawing a uniform entry is exactly degree-proportional.
+        repeated: list[int] = []
+        filled = 0
+        for node in range(m, n):
+            if node == m:
+                chosen = list(range(m))
+            else:
+                chosen_set: set[int] = set()
+                need = m
+                while need:
+                    draws = rng.integers(len(repeated), size=2 * need)
+                    for draw in draws.tolist():
+                        target = repeated[draw]
+                        if target not in chosen_set:
+                            chosen_set.add(target)
+                            need -= 1
+                            if not need:
+                                break
+                chosen = sorted(chosen_set)
+            for target in chosen:
+                edge_u[filled] = node
+                edge_v[filled] = target
+                filled += 1
+                repeated.append(node)
+                repeated.append(target)
+        super().__init__(n, *_csr_from_edges(n, edge_u, edge_v))
+
+
 class RingLattice(SparseGraph):
     """The circulant ring: node ``v`` connects to ``v ± 1 .. v ± radius``.
 
@@ -536,41 +799,112 @@ class ClusterGraph(SparseGraph):
 
 
 # --------------------------------------------------------------------------
+# Edge-weight attachment (the heterogeneous-latency seam).
+
+
+def assign_uniform_weights(
+    graph: SparseGraph,
+    rng: np.random.Generator,
+    *,
+    low: float = 0.25,
+    high: float = 1.75,
+) -> SparseGraph:
+    """Attach iid ``Uniform[low, high]`` latency multipliers per edge.
+
+    One draw per *undirected* edge (mirrored to both CSR directions),
+    in canonical sorted-edge order — a pure function of the generator
+    state and the graph, bit-identical across worker processes.  The
+    default range has mean 1, keeping weighted and unweighted runs
+    comparable in average channel latency.
+    """
+    if low <= 0 or high < low:
+        raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+    keys = np.minimum(graph.indices, _csr_heads(graph)) * graph.n + np.maximum(
+        graph.indices, _csr_heads(graph)
+    )
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    per_edge = rng.uniform(low, high, size=unique_keys.size)
+    return graph.set_weights(per_edge[inverse])
+
+
+def _csr_heads(graph: SparseGraph) -> np.ndarray:
+    """The head (owning) node of every directed CSR entry."""
+    return np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+
+
+# --------------------------------------------------------------------------
 # Named builders (the sweep/CLI integration point).
 
 
-def _build_complete(n, rng, *, degree, clusters, ensure_connected):
+def _build_complete(n, rng, *, degree, clusters, ensure_connected, weights):
+    if weights != "none":
+        raise ConfigurationError(
+            "the complete graph has no edge list to weight; use a sparse topology"
+        )
     return CompleteGraph(n)
 
 
-def _build_regular(n, rng, *, degree, clusters, ensure_connected):
+def _build_regular(n, rng, *, degree, clusters, ensure_connected, weights):
     # No silent degree adjustment: an odd n*d raises (in the
     # constructor) rather than building a graph the swept 'degree'
     # parameter would misreport.
-    return RandomRegularGraph(n, int(degree), rng, ensure_connected=ensure_connected)
+    graph = RandomRegularGraph(n, int(degree), rng, ensure_connected=ensure_connected)
+    return _apply_weights(graph, rng, weights, "regular")
 
 
-def _build_gnp(n, rng, *, degree, clusters, ensure_connected):
+def _build_gnp(n, rng, *, degree, clusters, ensure_connected, weights):
     p = min(1.0, float(degree) / (n - 1))
-    return ErdosRenyiGraph(n, p, rng, ensure_connected=ensure_connected)
+    graph = ErdosRenyiGraph(n, p, rng, ensure_connected=ensure_connected)
+    return _apply_weights(graph, rng, weights, "gnp")
 
 
-def _build_ring(n, rng, *, degree, clusters, ensure_connected):
-    return RingLattice(n, radius=max(1, int(degree) // 2))
+def _build_geometric(n, rng, *, degree, clusters, ensure_connected, weights):
+    graph = RandomGeometricGraph.from_expected_degree(
+        n, degree, rng, ensure_connected=ensure_connected, weighted=(weights == "distance")
+    )
+    if weights == "distance":
+        return graph
+    return _apply_weights(graph, rng, weights, "geometric")
 
 
-def _build_torus(n, rng, *, degree, clusters, ensure_connected):
-    return TorusGrid.near_square(n)
+def _build_preferential(n, rng, *, degree, clusters, ensure_connected, weights):
+    graph = PreferentialAttachmentGraph(n, max(1, int(round(degree / 2))), rng)
+    return _apply_weights(graph, rng, weights, "preferential")
 
 
-def _build_cluster(n, rng, *, degree, clusters, ensure_connected):
-    return ClusterGraph(n, int(clusters), rng)
+def _build_ring(n, rng, *, degree, clusters, ensure_connected, weights):
+    graph = RingLattice(n, radius=max(1, int(degree) // 2))
+    return _apply_weights(graph, rng, weights, "ring")
+
+
+def _build_torus(n, rng, *, degree, clusters, ensure_connected, weights):
+    graph = TorusGrid.near_square(n)
+    return _apply_weights(graph, rng, weights, "torus")
+
+
+def _build_cluster(n, rng, *, degree, clusters, ensure_connected, weights):
+    graph = ClusterGraph(n, int(clusters), rng)
+    return _apply_weights(graph, rng, weights, "cluster")
+
+
+def _apply_weights(graph: SparseGraph, rng, weights: str, name: str) -> SparseGraph:
+    if weights == "none":
+        return graph
+    if weights == "uniform":
+        return assign_uniform_weights(graph, rng)
+    supported = ["none", "uniform"] + (["distance"] if name == "geometric" else [])
+    raise ConfigurationError(
+        f"unknown weights {weights!r} for topology {name!r}; available: "
+        + ", ".join(supported)
+    )
 
 
 GRAPH_BUILDERS = {
     "complete": _build_complete,
     "regular": _build_regular,
     "gnp": _build_gnp,
+    "geometric": _build_geometric,
+    "preferential": _build_preferential,
     "ring": _build_ring,
     "torus": _build_torus,
     "cluster": _build_cluster,
@@ -582,6 +916,11 @@ def graph_names() -> list[str]:
     return sorted(GRAPH_BUILDERS)
 
 
+def weight_names() -> list[str]:
+    """Named edge-weight laws (the ``weights=`` sweep axis)."""
+    return ["distance", "none", "uniform"]
+
+
 def build_graph(
     name: str,
     n: int,
@@ -590,15 +929,20 @@ def build_graph(
     degree: float = 8,
     clusters: int = 8,
     ensure_connected: bool = True,
+    weights: str = "none",
 ):
     """Build a named topology from scalar parameters.
 
     ``degree`` is interpreted per family: exact degree for ``regular``,
-    expected degree for ``gnp`` (``p = degree / (n - 1)``), and
+    expected degree for ``gnp`` (``p = degree / (n - 1)``) and
+    ``geometric`` (radius solved from ``(n-1) π r² = degree``), twice
+    the attachment count for ``preferential`` (``m = degree / 2``), and
     ``2 * radius`` for ``ring``; ``torus`` and ``complete`` ignore it.
-    ``clusters`` only applies to the ``cluster`` topology. Building
-    ``complete`` consumes no randomness, which keeps the default sweep
-    path bit-identical to the pre-scenario engine.
+    ``clusters`` only applies to the ``cluster`` topology.  ``weights``
+    attaches per-edge latency multipliers: ``"uniform"`` (iid mean-1,
+    any sparse topology) or ``"distance"`` (edge length, ``geometric``
+    only). Building ``complete`` consumes no randomness, which keeps
+    the default sweep path bit-identical to the pre-scenario engine.
     """
     try:
         builder = GRAPH_BUILDERS[name]
@@ -606,4 +950,11 @@ def build_graph(
         raise ConfigurationError(
             f"unknown topology {name!r}; available: {', '.join(graph_names())}"
         ) from None
-    return builder(n, rng, degree=degree, clusters=clusters, ensure_connected=ensure_connected)
+    return builder(
+        n,
+        rng,
+        degree=degree,
+        clusters=clusters,
+        ensure_connected=ensure_connected,
+        weights=weights,
+    )

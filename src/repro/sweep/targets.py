@@ -25,13 +25,25 @@ Built-in targets cover the paper's protocols:
     Section 4's decentralized clustering + consensus pipeline.
 ``voter`` / ``two_choices`` / ``three_majority`` / ``undecided``
     Related-work baselines (Section 1.1).
+``population``
+    Sequential population protocols (Section 1.1's asynchronous
+    substrate): Angluin et al.'s 3-state approximate majority or the
+    4-state exact-majority protocol on the pairwise scheduler.
 
 All targets additionally take the scenario axes from
 :mod:`repro.scenarios`: ``topology`` / ``degree`` / ``clusters``
-(communication substrate) and ``init`` (initial configuration); the
-event-driven targets (``single_leader``, ``multileader``) also take the
+(communication substrate) and ``init`` (initial configuration,
+including the topology-correlated ``clustered`` placement);
+``single_leader`` — the one engine that consumes per-edge latency
+multipliers — also takes ``weights``. *Every* target takes the
 fault axes ``drop`` / ``drop_model`` / ``churn`` / ``churn_downtime`` /
-``stragglers`` / ``straggler_slowdown``. The defaults —
+``stragglers`` / ``straggler_slowdown``: the event-driven targets
+(``single_leader``, ``multileader``) route them through the
+event-stream seam (:func:`repro.scenarios.faults.build_faults`), the
+round-driven targets (``synchronous``, the baselines, ``population``)
+through the round-level seam
+(:func:`repro.scenarios.round_faults.build_round_faults`) — one knob
+vocabulary, two matched fault models. The defaults —
 ``topology="complete"``, no faults, ``init="biased"`` — consume no
 extra randomness and leave every record byte-identical to the
 pre-scenario engine (regression-guarded in ``tests/scenarios/``).
@@ -39,7 +51,7 @@ pre-scenario engine (regression-guarded in ``tests/scenarios/``).
 Examples
 --------
 >>> sorted(target_names())[:3]
-['multileader', 'single_leader', 'synchronous']
+['multileader', 'population', 'single_leader']
 >>> from repro.engine.rng import RngRegistry
 >>> rec = get_target("synchronous")({"n": 400, "k": 2, "alpha": 2.0},
 ...                                 RngRegistry(1).stream("doc"))
@@ -62,10 +74,12 @@ from repro.core.single_leader import SingleLeaderSim
 from repro.core.synchronous import run_synchronous
 from repro.engine.latency import ConstantLatency, GammaLatency, LatencyModel
 from repro.errors import ConfigurationError
+from repro.engine.network import CompleteGraph
 from repro.multileader.params import MultiLeaderParams
 from repro.multileader.protocol import run_multileader
-from repro.scenarios.adversary import adversarial_counts
+from repro.scenarios.adversary import adversarial_counts, clustered_assignment
 from repro.scenarios.faults import build_faults, prepare_faulty_simulator
+from repro.scenarios.round_faults import build_round_faults, prepare_round_faults
 from repro.scenarios.topology import build_graph
 
 __all__ = ["register_target", "get_target", "target_names", "target_params"]
@@ -75,7 +89,12 @@ Target = Callable[[Mapping[str, Any], np.random.Generator], dict]
 _TARGETS: dict[str, Target] = {}
 _TARGET_DEFAULTS: dict[str, dict[str, Any]] = {}
 
-#: Substrate + initial-configuration axes (all targets).
+#: Substrate + initial-configuration axes (all targets).  The
+#: ``weights`` axis is deliberately NOT here: only targets whose
+#: physics actually consumes per-edge latency multipliers declare it
+#: (currently ``single_leader``) — on any other target a ``weights=``
+#: grid would silently run unweighted physics under a weighted label,
+#: so the standard unknown-parameter rejection is the honest behavior.
 _TOPOLOGY_DEFAULTS: dict[str, Any] = {
     "topology": "complete",
     "degree": 8,
@@ -83,7 +102,7 @@ _TOPOLOGY_DEFAULTS: dict[str, Any] = {
     "init": "biased",
 }
 
-#: Fault axes (event-driven targets only).
+#: Fault axes (all targets; event seam or round seam per engine family).
 _FAULT_DEFAULTS: dict[str, Any] = {
     "drop": 0.0,
     "drop_model": "iid",
@@ -185,9 +204,18 @@ def _latency_model(name: str, rate: float, shape: float) -> LatencyModel | None:
 def _scenario_graph(p: Mapping[str, Any], rng: np.random.Generator):
     """Build the run's substrate; ``None`` keeps the bit-identical K_n path."""
     if p["topology"] == "complete":
+        if p.get("weights", "none") != "none":
+            raise ConfigurationError(
+                "weights require a sparse topology (the complete graph is homogeneous)"
+            )
         return None
     return build_graph(
-        p["topology"], p["n"], rng, degree=p["degree"], clusters=int(p["clusters"])
+        p["topology"],
+        p["n"],
+        rng,
+        degree=p["degree"],
+        clusters=int(p["clusters"]),
+        weights=p.get("weights", "none"),
     )
 
 
@@ -213,6 +241,42 @@ def _scenario_faults(p: Mapping[str, Any]) -> list:
     )
 
 
+def _scenario_round_faults(p: Mapping[str, Any], rng: np.random.Generator):
+    """Round-fault wiring from the same flat knobs (round-driven targets).
+
+    ``None`` at all-zero knobs — the wiring then consumes no randomness
+    and the engines take their pre-fault code path untouched.
+    """
+    return prepare_round_faults(
+        p["n"],
+        build_round_faults(
+            drop=p["drop"],
+            drop_model=p["drop_model"],
+            churn=p["churn"],
+            churn_downtime=p["churn_downtime"],
+            stragglers=p["stragglers"],
+            straggler_slowdown=p["straggler_slowdown"],
+        ),
+        rng,
+    )
+
+
+def _scenario_placement(
+    p: Mapping[str, Any], graph, counts: np.ndarray, rng: np.random.Generator
+):
+    """Per-node placement for ``init="clustered"`` (``None`` otherwise).
+
+    Built against the run's actual substrate; on the complete graph —
+    where placement cannot matter — it degenerates to a uniform
+    shuffle.
+    """
+    if p["init"] != "clustered":
+        return None
+    return clustered_assignment(
+        graph if graph is not None else CompleteGraph(p["n"]), counts, rng
+    )
+
+
 _SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
     "n": 1000,
     "k": 4,
@@ -223,6 +287,7 @@ _SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
     "max_steps": 10_000,
     "epsilon": None,
     **_TOPOLOGY_DEFAULTS,
+    **_FAULT_DEFAULTS,
 }
 
 
@@ -232,6 +297,7 @@ def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
     p = _take(params, _SYNCHRONOUS_DEFAULTS)
     graph = _scenario_graph(p, rng)
     counts = _scenario_counts(p)
+    assignment = _scenario_placement(p, graph, counts, rng)
     if p["schedule"] == "fixed":
         schedule = FixedSchedule(
             n=p["n"], k=int(counts.size), alpha0=p["alpha"], gamma=p["gamma"]
@@ -243,10 +309,17 @@ def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
             f"unknown schedule {p['schedule']!r}; use 'fixed' or 'adaptive'"
         )
     # The mean-field multinomial engine is exact only on K_n; sparse
-    # substrates require the literal per-node engine.
+    # substrates require the literal per-node engine.  On the complete
+    # graph placement is exchangeable — clustered degenerates to the
+    # uniform shuffle — so the assignment is dropped there instead of
+    # forcing the (unscalable at aggregate-n) per-node engine, the
+    # same validate-then-ignore rule ``run_dynamics`` applies.
     engine = p["engine"]
-    if graph is not None and engine == "aggregate":
+    if graph is None:
+        assignment = None
+    elif engine == "aggregate":
         engine = "pernode"
+    wiring = _scenario_round_faults(p, rng)
     result = run_synchronous(
         counts,
         schedule,
@@ -255,6 +328,8 @@ def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         max_steps=p["max_steps"],
         epsilon=p["epsilon"],
         graph=graph,
+        round_faults=wiring,
+        assignment=assignment,
     )
     record = _record(result)
     if engine != p["engine"]:
@@ -263,6 +338,8 @@ def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         # substitution would stay invisible exactly where it matters.
         record["engine_substituted"] = True
         record["engine_effective"] = engine
+    if wiring is not None:
+        record.update(wiring.info())
     return record
 
 
@@ -276,6 +353,9 @@ _SINGLE_LEADER_DEFAULTS: dict[str, Any] = {
     "latency_shape": 2.0,
     "max_time": 4000.0,
     "epsilon": None,
+    # The only target whose engine consumes per-edge latency
+    # multipliers (scaled channel-establishment delays).
+    "weights": "none",
     **_TOPOLOGY_DEFAULTS,
     **_FAULT_DEFAULTS,
 }
@@ -287,6 +367,7 @@ def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) ->
     p = _take(params, _SINGLE_LEADER_DEFAULTS)
     graph = _scenario_graph(p, rng)
     counts = _scenario_counts(p)
+    assignment = _scenario_placement(p, graph, counts, rng)
     sim_params = SingleLeaderParams(
         n=p["n"],
         k=int(counts.size),  # init="ramp" reinterprets k (see _scenario_counts)
@@ -299,7 +380,8 @@ def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) ->
     # flow through the fault transforms (no churn-guard escape).
     simulator, wiring = prepare_faulty_simulator(p["n"], _scenario_faults(p), rng)
     sim = SingleLeaderSim(
-        sim_params, counts, rng, latency_model=model, graph=graph, simulator=simulator
+        sim_params, counts, rng, latency_model=model, graph=graph, simulator=simulator,
+        assignment=assignment,
     )
     if wiring is not None:
         wiring.bind(sim)
@@ -328,6 +410,12 @@ _MULTILEADER_DEFAULTS: dict[str, Any] = {
 def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
     """Section 4's decentralized pipeline: clustering then consensus."""
     p = _take(params, _MULTILEADER_DEFAULTS)
+    if p["init"] == "clustered":
+        raise ConfigurationError(
+            "the multileader pipeline rebuilds its population between phases "
+            "and does not support per-node placement; use init='biased' or "
+            "the single_leader/synchronous targets for clustered starts"
+        )
     graph = _scenario_graph(p, rng)
     counts = _scenario_counts(p)
     sim_params = MultiLeaderParams(
@@ -379,6 +467,7 @@ _BASELINE_DEFAULTS: dict[str, Any] = {
     "max_rounds": 100_000,
     "epsilon": None,
     **_TOPOLOGY_DEFAULTS,
+    **_FAULT_DEFAULTS,
 }
 
 
@@ -389,6 +478,8 @@ def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
         p = _take(params, _BASELINE_DEFAULTS)
         graph = _scenario_graph(p, rng)
         counts = _scenario_counts(p)
+        assignment = _scenario_placement(p, graph, counts, rng)
+        wiring = _scenario_round_faults(p, rng)
         result = run_dynamics(
             dynamics_factory(p["k"]),
             counts,
@@ -396,8 +487,13 @@ def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
             max_rounds=p["max_rounds"],
             epsilon=p["epsilon"],
             graph=graph,
+            round_faults=wiring,
+            assignment=assignment,
         )
-        return _record(result)
+        record = _record(result)
+        if wiring is not None:
+            record.update(wiring.info())
+        return record
 
     return run_target
 
@@ -418,3 +514,69 @@ def _register_baselines() -> None:
 
 
 _register_baselines()
+
+
+_POPULATION_DEFAULTS: dict[str, Any] = {
+    "n": 1000,
+    "k": 2,
+    "alpha": 2.0,
+    "protocol": "three_state",
+    "max_interactions": None,
+    "check_every": 64,
+    **_TOPOLOGY_DEFAULTS,
+    **_FAULT_DEFAULTS,
+}
+
+
+@register_target("population", _POPULATION_DEFAULTS)
+def population_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+    """Sequential population protocols on the pairwise scheduler.
+
+    ``protocol`` selects Angluin et al.'s 3-state approximate majority
+    (``"three_state"``) or the 4-state exact-majority protocol
+    (``"four_state"``); both are two-opinion protocols, so ``k`` must
+    stay 2.  The fault knobs flow through the round-level seam at
+    interaction-block granularity; ``elapsed`` reports *parallel time*
+    (interactions / n), the standard normalization.
+    """
+    from repro.baselines.population import (
+        FourStateExactMajority,
+        PairwiseScheduler,
+        ThreeStateMajority,
+    )
+
+    p = _take(params, _POPULATION_DEFAULTS)
+    if p["protocol"] == "three_state":
+        protocol = ThreeStateMajority()
+    elif p["protocol"] == "four_state":
+        protocol = FourStateExactMajority()
+    else:
+        raise ConfigurationError(
+            f"unknown population protocol {p['protocol']!r}; "
+            "use 'three_state' or 'four_state'"
+        )
+    graph = _scenario_graph(p, rng)
+    counts = _scenario_counts(p)
+    assignment = _scenario_placement(p, graph, counts, rng)
+    wiring = _scenario_round_faults(p, rng)
+    result = PairwiseScheduler(protocol).run(
+        counts,
+        rng,
+        max_interactions=p["max_interactions"],
+        check_every=int(p["check_every"]),
+        graph=graph,
+        round_faults=wiring,
+        assignment=assignment,
+    )
+    plurality = int(np.argmax(counts))
+    record: dict[str, Any] = {
+        "converged": bool(result.converged),
+        "plurality_won": bool(result.winner == plurality),
+        "winner": -1 if result.winner is None else int(result.winner),
+        "interactions": int(result.interactions),
+        "elapsed": float(result.parallel_time),
+        "epsilon_time": None,
+    }
+    if wiring is not None:
+        record.update(wiring.info())
+    return record

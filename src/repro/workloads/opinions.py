@@ -26,6 +26,7 @@ __all__ = [
     "zipf_counts",
     "counts_to_assignment",
     "assignment_to_counts",
+    "validate_assignment",
 ]
 
 
@@ -163,6 +164,37 @@ def counts_to_assignment(
     assignment = np.repeat(np.arange(counts.size), counts)
     if rng is not None:
         rng.shuffle(assignment)
+    return assignment
+
+
+def validate_assignment(assignment: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Check a per-node color array realizes ``counts``; return it as int64.
+
+    The seam for topology-correlated adversarial placement
+    (:func:`repro.scenarios.adversary.clustered_assignment`): per-node
+    engines accept an explicit assignment instead of shuffling
+    ``counts``, but the assignment must describe exactly the same
+    configuration the run's parameters claim.
+
+    >>> validate_assignment([1, 0, 0], np.array([2, 1])).tolist()
+    [1, 0, 0]
+    """
+    counts = validate_counts(counts)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.ndim != 1:
+        raise ConfigurationError("assignment must be 1-D")
+    if assignment.size != int(counts.sum()):
+        raise ConfigurationError(
+            f"assignment has {assignment.size} nodes but counts sum to {int(counts.sum())}"
+        )
+    if assignment.min(initial=0) < 0 or assignment.max(initial=0) >= counts.size:
+        raise ConfigurationError("assignment names colors outside the count vector")
+    realized = np.bincount(assignment, minlength=counts.size)
+    if not np.array_equal(realized, counts):
+        raise ConfigurationError(
+            "assignment does not realize the requested counts "
+            f"({realized.tolist()} != {counts.tolist()})"
+        )
     return assignment
 
 

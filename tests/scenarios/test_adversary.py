@@ -7,14 +7,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.engine.network import CompleteGraph
+from repro.engine.rng import RngRegistry
 from repro.errors import ConfigurationError
 from repro.scenarios.adversary import (
     adversarial_counts,
+    clustered_assignment,
     init_names,
     minimal_bias_counts,
     opinion_ramp_counts,
     planted_tie_counts,
 )
+from repro.scenarios.topology import ClusterGraph, RandomGeometricGraph
+from repro.workloads.opinions import biased_counts
 
 
 class TestMinimalBias:
@@ -68,6 +73,73 @@ class TestOpinionRamp:
             opinion_ramp_counts(100, 1.0)
 
 
+def _plurality_is_connected(graph, assignment) -> bool:
+    """BFS inside the plurality-colored subgraph reaches all of it."""
+    members = np.nonzero(assignment == 0)[0]
+    member_set = set(members.tolist())
+    seen = {int(members[0])}
+    frontier = [int(members[0])]
+    while frontier:
+        node = frontier.pop()
+        for other in graph.neighbors(node):
+            other = int(other)
+            if other in member_set and other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return len(seen) == members.size
+
+
+class TestClusteredAssignment:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_realizes_counts_and_forms_a_ball(self, seed):
+        rngs = RngRegistry(seed)
+        graph = RandomGeometricGraph(150, 0.25, rngs.stream("g"))
+        counts = biased_counts(150, 3, 2.0)
+        assignment = clustered_assignment(graph, counts, rngs.stream("a"))
+        assert np.bincount(assignment, minlength=3).tolist() == counts.tolist()
+        # The plurality occupies a BFS-prefix ball: connected whenever
+        # the graph is (each BFS layer touches the previous one).
+        if graph.is_connected():
+            assert _plurality_is_connected(graph, assignment)
+
+    def test_cluster_graph_placement_is_locally_concentrated(self, rng):
+        rngs = RngRegistry(7)
+        graph = ClusterGraph(200, 4, rngs.stream("g"))
+        counts = biased_counts(200, 4, 2.0)
+        assignment = clustered_assignment(graph, counts, rngs.stream("a"))
+        # Contiguous cluster blocks of 50 nodes: the plurality must
+        # dominate the block(s) it lands in instead of spreading thin —
+        # its densest block is near-pure, unlike a uniform shuffle
+        # (which would put ~25% everywhere).
+        blocks = assignment.reshape(4, 50)
+        densest = max(int((block == 0).sum()) for block in blocks)
+        assert densest >= 45
+
+    def test_complete_graph_degenerates_to_shuffle(self):
+        rngs = RngRegistry(3)
+        counts = biased_counts(80, 3, 2.0)
+        assignment = clustered_assignment(CompleteGraph(80), counts, rngs.stream("a"))
+        assert np.bincount(assignment, minlength=3).tolist() == counts.tolist()
+
+    def test_bit_identical_across_registries(self):
+        def build():
+            rngs = RngRegistry(11)
+            graph = RandomGeometricGraph(100, 0.3, rngs.stream("g"))
+            return clustered_assignment(
+                graph, biased_counts(100, 3, 2.0), rngs.stream("a")
+            )
+
+        assert build().tolist() == build().tolist()
+
+    def test_size_mismatch_rejected(self):
+        rngs = RngRegistry(1)
+        with pytest.raises(ConfigurationError):
+            clustered_assignment(
+                CompleteGraph(50), biased_counts(80, 3, 2.0), rngs.stream("a")
+            )
+
+
 class TestDispatcher:
     def test_init_names_cover_dispatcher(self):
         for kind in init_names():
@@ -76,11 +148,18 @@ class TestDispatcher:
             assert int(counts.sum()) == n
 
     def test_biased_matches_canonical_workload(self):
-        from repro.workloads.opinions import biased_counts
-
         assert (
             adversarial_counts("biased", 500, 4, 2.0).tolist()
             == biased_counts(500, 4, 2.0).tolist()
+        )
+
+    def test_clustered_counts_are_the_biased_counts(self):
+        # The topology-correlated part is the *placement*; the count
+        # vector is the canonical biased workload, so clustered-vs-
+        # biased comparisons isolate pure placement cost.
+        assert (
+            adversarial_counts("clustered", 300, 3, 2.0).tolist()
+            == biased_counts(300, 3, 2.0).tolist()
         )
 
     def test_unknown_kind_rejected(self):

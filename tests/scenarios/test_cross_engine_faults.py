@@ -1,0 +1,254 @@
+"""Cross-engine robustness differential harness.
+
+The repository now has *two* fault seams — event-stream transforms for
+the asynchronous protocols (:mod:`repro.scenarios.faults`) and
+vectorized per-round masks for the synchronous/population engines
+(:mod:`repro.scenarios.round_faults`) — built from one knob vocabulary.
+This suite pins the claim that the two models describe the *same*
+adversity:
+
+* **matched marginals** (Hypothesis): for any drop rate, the realized
+  loss fraction of the event-level transform chain and the round-level
+  mask agree with the knob and with each other, for both the iid and
+  the bursty (Gilbert–Elliott) channel built from the shared parameter
+  solver;
+* **convergence agreement**: the *relative* ε-convergence slowdown a
+  matched loss rate inflicts on the event-driven single-leader protocol
+  and on the round-driven synchronous protocol falls in overlapping
+  confidence intervals (each engine measured in its own time unit —
+  the ratio cancels the unit);
+* **composition**: stragglers and churn hitting the same node compose
+  without deadlock on both seams.
+
+Everything runs on fixed seeds: the statistics are deterministic, the
+tolerances are calibrated against the measured values with generous
+margins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SingleLeaderParams
+from repro.core.schedule import FixedSchedule
+from repro.core.single_leader import SingleLeaderSim
+from repro.core.synchronous import run_synchronous
+from repro.engine.rng import RngRegistry
+from repro.scenarios.faults import (
+    GilbertElliottDrop,
+    IidDrop,
+    build_faults,
+    gilbert_elliott_params,
+    prepare_faulty_simulator,
+)
+from repro.scenarios.round_faults import (
+    RoundBurstyLoss,
+    RoundIidLoss,
+    build_round_faults,
+    prepare_round_faults,
+)
+from repro.workloads.opinions import biased_counts
+
+rates = st.floats(min_value=0.05, max_value=0.5)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class _Wiring:
+    """Minimal install() context for driving fault models directly."""
+
+    def __init__(self, rng: np.random.Generator, n: int = 256):
+        self.rng = rng
+        self.n = n
+
+
+def _event_realized_rate(model, samples: int, rng) -> float:
+    model.install(_Wiring(rng))
+    dropped = sum(
+        1 for _ in range(samples) if model.transform("exchange", 0, 1.0) is None
+    )
+    return dropped / samples
+
+
+def _round_realized_rate(model, rounds: int, rng, n: int = 256) -> float:
+    model.install(_Wiring(rng, n=n))
+    dropped = 0
+    for index in range(rounds):
+        mask = model.round_mask(float(index))
+        if mask is not None:
+            dropped += mask.size - int(mask.sum())
+    return dropped / (rounds * n)
+
+
+class TestMatchedMarginals:
+    @settings(max_examples=20, deadline=None)
+    @given(rates, seeds)
+    def test_iid_models_realize_the_knob(self, rate, seed):
+        rngs = RngRegistry(seed)
+        event = _event_realized_rate(IidDrop(rate), 20_000, rngs.stream("event"))
+        round_level = _round_realized_rate(
+            RoundIidLoss(rate), 80, rngs.stream("round")
+        )
+        # Binomial sd at 20k samples is < 0.004; 0.02 is a 5-sigma band.
+        assert abs(event - rate) < 0.02
+        assert abs(round_level - rate) < 0.02
+        assert abs(event - round_level) < 0.03
+
+    @settings(max_examples=15, deadline=None)
+    @given(rates, seeds)
+    def test_bursty_models_share_the_stationary_rate(self, rate, seed):
+        rngs = RngRegistry(seed)
+        params = gilbert_elliott_params(rate)
+        event = _event_realized_rate(
+            GilbertElliottDrop(**params), 60_000, rngs.stream("event")
+        )
+        round_level = _round_realized_rate(
+            RoundBurstyLoss(**params), 1500, rngs.stream("round")
+        )
+        # Bursts correlate the draws (the round chain advances once per
+        # round, so 1500 rounds ≈ a few hundred independent sojourns) —
+        # wider bands than the iid case.
+        assert abs(event - rate) < 0.05
+        assert abs(round_level - rate) < 0.05
+        assert abs(event - round_level) < 0.08
+
+    @settings(max_examples=20, deadline=None)
+    @given(rates)
+    def test_builders_map_the_knob_identically(self, rate):
+        event = build_faults(drop=rate, drop_model="bursty")[0]
+        round_level = build_round_faults(drop=rate, drop_model="bursty")[0]
+        assert event.drop_bad == round_level.drop_bad
+        assert event.drop_good == round_level.drop_good
+        assert event.to_bad == round_level.to_bad
+        assert event.to_good == round_level.to_good
+
+
+#: Convergence-agreement scale (calibrated; see module docstring).
+N, K, ALPHA, DROP, REPS = 200, 3, 2.0, 0.4, 5
+EPSILON = 0.1
+
+
+def _event_epsilon_time(drop: float, rep: int) -> float:
+    rngs = RngRegistry(1000 + rep)
+    counts = biased_counts(N, K, ALPHA)
+    simulator, wiring = prepare_faulty_simulator(
+        N, build_faults(drop=drop), rngs.stream("f")
+    )
+    sim = SingleLeaderSim(
+        SingleLeaderParams(n=N, k=K, alpha0=ALPHA),
+        counts,
+        rngs.stream("s"),
+        simulator=simulator,
+    )
+    if wiring is not None:
+        wiring.bind(sim)
+    result = sim.run(max_time=3000.0, epsilon=EPSILON, stop_at_epsilon=True)
+    assert result.epsilon_convergence_time is not None
+    return result.epsilon_convergence_time
+
+
+def _round_epsilon_time(drop: float, rep: int) -> float:
+    rngs = RngRegistry(2000 + rep)
+    counts = biased_counts(N, K, ALPHA)
+    wiring = prepare_round_faults(N, build_round_faults(drop=drop), rngs.stream("f"))
+    result = run_synchronous(
+        counts,
+        FixedSchedule(n=N, k=K, alpha0=ALPHA),
+        rngs.stream("s"),
+        engine="pernode",
+        max_steps=5000,
+        epsilon=EPSILON,
+        round_faults=wiring,
+    )
+    assert result.epsilon_convergence_time is not None
+    return result.epsilon_convergence_time
+
+
+def _slowdown_interval(epsilon_time) -> tuple[float, float, float]:
+    """Mean and a ±2.5·SEM interval of the per-rep slowdown ratios."""
+    ratios = np.array(
+        [epsilon_time(DROP, rep) / epsilon_time(0.0, rep) for rep in range(REPS)]
+    )
+    mean = float(ratios.mean())
+    margin = 2.5 * float(ratios.std(ddof=1)) / np.sqrt(REPS)
+    return mean, mean - margin, mean + margin
+
+
+class TestConvergenceAgreement:
+    """Matched loss ⇒ overlapping ε-convergence slowdown CIs."""
+
+    def test_slowdown_intervals_overlap(self):
+        event_mean, event_lo, event_hi = _slowdown_interval(_event_epsilon_time)
+        round_mean, round_lo, round_hi = _slowdown_interval(_round_epsilon_time)
+        # Both engines slow down (a drop cannot speed consensus up) ...
+        assert event_mean >= 1.0
+        assert round_mean >= 1.0
+        # ... by the same factor up to statistical noise.  The iid
+        # wasted-cycle model predicts ~1/(1-rate) ≈ 1.67 for both.
+        assert event_lo <= round_hi and round_lo <= event_hi, (
+            f"event slowdown {event_mean:.2f} [{event_lo:.2f}, {event_hi:.2f}] vs "
+            f"round slowdown {round_mean:.2f} [{round_lo:.2f}, {round_hi:.2f}]"
+        )
+
+    def test_slowdowns_bracket_the_wasted_cycle_model(self):
+        # Coarse absolute sanity: both means within a factor band of
+        # the 1/(1-rate) prediction, neither degenerate nor exploding.
+        prediction = 1.0 / (1.0 - DROP)
+        for epsilon_time in (_event_epsilon_time, _round_epsilon_time):
+            mean, _, _ = _slowdown_interval(epsilon_time)
+            assert 0.5 * prediction <= mean <= 2.0 * prediction
+
+
+class TestComposition:
+    """Stragglers + churn on the same nodes: no deadlock on either seam."""
+
+    def test_event_seam_composes(self):
+        rngs = RngRegistry(77)
+        counts = biased_counts(150, 3, 2.0)
+        simulator, wiring = prepare_faulty_simulator(
+            150,
+            build_faults(drop=0.2, churn=1.0, stragglers=1.0, straggler_slowdown=3.0),
+            rngs.stream("f"),
+        )
+        sim = SingleLeaderSim(
+            SingleLeaderParams(n=150, k=3, alpha0=2.0),
+            counts,
+            rngs.stream("s"),
+            simulator=simulator,
+        )
+        wiring.bind(sim)
+        result = sim.run(max_time=1500.0, epsilon=EPSILON)
+        # Every node is a straggler AND churn hits stragglers too; with
+        # this much adversity the plurality may legitimately lose, but
+        # the system must never deadlock: cycles keep completing, locks
+        # keep releasing, and the leader's phase machine keeps moving.
+        assert sim.good_ticks > sim.n
+        assert int(sim.locked.sum()) < sim.n
+        assert sim.leader.gen > 0
+        assert result.elapsed == 1500.0 or result.converged
+        info = wiring.info()
+        assert info["fault_crashes"] > 0
+
+    def test_round_seam_composes(self):
+        rngs = RngRegistry(78)
+        counts = biased_counts(200, 3, 2.0)
+        wiring = prepare_round_faults(
+            200,
+            build_round_faults(drop=0.2, churn=1.0, stragglers=1.0, straggler_slowdown=3.0),
+            rngs.stream("f"),
+        )
+        result = run_synchronous(
+            counts,
+            FixedSchedule(n=200, k=3, alpha0=2.0),
+            rngs.stream("s"),
+            engine="pernode",
+            max_steps=8000,
+            epsilon=EPSILON,
+            round_faults=wiring,
+        )
+        assert result.epsilon_convergence_time is not None
+        info = wiring.info()
+        assert info["fault_crashes"] > 0
+        assert info["fault_straggler_skips"] > 0

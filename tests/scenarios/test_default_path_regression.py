@@ -40,6 +40,11 @@ GOLDEN = json.loads((Path(__file__).parent / "golden_default_path.json").read_te
 GOLDEN_BATCH = json.loads(
     (Path(__file__).parent / "golden_default_path_batch.json").read_text()
 )
+#: Round-seam era pins (generated when the round-level fault subsystem
+#: landed): population scheduler, aggregate engine, population target.
+GOLDEN_ROUND = json.loads(
+    (Path(__file__).parent / "golden_round_defaults.json").read_text()
+)
 
 #: graph= values that must hit the identical code path.
 DEFAULT_GRAPHS = [None, "complete"]
@@ -157,6 +162,78 @@ class TestSweepRecords:
         for record in records:
             record.pop("wall_time", None)
         assert records == GOLDEN["sweep_records"]
+
+
+class TestRoundSeamDefaults:
+    """The round-level fault subsystem's zero-fault paths, pinned.
+
+    ``round_faults=None`` / ``assignment=None`` / ``graph=None`` must
+    consume no randomness and take the literal pre-seam code path.  The
+    population scheduler and the aggregate engine gained the seam in
+    the same change, so their default trajectories are pinned here the
+    way ``golden_default_path.json`` pins the event engines.
+    """
+
+    def test_population_scheduler_three_state(self):
+        from repro.baselines.population import PairwiseScheduler, ThreeStateMajority
+
+        rngs = RngRegistry(42)
+        result = PairwiseScheduler(ThreeStateMajority()).run(
+            biased_counts(400, 2, 2.0), rngs.stream("p3"),
+            graph=None, round_faults=None, assignment=None,
+        )
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            int(result.interactions),
+            result.final_state_counts.tolist(),
+        ] == GOLDEN_ROUND["population_three_state"]
+
+    def test_population_scheduler_four_state(self):
+        from repro.baselines.population import FourStateExactMajority, PairwiseScheduler
+
+        rngs = RngRegistry(42)
+        result = PairwiseScheduler(FourStateExactMajority()).run(
+            biased_counts(120, 2, 1.5), rngs.stream("p4")
+        )
+        assert [
+            bool(result.converged),
+            None if result.winner is None else int(result.winner),
+            int(result.interactions),
+            result.final_state_counts.tolist(),
+        ] == GOLDEN_ROUND["population_four_state"]
+
+    def test_aggregate_synchronous(self):
+        from repro.core.schedule import FixedSchedule
+        from repro.core.synchronous import AggregateSynchronousSim
+
+        rngs = RngRegistry(42)
+        sim = AggregateSynchronousSim(
+            biased_counts(600, 4, 2.0),
+            FixedSchedule(n=600, k=4, alpha0=2.0),
+            rngs.stream("agg"),
+            round_faults=None,
+        )
+        result = sim.run(max_steps=4000)
+        assert [
+            bool(result.converged),
+            int(result.winner),
+            repr(result.elapsed),
+            result.final_color_counts.tolist(),
+        ] == GOLDEN_ROUND["aggregate_sync"]
+
+    def test_population_target_records(self):
+        spec = SweepSpec(
+            target="population",
+            base={"k": 2, "alpha": 2.0},
+            grid={"n": [200, 300]},
+            repetitions=2,
+            seed=7,
+        )
+        records = [execute_run(config) for config in spec.expand()]
+        for record in records:
+            record.pop("wall_time", None)
+        assert records == GOLDEN_ROUND["population_records"]
 
 
 class TestBatchEngineGolden:

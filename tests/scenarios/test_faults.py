@@ -1,4 +1,12 @@
-"""Fault-injection behavior on real protocol simulators."""
+"""Fault-injection behavior on real protocol simulators.
+
+The behavioral classes (injection, churn, prepared simulator) run on a
+4-way engine matrix: the heap fallback plus the batch engine at pool
+block sizes 1, 2, and the production default — block 1 collapses the
+batch engine's tick window to the event-granular legacy sequence and
+block 2 sits exactly on the window-collapse boundary, the two places a
+fault/batching interaction bug would hide.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ import math
 
 import pytest
 
+import repro.engine.rng as engine_rng
+import repro.engine.simulator as engine_sim
 from repro.core.params import SingleLeaderParams
 from repro.core.single_leader import SingleLeaderSim
 from repro.engine.rng import RngRegistry
@@ -23,12 +33,27 @@ from repro.scenarios.faults import (
 from repro.workloads.opinions import biased_counts
 
 
+@pytest.fixture(
+    params=[("heap", None), ("batch", 1), ("batch", 2), ("batch", None)],
+    ids=["heap", "batch-block1", "batch-block2", "batch-blockD"],
+)
+def fault_engine(request, monkeypatch):
+    """Engine × pool-block matrix for the behavioral fault tests."""
+    engine, block = request.param
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.setattr(engine_sim, "DEFAULT_ENGINE", engine)
+    if block is not None:
+        monkeypatch.setattr(engine_rng, "DEFAULT_BLOCK", block)
+    return request.param
+
+
 def _sim(seed: int, n: int = 200, k: int = 3) -> SingleLeaderSim:
     rngs = RngRegistry(seed)
     params = SingleLeaderParams(n=n, k=k, alpha0=2.0)
     return SingleLeaderSim(params, biased_counts(n, k, 2.0), rngs.stream("sim"))
 
 
+@pytest.mark.usefixtures("fault_engine")
 class TestInjection:
     def test_empty_fault_list_is_identity(self, rngs):
         baseline = _sim(1)
@@ -86,6 +111,7 @@ class TestInjection:
         )
 
 
+@pytest.mark.usefixtures("fault_engine")
 class TestChurn:
     def test_poisson_churn_crashes_and_rejoins(self, rngs):
         sim = _sim(6)
@@ -169,6 +195,7 @@ class TestBuildFaults:
         assert run(11) != run(12)
 
 
+@pytest.mark.usefixtures("fault_engine")
 class TestPreparedSimulator:
     """`prepare_faulty_simulator` closes the initial-tick churn escape."""
 
@@ -221,3 +248,83 @@ class TestPreparedSimulator:
         result = sim.run(max_time=600.0, epsilon=0.1)
         assert result.epsilon_convergence_time is not None
         assert wiring.dropped_messages > 0
+
+
+class TestFaultModelEdgeCases:
+    """Previously-unpinned corners of the event-stream fault models."""
+
+    def test_gilbert_elliott_stationary_rate_matches_parameters(self, rngs):
+        # The chain's stationary bad fraction is to_bad/(to_bad+to_good);
+        # the marginal loss follows analytically.  60k driven messages
+        # give a tight statistical pin (the chain mixes in ~2 steps).
+        model = GilbertElliottDrop(
+            drop_good=0.05, drop_bad=0.8, to_bad=0.2, to_good=0.4
+        )
+
+        class _Ctx:
+            rng = rngs.stream("ge")
+            n = 64
+
+        model.install(_Ctx())
+        samples = 60_000
+        dropped = sum(
+            1 for _ in range(samples) if model.transform("message", 0, 1.0) is None
+        )
+        stationary_bad = 0.2 / (0.2 + 0.4)
+        expected = stationary_bad * 0.8 + (1.0 - stationary_bad) * 0.05
+        assert abs(dropped / samples - expected) < 0.02
+        assert model.bursts > 0
+
+    def test_crash_at_times_duplicate_times_and_out_of_order(self, rngs):
+        # Several nodes crashing at the same instant, inserted out of
+        # order, must each crash exactly once and rejoin exactly once.
+        schedule = {17: 10.0, 3: 10.0, 42: 2.0, 8: 10.0}
+        sim = _sim(21, n=80)
+        fault = CrashAtTimes(schedule, downtime=4.0)
+        inject_faults(sim, [fault], rngs.stream("f"))
+        sim.run(max_time=11.0)
+        # At t=11: node 42 crashed at 2 and rejoined at 6; nodes 3, 8,
+        # 17 crashed at 10 and are still down.
+        assert fault.crashes == 4
+        assert fault.rejoins == 1
+        assert fault.crashed_until(42) is None
+        for node in (3, 8, 17):
+            assert fault.crashed_until(node) == pytest.approx(14.0)
+        # Same schedule run past every rejoin: all four nodes come back.
+        sim = _sim(21, n=80)
+        fault = CrashAtTimes(schedule, downtime=4.0)
+        wiring = inject_faults(sim, [fault], rngs.stream("f2"))
+        sim.run(max_time=30.0)
+        assert fault.crashes == 4
+        assert fault.rejoins == 4
+        assert wiring.info()["fault_rejoins"] == 4
+
+    def test_crash_time_in_the_past_fires_immediately(self, rngs):
+        # A schedule entry before the injection time is clamped to "now",
+        # not silently skipped.  Drive the raw simulator (no end-of-run
+        # accounting) so injection can happen mid-flight.
+        sim = _sim(22, n=60)
+        sim.sim.run(until=5.0)
+        fault = CrashAtTimes({7: 1.0})  # t=1 is already in the past
+        inject_faults(sim, [fault], rngs.stream("f"))
+        sim.sim.run(until=6.0)
+        assert fault.crashes == 1
+        assert fault.crashed_until(7) == math.inf
+
+    def test_stragglers_and_churn_composed_on_same_node(self, rngs):
+        # fraction=1.0 forces every node into the straggler set, so the
+        # crashed node is certainly both slowed and churned; the
+        # deferred-tick resume path must then run through the straggler
+        # transform without deadlocking the node.
+        sim = _sim(23, n=60)
+        straggle = Stragglers(1.0, slowdown=3.0)
+        crash = CrashAtTimes({11: 5.0}, downtime=10.0)
+        wiring = inject_faults(sim, [straggle, crash], rngs.stream("f"))
+        result = sim.run(max_time=120.0)
+        assert straggle.count == 60
+        assert crash.crashes == 1 and crash.rejoins == 1
+        # Node 11 came back: its state was reset at rejoin and it kept
+        # participating (its clock survived the downtime).
+        assert not sim.locked[11] or sim.good_ticks > 60
+        assert wiring.deferred_ticks > 0
+        assert result.elapsed <= 120.0

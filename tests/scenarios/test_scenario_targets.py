@@ -126,6 +126,32 @@ class TestScenarioTargets:
             params = target_params(name)
             assert "topology" in params and "init" in params, name
 
+    def test_weights_axis_only_where_it_has_physics(self):
+        # Only the single-leader engine consumes per-edge latency
+        # multipliers; exposing the axis elsewhere would run unweighted
+        # physics under a weighted label.
+        assert "weights" in target_params("single_leader")
+        for name in target_names():
+            if name != "single_leader":
+                assert "weights" not in target_params(name), name
+
+    def test_weights_rejected_on_targets_without_weighted_physics(self):
+        rng = RngRegistry(20).stream("t")
+        for name in ("synchronous", "multileader", "voter", "population"):
+            with pytest.raises(ConfigurationError):
+                get_target(name)({"weights": "uniform", "topology": "regular"}, rng)
+
+    def test_every_target_documents_fault_axes(self):
+        # The one-vocabulary guarantee: every target — event-driven or
+        # round-driven — exposes the same fault knobs.
+        for name in target_names():
+            params = target_params(name)
+            for knob in (
+                "drop", "drop_model", "churn", "churn_downtime",
+                "stragglers", "straggler_slowdown",
+            ):
+                assert knob in params, (name, knob)
+
     def test_single_leader_target_with_faults(self):
         rng = RngRegistry(1).stream("t")
         record = get_target("single_leader")(
@@ -165,6 +191,108 @@ class TestScenarioTargets:
         rng = RngRegistry(4).stream("t")
         with pytest.raises(ConfigurationError):
             get_target("single_leader")({"topo": "regular"}, rng)
+
+    def test_synchronous_target_round_faults(self):
+        rng = RngRegistry(5).stream("t")
+        record = get_target("synchronous")(
+            {
+                "n": 200, "k": 3, "alpha": 2.0, "engine": "pernode",
+                "drop": 0.3, "churn": 0.5, "stragglers": 0.2,
+                "max_steps": 3000, "epsilon": 0.1,
+            },
+            rng,
+        )
+        assert record["converged"] in (True, False)
+        assert record["fault_round_dropped"] > 0
+        assert "fault_crashes" in record
+
+    def test_baseline_target_round_faults(self):
+        # Multinomial path: loss enters as participation thinning, so
+        # the telemetry is the (mean-field) expected skip count.
+        rng = RngRegistry(6).stream("t")
+        record = get_target("voter")(
+            {"n": 150, "k": 2, "alpha": 3.0, "drop": 0.3, "max_rounds": 50_000},
+            rng,
+        )
+        assert record["fault_skipped_node_rounds"] > 0
+        # Per-node path (sparse graph): realized mask drops are counted.
+        graphy = get_target("voter")(
+            {
+                "n": 150, "k": 2, "alpha": 3.0, "drop": 0.3,
+                "topology": "regular", "degree": 8, "max_rounds": 50_000,
+            },
+            RngRegistry(61).stream("t"),
+        )
+        assert graphy["fault_round_dropped"] > 0
+
+    def test_population_target_protocols_and_faults(self):
+        rng = RngRegistry(7).stream("t")
+        record = get_target("population")(
+            {"n": 200, "drop": 0.2, "churn": 0.5}, rng
+        )
+        assert record["converged"]
+        assert record["interactions"] > 0
+        assert record["fault_round_dropped"] > 0
+        exact = get_target("population")(
+            {"n": 120, "protocol": "four_state"}, RngRegistry(8).stream("t")
+        )
+        assert exact["converged"]
+        with pytest.raises(ConfigurationError):
+            get_target("population")({"protocol": "five_state"}, rng)
+
+    def test_clustered_init_on_clustered_topology(self):
+        rng = RngRegistry(9).stream("t")
+        record = get_target("single_leader")(
+            {
+                "n": 144, "k": 3, "alpha": 2.0, "topology": "cluster",
+                "init": "clustered", "max_time": 600.0, "epsilon": 0.1,
+            },
+            rng,
+        )
+        assert "plurality_won" in record
+
+    def test_clustered_on_complete_keeps_aggregate_engine(self):
+        # On K_n placement is exchangeable, so the clustered start must
+        # NOT force the per-node engine (the aggregate engine exists to
+        # scale to n the per-node loop cannot touch).
+        rng = RngRegistry(19).stream("t")
+        record = get_target("synchronous")(
+            {"n": 400, "k": 3, "alpha": 2.0, "init": "clustered", "max_steps": 2000},
+            rng,
+        )
+        assert "engine_substituted" not in record
+
+    def test_aggregate_loss_telemetry_nonzero(self):
+        # Count-seam loss is participation thinning (no masks), but the
+        # records must still show the expected drop counts.
+        rng = RngRegistry(21).stream("t")
+        record = get_target("synchronous")(
+            {"n": 400, "k": 3, "alpha": 2.0, "drop": 0.3, "max_steps": 2000},
+            rng,
+        )
+        assert record["fault_round_dropped"] > 0
+        assert record["fault_skipped_node_rounds"] > 0
+
+    def test_clustered_init_rejected_on_multileader(self):
+        rng = RngRegistry(10).stream("t")
+        with pytest.raises(ConfigurationError):
+            get_target("multileader")({"init": "clustered"}, rng)
+
+    def test_weighted_geometric_single_leader(self):
+        rng = RngRegistry(11).stream("t")
+        record = get_target("single_leader")(
+            {
+                "n": 144, "k": 3, "alpha": 2.0, "topology": "geometric",
+                "degree": 16, "weights": "distance", "max_time": 400.0,
+            },
+            rng,
+        )
+        assert record["events"] > 0
+
+    def test_weights_rejected_on_complete(self):
+        rng = RngRegistry(12).stream("t")
+        with pytest.raises(ConfigurationError):
+            get_target("single_leader")({"weights": "uniform"}, rng)
 
 
 class TestCliDiscoverability:

@@ -21,11 +21,15 @@ from repro.errors import ConfigurationError
 from repro.scenarios.topology import (
     ClusterGraph,
     ErdosRenyiGraph,
+    PreferentialAttachmentGraph,
+    RandomGeometricGraph,
     RandomRegularGraph,
     RingLattice,
     TorusGrid,
+    assign_uniform_weights,
     build_graph,
     graph_names,
+    weight_names,
 )
 
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
@@ -139,6 +143,144 @@ class TestClusterGraph:
         assert int(graph.degrees.min()) >= n // clusters - 1
 
 
+class TestRandomGeometric:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(20, 150), st.floats(0.15, 0.5))
+    def test_simple_and_edges_respect_radius(self, seed, n, radius):
+        graph = RandomGeometricGraph(n, radius, _stream(seed), ensure_connected=False)
+        _assert_simple(graph)
+        points = graph.points
+        for node in range(graph.n):
+            for other in graph.neighbors(node):
+                dist = float(np.linalg.norm(points[node] - points[int(other)]))
+                assert dist <= radius + 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_connectivity_flag_honored(self, seed):
+        graph = RandomGeometricGraph(80, 0.3, _stream(seed), ensure_connected=True)
+        assert graph.is_connected()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_bit_identical_across_registries(self, seed):
+        a = RandomGeometricGraph(90, 0.25, _stream(seed, "rgg/1"), weighted=True)
+        b = RandomGeometricGraph(90, 0.25, _stream(seed, "rgg/1"), weighted=True)
+        assert (a.indptr == b.indptr).all()
+        assert (a.indices == b.indices).all()
+        assert (a.weights == b.weights).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_distance_weights_positive_symmetric_mean_one(self, seed):
+        graph = RandomGeometricGraph(100, 0.25, _stream(seed), weighted=True)
+        assert graph.is_weighted
+        assert graph.weights.shape == graph.indices.shape
+        assert (graph.weights > 0).all()
+        # Every undirected edge carries the same weight in both directions.
+        for node in range(0, graph.n, 7):
+            for slot, other in enumerate(graph.neighbors(node)):
+                other = int(other)
+                weight = graph.weights[graph.indptr[node] + slot]
+                back = np.nonzero(graph.neighbors(other) == node)[0][0]
+                assert weight == graph.weights[graph.indptr[other] + back]
+        assert abs(float(graph.weights.mean()) - 1.0) < 0.25
+
+    def test_expected_degree_solves_radius(self):
+        graph = RandomGeometricGraph.from_expected_degree(
+            400, 12, _stream(3), ensure_connected=False
+        )
+        # Boundary effects pull the realized mean below the target, but
+        # it must be the right order of magnitude.
+        mean = float(graph.degrees.mean())
+        assert 6 <= mean <= 15
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomGeometricGraph(50, 0.0, _stream(0))
+        with pytest.raises(ConfigurationError):
+            RandomGeometricGraph(50, 3.0, _stream(0))
+
+
+class TestPreferentialAttachment:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(10, 150), st.integers(1, 6))
+    def test_simple_min_degree_and_connected(self, seed, n, m):
+        if m >= n:
+            m = n - 1
+        graph = PreferentialAttachmentGraph(n, m, _stream(seed))
+        _assert_simple(graph)
+        # Arriving nodes carry their own m attachment edges (arrivals
+        # only ever add degree); the m seed nodes start at degree 1.
+        # Connected by construction.
+        assert int(graph.degrees[m:].min()) >= m
+        assert int(graph.degrees.min()) >= 1
+        assert graph.is_connected()
+        assert graph.edge_count == (n - m) * m
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_heavy_tail_hubs_exist(self, seed):
+        # The degree law's signature: the max degree dwarfs the median
+        # (no regular/Poisson graph at mean degree 4 gets close).
+        graph = PreferentialAttachmentGraph(400, 2, _stream(seed))
+        assert int(graph.degrees.max()) >= 4 * int(np.median(graph.degrees))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_bit_identical_across_registries(self, seed):
+        a = PreferentialAttachmentGraph(150, 3, _stream(seed, "pa/2"))
+        b = PreferentialAttachmentGraph(150, 3, _stream(seed, "pa/2"))
+        assert (a.indptr == b.indptr).all()
+        assert (a.indices == b.indices).all()
+
+    def test_attachment_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PreferentialAttachmentGraph(5, 5, _stream(0))
+
+
+class TestUniformWeights:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_uniform_weights_symmetric_and_in_range(self, seed):
+        graph = RandomRegularGraph(80, 6, _stream(seed))
+        assert not graph.is_weighted
+        assign_uniform_weights(graph, _stream(seed, "w"))
+        assert graph.is_weighted
+        assert (graph.weights >= 0.25).all() and (graph.weights <= 1.75).all()
+        for node in range(0, graph.n, 5):
+            for slot, other in enumerate(graph.neighbors(node)):
+                other = int(other)
+                weight = graph.weights[graph.indptr[node] + slot]
+                back = np.nonzero(graph.neighbors(other) == node)[0][0]
+                assert weight == graph.weights[graph.indptr[other] + back]
+
+    def test_scaled_pool_returns_edge_weight(self):
+        graph = RandomRegularGraph(60, 4, _stream(7))
+        assign_uniform_weights(graph, _stream(7, "w"))
+        pool = graph.neighbor_pool(_stream(7, "pool"))
+        for node in range(graph.n):
+            neighbor, scale = pool.sample_scaled(node)
+            slot = np.nonzero(graph.neighbors(node) == neighbor)[0][0]
+            assert scale == graph.weights[graph.indptr[node] + slot]
+
+    def test_general_pool_scaled_matches_weights(self):
+        graph = ErdosRenyiGraph(60, 0.15, _stream(9), ensure_connected=True)
+        assign_uniform_weights(graph, _stream(9, "w"))
+        pool = graph.neighbor_pool(_stream(9, "pool"))
+        for node in range(graph.n):
+            neighbor, scale = pool.sample_scaled(node)
+            slot = np.nonzero(graph.neighbors(node) == neighbor)[0][0]
+            assert scale == graph.weights[graph.indptr[node] + slot]
+
+    def test_invalid_weights_rejected(self):
+        graph = RandomRegularGraph(20, 4, _stream(1))
+        with pytest.raises(ConfigurationError):
+            graph.set_weights(np.zeros(graph.indices.size))
+        with pytest.raises(ConfigurationError):
+            graph.set_weights(np.ones(3))
+
+
 class TestNeighborPools:
     @settings(max_examples=10, deadline=None)
     @given(seeds)
@@ -177,9 +319,15 @@ class TestBuilders:
     def test_graph_names_sorted(self):
         names = graph_names()
         assert names == sorted(names)
-        assert {"complete", "regular", "gnp", "ring", "torus", "cluster"} <= set(names)
+        assert {
+            "complete", "regular", "gnp", "geometric", "preferential",
+            "ring", "torus", "cluster",
+        } <= set(names)
 
-    @pytest.mark.parametrize("name", ["complete", "regular", "gnp", "ring", "torus", "cluster"])
+    @pytest.mark.parametrize(
+        "name",
+        ["complete", "regular", "gnp", "geometric", "preferential", "ring", "torus", "cluster"],
+    )
     def test_builders_build_requested_size(self, name):
         graph = build_graph(name, 144, _stream(11, name))
         assert len(graph) == 144
@@ -194,3 +342,20 @@ class TestBuilders:
         before = rng.bit_generator.state
         build_graph("complete", 64, rng)
         assert rng.bit_generator.state == before
+
+    def test_weight_laws(self):
+        assert weight_names() == sorted(weight_names())
+        weighted = build_graph("regular", 100, _stream(6), degree=6, weights="uniform")
+        assert weighted.is_weighted
+        spatial = build_graph("geometric", 100, _stream(7), degree=12, weights="distance")
+        assert spatial.is_weighted
+        plain = build_graph("regular", 100, _stream(8), degree=6)
+        assert not plain.is_weighted
+
+    def test_unsupported_weight_laws_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_graph("complete", 64, _stream(0), weights="uniform")
+        with pytest.raises(ConfigurationError):
+            build_graph("regular", 64, _stream(0), weights="distance")
+        with pytest.raises(ConfigurationError):
+            build_graph("geometric", 64, _stream(0), weights="lognormal")
