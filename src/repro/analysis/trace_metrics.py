@@ -1,0 +1,338 @@
+"""Offline analysis of JSONL trace streams (``repro trace-metrics``).
+
+A trace (see :mod:`repro.engine.tracing`) is a flat stream of
+protocol-level records: ``run`` headers, ``state`` transitions,
+``phase`` changes, ``round`` snapshots, ``fault`` events, and ``end``
+summaries.  This module reconstructs the quantities the paper argues
+about from that stream, with no access to the simulator:
+
+* **per-opinion population curves** — either read directly from
+  ``round`` snapshots (round/population engines) or rebuilt by
+  replaying ``state`` transitions over the header's initial counts
+  (event engines), downsampled to a fixed number of sample points;
+* **aging-phase timelines** — per generation: birth time, the first
+  node's entry, the propagation-phase start, and the population share
+  reached (the mechanism behind Definition 1's synchronized phases);
+* **message counts by kind** — the cumulative protocol counters carried
+  on ``phase``/``end`` records plus raw record tallies;
+* **fault-event overlay** — per fault event type: count, first/last
+  occurrence, total affected nodes.
+
+A single trace file may hold several runs (the multileader pipeline
+writes clustering + consensus back-to-back; a traced sweep file holds
+one run, a concatenation holds many) — each ``run`` header starts a new
+:class:`TraceSegment` and the analyzer emits one table group per
+segment.
+
+Everything lands in an
+:class:`~repro.experiments.common.ExperimentResult`, so the rendering
+(terminal tables, Markdown) rides the existing ``analysis/`` layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "TraceSegment",
+    "load_trace",
+    "split_segments",
+    "population_curve",
+    "phase_timeline",
+    "message_counts",
+    "fault_summary",
+    "trace_metrics",
+]
+
+
+@dataclass
+class TraceSegment:
+    """One run's worth of trace records (one ``run`` header)."""
+
+    header: dict[str, Any]
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def protocol(self) -> str:
+        return str(self.header.get("protocol", "unknown"))
+
+    @property
+    def n(self) -> int:
+        return int(self.header.get("n", 0))
+
+    @property
+    def counts(self) -> list[int]:
+        return [int(c) for c in self.header.get("counts", [])]
+
+    @property
+    def end(self) -> dict[str, Any] | None:
+        for record in reversed(self.records):
+            if record.get("kind") == "end":
+                return record
+        return None
+
+    def by_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [record for record in self.records if record.get("kind") == kind]
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into record dicts (order preserved)."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{number}: not a JSON trace record ({exc})"
+                ) from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ConfigurationError(
+                    f"{path}:{number}: trace records are objects with a 'kind'"
+                )
+            records.append(record)
+    return records
+
+
+def split_segments(records: Iterable[dict[str, Any]]) -> list[TraceSegment]:
+    """Group a record stream into per-run segments at ``run`` headers.
+
+    Records before the first header (a ``kinds``-filtered trace may
+    drop headers entirely) are collected under a synthetic empty
+    header so nothing is silently discarded.
+    """
+    segments: list[TraceSegment] = []
+    for record in records:
+        if record.get("kind") == "run":
+            segments.append(TraceSegment(header=record))
+            continue
+        if not segments:
+            segments.append(TraceSegment(header={}))
+        segments[-1].records.append(record)
+    return segments
+
+
+def _downsample(indices: int, points: int) -> list[int]:
+    """``points`` evenly spaced positions over ``range(indices)``, last kept."""
+    if indices <= points:
+        return list(range(indices))
+    step = (indices - 1) / (points - 1)
+    return sorted({round(i * step) for i in range(points)})
+
+
+def population_curve(
+    segment: TraceSegment, *, points: int = 24
+) -> tuple[list[float], list[list[int]]]:
+    """``(times, counts_rows)`` of the per-opinion populations over time.
+
+    ``round`` snapshots (round/population engines) are authoritative
+    when present; otherwise the curve replays ``state`` transitions
+    (event engines) over the header's initial counts.  Both paths are
+    downsampled to at most ``points`` samples (first and last kept).
+    """
+    rounds = [r for r in segment.by_kind("round") if r.get("counts")]
+    if rounds:
+        keep = _downsample(len(rounds), points)
+        times = [float(rounds[i]["t"]) for i in keep]
+        rows = [[int(c) for c in rounds[i]["counts"]] for i in keep]
+        return times, rows
+
+    counts = segment.counts
+    if not counts:
+        raise ConfigurationError(
+            "trace segment has neither round snapshots nor a run header "
+            "with initial counts; cannot rebuild a population curve"
+        )
+    times = [0.0]
+    rows = [list(counts)]
+    current = list(counts)
+    changes = [
+        r
+        for r in segment.by_kind("state")
+        if r.get("col") is not None and r.get("old_col") is not None
+    ]
+    for record in changes:
+        old_col, col = int(record["old_col"]), int(record["col"])
+        if old_col == col:
+            continue
+        current[old_col] -= 1
+        current[col] += 1
+        times.append(float(record["t"]))
+        rows.append(list(current))
+    keep = _downsample(len(times), points)
+    return [times[i] for i in keep], [rows[i] for i in keep]
+
+
+def phase_timeline(segment: TraceSegment) -> list[dict[str, Any]]:
+    """Per-generation aging timeline from ``phase`` + ``state`` records.
+
+    For every generation ``g`` observed in the segment:
+
+    * ``birth`` — the leader's generation-birth event (``phase`` with
+      ``event="generation"`` / ``"propagation"``-entry bookkeeping), or
+      the first node-level entry when the protocol has no leader;
+    * ``first_entry`` — time the first node reached generation ``g``;
+    * ``propagation`` — time the propagation phase of ``g`` opened
+      (``phase`` ``event="propagation"``), when the protocol emits it;
+    * ``nodes`` — nodes that ever entered ``g`` (state-record tally).
+    """
+    births: dict[int, float] = {}
+    propagation: dict[int, float] = {}
+    for record in segment.by_kind("phase"):
+        gen = record.get("gen")
+        if gen is None:
+            continue
+        gen = int(gen)
+        event = record.get("event")
+        if event in ("generation", "birth"):
+            births.setdefault(gen, float(record["t"]))
+        elif event == "propagation":
+            propagation.setdefault(gen, float(record["t"]))
+    first_entry: dict[int, float] = {}
+    entered: dict[int, int] = {}
+    for record in segment.by_kind("state"):
+        gen = record.get("gen")
+        if gen is None or record.get("old_gen") is None:
+            continue
+        gen = int(gen)
+        if gen <= int(record["old_gen"]):
+            continue
+        first_entry.setdefault(gen, float(record["t"]))
+        entered[gen] = entered.get(gen, 0) + 1
+    generations = sorted(set(births) | set(propagation) | set(first_entry))
+    timeline = []
+    for gen in generations:
+        timeline.append(
+            {
+                "generation": gen,
+                "birth": births.get(gen),
+                "first_entry": first_entry.get(gen),
+                "propagation": propagation.get(gen),
+                "nodes": entered.get(gen, 0),
+            }
+        )
+    return timeline
+
+
+def message_counts(segment: TraceSegment) -> dict[str, int]:
+    """Message/record tallies for one segment.
+
+    Cumulative protocol counters (``zero_signals``, ``gen_signals``,
+    ``good_ticks``) come from the last record carrying them (they are
+    monotone); raw per-kind record counts are prefixed ``records_``.
+    """
+    tallies: dict[str, int] = {}
+    for record in segment.records:
+        kind = str(record.get("kind"))
+        tallies[f"records_{kind}"] = tallies.get(f"records_{kind}", 0) + 1
+        for counter in ("zero_signals", "gen_signals", "good_ticks", "interactions"):
+            if counter in record:
+                tallies[counter] = int(record[counter])
+    return tallies
+
+
+def fault_summary(segment: TraceSegment) -> list[dict[str, Any]]:
+    """Per fault-event-type overlay: count, first/last time, node reach."""
+    summary: dict[str, dict[str, Any]] = {}
+    for record in segment.by_kind("fault"):
+        event = str(record.get("event", "unknown"))
+        entry = summary.setdefault(
+            event, {"event": event, "count": 0, "first_t": None, "last_t": None}
+        )
+        entry["count"] += 1
+        t = float(record["t"])
+        if entry["first_t"] is None or t < entry["first_t"]:
+            entry["first_t"] = t
+        if entry["last_t"] is None or t > entry["last_t"]:
+            entry["last_t"] = t
+    return [summary[event] for event in sorted(summary)]
+
+
+def _segment_title(segment: TraceSegment, index: int, total: int) -> str:
+    if total == 1:
+        return segment.protocol
+    return f"run {index + 1}/{total} ({segment.protocol})"
+
+
+def trace_metrics(path: str | Path, *, points: int = 24) -> ExperimentResult:
+    """Build the full offline-metrics report for one trace file."""
+    records = load_trace(path)
+    if not records:
+        raise ConfigurationError(f"trace {path} is empty")
+    segments = split_segments(records)
+    result = ExperimentResult(
+        name="trace-metrics",
+        description=(
+            f"Offline metrics for {Path(path).name}: "
+            f"{len(records)} records, {len(segments)} run segment(s). "
+            "Population curves and aging-phase timelines are rebuilt "
+            "purely from the protocol-level trace stream."
+        ),
+    )
+    for index, segment in enumerate(segments):
+        title = _segment_title(segment, index, len(segments))
+        try:
+            times, rows = population_curve(segment, points=points)
+        except ConfigurationError:
+            times, rows = [], []
+        if times:
+            k = max(len(row) for row in rows)
+            headers = ["t"] + [f"opinion {c}" for c in range(k)]
+            table_rows = [
+                [t] + [row[c] if c < len(row) else 0 for c in range(k)]
+                for t, row in zip(times, rows)
+            ]
+            result.add_table(f"{title}: population curve", headers, table_rows)
+        timeline = phase_timeline(segment)
+        if timeline:
+            result.add_table(
+                f"{title}: aging-phase timeline",
+                ["generation", "birth", "first entry", "propagation", "nodes entered"],
+                [
+                    [
+                        entry["generation"],
+                        entry["birth"],
+                        entry["first_entry"],
+                        entry["propagation"],
+                        entry["nodes"],
+                    ]
+                    for entry in timeline
+                ],
+            )
+        tallies = message_counts(segment)
+        if tallies:
+            result.add_table(
+                f"{title}: message and record counts",
+                ["counter", "value"],
+                [[key, tallies[key]] for key in sorted(tallies)],
+            )
+        faults = fault_summary(segment)
+        if faults:
+            result.add_table(
+                f"{title}: fault overlay",
+                ["event", "count", "first t", "last t"],
+                [
+                    [entry["event"], entry["count"], entry["first_t"], entry["last_t"]]
+                    for entry in faults
+                ],
+            )
+        end = segment.end
+        if end is not None:
+            result.notes.append(
+                f"{title}: converged={end.get('converged')} at t={end.get('t')}"
+                + (
+                    f", eps_time={end.get('eps_time')}"
+                    if end.get("eps_time") is not None
+                    else ""
+                )
+            )
+    return result

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.results import RunResult, StepStats
 from repro.engine.network import CompleteGraph
+from repro.engine.tracing import NULL_TRACER
 from repro.errors import ConfigurationError
 from repro.workloads.bias import multiplicative_bias, plurality_color, validate_counts
 from repro.workloads.opinions import validate_assignment
@@ -255,6 +256,7 @@ def run_dynamics(
     graph=None,
     round_faults=None,
     assignment=None,
+    tracer=None,
 ) -> RunResult:
     """Run ``dynamics`` from initial opinion ``counts`` to consensus.
 
@@ -283,6 +285,16 @@ def run_dynamics(
         else _GraphDynamicsEngine(dynamics, counts, graph, rng, assignment=assignment)
     )
     state = dynamics.initial_state(counts)
+    if tracer is None:
+        tracer = NULL_TRACER
+    elif round_faults is not None:
+        round_faults.tracer = tracer
+    trace_round = tracer.enabled_for("round")
+    if tracer.enabled_for("run"):
+        tracer.record(
+            "run", 0.0, protocol=f"dynamics:{dynamics.name}",
+            n=n, k=int(counts.size), counts=[int(c) for c in counts],
+        )
     trajectory: list[StepStats] = []
     epsilon_time: float | None = None
     rounds = 0
@@ -296,6 +308,11 @@ def run_dynamics(
             state = dynamics.step(state, rng)
         rounds += 1
         colors = dynamics.project_colors(state)
+        if trace_round:
+            tracer.record(
+                "round", float(rounds), counts=[int(c) for c in colors],
+                top_gen=0,
+            )
         if record_trajectory:
             trajectory.append(
                 StepStats(
@@ -313,6 +330,11 @@ def run_dynamics(
             converged = True
             break
     final = dynamics.project_colors(state)
+    if tracer.enabled_for("end"):
+        tracer.record(
+            "end", float(rounds), converged=converged,
+            counts=[int(c) for c in final], eps_time=epsilon_time,
+        )
     return RunResult(
         converged=converged,
         winner=int(np.argmax(final)),

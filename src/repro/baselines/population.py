@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.tracing import NULL_TRACER
 from repro.errors import ConfigurationError
 from repro.workloads.bias import validate_counts
 from repro.workloads.opinions import validate_assignment
@@ -125,6 +126,7 @@ class PairwiseScheduler:
         graph=None,
         round_faults=None,
         assignment=None,
+        tracer=None,
     ) -> PopulationResult:
         """Run until consensus output or ``max_interactions``.
 
@@ -168,6 +170,16 @@ class PairwiseScheduler:
         else:
             node_state = validate_assignment(assignment, counts).tolist()
         counts_list: list[int] = [int(c) for c in state]
+        if tracer is None:
+            tracer = NULL_TRACER
+        elif round_faults is not None:
+            round_faults.tracer = tracer
+        trace_round = tracer.enabled_for("round")
+        if tracer.enabled_for("run"):
+            tracer.record(
+                "run", 0.0, protocol=f"population:{protocol.name}",
+                n=n, k=num_states, counts=[int(c) for c in state],
+            )
         interactions = 0
         converged = protocol.is_converged(state)
         while not converged and interactions < max_interactions:
@@ -218,12 +230,24 @@ class PairwiseScheduler:
                     )
                     if converged:
                         break
+            if trace_round:
+                # One snapshot per prefetched block, at parallel time.
+                tracer.record(
+                    "round", interactions / n, counts=list(counts_list),
+                    top_gen=0, interactions=interactions,
+                )
         state = np.asarray(counts_list, dtype=np.int64)
         converged = protocol.is_converged(state)
         winner = None
         if converged:
             live = np.nonzero(state)[0]
             winner = protocol.output_color(int(live[0]))
+        if tracer.enabled_for("end"):
+            tracer.record(
+                "end", interactions / n, converged=converged,
+                counts=[int(c) for c in state], eps_time=None,
+                interactions=interactions,
+            )
         return PopulationResult(
             converged=converged,
             winner=winner,

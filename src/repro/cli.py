@@ -10,7 +10,15 @@ Usage::
     repro sweep TARGET --grid n=1e3,1e4 # parameter sweep, cached+parallel
     repro sweep --list-targets          # targets + their grid-able params
     repro robustness [--quick]          # adversity tables (cached sweep)
+    repro trace-metrics trace.jsonl     # offline metrics from a JSONL trace
+    repro trace-view trace.jsonl        # static-HTML replay of a trace
     repro cache stats|gc [--dry-run]    # inspect / clean the run cache
+
+``demo``, ``sweep``, and ``robustness`` all take ``--trace`` to stream
+the protocol-level JSONL trace (``demo`` writes one file; the sweeping
+commands write one file per run into the given directory and bypass
+the run cache, since a cache hit would leave no trace on disk). The
+two ``trace-*`` commands then consume those files offline.
 
 Every sweep target accepts the same scenario axes: the substrate
 (``topology=geometric ...``; ``single_leader`` additionally takes
@@ -103,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument(
         "--report", action="store_true", help="print a full Markdown run report"
     )
+    demo_parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="stream the run's protocol-level JSONL trace to this file",
+    )
 
     sweep_parser = sub.add_parser(
         "sweep", help="run a cached, parallel parameter sweep over one target"
@@ -130,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial, 0 = one per CPU)",
     )
     sweep_parser.add_argument("--name", default=None, help="label used in the output table")
+    sweep_parser.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="write one JSONL trace per run into this directory (bypasses the cache)",
+    )
     _add_cache_arguments(sweep_parser, default_dir=DEFAULT_CACHE_DIR)
 
     robust_parser = sub.add_parser(
@@ -150,7 +166,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial, 0 = one per CPU)",
     )
     robust_parser.add_argument("--out", type=Path, default=None, help="write Markdown here")
+    robust_parser.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="write per-run JSONL traces under this directory, one subdirectory "
+        "per table (bypasses the cache)",
+    )
     _add_cache_arguments(robust_parser, default_dir=DEFAULT_CACHE_DIR)
+
+    metrics_parser = sub.add_parser(
+        "trace-metrics", help="offline metrics (populations, aging phases, faults) from a trace"
+    )
+    metrics_parser.add_argument("trace", type=Path, help="JSONL trace file")
+    metrics_parser.add_argument(
+        "--out", type=Path, default=None, help="also write the report as Markdown here"
+    )
+    metrics_parser.add_argument(
+        "--points", type=int, default=24,
+        help="samples per population-curve table (default 24)",
+    )
+
+    view_parser = sub.add_parser(
+        "trace-view", help="render a trace to a self-contained HTML replay page"
+    )
+    view_parser.add_argument("trace", type=Path, help="JSONL trace file")
+    view_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output HTML path (default: trace path with .html suffix)",
+    )
+    view_parser.add_argument("--title", default=None, help="page title")
 
     cache_parser = sub.add_parser("cache", help="inspect or clean the run cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -230,10 +273,22 @@ def _command_reproduce(args: argparse.Namespace) -> int:
 
 
 def _command_demo(args: argparse.Namespace) -> int:
-    if args.asynchronous:
-        result = quick_async(args.n, args.k, args.alpha, seed=args.seed)
+    from contextlib import nullcontext
+
+    if args.trace is not None:
+        from repro.engine.tracing import JsonlTracer
+
+        tracer_ctx = JsonlTracer(args.trace)
     else:
-        result = quick_sync(args.n, args.k, args.alpha, seed=args.seed)
+        tracer_ctx = nullcontext(None)
+    with tracer_ctx as tracer:
+        kwargs = {} if tracer is None else {"tracer": tracer}
+        if args.asynchronous:
+            result = quick_async(args.n, args.k, args.alpha, seed=args.seed, **kwargs)
+        else:
+            result = quick_sync(args.n, args.k, args.alpha, seed=args.seed, **kwargs)
+    if args.trace is not None:
+        print(f"[demo] trace written to {args.trace}", file=sys.stderr)
     if args.report:
         from repro.analysis.report import run_report
 
@@ -274,7 +329,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cache=_open_cache(args),
         workers=args.workers,
         echo=lambda line: print(line, file=sys.stderr),
+        trace_dir=None if args.trace is None else str(args.trace),
     )
+    if args.trace is not None:
+        print(f"[sweep] traces written under {args.trace}", file=sys.stderr)
     print(aggregate_table(spec, report.records).render())
     print()
     print(report.summary())
@@ -291,7 +349,10 @@ def _command_robustness(args: argparse.Namespace) -> int:
         workers=args.workers,
         profile=args.profile,
         echo=lambda line: print(line, file=sys.stderr),
+        trace_dir=None if args.trace is None else str(args.trace),
     )
+    if args.trace is not None:
+        print(f"[robustness] traces written under {args.trace}", file=sys.stderr)
     print(report.result.render(plot=False))
     print(
         f"[robustness] {report.executed} runs executed, {report.cached} cached",
@@ -301,6 +362,26 @@ def _command_robustness(args: argparse.Namespace) -> int:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(report.result.render_markdown() + "\n")
         print(f"[robustness] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _command_trace_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_metrics import trace_metrics
+
+    result = trace_metrics(args.trace, points=args.points)
+    print(result.render(plot=False))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(result.render_markdown() + "\n")
+        print(f"[trace-metrics] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _command_trace_view(args: argparse.Namespace) -> int:
+    from repro.visualizer import write_replay_html
+
+    out = write_replay_html(args.trace, args.out, title=args.title)
+    print(f"[trace-view] wrote {out}", file=sys.stderr)
     return 0
 
 
@@ -337,6 +418,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "robustness":
         return _command_robustness(args)
+    if args.command == "trace-metrics":
+        return _command_trace_metrics(args)
+    if args.command == "trace-view":
+        return _command_trace_view(args)
     if args.command == "cache":
         return _command_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -56,6 +56,8 @@ class DelayedExchangeSim(SingleLeaderSim):
         Communication substrate (see :class:`SingleLeaderSim`).
     """
 
+    _trace_protocol = "delayed_exchange"
+
     def __init__(
         self,
         params: SingleLeaderParams,
@@ -65,16 +67,25 @@ class DelayedExchangeSim(SingleLeaderSim):
         exchange_rate: float = 2.0,
         graph=None,
         simulator=None,
+        tracer=None,
     ):
         self.exchange_rate = check_positive("exchange_rate", exchange_rate)
         self.committed_updates = 0
         self.aborted_updates = 0
-        super().__init__(params, counts, rng, graph=graph, simulator=simulator)
+        super().__init__(
+            params, counts, rng, graph=graph, simulator=simulator, tracer=tracer
+        )
         # Lazy refills mean construction order does not consume draws.
         self._exchange_delay = ExponentialPool(rng, self.exchange_rate)
         # Reading the three peers' messages costs an exchange delay
         # each; sample reads run concurrently, the leader read follows.
         self._read_delay = ChannelDelayPool(rng, self.exchange_rate, stages=(2, 1))
+
+    def _trace_end_fields(self) -> dict:
+        return {
+            "committed_updates": self.committed_updates,
+            "aborted_updates": self.aborted_updates,
+        }
 
     def _begin_cycle(self, node: int, first: int, second: int) -> None:
         """Channels plus the extra read delay (window batching inherited)."""

@@ -100,6 +100,9 @@ class SingleLeaderSim:
         pre-scenario engine.
     """
 
+    #: Protocol label stamped on trace ``run`` headers (subclass hook).
+    _trace_protocol = "single_leader"
+
     def __init__(
         self,
         params: SingleLeaderParams,
@@ -143,6 +146,22 @@ class SingleLeaderSim:
         self.sim = Simulator(tracer=tracer) if simulator is None else simulator
         self.leader = Leader(params)
         self._phase_changes_seen = 0
+        # Protocol-level trace hooks (state transitions and leader phase
+        # changes, never raw dispatches — the batch engine's skip-tick
+        # chains would make a dispatch trace under-report).  The flags
+        # are cached so the untraced hot path pays one bool test.
+        self._tracer = self.sim.tracer
+        self._trace_state = self._tracer.enabled_for("state")
+        self._trace_phase = self._tracer.enabled_for("phase")
+        if self._tracer.enabled_for("run"):
+            self._tracer.record(
+                "run",
+                self.sim.now,
+                protocol=self._trace_protocol,
+                n=self.n,
+                k=self.k,
+                counts=[int(c) for c in counts],
+            )
 
         # Draw pools over the shared generator (refills interleave at
         # block granularity; deterministic for a given seed).  The
@@ -301,6 +320,19 @@ class SingleLeaderSim:
         while self._phase_changes_seen < len(changes):
             change = changes[self._phase_changes_seen]
             self._phase_changes_seen += 1
+            if self._trace_phase:
+                # Cumulative signal counters ride the (rare) phase
+                # records, so "message counts by kind" needs no
+                # per-signal record on the hot path.
+                self._tracer.record(
+                    "phase",
+                    change.time,
+                    event=change.kind,
+                    gen=change.generation,
+                    zero_signals=leader.zero_signals,
+                    gen_signals=leader.gen_signals,
+                    good_ticks=self.good_ticks,
+                )
             if change.kind == "propagation":
                 # Lemma 22's snapshot: the newest generation at the end of
                 # its two-choices window.
@@ -464,6 +496,11 @@ class SingleLeaderSim:
         gens = self._gens
         cols = self._cols
         old_gen, old_col = gens[node], cols[node]
+        if self._trace_state:
+            self._tracer.record(
+                "state", self.sim.now,
+                node=node, gen=gen, col=col, old_gen=old_gen, old_col=old_col,
+            )
         matrix = self._matrix
         matrix[old_gen][old_col] -= 1
         matrix[gen][col] += 1
@@ -481,6 +518,10 @@ class SingleLeaderSim:
                 self.sim.stop()
         gens[node] = gen
         cols[node] = col
+
+    def _trace_end_fields(self) -> dict:
+        """Extra fields for the trace ``end`` record (subclass hook)."""
+        return {}
 
     # ------------------------------------------------------------------
     # observation
@@ -584,6 +625,23 @@ class SingleLeaderSim:
             self.total_ticks += extra
         epsilon_time = self._eps_time
         converged = max(counts) == n
+        if self._tracer.enabled_for("end"):
+            # Only engine-independent (protocol-level) counters: at
+            # draw-pool block 1 both event engines emit byte-identical
+            # end records (dispatch-lagging stats like total_ticks stay
+            # in RunResult.info instead).
+            self._tracer.record(
+                "end",
+                self.sim.now,
+                converged=converged,
+                counts=[int(c) for c in counts],
+                eps_time=epsilon_time,
+                zero_signals=self.leader.zero_signals,
+                gen_signals=self.leader.gen_signals,
+                good_ticks=self.good_ticks,
+                leader_gen=self.leader.gen,
+                **self._trace_end_fields(),
+            )
         return RunResult(
             converged=converged,
             winner=int(np.argmax(counts)),
@@ -615,9 +673,10 @@ def run_single_leader(
     stop_at_epsilon: bool = False,
     record_every: float | None = None,
     graph=None,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """Build a :class:`SingleLeaderSim` and run it (convenience front-end)."""
-    sim = SingleLeaderSim(params, counts, rng, graph=graph)
+    sim = SingleLeaderSim(params, counts, rng, graph=graph, tracer=tracer)
     return sim.run(
         max_time=max_time,
         epsilon=epsilon,

@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.results import GenerationBirth, RunResult, StepStats
 from repro.core.schedule import Schedule
 from repro.engine.network import CompleteGraph
+from repro.engine.tracing import NULL_TRACER, Tracer
 from repro.errors import ConfigurationError
 from repro.workloads.bias import (
     collision_probability,
@@ -78,6 +79,10 @@ class _SynchronousBase:
     k: int
     schedule: Schedule
     steps_done: int
+    #: Structured-trace sink (round records, generation births, end
+    #: summary); constructors overwrite it when a tracer is passed.
+    _tracer: Tracer = NULL_TRACER
+    _trace_protocol = "synchronous"
 
     def step(self) -> None:
         raise NotImplementedError
@@ -98,6 +103,7 @@ class _SynchronousBase:
         per_generation = matrix.sum(axis=1)
         occupied = np.nonzero(per_generation)[0]
         top = int(occupied[-1]) if occupied.size else 0
+        trace_phase = self._tracer.enabled_for("phase")
         for generation in range(before_top + 1, top + 1):
             row = matrix[generation]
             if row.sum() == 0:  # pragma: no cover - defensive
@@ -111,6 +117,14 @@ class _SynchronousBase:
                     collision_probability=collision_probability(row),
                 )
             )
+            if trace_phase:
+                self._tracer.record(
+                    "phase",
+                    float(self.steps_done),
+                    event="generation",
+                    gen=generation,
+                    fraction=float(row.sum()) / self.n,
+                )
         return top
 
     def run(
@@ -138,6 +152,17 @@ class _SynchronousBase:
         """
         initial_colors = self.color_counts()
         plurality = plurality_color(initial_colors)
+        tracer = self._tracer
+        if tracer.enabled_for("run"):
+            tracer.record(
+                "run",
+                float(self.steps_done),
+                protocol=self._trace_protocol,
+                n=self.n,
+                k=self.k,
+                counts=[int(c) for c in initial_colors],
+            )
+        trace_round = tracer.enabled_for("round")
         births: list[GenerationBirth] = []
         trajectory: list[StepStats] = []
         epsilon_time: float | None = None
@@ -148,6 +173,13 @@ class _SynchronousBase:
             matrix = self.generation_color_matrix()
             top = self._note_births(matrix, top, births)
             colors = matrix.sum(axis=0)
+            if trace_round:
+                tracer.record(
+                    "round",
+                    float(self.steps_done),
+                    counts=[int(c) for c in colors],
+                    top_gen=top,
+                )
             if record_trajectory or on_step is not None:
                 stats = _matrix_stats(matrix, self.n, float(self.steps_done))
                 if record_trajectory:
@@ -161,6 +193,15 @@ class _SynchronousBase:
                 converged = True
                 break
         final = self.color_counts()
+        if tracer.enabled_for("end"):
+            tracer.record(
+                "end",
+                float(self.steps_done),
+                converged=converged,
+                counts=[int(c) for c in final],
+                eps_time=epsilon_time,
+                top_gen=top,
+            )
         return RunResult(
             converged=converged,
             winner=int(np.argmax(final)),
@@ -211,6 +252,7 @@ class PerNodeSynchronousSim(_SynchronousBase):
         graph=None,
         round_faults=None,
         assignment=None,
+        tracer: Tracer | None = None,
     ):
         counts = validate_counts(counts)
         self.n = int(counts.sum())
@@ -220,6 +262,10 @@ class PerNodeSynchronousSim(_SynchronousBase):
         self.schedule = schedule
         schedule.reset()
         self._rng = rng
+        if tracer is not None:
+            self._tracer = tracer
+            if round_faults is not None:
+                round_faults.tracer = tracer
         if graph is not None and isinstance(graph, CompleteGraph):
             graph = None  # identical semantics, keep the fast clique path
         if graph is not None:
@@ -339,7 +385,12 @@ class AggregateSynchronousSim(_SynchronousBase):
         promotion: str = "pair",
         graph=None,
         round_faults=None,
+        tracer: Tracer | None = None,
     ):
+        if tracer is not None:
+            self._tracer = tracer
+            if round_faults is not None:
+                round_faults.tracer = tracer
         if graph is not None and not isinstance(graph, CompleteGraph):
             raise ConfigurationError(
                 "the aggregate (mean-field multinomial) engine is exact only on "
@@ -451,6 +502,7 @@ def run_synchronous(
     graph=None,
     round_faults=None,
     assignment=None,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """Convenience front-end: build a simulator and run it.
 
@@ -468,12 +520,13 @@ def run_synchronous(
                 "requires engine='pernode'"
             )
         sim: _SynchronousBase = AggregateSynchronousSim(
-            counts, schedule, rng, graph=graph, round_faults=round_faults
+            counts, schedule, rng, graph=graph, round_faults=round_faults,
+            tracer=tracer,
         )
     elif engine == "pernode":
         sim = PerNodeSynchronousSim(
             counts, schedule, rng, graph=graph, round_faults=round_faults,
-            assignment=assignment,
+            assignment=assignment, tracer=tracer,
         )
     else:
         raise ConfigurationError(f"unknown engine {engine!r}; use 'aggregate' or 'pernode'")

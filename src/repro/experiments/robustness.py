@@ -195,12 +195,15 @@ def run_robustness(
     workers: int = 1,
     profile: str | None = None,
     echo: Callable[[str], None] | None = None,
+    trace_dir: str | None = None,
 ) -> RobustnessReport:
     """Run the adversity grid through the cached sweep.
 
     ``profile`` overrides the quick/full switch (``"smoke"`` is the
     test-scale configuration). With a warm ``cache`` the whole grid
-    replays without executing a single simulator run.
+    replays without executing a single simulator run.  ``trace_dir``
+    streams every run's JSONL trace into one subdirectory per table
+    (spec name, spaces dashed); traced sweeps bypass the cache.
     """
     if profile is None:
         profile = "quick" if quick else "full"
@@ -225,7 +228,14 @@ def run_robustness(
     )
     executed = cached = 0
     for spec in _specs(scale, seed):
-        report = run_sweep(spec, cache=cache, workers=workers, echo=echo)
+        spec_trace_dir = None
+        if trace_dir is not None:
+            from pathlib import Path
+
+            spec_trace_dir = str(Path(trace_dir) / spec.name.replace(" ", "-"))
+        report = run_sweep(
+            spec, cache=cache, workers=workers, echo=echo, trace_dir=spec_trace_dir
+        )
         executed += report.executed
         cached += report.cached
         if echo is not None:

@@ -55,7 +55,12 @@ class BroadcastSim:
         source: int | None = None,
         graph=None,
         simulator=None,
+        tracer=None,
     ):
+        if simulator is not None and tracer is not None:
+            raise ConfigurationError(
+                "pass the tracer to the pre-built simulator, not both"
+            )
         if clustering.n != params.n:
             raise ConfigurationError("clustering size does not match params.n")
         if graph is None:
@@ -68,7 +73,9 @@ class BroadcastSim:
         self.n = params.n
         self.graph = graph
         self._rng = rng
-        self.sim = Simulator() if simulator is None else simulator
+        self.sim = Simulator(tracer=tracer) if simulator is None else simulator
+        self._tracer = self.sim.tracer
+        self._trace_phase = self._tracer.enabled_for("phase")
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
         self._sample_other = graph.neighbor_pool(rng).sample
         # Own leader + two sampled nodes concurrently, then their leaders.
@@ -85,6 +92,11 @@ class BroadcastSim:
         self.informed[source] = True
         self.informed_count = 1
         self.trajectory: list[tuple[float, int]] = [(0.0, 1)]
+        if self._tracer.enabled_for("run"):
+            self._tracer.record(
+                "run", self.sim.now, protocol="multileader_broadcast",
+                n=self.n, k=0, counts=[], leaders=len(self.leaders),
+            )
         self._locked: list[bool] = [False] * self.n
         self._active = set(self.leaders)
         # One initial tick per member (identical to the scalar engine);
@@ -147,6 +159,11 @@ class BroadcastSim:
                     informed[leader] = True
                     self.informed_count += 1
                     self.trajectory.append((self.sim.now, self.informed_count))
+                    if self._trace_phase:
+                        self._tracer.record(
+                            "phase", self.sim.now, event="informed",
+                            leader=leader, informed=self.informed_count,
+                        )
             if self.informed_count == len(self.leaders):
                 self.sim.stop()
         self._locked[node] = False
@@ -160,6 +177,12 @@ class BroadcastSim:
         else:
             self.sim.run(until=max_time)
         completed = self.informed_count == len(self.leaders)
+        if self._tracer.enabled_for("end"):
+            self._tracer.record(
+                "end", self.sim.now, converged=completed, counts=[],
+                eps_time=None, informed=self.informed_count,
+                leaders=len(self.leaders),
+            )
         return BroadcastResult(
             all_informed_time=self.sim.now if completed else None,
             informed_leaders=self.informed_count,

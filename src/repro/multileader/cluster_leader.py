@@ -61,6 +61,7 @@ class ClusterLeaderState:
         "tick_count",
         "gen_size",
         "transitions",
+        "tracer",
         "_sleep_threshold",
         "_prop_threshold",
         "_gen_threshold",
@@ -75,6 +76,9 @@ class ClusterLeaderState:
         self.tick_count = 0
         self.gen_size = 0
         self.transitions: list[LeaderTransition] = []
+        #: Optional trace sink; set by the owning simulation, not here,
+        #: so the state machine stays constructible without an engine.
+        self.tracer = None
         self._sleep_threshold = math.ceil(params.time_unit * card * params.sleep_units)
         self._prop_threshold = math.ceil(params.time_unit * card * params.propagation_units)
         self._gen_threshold = math.ceil(params.gen_size_fraction * card)
@@ -89,6 +93,11 @@ class ClusterLeaderState:
         self.transitions.append(
             LeaderTransition(time=time, generation=self.gen, state=self.state, cause=cause)
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                "phase", time, event="leader-state", leader=self.node,
+                gen=self.gen, state=self.state, cause=cause,
+            )
 
     def on_signal(self, i: int, s: int, has_changed: bool, time: float) -> None:
         """Handle one ``(i, s, hasChanged)`` member signal (Algorithm 5)."""

@@ -168,7 +168,12 @@ class ClusteringSim:
         pause_units: float = 1.0,
         graph=None,
         simulator=None,
+        tracer=None,
     ):
+        if simulator is not None and tracer is not None:
+            raise ConfigurationError(
+                "pass the tracer to the pre-built simulator, not both"
+            )
         if graph is None:
             graph = CompleteGraph(params.n)
         elif len(graph) != params.n:
@@ -179,7 +184,14 @@ class ClusteringSim:
         self.n = params.n
         self.graph = graph
         self._rng = rng
-        self.sim = Simulator() if simulator is None else simulator
+        self.sim = Simulator(tracer=tracer) if simulator is None else simulator
+        self._tracer = self.sim.tracer
+        self._trace_phase = self._tracer.enabled_for("phase")
+        if self._tracer.enabled_for("run"):
+            self._tracer.record(
+                "run", self.sim.now, protocol="multileader_clustering",
+                n=self.n, k=0, counts=[],
+            )
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
         self._latency = ExponentialPool(rng, params.latency_rate)
         self._sample_other = graph.neighbor_pool(rng).sample
@@ -340,6 +352,11 @@ class ClusteringSim:
         if self.size[leader] >= self.params.min_active_size:
             self.switch_times[leader] = self.sim.now
             self.active_leaders.append(leader)
+            if self._trace_phase:
+                self._tracer.record(
+                    "phase", self.sim.now, event="switch", leader=leader,
+                    size=self.size[leader],
+                )
         # Termination is detected here (the only place `informed`
         # changes) instead of polling every event.
         if self._broadcast_started and self._informed_count == self._total_leaders:
@@ -359,6 +376,13 @@ class ClusteringSim:
         if not self.active_leaders:
             raise SimulationError(
                 "clustering produced no active cluster; increase max_time or n"
+            )
+        if self._tracer.enabled_for("end"):
+            clustered = sum(1 for leader in self._leader if leader >= 0)
+            self._tracer.record(
+                "end", self.sim.now, converged=True, counts=[],
+                eps_time=None, clustered_fraction=clustered / self.n,
+                active_leaders=len(self.active_leaders),
             )
         return Clustering(
             leader_of=self.leader_of,

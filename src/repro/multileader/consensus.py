@@ -73,7 +73,12 @@ class MultiLeaderConsensusSim:
         *,
         graph=None,
         simulator=None,
+        tracer=None,
     ):
+        if simulator is not None and tracer is not None:
+            raise ConfigurationError(
+                "pass the tracer to the pre-built simulator, not both"
+            )
         if graph is None:
             graph = CompleteGraph(params.n)
         elif len(graph) != params.n:
@@ -94,7 +99,7 @@ class MultiLeaderConsensusSim:
         self.k = params.k
         self.graph = graph
         self._rng = rng
-        self.sim = Simulator() if simulator is None else simulator
+        self.sim = Simulator(tracer=tracer) if simulator is None else simulator
         self._leader_of: list[int] = clustering.leader_of.tolist()
 
         self._tick_wait = ExponentialPool(rng, params.clock_rate)
@@ -111,6 +116,17 @@ class MultiLeaderConsensusSim:
         }
         if not self.leaders:
             raise ConfigurationError("clustering has no active leaders")
+        self._tracer = self.sim.tracer
+        self._trace_state = self._tracer.enabled_for("state")
+        if self._tracer.enabled_for("phase"):
+            for state in self.leaders.values():
+                state.tracer = self._tracer
+        if self._tracer.enabled_for("run"):
+            self._tracer.record(
+                "run", self.sim.now, protocol="multileader_consensus",
+                n=self.n, k=self.k, counts=[int(c) for c in counts],
+                leaders=len(self.leaders),
+            )
         active_member = [leader in self.leaders for leader in self._leader_of]
         self._active_member = np.array(active_member)
         # Line 1's (0, 3, ·) signal is identical every tick for a given
@@ -337,6 +353,11 @@ class MultiLeaderConsensusSim:
         old_gen, old_col = gens[node], cols[node]
         if old_gen == gen and old_col == col:
             return
+        if self._trace_state:
+            self._tracer.record(
+                "state", self.sim.now, node=node, gen=gen, col=col,
+                old_gen=old_gen, old_col=old_col,
+            )
         matrix = self._matrix
         matrix[old_gen][old_col] -= 1
         matrix[gen][col] += 1
@@ -366,6 +387,11 @@ class MultiLeaderConsensusSim:
                     collision_probability=collision_probability(row),
                 )
             )
+            if self._tracer.enabled_for("phase"):
+                self._tracer.record(
+                    "phase", self.sim.now, event="generation", gen=gen,
+                    good_ticks=self.good_ticks,
+                )
 
     # ------------------------------------------------------------------
     # observation
@@ -447,6 +473,12 @@ class MultiLeaderConsensusSim:
         epsilon_time = self._eps_time
         converged = max(counts) == n
         max_leader_gen = max(state.gen for state in self.leaders.values())
+        if self._tracer.enabled_for("end"):
+            self._tracer.record(
+                "end", self.sim.now, converged=converged,
+                counts=[int(c) for c in counts], eps_time=epsilon_time,
+                good_ticks=self.good_ticks, leader_gen=max_leader_gen,
+            )
         return RunResult(
             converged=converged,
             winner=int(np.argmax(counts)),
@@ -479,9 +511,12 @@ def run_multileader_consensus(
     stop_at_epsilon: bool = False,
     record_every: float | None = None,
     graph=None,
+    tracer=None,
 ) -> RunResult:
     """Build a :class:`MultiLeaderConsensusSim` and run it."""
-    sim = MultiLeaderConsensusSim(params, clustering, counts, rng, graph=graph)
+    sim = MultiLeaderConsensusSim(
+        params, clustering, counts, rng, graph=graph, tracer=tracer
+    )
     return sim.run(
         max_time=max_time,
         epsilon=epsilon,

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.results import RunResult
+from repro.errors import ConfigurationError
 from repro.multileader.clustering import ClusteringSim
 from repro.multileader.consensus import MultiLeaderConsensusSim
 from repro.multileader.params import MultiLeaderParams
@@ -32,6 +33,7 @@ def run_multileader(
     graph=None,
     instrument=None,
     prepare=None,
+    tracer=None,
 ) -> RunResult:
     """Run clustering, then the consensus phase, on one population.
 
@@ -48,10 +50,21 @@ def run_multileader(
     :func:`repro.scenarios.faults.prepare_faulty_simulator` — so even
     construction-time tick scheduling is governed; ``instrument`` is
     called with each phase simulator after construction and before
-    running (bind adapters, collect telemetry handles).
+    running (bind adapters, collect telemetry handles).  A ``tracer``
+    streams both phases' records into one trace (two ``run`` headers);
+    it is mutually exclusive with ``prepare`` — route the tracer
+    through :func:`~repro.scenarios.faults.prepare_faulty_simulator`
+    instead when both are needed.
     """
+    if prepare is not None and tracer is not None:
+        raise ConfigurationError(
+            "pass tracer through prepare() (e.g. prepare_faulty_simulator"
+            "(..., tracer=...)), not both prepare and tracer"
+        )
     clustering_sim = ClusteringSim(
-        params, rng, graph=graph, simulator=None if prepare is None else prepare()
+        params, rng, graph=graph,
+        simulator=None if prepare is None else prepare(),
+        tracer=tracer,
     )
     if instrument is not None:
         instrument(clustering_sim)
@@ -63,6 +76,7 @@ def run_multileader(
         rng,
         graph=graph,
         simulator=None if prepare is None else prepare(),
+        tracer=tracer,
     )
     if instrument is not None:
         instrument(consensus)

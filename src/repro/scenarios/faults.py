@@ -314,6 +314,11 @@ class _ChurnBase(FaultModel):
     def _crash_node(self, node: int, until: float) -> None:
         self._down[node] = until
         self.crashes += 1
+        wiring = getattr(self, "_wiring", None)
+        if wiring is not None:
+            tracer = wiring.sim.tracer
+            if tracer.enabled_for("fault"):
+                tracer.record("fault", wiring.sim.now, event="crash", node=node)
 
     def _rejoin(self, node: int) -> None:
         if self._down.pop(node, None) is not None:
@@ -321,6 +326,9 @@ class _ChurnBase(FaultModel):
             adapter = self._wiring.adapter
             if self.reset_on_rejoin and adapter is not None:
                 adapter.reset(node)
+            tracer = self._wiring.sim.tracer
+            if tracer.enabled_for("fault"):
+                tracer.record("fault", self._wiring.sim.now, event="rejoin", node=node)
 
     def info(self) -> dict[str, float]:
         return {"crashes": float(self.crashes), "rejoins": float(self.rejoins)}
@@ -534,10 +542,15 @@ class FaultInjection:
     def _note_drop(self, category: str, node: int | None) -> None:
         if category is MESSAGE:
             self.dropped_messages += 1
+            event = "dropped-message"
         else:
             self.dropped_exchanges += 1
+            event = "dropped-exchange"
             if node is not None and self.adapter is not None:
                 self.adapter.unlock(node)
+        tracer = self.sim.tracer
+        if tracer.enabled_for("fault"):
+            tracer.record("fault", self.sim.now, event=event, node=node)
 
     # -- telemetry ------------------------------------------------------
     def info(self) -> dict[str, float]:
@@ -583,6 +596,7 @@ def prepare_faulty_simulator(
     rng: np.random.Generator,
     *,
     engine: str | None = None,
+    tracer=None,
 ) -> "tuple[Simulator | None, FaultInjection | None]":
     """Pre-wrap a fresh :class:`Simulator` so construction is governed too.
 
@@ -595,12 +609,15 @@ def prepare_faulty_simulator(
 
     With an empty fault list both elements are ``None``: the protocol
     builds its own simulator and stays byte-identical to an
-    uninstrumented run.
+    uninstrumented run.  ``tracer`` is attached to the built simulator
+    (fault-free traced runs still get a simulator so records flow).
     """
     faults = [fault for fault in faults if fault is not None]
     if not faults:
-        return None, None
-    simulator = Simulator(engine=engine)
+        if tracer is None:
+            return None, None
+        return Simulator(engine=engine, tracer=tracer), None
+    simulator = Simulator(engine=engine, tracer=tracer)
     return simulator, FaultInjection(simulator, faults, rng, n=n)
 
 

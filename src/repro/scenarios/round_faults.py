@@ -64,6 +64,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine.tracing import NULL_TRACER
 from repro.errors import ConfigurationError
 from repro.scenarios.faults import gilbert_elliott_params, fault_model_names
 from repro.util.validation import check_positive
@@ -498,6 +499,9 @@ class RoundFaults:
         self.rng = rng
         self.models = list(models)
         self.skipped_node_rounds = 0
+        #: Trace sink for aggregate per-round fault records; bound by
+        #: the engine when it is handed both a tracer and this wiring.
+        self.tracer = NULL_TRACER
         for model in self.models:
             model.install(self)
 
@@ -522,6 +526,13 @@ class RoundFaults:
                 active = mask if active is None else active & mask
         if active is not None:
             self.skipped_node_rounds += int(active.size - active.sum())
+        if self.tracer.enabled_for("fault"):
+            skipped = 0 if active is None else int(active.size - active.sum())
+            back = 0 if rejoined is None else int(rejoined.size)
+            if skipped or back:
+                self.tracer.record(
+                    "fault", now, event="round", skipped=skipped, rejoined=back
+                )
         return active, rejoined
 
     # -- count seam ------------------------------------------------------
@@ -562,6 +573,14 @@ class RoundFaults:
             # *expected* node-rounds lost (mean-field telemetry); the
             # mask seam records realized counts.
             self.skipped_node_rounds += (1.0 - participation) * float(alive.sum())
+        if self.tracer.enabled_for("fault"):
+            back = 0 if rejoined is None else int(rejoined.sum())
+            parked = 0 if down is None else int(down.sum())
+            if participation < 1.0 or back or parked:
+                self.tracer.record(
+                    "fault", now, event="count-round",
+                    participation=participation, rejoined=back, down=parked,
+                )
         return participation, rejoined, down
 
     # -- interaction seam (population scheduler) -------------------------
@@ -585,6 +604,13 @@ class RoundFaults:
                 available = mask if available is None else available & mask
         if available is not None:
             self.skipped_node_rounds += int(available.size - available.sum())
+        if self.tracer.enabled_for("fault"):
+            skipped = 0 if available is None else int(available.size - available.sum())
+            back = 0 if rejoined is None else int(rejoined.size)
+            if skipped or back:
+                self.tracer.record(
+                    "fault", now, event="block", skipped=skipped, rejoined=back
+                )
         return available, rejoined
 
     def loss_mask(self, count: int) -> np.ndarray | None:

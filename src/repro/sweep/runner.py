@@ -51,7 +51,7 @@ from repro.engine.rng import RngRegistry
 from repro.errors import ConfigurationError
 from repro.sweep.cache import RunCache
 from repro.sweep.spec import RunConfig, SweepSpec
-from repro.sweep.targets import get_target
+from repro.sweep.targets import get_target, target_traceable, validate_target_params
 
 __all__ = [
     "execute_run",
@@ -69,18 +69,40 @@ def derive_rng(config: Mapping[str, Any]) -> np.random.Generator:
     return RngRegistry(run.seed).stream(run.stream)
 
 
-def execute_run(config: Mapping[str, Any]) -> dict:
+def execute_run(config: Mapping[str, Any], trace_path: str | None = None) -> dict:
     """Execute one run config and return its record.
 
     Module-level and dict-in/dict-out, so it can be shipped to a
-    process-pool worker as-is.
+    process-pool worker as-is.  ``trace_path``, when given, streams the
+    run's protocol-level trace to that file through a
+    :class:`~repro.engine.tracing.JsonlTracer`; the target must declare
+    a ``tracer`` keyword (all built-ins do — checked via
+    :func:`~repro.sweep.targets.target_traceable`).
     """
     run = config if isinstance(config, RunConfig) else RunConfig.from_dict(config)
     target = get_target(run.target)
     started = time.perf_counter()
-    record = dict(target(run.params_dict, derive_rng(run)))
+    if trace_path is None:
+        record = dict(target(run.params_dict, derive_rng(run)))
+    else:
+        if not target_traceable(run.target):
+            raise ConfigurationError(
+                f"target {run.target!r} does not accept a tracer; "
+                "it cannot be run with --trace"
+            )
+        from repro.engine.tracing import JsonlTracer
+
+        with JsonlTracer(trace_path) as tracer:
+            record = dict(target(run.params_dict, derive_rng(run), tracer=tracer))
+        record.setdefault("trace_records", tracer.records_written)
     record.setdefault("wall_time", time.perf_counter() - started)
     return record
+
+
+def _execute_traced(item: "tuple[dict, str | None]") -> dict:
+    """Pool-map helper: one ``(config, trace_path)`` work unit."""
+    config, trace_path = item
+    return execute_run(config, trace_path)
 
 
 @dataclass
@@ -124,6 +146,7 @@ def run_sweep(
     cache: RunCache | None = None,
     workers: int = 1,
     echo: Callable[[str], None] | None = None,
+    trace_dir: str | None = None,
 ) -> SweepReport:
     """Run every config of ``spec`` that the cache cannot satisfy.
 
@@ -140,14 +163,46 @@ def run_sweep(
         one worker per CPU.
     echo:
         Optional progress sink (the CLI passes a stderr printer).
+    trace_dir:
+        Directory for per-run JSONL trace files
+        (``NNNN-<target>-<digest12>.jsonl``, config-expansion order).
+        Traced sweeps bypass the cache entirely — a cache hit would
+        leave no trace on disk, and the trace path must not perturb the
+        content-addressed run digest.
     """
     workers = _resolve_workers(workers)
     started = time.perf_counter()
     configs = spec.expand()
+    # Fail-fast: validate every grid point before launching any run, so
+    # a bad combination (typo'd axis, multileader + init='clustered')
+    # aborts upfront instead of mid-run on a worker.
+    for config in configs:
+        validate_target_params(config.target, config.params_dict)
+
+    trace_paths: list[str | None] = [None] * len(configs)
+    if trace_dir is not None:
+        from pathlib import Path
+
+        if not target_traceable(spec.target):
+            raise ConfigurationError(
+                f"target {spec.target!r} does not accept a tracer; "
+                "it cannot be swept with --trace"
+            )
+        root = Path(trace_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        trace_paths = [
+            str(root / f"{index:04d}-{config.target}-{config.digest[:12]}.jsonl")
+            for index, config in enumerate(configs)
+        ]
+
     records: list[dict | None] = [None] * len(configs)
     misses: list[int] = []
     for index, config in enumerate(configs):
-        hit = cache.get(config.as_dict()) if cache is not None else None
+        hit = (
+            cache.get(config.as_dict())
+            if cache is not None and trace_dir is None
+            else None
+        )
         if hit is not None:
             records[index] = hit
         else:
@@ -157,14 +212,17 @@ def run_sweep(
 
     if misses and workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            fresh = pool.map(execute_run, [configs[i].as_dict() for i in misses])
+            fresh = pool.map(
+                _execute_traced,
+                [(configs[i].as_dict(), trace_paths[i]) for i in misses],
+            )
             for index, record in zip(misses, fresh):
                 records[index] = record
     else:
         for index in misses:
-            records[index] = execute_run(configs[index])
+            records[index] = execute_run(configs[index], trace_paths[index])
 
-    if cache is not None:
+    if cache is not None and trace_dir is None:
         for index in misses:
             cache.put(configs[index].as_dict(), records[index])
 

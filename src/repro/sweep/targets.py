@@ -63,6 +63,7 @@ True
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -82,12 +83,21 @@ from repro.scenarios.faults import build_faults, prepare_faulty_simulator
 from repro.scenarios.round_faults import build_round_faults, prepare_round_faults
 from repro.scenarios.topology import build_graph
 
-__all__ = ["register_target", "get_target", "target_names", "target_params"]
+__all__ = [
+    "register_target",
+    "get_target",
+    "target_names",
+    "target_params",
+    "target_traceable",
+    "validate_target_params",
+]
 
 Target = Callable[[Mapping[str, Any], np.random.Generator], dict]
 
 _TARGETS: dict[str, Target] = {}
 _TARGET_DEFAULTS: dict[str, dict[str, Any]] = {}
+_TARGET_VALIDATORS: dict[str, Callable[[Mapping[str, Any]], None]] = {}
+_TARGET_TRACEABLE: dict[str, bool] = {}
 
 #: Substrate + initial-configuration axes (all targets).  The
 #: ``weights`` axis is deliberately NOT here: only targets whose
@@ -113,11 +123,21 @@ _FAULT_DEFAULTS: dict[str, Any] = {
 }
 
 
-def register_target(name: str, defaults: Mapping[str, Any] | None = None) -> Callable[[Target], Target]:
+def register_target(
+    name: str,
+    defaults: Mapping[str, Any] | None = None,
+    *,
+    validate: Callable[[Mapping[str, Any]], None] | None = None,
+) -> Callable[[Target], Target]:
     """Decorator: register ``fn(params, rng) -> record`` under ``name``.
 
     ``defaults`` documents the target's parameters (the grid-able axes
-    shown by ``repro sweep --list-targets``).
+    shown by ``repro sweep --list-targets``).  ``validate``, when given,
+    receives each fully merged parameter dict at sweep-spec validation
+    time and raises :class:`~repro.errors.ConfigurationError` on
+    unsupported combinations — failing the sweep upfront instead of
+    mid-run on worker 17 of 32.  Targets that declare a ``tracer``
+    keyword are marked traceable (``--trace`` eligible).
     """
 
     def decorator(fn: Target) -> Target:
@@ -125,6 +145,9 @@ def register_target(name: str, defaults: Mapping[str, Any] | None = None) -> Cal
             raise ConfigurationError(f"sweep target {name!r} already registered")
         _TARGETS[name] = fn
         _TARGET_DEFAULTS[name] = dict(defaults or {})
+        if validate is not None:
+            _TARGET_VALIDATORS[name] = validate
+        _TARGET_TRACEABLE[name] = "tracer" in inspect.signature(fn).parameters
         return fn
 
     return decorator
@@ -149,6 +172,28 @@ def target_params(name: str) -> dict[str, Any]:
     """A target's parameters and their defaults (the grid-able axes)."""
     get_target(name)  # raise with the standard message on unknown names
     return dict(_TARGET_DEFAULTS[name])
+
+
+def target_traceable(name: str) -> bool:
+    """Whether the target accepts a ``tracer`` (``--trace`` eligible)."""
+    get_target(name)
+    return _TARGET_TRACEABLE[name]
+
+
+def validate_target_params(name: str, params: Mapping[str, Any]) -> dict[str, Any]:
+    """Fail-fast check of one config: unknown keys + target-specific rules.
+
+    Returns the fully merged parameter dict.  The sweep runner calls
+    this for every grid point before launching any run, so an invalid
+    combination (a typo'd axis, ``multileader`` with
+    ``init='clustered'``) aborts the sweep upfront.
+    """
+    get_target(name)
+    merged = _take(params, _TARGET_DEFAULTS[name])
+    validator = _TARGET_VALIDATORS.get(name)
+    if validator is not None:
+        validator(merged)
+    return merged
 
 
 def _take(params: Mapping[str, Any], defaults: dict[str, Any]) -> dict[str, Any]:
@@ -292,7 +337,9 @@ _SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
 
 
 @register_target("synchronous", _SYNCHRONOUS_DEFAULTS)
-def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+def synchronous_target(
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+) -> dict:
     """Algorithm 1 (synchronous two-choices + propagation rounds)."""
     p = _take(params, _SYNCHRONOUS_DEFAULTS)
     graph = _scenario_graph(p, rng)
@@ -330,6 +377,7 @@ def synchronous_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         graph=graph,
         round_faults=wiring,
         assignment=assignment,
+        tracer=tracer,
     )
     record = _record(result)
     if engine != p["engine"]:
@@ -362,7 +410,9 @@ _SINGLE_LEADER_DEFAULTS: dict[str, Any] = {
 
 
 @register_target("single_leader", _SINGLE_LEADER_DEFAULTS)
-def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+def single_leader_target(
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+) -> dict:
     """Algorithms 2+3 (asynchronous single-leader protocol)."""
     p = _take(params, _SINGLE_LEADER_DEFAULTS)
     graph = _scenario_graph(p, rng)
@@ -378,7 +428,9 @@ def single_leader_target(params: Mapping[str, Any], rng: np.random.Generator) ->
     model = _latency_model(p["latency"], p["latency_rate"], p["latency_shape"])
     # Pre-wrapped simulator: even the construction-time initial ticks
     # flow through the fault transforms (no churn-guard escape).
-    simulator, wiring = prepare_faulty_simulator(p["n"], _scenario_faults(p), rng)
+    simulator, wiring = prepare_faulty_simulator(
+        p["n"], _scenario_faults(p), rng, tracer=tracer
+    )
     sim = SingleLeaderSim(
         sim_params, counts, rng, latency_model=model, graph=graph, simulator=simulator,
         assignment=assignment,
@@ -406,16 +458,33 @@ _MULTILEADER_DEFAULTS: dict[str, Any] = {
 }
 
 
-@register_target("multileader", _MULTILEADER_DEFAULTS)
-def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
-    """Section 4's decentralized pipeline: clustering then consensus."""
-    p = _take(params, _MULTILEADER_DEFAULTS)
+def _reject_multileader_clustered(p: Mapping[str, Any]) -> None:
+    """Documented won't-fix: no per-node placement through the pipeline.
+
+    The multileader pipeline rebuilds its population from counts
+    between the clustering and consensus phases (the consensus phase
+    re-draws node colors), so a per-node ``init='clustered'`` placement
+    cannot survive the phase boundary.  Rather than silently running a
+    different start, the combination is rejected — and rejected at
+    sweep-spec validation time, before any run launches.
+    """
     if p["init"] == "clustered":
         raise ConfigurationError(
             "the multileader pipeline rebuilds its population between phases "
             "and does not support per-node placement; use init='biased' or "
             "the single_leader/synchronous targets for clustered starts"
         )
+
+
+@register_target(
+    "multileader", _MULTILEADER_DEFAULTS, validate=_reject_multileader_clustered
+)
+def multileader_target(
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+) -> dict:
+    """Section 4's decentralized pipeline: clustering then consensus."""
+    p = _take(params, _MULTILEADER_DEFAULTS)
+    _reject_multileader_clustered(p)
     graph = _scenario_graph(p, rng)
     counts = _scenario_counts(p)
     sim_params = MultiLeaderParams(
@@ -430,7 +499,7 @@ def multileader_target(params: Mapping[str, Any], rng: np.random.Generator) -> d
         # Note each phase draws its own straggler subset — the phases
         # are separate simulators over separate event streams.
         simulator, wiring = prepare_faulty_simulator(
-            sim_params.n, _scenario_faults(p), rng
+            sim_params.n, _scenario_faults(p), rng, tracer=tracer
         )
         pending.append(wiring)
         return simulator
@@ -472,7 +541,9 @@ _BASELINE_DEFAULTS: dict[str, Any] = {
 
 
 def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
-    def run_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+    def run_target(
+        params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+    ) -> dict:
         from repro.baselines.base import run_dynamics
 
         p = _take(params, _BASELINE_DEFAULTS)
@@ -489,6 +560,7 @@ def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
             graph=graph,
             round_faults=wiring,
             assignment=assignment,
+            tracer=tracer,
         )
         record = _record(result)
         if wiring is not None:
@@ -529,7 +601,9 @@ _POPULATION_DEFAULTS: dict[str, Any] = {
 
 
 @register_target("population", _POPULATION_DEFAULTS)
-def population_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+def population_target(
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+) -> dict:
     """Sequential population protocols on the pairwise scheduler.
 
     ``protocol`` selects Angluin et al.'s 3-state approximate majority
@@ -567,6 +641,7 @@ def population_target(params: Mapping[str, Any], rng: np.random.Generator) -> di
         graph=graph,
         round_faults=wiring,
         assignment=assignment,
+        tracer=tracer,
     )
     plurality = int(np.argmax(counts))
     record: dict[str, Any] = {

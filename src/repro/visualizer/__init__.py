@@ -1,0 +1,14 @@
+"""Static-HTML trace replay (``repro trace-view``).
+
+Turns one JSONL trace into a single self-contained HTML file — inline
+data, inline vanilla-JS SVG timeline, zero external dependencies — so a
+run can be scrubbed through in any browser straight off a CI artifact.
+"""
+
+from repro.visualizer.replay import (
+    build_replay_data,
+    render_replay_html,
+    write_replay_html,
+)
+
+__all__ = ["build_replay_data", "render_replay_html", "write_replay_html"]

@@ -1,0 +1,254 @@
+"""Build the self-contained replay page from a JSONL trace.
+
+The pipeline is deliberately thin: :func:`build_replay_data` reuses the
+offline analyzer (:mod:`repro.analysis.trace_metrics`) to reduce the
+trace to per-segment population curves, aging-phase markers, and fault
+ticks; :func:`render_replay_html` embeds that JSON into a static HTML
+template whose inline script draws an SVG timeline with a scrubber.
+No D3, no CDN, no network — the file works from ``file://`` and from a
+CI artifact tarball.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.trace_metrics import (
+    TraceSegment,
+    load_trace,
+    phase_timeline,
+    population_curve,
+    split_segments,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["build_replay_data", "render_replay_html", "write_replay_html"]
+
+#: Samples per population polyline — enough for smooth curves, small
+#: enough that the embedded JSON stays a few tens of kilobytes.
+CURVE_POINTS = 240
+
+
+def _segment_payload(segment: TraceSegment) -> dict[str, Any]:
+    try:
+        times, rows = population_curve(segment, points=CURVE_POINTS)
+    except ConfigurationError:
+        times, rows = [], []
+    k = max((len(row) for row in rows), default=0)
+    series = [[row[c] if c < len(row) else 0 for row in rows] for c in range(k)]
+    phases = [
+        {
+            "t": entry["first_entry"] if entry["birth"] is None else entry["birth"],
+            "gen": entry["generation"],
+        }
+        for entry in phase_timeline(segment)
+        if entry["birth"] is not None or entry["first_entry"] is not None
+    ]
+    faults = [
+        {"t": float(record["t"]), "event": str(record.get("event", "fault"))}
+        for record in segment.by_kind("fault")
+    ]
+    end = segment.end
+    return {
+        "protocol": segment.protocol,
+        "n": segment.n,
+        "times": times,
+        "series": series,
+        "phases": phases,
+        "faults": faults,
+        "converged": None if end is None else end.get("converged"),
+        "end_t": None if end is None else end.get("t"),
+    }
+
+
+def build_replay_data(trace_path: str | Path) -> dict[str, Any]:
+    """Reduce a trace file to the JSON payload the replay page embeds."""
+    records = load_trace(trace_path)
+    if not records:
+        raise ConfigurationError(f"trace {trace_path} is empty")
+    segments = split_segments(records)
+    return {
+        "trace": Path(trace_path).name,
+        "records": len(records),
+        "segments": [_segment_payload(segment) for segment in segments],
+    }
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 960px;
+         color: #1a1a2e; background: #fafafa; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin: 1.6rem 0 .4rem; }
+  .meta { color: #666; font-size: .85rem; }
+  .panel { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+           padding: 1rem; margin-bottom: 1.2rem; }
+  svg { width: 100%; height: auto; display: block; }
+  .legend span { display: inline-block; margin-right: 1em; font-size: .85rem; }
+  .swatch { display: inline-block; width: .8em; height: .8em; border-radius: 2px;
+            margin-right: .3em; vertical-align: -1px; }
+  input[type=range] { width: 100%; }
+  .readout { font-variant-numeric: tabular-nums; font-size: .85rem; color: #333; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p class="meta" id="meta"></p>
+<div id="panels"></div>
+<script id="replay-data" type="application/json">__DATA__</script>
+<script>
+"use strict";
+const DATA = JSON.parse(document.getElementById("replay-data").textContent);
+const COLORS = ["#2563eb", "#dc2626", "#16a34a", "#d97706", "#9333ea",
+                "#0891b2", "#be185d", "#4d7c0f"];
+const W = 900, H = 320, PAD = {l: 48, r: 12, t: 12, b: 28};
+
+document.getElementById("meta").textContent =
+  DATA.trace + " — " + DATA.records + " records, " +
+  DATA.segments.length + " run segment(s)";
+
+function scale(domain, range) {
+  const d = domain[1] - domain[0] || 1;
+  return v => range[0] + (v - domain[0]) / d * (range[1] - range[0]);
+}
+
+function el(tag, attrs, parent) {
+  const node = tag === "div" || tag === "span" || tag === "input" ||
+               tag === "h2" || tag === "p"
+    ? document.createElement(tag)
+    : document.createElementNS("http://www.w3.org/2000/svg", tag);
+  for (const [k, v] of Object.entries(attrs || {})) node.setAttribute(k, v);
+  if (parent) parent.appendChild(node);
+  return node;
+}
+
+DATA.segments.forEach((seg, index) => {
+  const panel = el("div", {class: "panel"}, document.getElementById("panels"));
+  const head = el("h2", {}, panel);
+  head.textContent = "run " + (index + 1) + ": " + seg.protocol +
+    (seg.n ? " (n=" + seg.n + ")" : "");
+  if (!seg.times.length) {
+    const p = el("p", {class: "meta"}, panel);
+    p.textContent = "no population curve in this segment";
+    return;
+  }
+  const tMax = seg.times[seg.times.length - 1] || 1;
+  const yMax = Math.max(1, ...seg.series.map(s => Math.max(...s)));
+  const x = scale([0, tMax], [PAD.l, W - PAD.r]);
+  const y = scale([0, yMax], [H - PAD.b, PAD.t]);
+  const svg = el("svg", {viewBox: "0 0 " + W + " " + H}, panel);
+
+  // axes
+  el("line", {x1: PAD.l, y1: H - PAD.b, x2: W - PAD.r, y2: H - PAD.b,
+              stroke: "#999"}, svg);
+  el("line", {x1: PAD.l, y1: PAD.t, x2: PAD.l, y2: H - PAD.b,
+              stroke: "#999"}, svg);
+  for (let i = 0; i <= 4; i++) {
+    const v = yMax * i / 4;
+    const ty = y(v);
+    el("line", {x1: PAD.l - 4, y1: ty, x2: W - PAD.r, y2: ty,
+                stroke: "#eee"}, svg);
+    const label = el("text", {x: PAD.l - 8, y: ty + 4, "text-anchor": "end",
+                              "font-size": 11, fill: "#666"}, svg);
+    label.textContent = Math.round(v);
+  }
+  for (let i = 0; i <= 5; i++) {
+    const t = tMax * i / 5;
+    const label = el("text", {x: x(t), y: H - PAD.b + 16,
+                              "text-anchor": "middle", "font-size": 11,
+                              fill: "#666"}, svg);
+    label.textContent = t.toFixed(1);
+  }
+
+  // aging-phase markers (generation births) — dashed verticals
+  seg.phases.forEach(ph => {
+    el("line", {x1: x(ph.t), y1: PAD.t, x2: x(ph.t), y2: H - PAD.b,
+                stroke: "#94a3b8", "stroke-dasharray": "4 3"}, svg);
+    const label = el("text", {x: x(ph.t) + 3, y: PAD.t + 10,
+                              "font-size": 10, fill: "#64748b"}, svg);
+    label.textContent = "gen " + ph.gen;
+  });
+
+  // fault ticks along the top edge
+  seg.faults.forEach(f => {
+    const tick = el("line", {x1: x(f.t), y1: PAD.t, x2: x(f.t), y2: PAD.t + 8,
+                             stroke: "#dc2626", "stroke-width": 2}, svg);
+    el("title", {}, tick).textContent = f.event + " @ " + f.t.toFixed(2);
+  });
+
+  // per-opinion population polylines
+  seg.series.forEach((s, c) => {
+    const pts = seg.times.map((t, i) => x(t) + "," + y(s[i])).join(" ");
+    el("polyline", {points: pts, fill: "none",
+                    stroke: COLORS[c % COLORS.length],
+                    "stroke-width": 2, class: "curve"}, svg);
+  });
+
+  // scrubber cursor
+  const cursor = el("line", {x1: x(0), y1: PAD.t, x2: x(0), y2: H - PAD.b,
+                             stroke: "#111", "stroke-width": 1.5,
+                             opacity: .7}, svg);
+
+  const legend = el("div", {class: "legend"}, panel);
+  seg.series.forEach((_, c) => {
+    const item = el("span", {}, legend);
+    const sw = el("span", {class: "swatch"}, item);
+    sw.style.background = COLORS[c % COLORS.length];
+    item.appendChild(document.createTextNode("opinion " + c));
+  });
+
+  const slider = el("input", {type: "range", min: 0,
+                              max: seg.times.length - 1, value: 0}, panel);
+  const readout = el("div", {class: "readout"}, panel);
+  function update() {
+    const i = +slider.value;
+    const t = seg.times[i];
+    cursor.setAttribute("x1", x(t));
+    cursor.setAttribute("x2", x(t));
+    readout.textContent = "t = " + t.toFixed(2) + "   counts = [" +
+      seg.series.map(s => s[i]).join(", ") + "]";
+  }
+  slider.addEventListener("input", update);
+  update();
+
+  if (seg.converged !== null) {
+    const p = el("p", {class: "meta"}, panel);
+    p.textContent = "converged=" + seg.converged +
+      (seg.end_t !== null ? " at t=" + Number(seg.end_t).toFixed(2) : "");
+  }
+});
+</script>
+</body>
+</html>
+"""
+
+
+def render_replay_html(data: dict[str, Any], *, title: str | None = None) -> str:
+    """Embed a replay payload into the static HTML template."""
+    if title is None:
+        title = f"trace replay — {data.get('trace', 'trace')}"
+    # `</` must not appear inside an inline <script> block; JSON strings
+    # survive the escape unchanged when re-parsed.
+    payload = json.dumps(data, sort_keys=True).replace("</", "<\\/")
+    return _TEMPLATE.replace("__TITLE__", title).replace("__DATA__", payload)
+
+
+def write_replay_html(
+    trace_path: str | Path,
+    out_path: str | Path | None = None,
+    *,
+    title: str | None = None,
+) -> Path:
+    """Render ``trace_path`` to HTML next to it (or at ``out_path``)."""
+    trace_path = Path(trace_path)
+    if out_path is None:
+        out_path = trace_path.with_suffix(".html")
+    out_path = Path(out_path)
+    html = render_replay_html(build_replay_data(trace_path), title=title)
+    out_path.write_text(html, encoding="utf-8")
+    return out_path

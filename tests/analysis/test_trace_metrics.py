@@ -1,0 +1,219 @@
+"""Tests for the offline trace analyzer (``repro trace-metrics``)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace_metrics import (
+    TraceSegment,
+    fault_summary,
+    load_trace,
+    message_counts,
+    phase_timeline,
+    population_curve,
+    split_segments,
+    trace_metrics,
+)
+from repro.errors import ConfigurationError
+
+#: A tiny hand-written event-engine trace: n=4, k=2, two state flips,
+#: one generation birth, one fault, one end record.
+SYNTHETIC = [
+    {"kind": "run", "t": 0.0, "protocol": "single_leader", "n": 4, "k": 2,
+     "counts": [3, 1]},
+    {"kind": "state", "t": 1.0, "node": 2, "gen": 1, "col": 0,
+     "old_gen": 0, "old_col": 1},
+    {"kind": "phase", "t": 2.0, "event": "generation", "gen": 2},
+    {"kind": "fault", "t": 2.5, "event": "dropped-message", "node": 1},
+    {"kind": "state", "t": 3.0, "node": 0, "gen": 2, "col": 0,
+     "old_gen": 1, "old_col": 0},
+    {"kind": "end", "t": 4.0, "converged": True, "counts": [4, 0],
+     "eps_time": 1.0, "zero_signals": 7, "gen_signals": 2, "good_ticks": 9},
+]
+
+
+def write_trace(path, records) -> None:
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+
+@pytest.fixture
+def synthetic_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_trace(path, SYNTHETIC)
+    return path
+
+
+class TestLoadAndSplit:
+    def test_roundtrip(self, synthetic_path):
+        records = load_trace(synthetic_path)
+        assert len(records) == len(SYNTHETIC)
+        assert records[0]["kind"] == "run"
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "run"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            load_trace(path)
+
+    def test_non_record_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ConfigurationError, match="'kind'"):
+            load_trace(path)
+
+    def test_split_on_run_headers(self):
+        records = SYNTHETIC + SYNTHETIC
+        segments = split_segments(records)
+        assert len(segments) == 2
+        assert all(s.protocol == "single_leader" for s in segments)
+        assert len(segments[0].records) == len(SYNTHETIC) - 1
+
+    def test_headerless_prefix_kept(self):
+        segments = split_segments(SYNTHETIC[1:])
+        assert len(segments) == 1
+        assert segments[0].protocol == "unknown"
+        assert len(segments[0].records) == len(SYNTHETIC) - 1
+
+
+class TestPopulationCurve:
+    def test_rebuilt_from_state_deltas(self, synthetic_path):
+        (segment,) = split_segments(load_trace(synthetic_path))
+        times, rows = population_curve(segment)
+        # one col-changing flip (node 2: 1 -> 0); the gen-only promotion
+        # of node 0 keeps counts unchanged.
+        assert times == [0.0, 1.0]
+        assert rows == [[3, 1], [4, 0]]
+
+    def test_round_snapshots_authoritative(self):
+        segment = TraceSegment(
+            header={"protocol": "synchronous", "n": 4, "counts": [3, 1]},
+            records=[
+                {"kind": "round", "t": 1.0, "counts": [2, 2], "top_gen": 0},
+                {"kind": "round", "t": 2.0, "counts": [4, 0], "top_gen": 1},
+            ],
+        )
+        times, rows = population_curve(segment)
+        assert times == [1.0, 2.0]
+        assert rows == [[2, 2], [4, 0]]
+
+    def test_downsampling_keeps_endpoints(self):
+        records = [
+            {"kind": "round", "t": float(i), "counts": [i, 100 - i]}
+            for i in range(100)
+        ]
+        segment = TraceSegment(header={"counts": [0, 100]}, records=records)
+        times, rows = population_curve(segment, points=5)
+        assert len(times) == 5
+        assert times[0] == 0.0 and times[-1] == 99.0
+
+    def test_no_curve_data_raises(self):
+        with pytest.raises(ConfigurationError, match="population curve"):
+            population_curve(TraceSegment(header={}))
+
+
+class TestTimelinesAndTallies:
+    def test_phase_timeline(self, synthetic_path):
+        (segment,) = split_segments(load_trace(synthetic_path))
+        timeline = phase_timeline(segment)
+        assert [entry["generation"] for entry in timeline] == [1, 2]
+        gen1, gen2 = timeline
+        assert gen1["first_entry"] == 1.0 and gen1["birth"] is None
+        assert gen2["birth"] == 2.0 and gen2["first_entry"] == 3.0
+        assert gen2["nodes"] == 1
+
+    def test_message_counts(self, synthetic_path):
+        (segment,) = split_segments(load_trace(synthetic_path))
+        tallies = message_counts(segment)
+        assert tallies["zero_signals"] == 7
+        assert tallies["gen_signals"] == 2
+        assert tallies["good_ticks"] == 9
+        assert tallies["records_state"] == 2
+        assert tallies["records_fault"] == 1
+
+    def test_fault_summary(self, synthetic_path):
+        (segment,) = split_segments(load_trace(synthetic_path))
+        (entry,) = fault_summary(segment)
+        assert entry["event"] == "dropped-message"
+        assert entry["count"] == 1
+        assert entry["first_t"] == entry["last_t"] == 2.5
+
+
+class TestReport:
+    def test_golden_render(self, synthetic_path):
+        """The synthetic trace renders to exactly this report."""
+        result = trace_metrics(synthetic_path)
+        expected = textwrap.dedent(
+            """\
+            == trace-metrics ==
+
+            Offline metrics for trace.jsonl: 6 records, 1 run segment(s). Population curves and aging-phase timelines are rebuilt purely from the protocol-level trace stream.
+
+            single_leader: population curve
+            t  opinion 0  opinion 1
+            -  ---------  ---------
+            0  3          1
+            1  4          0
+
+            single_leader: aging-phase timeline
+            generation  birth  first entry  propagation  nodes entered
+            ----------  -----  -----------  -----------  -------------
+            1           None   1            None         1
+            2           2      3            None         1
+
+            single_leader: message and record counts
+            counter        value
+            -------------  -----
+            gen_signals    2
+            good_ticks     9
+            records_end    1
+            records_fault  1
+            records_phase  1
+            records_state  2
+            zero_signals   7
+
+            single_leader: fault overlay
+            event            count  first t  last t
+            ---------------  -----  -------  ------
+            dropped-message  1      2.5      2.5
+
+            note: single_leader: converged=True at t=4.0, eps_time=1.0"""
+        )
+        rendered = "\n".join(line.rstrip() for line in result.render(plot=False).splitlines())
+        assert rendered == expected
+
+    def test_empty_trace_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            trace_metrics(path)
+
+    def test_end_to_end_from_real_run(self, tmp_path):
+        """A real single-leader trace reconstructs curve + timeline."""
+        from repro.core.params import SingleLeaderParams
+        from repro.core.single_leader import run_single_leader
+        from repro.engine.tracing import JsonlTracer
+
+        path = tmp_path / "run.jsonl"
+        counts = np.array([40, 25, 15])
+        with JsonlTracer(path) as tracer:
+            result = run_single_leader(
+                SingleLeaderParams(n=80, k=3, alpha0=2.0),
+                counts,
+                np.random.Generator(np.random.PCG64(5)),
+                tracer=tracer,
+            )
+        report = trace_metrics(path, points=10)
+        (segment,) = split_segments(load_trace(path))
+        times, rows = population_curve(segment, points=10)
+        assert rows[0] == [40, 25, 15]
+        # the trace's final populations must agree with the run result
+        assert rows[-1] == [int(c) for c in result.final_color_counts]
+        assert all(sum(row) == 80 for row in rows)
+        assert phase_timeline(segment), "aging phases missing from trace"
+        titles = [table.title for table in report.tables]
+        assert any("population curve" in title for title in titles)
+        assert any("aging-phase timeline" in title for title in titles)

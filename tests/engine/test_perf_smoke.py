@@ -28,6 +28,8 @@ from repro.engine.simulator import Simulator
 
 EVENTS = 100_000
 FLOOR_EVENTS_PER_SECOND = float(os.environ.get("REPRO_PERF_FLOOR", 250_000.0))
+#: Ceiling on traced/untraced runtime ratio (ISSUE 6 acceptance bound).
+TRACE_OVERHEAD_CEILING = float(os.environ.get("REPRO_TRACE_OVERHEAD", 2.0))
 
 
 @pytest.mark.parametrize("engine", ["batch", "heap"])
@@ -86,4 +88,49 @@ def test_bulk_dispatch_throughput_floor():
     assert rate > FLOOR_EVENTS_PER_SECOND, (
         f"bulk dispatch ran at {rate:,.0f} events/s, "
         f"below the {FLOOR_EVENTS_PER_SECOND:,.0f} floor"
+    )
+
+
+def test_traced_run_overhead_under_ceiling(tmp_path):
+    """A fully traced protocol run must stay within 2x of untraced.
+
+    This pins the JsonlTracer hot-path contract (one tuple append per
+    record, batched serialization at flush): if record() grows a dict
+    build, a per-record write, or eager json.dumps, this ratio blows
+    past the ceiling.  Best-of-3 on both sides to shrug off CI noise.
+    """
+    from repro.core.params import SingleLeaderParams
+    from repro.core.single_leader import SingleLeaderSim
+    from repro.engine.tracing import JsonlTracer
+
+    params = SingleLeaderParams(n=300, k=3, alpha0=2.0)
+    counts = np.array([150, 100, 50])
+
+    def timed(tracer_path) -> float:
+        best = float("inf")
+        for attempt in range(3):
+            rng = np.random.Generator(np.random.PCG64(42))
+            if tracer_path is None:
+                sim = SingleLeaderSim(params, counts.copy(), rng)
+                start = time.perf_counter()
+                sim.run(max_time=1200.0)
+                best = min(best, time.perf_counter() - start)
+            else:
+                with JsonlTracer(tracer_path / f"run{attempt}.jsonl") as tracer:
+                    simulator = Simulator(tracer=tracer)
+                    sim = SingleLeaderSim(
+                        params, counts.copy(), rng, simulator=simulator
+                    )
+                    start = time.perf_counter()
+                    sim.run(max_time=1200.0)
+                    best = min(best, time.perf_counter() - start)
+        return best
+
+    untraced = timed(None)
+    traced = timed(tmp_path)
+    ratio = traced / untraced
+    assert ratio < TRACE_OVERHEAD_CEILING, (
+        f"traced run took {ratio:.2f}x the untraced run "
+        f"(ceiling {TRACE_OVERHEAD_CEILING:.2f}x; "
+        f"untraced {untraced * 1e3:.1f}ms, traced {traced * 1e3:.1f}ms)"
     )

@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
-from repro.engine.tracing import NULL_TRACER, CountingTracer, NullTracer, TraceRecorder
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.tracing import (
+    NULL_TRACER,
+    CountingTracer,
+    JsonlTracer,
+    NullTracer,
+    TraceRecorder,
+)
 
 
 class TestNullTracer:
@@ -38,6 +50,101 @@ class TestTraceRecorder:
         recorder.record("tick", 2.0)
         assert [r.time for r in recorder.by_kind("tick")] == [1.0, 2.0]
         assert recorder.times("tick") == [1.0, 2.0]
+
+
+class TestTraceRecorderCap:
+    def test_cap_drops_and_flags(self):
+        recorder = TraceRecorder(max_records=2)
+        recorder.record("a", 1.0)
+        recorder.record("a", 2.0)
+        assert not recorder.truncated
+        recorder.record("a", 3.0)
+        assert len(recorder) == 2
+        assert recorder.truncated
+        assert recorder.times("a") == [1.0, 2.0]
+
+    def test_filtered_records_do_not_consume_cap(self):
+        recorder = TraceRecorder(kinds=["keep"], max_records=1)
+        recorder.record("drop", 1.0)
+        recorder.record("keep", 2.0)
+        assert len(recorder) == 1
+        assert not recorder.truncated
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_records=-1)
+
+
+class TestJsonlTracer:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.record("run", 0.0, n=4)
+            tracer.record("state", 1.5, node=2, col=0)
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["run", "state"]
+        assert json.loads(lines[1]) == {"kind": "state", "t": 1.5, "node": 2, "col": 0}
+        assert tracer.records_written == 2
+
+    def test_deterministic_bytes(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            with JsonlTracer(path, buffer_records=1 if path.name == "a.jsonl" else 100) as tracer:
+                tracer.record("run", 0.0, b=1, a=2)
+                tracer.record("end", 3.0, converged=True)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_buffering_defers_writes_until_flush(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(path, buffer_records=10)
+        tracer.record("tick", 1.0)
+        assert path.read_text() == ""
+        tracer.flush()
+        assert len(path.read_text().splitlines()) == 1
+        tracer.close()
+        tracer.close()  # idempotent
+
+    def test_buffer_limit_triggers_batch_write(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(path, buffer_records=2)
+        tracer.record("tick", 1.0)
+        tracer.record("tick", 2.0)
+        assert len(path.read_text().splitlines()) == 2
+        tracer.close()
+
+    def test_kind_filter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path, kinds=["end"]) as tracer:
+            assert tracer.enabled_for("end")
+            assert not tracer.enabled_for("state")
+            tracer.record("state", 1.0, node=0)
+            tracer.record("end", 2.0, converged=True)
+        assert [json.loads(line)["kind"] for line in path.read_text().splitlines()] == ["end"]
+
+    def test_numpy_scalars_serialized_plain(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.record("round", np.float64(1.5), counts=[np.int64(3)])
+        record = json.loads(path.read_text())
+        assert record == {"kind": "round", "t": 1.5, "counts": [3]}
+
+    def test_accepts_open_file_object(self):
+        sink = io.StringIO()
+        tracer = JsonlTracer(sink)
+        tracer.record("run", 0.0, n=1)
+        tracer.close()
+        assert json.loads(sink.getvalue()) == {"kind": "run", "t": 0.0, "n": 1}
+        assert not sink.closed  # caller owns the handle
+
+    def test_flush_after_close_rejected(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.flush()
+
+    def test_bad_buffer_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTracer(tmp_path / "t.jsonl", buffer_records=0)
 
 
 class TestCountingTracer:

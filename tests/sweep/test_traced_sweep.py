@@ -1,0 +1,127 @@
+"""Tests for the traced-sweep path (``--trace`` through the runner)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.sweep.targets as targets_module
+from repro.errors import ConfigurationError
+from repro.sweep.cache import RunCache
+from repro.sweep.runner import execute_run, run_sweep
+from repro.sweep.spec import SweepSpec
+from repro.sweep.targets import target_traceable, validate_target_params
+
+
+def small_spec(**overrides) -> SweepSpec:
+    settings = dict(
+        target="single_leader",
+        base={"n": 60, "k": 2, "max_time": 400.0},
+        grid={"alpha": [1.5, 2.0]},
+        repetitions=1,
+        seed=3,
+    )
+    settings.update(overrides)
+    return SweepSpec(**settings)
+
+
+@pytest.fixture
+def untraceable_target():
+    """Temporarily register a target without a ``tracer`` keyword."""
+    name = "untraceable-test-target"
+
+    @targets_module.register_target(name, {"n": 4})
+    def _target(params, rng):
+        return {"n": params.get("n", 4)}
+
+    yield name
+    targets_module._TARGETS.pop(name)
+    targets_module._TARGET_TRACEABLE.pop(name)
+
+
+class TestExecuteRunTraced:
+    def test_writes_trace_and_counts_records(self, tmp_path):
+        config = small_spec().expand()[0]
+        trace_path = tmp_path / "run.jsonl"
+        record = execute_run(config, str(trace_path))
+        lines = trace_path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "run"
+        assert json.loads(lines[-1])["kind"] == "end"
+        assert record["trace_records"] == len(lines)
+
+    def test_traced_record_matches_untraced(self, tmp_path):
+        """Tracing must not perturb the simulation itself."""
+        config = small_spec().expand()[0]
+        untraced = execute_run(config)
+        traced = execute_run(config, str(tmp_path / "run.jsonl"))
+        for volatile in ("wall_time", "trace_records"):
+            untraced.pop(volatile, None)
+            traced.pop(volatile, None)
+        assert untraced == traced
+
+    def test_untraceable_target_rejected(self, tmp_path, untraceable_target):
+        assert not target_traceable(untraceable_target)
+        config = {"target": untraceable_target, "params": {}, "seed": 0, "rep": 0}
+        with pytest.raises(ConfigurationError, match="does not accept a tracer"):
+            execute_run(config, str(tmp_path / "run.jsonl"))
+
+
+class TestRunSweepTraced:
+    def test_one_trace_file_per_config(self, tmp_path):
+        spec = small_spec()
+        report = run_sweep(spec, trace_dir=str(tmp_path / "traces"))
+        paths = sorted((tmp_path / "traces").glob("*.jsonl"))
+        assert len(paths) == len(report.configs)
+        for index, (path, config) in enumerate(zip(paths, report.configs)):
+            assert path.name == f"{index:04d}-{config.target}-{config.digest[:12]}.jsonl"
+            assert path.stat().st_size > 0
+
+    def test_traced_sweep_bypasses_cache(self, tmp_path):
+        spec = small_spec()
+        cache = RunCache(tmp_path / "cache")
+        warm = run_sweep(spec, cache=cache)
+        assert warm.executed == len(warm.configs)
+        # warm cache, but tracing forces execution and stores nothing new
+        entries_before = cache.stats().entries
+        report = run_sweep(spec, cache=cache, trace_dir=str(tmp_path / "traces"))
+        assert report.executed == len(report.configs)
+        assert report.cached == 0
+        assert cache.stats().entries == entries_before
+        # and the untraced rerun still hits the warm cache
+        replay = run_sweep(spec, cache=cache)
+        assert replay.executed == 0
+
+    def test_untraceable_spec_rejected_before_running(self, tmp_path, untraceable_target):
+        spec = SweepSpec(target=untraceable_target, base={}, grid={"n": [2, 3]}, seed=0)
+        with pytest.raises(ConfigurationError, match="does not accept a tracer"):
+            run_sweep(spec, trace_dir=str(tmp_path / "traces"))
+
+    def test_parallel_traced_sweep_writes_all_files(self, tmp_path):
+        spec = small_spec(repetitions=2)
+        report = run_sweep(spec, workers=2, trace_dir=str(tmp_path / "traces"))
+        assert len(list((tmp_path / "traces").glob("*.jsonl"))) == len(report.configs)
+
+
+class TestUpfrontValidation:
+    def test_multileader_clustered_fails_at_spec_time(self):
+        """The won't-fix combination dies before any run launches."""
+        spec = SweepSpec(
+            target="multileader",
+            base={"n": 40, "k": 2, "alpha": 2.0, "init": "clustered"},
+            grid={"clusters": [2, 4]},
+            seed=0,
+        )
+        with pytest.raises(ConfigurationError, match="rebuilds its population"):
+            run_sweep(spec)
+
+    def test_validate_target_params_direct(self):
+        with pytest.raises(ConfigurationError, match="rebuilds its population"):
+            validate_target_params("multileader", {"init": "clustered"})
+        merged = validate_target_params("multileader", {"init": "biased"})
+        assert merged["init"] == "biased"
+
+    def test_unknown_axis_fails_upfront(self):
+        spec = small_spec(grid={"not_an_axis": [1, 2]})
+        with pytest.raises(ConfigurationError):
+            run_sweep(spec)

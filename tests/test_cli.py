@@ -85,6 +85,44 @@ class TestSweepCommand:
             build_parser().parse_args(["sweep", "unknown-target"])
 
 
+class TestTraceCommands:
+    def test_demo_trace_then_metrics_then_view(self, tmp_path, capsys):
+        trace = tmp_path / "demo.jsonl"
+        code = main(
+            ["demo", "--n", "200", "--k", "3", "--alpha", "2.0",
+             "--asynchronous", "--trace", str(trace)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert trace.stat().st_size > 0
+
+        report_md = tmp_path / "metrics.md"
+        assert main(["trace-metrics", str(trace), "--out", str(report_md)]) == 0
+        out = capsys.readouterr().out
+        assert "population curve" in out
+        assert "aging-phase timeline" in out
+        assert "population curve" in report_md.read_text()
+
+        html = tmp_path / "view.html"
+        assert main(["trace-view", str(trace), "--out", str(html)]) == 0
+        capsys.readouterr()
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_sweep_trace_writes_per_run_files(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        code = main(
+            ["sweep", "synchronous", "--grid", "n=100,200", "--set", "k=2",
+             "--set", "alpha=2.0", "--no-cache", "--trace", str(traces)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert len(list(traces.glob("*.jsonl"))) == 2
+
+    def test_trace_metrics_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["trace-metrics", str(tmp_path / "missing.jsonl")])
+
+
 class TestCacheCommand:
     def test_stats_and_gc_dry_run(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "runs")

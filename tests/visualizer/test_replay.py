@@ -1,0 +1,101 @@
+"""Tests for the static-HTML trace replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.visualizer import build_replay_data, render_replay_html, write_replay_html
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    records = [
+        {"kind": "run", "t": 0.0, "protocol": "single_leader", "n": 4, "k": 2,
+         "counts": [3, 1]},
+        {"kind": "state", "t": 1.0, "node": 2, "gen": 1, "col": 0,
+         "old_gen": 0, "old_col": 1},
+        {"kind": "phase", "t": 2.0, "event": "generation", "gen": 2},
+        {"kind": "fault", "t": 2.5, "event": "dropped-message", "node": 1},
+        {"kind": "end", "t": 4.0, "converged": True, "counts": [4, 0]},
+    ]
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+def embedded_payload(html: str) -> dict:
+    start = html.index('type="application/json">') + len('type="application/json">')
+    end = html.index("</script>", start)
+    return json.loads(html[start:end].replace("<\\/", "</"))
+
+
+class TestBuildReplayData:
+    def test_payload_shape(self, trace_path):
+        data = build_replay_data(trace_path)
+        assert data["trace"] == "trace.jsonl"
+        (segment,) = data["segments"]
+        assert segment["protocol"] == "single_leader"
+        assert segment["n"] == 4
+        assert segment["series"] == [[3, 4], [1, 0]]
+        assert segment["times"] == [0.0, 1.0]
+        assert segment["phases"] == [{"t": 1.0, "gen": 1}, {"t": 2.0, "gen": 2}]
+        assert segment["faults"] == [{"t": 2.5, "event": "dropped-message"}]
+        assert segment["converged"] is True
+
+    def test_empty_trace_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            build_replay_data(empty)
+
+
+class TestRenderHtml:
+    def test_self_contained_and_round_trippable(self, trace_path):
+        html = render_replay_html(build_replay_data(trace_path), title="my replay")
+        assert "<title>my replay</title>" in html
+        assert "polyline" in html and "replay-data" in html
+        # no external fetches: self-contained is the whole point
+        # (the SVG namespace URI is an identifier, not a request)
+        assert "<script src" not in html
+        assert "<link" not in html
+        assert "fetch(" not in html and "XMLHttpRequest" not in html
+        assert embedded_payload(html)["segments"][0]["protocol"] == "single_leader"
+
+    def test_script_close_tag_escaped_in_payload(self, trace_path):
+        data = build_replay_data(trace_path)
+        data["segments"][0]["protocol"] = "</script><b>bad</b>"
+        html = render_replay_html(data)
+        body = html[html.index('type="application/json">'):]
+        payload_segment = body[: body.index("</script>")]
+        assert "</script" not in payload_segment
+        assert embedded_payload(html)["segments"][0]["protocol"] == "</script><b>bad</b>"
+
+
+class TestWriteReplayHtml:
+    def test_default_output_path(self, trace_path):
+        out = write_replay_html(trace_path)
+        assert out == trace_path.with_suffix(".html")
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_real_run_end_to_end(self, tmp_path):
+        from repro.core.params import SingleLeaderParams
+        from repro.core.single_leader import run_single_leader
+        from repro.engine.tracing import JsonlTracer
+
+        path = tmp_path / "run.jsonl"
+        with JsonlTracer(path) as tracer:
+            run_single_leader(
+                SingleLeaderParams(n=60, k=2, alpha0=2.0),
+                np.array([40, 20]),
+                np.random.Generator(np.random.PCG64(1)),
+                tracer=tracer,
+            )
+        out = write_replay_html(path, tmp_path / "view.html", title="run")
+        payload = embedded_payload(out.read_text())
+        (segment,) = payload["segments"]
+        assert segment["series"][0][0] == 40
+        assert len(segment["times"]) == len(segment["series"][0])
