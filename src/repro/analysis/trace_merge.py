@@ -1,0 +1,108 @@
+"""Merge multiple JSONL trace streams into one time-ordered stream.
+
+Sharded runs (and any future per-component tracing) write one JSONL
+stream per process; offline tooling — ``repro trace-metrics``, the
+replay visualizer — consumes a single stream. :func:`merge_traces` is
+the k-way merge that closes the gap:
+
+* records are ordered by ``(t, seq)`` where ``t`` is the record's
+  timestamp field and ``seq`` an optional explicit sequence field
+  (absent → the record's line number within its stream);
+* the sort is **stable** across streams: ties keep the input-stream
+  order (first listed stream first), so merging is deterministic for a
+  fixed argument order;
+* lines are passed through byte-for-byte — no re-serialization — so a
+  merged stream of :class:`~repro.engine.tracing.JsonlTracer` output is
+  itself valid ``JsonlTracer`` output and feeds ``trace-metrics``
+  unchanged.
+
+Each input stream must itself be non-decreasing in ``(t, seq)`` (true
+of every tracer in this codebase — simulation time never runs
+backwards within one process); :func:`merge_traces` verifies that while
+reading and raises on violations rather than silently emitting a
+mis-ordered stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = ["merge_traces", "merge_trace_files"]
+
+
+def _stream_keyed_lines(
+    lines: Iterable[str], stream_index: int, label: str
+) -> Iterator[tuple[tuple[float, int, int, int], str]]:
+    """Yield ``((t, seq, stream, line), line)`` for one trace stream."""
+    previous: tuple[float, int] | None = None
+    for line_index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{label}, line {line_index + 1}: not valid JSON ({error})"
+            ) from None
+        if not isinstance(record, dict) or "t" not in record:
+            raise ConfigurationError(
+                f"{label}, line {line_index + 1}: trace records need a 't' field"
+            )
+        t = float(record["t"])
+        seq = int(record.get("seq", line_index))
+        if previous is not None and (t, seq) < previous:
+            raise ConfigurationError(
+                f"{label}, line {line_index + 1}: time runs backwards "
+                f"({(t, seq)} after {previous}); streams must be sorted "
+                "before merging"
+            )
+        previous = (t, seq)
+        yield (t, seq, stream_index, line_index), line.rstrip("\n")
+
+
+def merge_traces(streams: list[Iterable[str]], labels: list[str] | None = None) -> Iterator[str]:
+    """Merge pre-sorted JSONL line streams; yields lines without newlines.
+
+    ``heapq.merge`` over per-stream key iterators: memory stays O(1) per
+    stream regardless of trace size.
+    """
+    if labels is None:
+        labels = [f"stream {index}" for index in range(len(streams))]
+    keyed = [
+        _stream_keyed_lines(stream, index, label)
+        for index, (stream, label) in enumerate(zip(streams, labels))
+    ]
+    for _key, line in heapq.merge(*keyed):
+        yield line
+
+
+def merge_trace_files(inputs: list[Path | str], out: Path | str | IO[str]) -> int:
+    """Merge trace files into ``out`` (path or open handle); returns #records."""
+    if not inputs:
+        raise ConfigurationError("trace-merge needs at least one input stream")
+    paths = [Path(p) for p in inputs]
+    for path in paths:
+        if not path.is_file():
+            raise ConfigurationError(f"trace stream not found: {path}")
+    handles = [path.open("r", encoding="utf-8") for path in paths]
+    count = 0
+    try:
+        merged = merge_traces(handles, labels=[str(path) for path in paths])
+        if hasattr(out, "write"):
+            for line in merged:
+                out.write(line + "\n")
+                count += 1
+        else:
+            with open(out, "w", encoding="utf-8", newline="\n") as sink:
+                for line in merged:
+                    sink.write(line + "\n")
+                    count += 1
+    finally:
+        for handle in handles:
+            handle.close()
+    return count

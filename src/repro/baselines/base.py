@@ -183,6 +183,7 @@ def _multinomial_round(
     *,
     participation: float = 1.0,
     down: np.ndarray | None = None,
+    probabilities_state: np.ndarray | None = None,
 ) -> np.ndarray:
     """One multinomial round, optionally thinned and partially frozen.
 
@@ -193,8 +194,19 @@ def _multinomial_round(
     adds participation thinning (each group's movement probabilities
     scaled by ``participation``, the remainder folded into staying)
     plus per-category frozen (churned-down) counts that do not act.
+
+    ``probabilities_state`` separates the population the transition
+    *probabilities* are computed from (contacts come from everyone) from
+    the counts that actually move. Default ``None`` uses ``state`` for
+    both — the unsharded law. The sharded count engine passes the
+    cross-shard sum: each shard then draws an independent multinomial
+    with the shared global probabilities, and the sum of those draws is
+    exactly the global multinomial, so the sharded round is
+    distribution-identical.
     """
-    matrix = dynamics.transition_probabilities(state)
+    matrix = dynamics.transition_probabilities(
+        state if probabilities_state is None else probabilities_state
+    )
     if matrix.shape != (state.size, state.size):
         raise ConfigurationError(
             f"{dynamics.name}: transition matrix shape {matrix.shape} "
@@ -257,6 +269,7 @@ def run_dynamics(
     round_faults=None,
     assignment=None,
     tracer=None,
+    shards: int = 1,
 ) -> RunResult:
     """Run ``dynamics`` from initial opinion ``counts`` to consensus.
 
@@ -271,7 +284,31 @@ def run_dynamics(
     (topology-correlated starts); the multinomial engine is anonymous,
     so on ``K_n`` — where placement cannot matter — it is validated and
     then ignored.
+
+    ``shards > 1`` fans the multinomial rounds out over worker
+    processes (:mod:`repro.shard`, distribution-identical law); that
+    path supports the default scenario only. ``shards=1`` (the
+    default) never touches the shard machinery.
     """
+    if int(shards) != 1:
+        if graph is not None or round_faults is not None or assignment is not None:
+            raise ConfigurationError(
+                "sharded dynamics support the complete graph without round "
+                "faults or explicit placement; drop those parameters or use "
+                "shards=1"
+            )
+        from repro.shard.dynamics import run_sharded_dynamics
+
+        return run_sharded_dynamics(
+            dynamics,
+            counts,
+            rng,
+            shards=shards,
+            max_rounds=max_rounds,
+            epsilon=epsilon,
+            record_trajectory=record_trajectory,
+            tracer=tracer,
+        )
     counts = validate_counts(counts)
     n = int(counts.sum())
     plurality = plurality_color(counts)

@@ -127,6 +127,7 @@ class PairwiseScheduler:
         round_faults=None,
         assignment=None,
         tracer=None,
+        shards: int = 1,
     ) -> PopulationResult:
         """Run until consensus output or ``max_interactions``.
 
@@ -148,8 +149,34 @@ class PairwiseScheduler:
         ``assignment`` fixes the initial opinion placement per node
         (both protocols encode opinion ``i`` as state ``i``
         initially).
+
+        ``shards > 1`` hands the run to the sharded scheduler
+        (:func:`repro.shard.population.run_sharded_population`:
+        intra-shard interaction blocks plus a controller-run
+        cross-shard exchange — an approximate pair law, gated by the
+        CI-overlap equivalence tests); ``check_every``/``batch`` do
+        not apply there (convergence is checked once per barrier
+        round) and the scenario axes must stay unset. ``shards=1``
+        (the default) is the exact sequential law, untouched.
         """
         protocol = self.protocol
+        if int(shards) != 1:
+            if graph is not None or round_faults is not None or assignment is not None:
+                raise ConfigurationError(
+                    "the sharded population scheduler supports the complete "
+                    "graph without round faults or explicit placement; drop "
+                    "those parameters or use shards=1"
+                )
+            from repro.shard.population import run_sharded_population
+
+            return run_sharded_population(
+                protocol,
+                counts,
+                rng,
+                shards=shards,
+                max_interactions=max_interactions,
+                tracer=tracer,
+            )
         state = protocol.initial_state(validate_counts(counts))
         n = int(state.sum())
         if n < 2:

@@ -11,6 +11,7 @@ Usage::
     repro sweep --list-targets          # targets + their grid-able params
     repro robustness [--quick]          # adversity tables (cached sweep)
     repro trace-metrics trace.jsonl     # offline metrics from a JSONL trace
+    repro trace-merge a.jsonl b.jsonl   # merge per-shard traces by (t, seq)
     repro trace-view trace.jsonl        # static-HTML replay of a trace
     repro cache stats|gc [--dry-run]    # inspect / clean the run cache
 
@@ -109,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--asynchronous", action="store_true", help="run the single-leader protocol instead"
     )
     demo_parser.add_argument(
+        "--shards", type=int, default=1, metavar="S",
+        help="run the synchronous engine across S worker processes "
+        "(1 = in-process; not available with --asynchronous)",
+    )
+    demo_parser.add_argument(
         "--report", action="store_true", help="print a full Markdown run report"
     )
     demo_parser.add_argument(
@@ -183,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument(
         "--points", type=int, default=24,
         help="samples per population-curve table (default 24)",
+    )
+
+    merge_parser = sub.add_parser(
+        "trace-merge", help="merge per-shard JSONL trace streams into one time-ordered stream"
+    )
+    merge_parser.add_argument(
+        "traces", type=Path, nargs="+", help="JSONL trace files (one per shard/stream)"
+    )
+    merge_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the merged stream here (default: stdout)",
     )
 
     view_parser = sub.add_parser(
@@ -281,11 +298,20 @@ def _command_demo(args: argparse.Namespace) -> int:
         tracer_ctx = JsonlTracer(args.trace)
     else:
         tracer_ctx = nullcontext(None)
+    if args.asynchronous and args.shards != 1:
+        print(
+            "error: --shards applies to the synchronous engine only; "
+            "the event-driven engine stays single-process",
+            file=sys.stderr,
+        )
+        return 2
     with tracer_ctx as tracer:
         kwargs = {} if tracer is None else {"tracer": tracer}
         if args.asynchronous:
             result = quick_async(args.n, args.k, args.alpha, seed=args.seed, **kwargs)
         else:
+            if args.shards != 1:
+                kwargs["shards"] = args.shards
             result = quick_sync(args.n, args.k, args.alpha, seed=args.seed, **kwargs)
     if args.trace is not None:
         print(f"[demo] trace written to {args.trace}", file=sys.stderr)
@@ -377,6 +403,22 @@ def _command_trace_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace_merge(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_merge import merge_trace_files
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        count = merge_trace_files(args.traces, args.out)
+        print(
+            f"[trace-merge] {count} records from {len(args.traces)} "
+            f"stream{'s' if len(args.traces) != 1 else ''} -> {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        count = merge_trace_files(args.traces, sys.stdout)
+    return 0
+
+
 def _command_trace_view(args: argparse.Namespace) -> int:
     from repro.visualizer import write_replay_html
 
@@ -420,6 +462,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_robustness(args)
     if args.command == "trace-metrics":
         return _command_trace_metrics(args)
+    if args.command == "trace-merge":
+        return _command_trace_merge(args)
     if args.command == "trace-view":
         return _command_trace_view(args)
     if args.command == "cache":

@@ -54,7 +54,87 @@ from repro.workloads.bias import (
 )
 from repro.workloads.opinions import counts_to_assignment, validate_assignment
 
-__all__ = ["PerNodeSynchronousSim", "AggregateSynchronousSim", "run_synchronous"]
+__all__ = [
+    "PerNodeSynchronousSim",
+    "AggregateSynchronousSim",
+    "aggregate_round",
+    "run_synchronous",
+]
+
+
+def aggregate_round(
+    global_matrix: np.ndarray,
+    local_matrix: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    two_choices_step: bool,
+    promotion: str = "pair",
+    participation: float = 1.0,
+    down: np.ndarray | None = None,
+) -> np.ndarray:
+    """One multinomial round of Algorithm 1 over a count matrix.
+
+    The per-group outcome *probabilities* are built from
+    ``global_matrix`` (the whole population — contacts are sampled from
+    everyone) while the *counts* that move are ``local_matrix``. The
+    unsharded engine passes the same matrix for both; the sharded
+    aggregate engine passes the cross-shard sum as ``global_matrix`` and
+    its own slice as ``local_matrix`` — summing the shards' independent
+    multinomial draws with shared probabilities is exactly the global
+    multinomial, so the sharded process has the same law.
+
+    ``participation``/``down`` carry the round-fault seam (loss and
+    straggler thinning, churned-down frozen counts) exactly as before
+    the extraction.
+    """
+    rows, k = local_matrix.shape
+    fractions = global_matrix / n
+    per_generation = fractions.sum(axis=1)
+    occupied = np.nonzero(per_generation)[0]
+    top = int(occupied[-1])
+    below = np.concatenate(([0.0], np.cumsum(per_generation)))[:-1]  # Σ_{g<j}
+    new_matrix = np.zeros_like(local_matrix)
+    flat_categories = rows * k
+    for g in occupied:
+        g = int(g)
+        if not local_matrix[g].any():
+            continue  # a globally occupied generation this slice doesn't hold
+        probs = np.zeros((rows, k))
+        if two_choices_step and g + 1 < rows:
+            upper = min(top, rows - 2)
+            if promotion == "pair":
+                # Pairs both in generation i >= g with equal colors
+                # promote to (i+1, color); the slice shifts rows by one.
+                probs[g + 1 : upper + 2, :] += fractions[g : upper + 1, :] ** 2
+            else:
+                # Ablation: one sample in generation i >= g suffices.
+                probs[g + 1 : upper + 2, :] += fractions[g : upper + 1, :]
+        if top > g and not (two_choices_step and promotion == "single"):
+            span = slice(g + 1, top + 1)
+            adopt = fractions[span, :] * (
+                2.0 * below[span][:, None] + per_generation[span][:, None]
+            )
+            if two_choices_step:
+                adopt = adopt - fractions[span, :] ** 2
+            probs[span, :] += adopt
+        flat = probs.ravel()
+        total = float(flat.sum())
+        if total > 1.0:  # float round-off guard
+            flat = flat / total
+            total = 1.0
+        if participation < 1.0:
+            flat = flat * participation
+            total *= participation
+        full = np.append(flat, 1.0 - total)
+        for c in np.nonzero(local_matrix[g])[0]:
+            count = int(local_matrix[g, c])
+            frozen = 0 if down is None else min(int(down[g, c]), count)
+            outcome = rng.multinomial(count - frozen, full)
+            moved = outcome[:flat_categories].reshape(rows, k)
+            new_matrix += moved
+            new_matrix[g, c] += outcome[flat_categories] + frozen
+    return new_matrix
 
 
 def _matrix_stats(matrix: np.ndarray, n: int, time: float) -> StepStats:
@@ -444,48 +524,19 @@ class AggregateSynchronousSim(_SynchronousBase):
         per_generation = fractions.sum(axis=1)
         occupied = np.nonzero(per_generation)[0]
         top = int(occupied[-1])
-        below = np.concatenate(([0.0], np.cumsum(per_generation)))[:-1]  # Σ_{g<j}
         two_choices_step = self.schedule.is_two_choices_step(
             self.steps_done, float(per_generation[top])
         )
-        new_matrix = np.zeros_like(self.matrix)
-        flat_categories = self._rows * self.k
-        for g in occupied:
-            g = int(g)
-            probs = np.zeros((self._rows, self.k))
-            if two_choices_step and g + 1 < self._rows:
-                upper = min(top, self._rows - 2)
-                if self.promotion == "pair":
-                    # Pairs both in generation i >= g with equal colors
-                    # promote to (i+1, color); the slice shifts rows by one.
-                    probs[g + 1 : upper + 2, :] += fractions[g : upper + 1, :] ** 2
-                else:
-                    # Ablation: one sample in generation i >= g suffices.
-                    probs[g + 1 : upper + 2, :] += fractions[g : upper + 1, :]
-            if top > g and not (two_choices_step and self.promotion == "single"):
-                span = slice(g + 1, top + 1)
-                adopt = fractions[span, :] * (
-                    2.0 * below[span][:, None] + per_generation[span][:, None]
-                )
-                if two_choices_step:
-                    adopt = adopt - fractions[span, :] ** 2
-                probs[span, :] += adopt
-            flat = probs.ravel()
-            total = float(flat.sum())
-            if total > 1.0:  # float round-off guard
-                flat = flat / total
-                total = 1.0
-            if participation < 1.0:
-                flat = flat * participation
-                total *= participation
-            full = np.append(flat, 1.0 - total)
-            for c in np.nonzero(self.matrix[g])[0]:
-                count = int(self.matrix[g, c])
-                frozen = 0 if down is None else min(int(down[g, c]), count)
-                outcome = self._rng.multinomial(count - frozen, full)
-                moved = outcome[:flat_categories].reshape(self._rows, self.k)
-                new_matrix += moved
-                new_matrix[g, c] += outcome[flat_categories] + frozen
+        new_matrix = aggregate_round(
+            self.matrix,
+            self.matrix,
+            self.n,
+            self._rng,
+            two_choices_step=two_choices_step,
+            promotion=self.promotion,
+            participation=participation,
+            down=down,
+        )
         assert new_matrix.sum() == self.n, "node conservation violated"
         self.matrix = new_matrix
 
@@ -503,6 +554,7 @@ def run_synchronous(
     round_faults=None,
     assignment=None,
     tracer: Tracer | None = None,
+    shards: int = 1,
 ) -> RunResult:
     """Convenience front-end: build a simulator and run it.
 
@@ -512,7 +564,32 @@ def run_synchronous(
     per-node engine — the multinomial engine's mean-field law is only
     exact on ``K_n`` and carries no node identities. ``round_faults``
     (see :mod:`repro.scenarios.round_faults`) works on both engines.
+
+    ``shards > 1`` fans the run out over worker processes
+    (:mod:`repro.shard`); the sharded engines support the default
+    scenario only, so graph/fault/placement parameters must stay unset.
+    ``shards=1`` (the default) never touches the shard machinery.
     """
+    if int(shards) != 1:
+        if graph is not None or round_faults is not None or assignment is not None:
+            raise ConfigurationError(
+                "sharded synchronous runs support the complete graph without "
+                "round faults or explicit placement; drop those parameters "
+                "or use shards=1"
+            )
+        from repro.shard.synchronous import run_sharded_synchronous
+
+        return run_sharded_synchronous(
+            counts,
+            schedule,
+            rng,
+            shards=shards,
+            engine=engine,
+            max_steps=max_steps,
+            epsilon=epsilon,
+            record_trajectory=record_trajectory,
+            tracer=tracer,
+        )
     if engine == "aggregate":
         if assignment is not None:
             raise ConfigurationError(

@@ -1,0 +1,276 @@
+"""Shared-memory blocks and the tick-barrier controller runtime.
+
+The execution model is the simple synchronous design: one controller
+process (the caller) and ``shards`` worker processes, all meeting at a
+single reusable :class:`multiprocessing.Barrier` with ``shards + 1``
+parties. One simulation round is a fixed barrier cadence:
+
+1. **start barrier** — the controller has published this round's control
+   words (command, per-round knobs); workers read them and either exit
+   (``CMD_STOP``) or begin the round.
+2. **phase barriers** (engine-chosen count) — e.g. the count engines use
+   two: after the first every worker has *read* the global shared state,
+   after the second every worker has *written* its own slice, so reads
+   and writes never overlap.
+
+Between rounds only the controller touches shared state (convergence
+checks, cross-shard exchange), so no locks are needed anywhere — the
+barrier cadence is the whole synchronization story.
+
+Failure handling: a worker that raises pushes ``(shard, traceback)``
+onto an error queue and aborts the barrier; everyone else's ``wait``
+then raises ``BrokenBarrierError``, the controller drains the queue and
+re-raises as :class:`ShardError` with the worker traceback inline.
+Hung workers trip the same path via the barrier timeout.
+
+The default start method is ``fork`` (cheap, and the payloads are
+already picklable so ``spawn`` works too — exercised in the test suite
+via the ``start_method`` parameter).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from multiprocessing import shared_memory
+from threading import BrokenBarrierError
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["SharedArray", "ShardHarness", "ShardWorkerContext", "ShardError"]
+
+#: Control-word layout (a small shared float64 array).
+CMD, ROUND, FLAG, EXTRA = 0, 1, 2, 3
+_CONTROL_SLOTS = 8
+CMD_RUN, CMD_STOP = 0.0, 1.0
+
+_DEFAULT_TIMEOUT = 300.0
+
+
+class ShardError(SimulationError):
+    """A shard worker crashed or the barrier protocol broke down."""
+
+
+class SharedArray:
+    """A numpy array backed by named shared memory.
+
+    The creating side owns the segment (``unlink`` on close); attaching
+    sides only map it. ``spec`` is the picklable handle workers use to
+    attach: ``(name, shape, dtype-str)``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype, *, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+    @classmethod
+    def create(cls, shape, dtype) -> "SharedArray":
+        size = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        block = cls(shm, shape, dtype, owner=True)
+        block.array.fill(0)
+        return block
+
+    @property
+    def spec(self) -> tuple[str, tuple, str]:
+        return (self._shm.name, tuple(self.array.shape), self.array.dtype.str)
+
+    @classmethod
+    def attach(cls, spec: tuple[str, tuple, str]) -> "SharedArray":
+        name, shape, dtype = spec
+        # Attaching registers the segment with the (process-tree-wide)
+        # resource tracker a second time; the tracker's cache is a set,
+        # so the duplicate is harmless and the owner's unlink clears it.
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, shape, dtype, owner=False)
+
+    def close(self) -> None:
+        # The numpy view holds a buffer export on shm.buf; drop it first
+        # or SharedMemory.close raises BufferError.
+        self.array = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class ShardWorkerContext:
+    """Worker-side view of the barrier protocol and control words."""
+
+    def __init__(self, index: int, barrier, control: np.ndarray, timeout: float):
+        self.index = index
+        self.control = control
+        self._barrier = barrier
+        self._timeout = timeout
+
+    def wait(self) -> None:
+        self._barrier.wait(self._timeout)
+
+    @property
+    def stopped(self) -> bool:
+        return self.control[CMD] == CMD_STOP
+
+    @property
+    def flag(self) -> float:
+        return float(self.control[FLAG])
+
+    @property
+    def extra(self) -> float:
+        return float(self.control[EXTRA])
+
+
+def _worker_entry(
+    worker: Callable[[ShardWorkerContext, dict], None],
+    index: int,
+    barrier,
+    control_spec: tuple,
+    errors,
+    payload: dict,
+    timeout: float,
+) -> None:
+    control = SharedArray.attach(control_spec)
+    try:
+        worker(ShardWorkerContext(index, barrier, control.array, timeout), payload)
+    except BrokenBarrierError:
+        # Another shard (or the controller) already failed; exit quietly.
+        pass
+    except BaseException:
+        errors.put((index, traceback.format_exc()))
+        barrier.abort()
+    finally:
+        control.close()
+
+
+class ShardHarness:
+    """Controller-side lifecycle for ``shards`` barrier-driven workers.
+
+    ``worker`` must be a module-level function
+    ``worker(ctx: ShardWorkerContext, payload: dict) -> None`` running
+    the per-round loop (see the module docstring cadence); ``payloads``
+    carries one picklable dict per shard. ``phases`` is the number of
+    barriers each round uses *after* the start barrier.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[ShardWorkerContext, dict], None],
+        payloads: list[dict],
+        *,
+        phases: int,
+        timeout: float = _DEFAULT_TIMEOUT,
+        start_method: str | None = None,
+    ):
+        self.shards = len(payloads)
+        self.phases = int(phases)
+        self._timeout = float(timeout)
+        ctx = multiprocessing.get_context(start_method or "fork")
+        self._barrier = ctx.Barrier(self.shards + 1)
+        self._errors = ctx.SimpleQueue()
+        self.control = SharedArray.create((_CONTROL_SLOTS,), np.float64)
+        self._stopped = False
+        self._procs = [
+            ctx.Process(
+                target=_worker_entry,
+                args=(
+                    worker,
+                    index,
+                    self._barrier,
+                    self.control.spec,
+                    self._errors,
+                    payload,
+                    self._timeout,
+                ),
+                name=f"shard-{index}",
+                daemon=True,
+            )
+            for index, payload in enumerate(payloads)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def _wait(self) -> None:
+        # Poll until every worker is parked at the barrier before
+        # joining it ourselves: a worker that died (spawn import error,
+        # OOM kill) or crashed is then detected immediately instead of
+        # after the full barrier timeout.
+        barrier = self._barrier
+        deadline = time.monotonic() + self._timeout
+        while barrier.n_waiting < self.shards:
+            if barrier.broken:
+                self._raise_worker_error("a worker aborted the barrier")
+            for proc in self._procs:
+                if not proc.is_alive():
+                    self._raise_worker_error(
+                        f"worker process for shard {proc.name} died "
+                        f"with exit code {proc.exitcode}"
+                    )
+            if time.monotonic() > deadline:
+                barrier.abort()
+                self._raise_worker_error(f"barrier timeout after {self._timeout}s")
+            time.sleep(0.0002)
+        try:
+            barrier.wait(self._timeout)
+        except BrokenBarrierError:
+            self._raise_worker_error("barrier broke during release")
+
+    def _raise_worker_error(self, reason: str) -> None:
+        self._stopped = True  # barrier is compromised; skip the stop round
+        failures = []
+        while not self._errors.empty():
+            failures.append(self._errors.get())
+        self.close()
+        if failures:
+            shard, trace = failures[0]
+            raise ShardError(
+                f"shard worker {shard} failed (of {len(failures)} failure(s)):\n{trace}"
+            )
+        raise ShardError(f"shard run failed: {reason}")
+
+    def step(self, *, flag: float = 0.0, extra: float = 0.0) -> None:
+        """Run one full round: publish control words, walk the barriers."""
+        control = self.control.array
+        control[CMD] = CMD_RUN
+        control[ROUND] += 1.0
+        control[FLAG] = flag
+        control[EXTRA] = extra
+        self._wait()  # start: workers pick up the round
+        for _ in range(self.phases):
+            self._wait()
+
+    def stop(self) -> None:
+        """Release workers into a stop round and join them (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.control.array[CMD] = CMD_STOP
+        try:
+            self._barrier.wait(self._timeout)
+        except BrokenBarrierError:  # pragma: no cover - racing a crash
+            pass
+        for proc in self._procs:
+            proc.join(self._timeout)
+
+    def close(self) -> None:
+        """Stop workers (if still running) and release every resource."""
+        if not self._stopped:
+            self.stop()
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(5.0)
+        if self.control is not None:
+            self.control.close()
+            self.control = None
+
+    def __enter__(self) -> "ShardHarness":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

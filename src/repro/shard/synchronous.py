@@ -1,0 +1,319 @@
+"""Sharded simulators for Algorithm 1 (both synchronous engines).
+
+Both simulators subclass the unsharded
+:class:`~repro.core.synchronous._SynchronousBase`, so the entire run
+loop — births, epsilon bookkeeping, trajectory, tracing, the
+:class:`~repro.core.results.RunResult` contract — is literally the same
+code; only :meth:`step` crosses the process boundary.
+
+* :class:`ShardedAggregateSynchronousSim` — count-matrix slots, the
+  generic count worker, distribution-identical to the unsharded engine
+  (see :mod:`repro.shard.count_engine`).
+* :class:`ShardedPerNodeSynchronousSim` — the full ``colors`` /
+  ``generations`` arrays live in shared memory; each worker computes the
+  update for its contiguous node slice while sampling contacts from the
+  *whole* population (reads in phase one, slice writes in phase two).
+  That is exactly the unsharded Markov kernel — per-node updates only
+  read the previous round's state — so this engine, too, is
+  distribution-identical, just not bit-identical (per-shard substreams
+  replace the single stream).
+
+Schedules are stateful (:class:`~repro.core.schedule.AdaptiveSchedule`
+latches its decisions), so only the controller consults
+``is_two_choices_step``; workers receive the decision through the
+control word.
+
+:func:`run_sharded_synchronous` is the front-end; at ``shards=1`` it
+delegates to :func:`repro.core.synchronous.run_synchronous` without
+consuming any extra randomness, keeping single-shard runs byte-identical
+to the unsharded engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import RunResult
+from repro.core.schedule import Schedule
+from repro.core.synchronous import _SynchronousBase, run_synchronous
+from repro.engine.tracing import Tracer
+from repro.errors import ConfigurationError
+from repro.shard.count_engine import AggregateSyncKernel, count_worker
+from repro.shard.partition import partition_counts, partition_nodes, shard_seed_sequences
+from repro.shard.runtime import ShardHarness, ShardWorkerContext, SharedArray
+from repro.workloads.bias import validate_counts
+from repro.workloads.opinions import counts_to_assignment
+
+__all__ = [
+    "ShardedAggregateSynchronousSim",
+    "ShardedPerNodeSynchronousSim",
+    "run_sharded_synchronous",
+]
+
+
+def _validate_shard_run(n: int, shards: int) -> int:
+    shards = int(shards)
+    if shards < 2:
+        raise ConfigurationError(
+            "sharded simulators need shards >= 2; shards=1 is the unsharded "
+            "engine (run_sharded_synchronous routes it automatically)"
+        )
+    if n < 2 * shards:
+        raise ConfigurationError(
+            f"n={n} is too small for {shards} shards (need >= 2 nodes per shard)"
+        )
+    return shards
+
+
+class _ShardedSynchronousBase(_SynchronousBase):
+    """Run-loop reuse plus harness lifecycle shared by both engines."""
+
+    _harness: ShardHarness | None = None
+
+    def run(self, **kwargs) -> RunResult:
+        try:
+            return super().run(**kwargs)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the workers and release shared memory (idempotent)."""
+        if self._harness is not None:
+            self._harness.close()
+            self._harness = None
+        for name in ("_slots", "_shared_colors", "_shared_generations"):
+            block = getattr(self, name, None)
+            if block is not None:
+                block.close()
+                setattr(self, name, None)
+
+
+class ShardedAggregateSynchronousSim(_ShardedSynchronousBase):
+    """Multiprocess count-matrix simulator (distribution-exact sharding).
+
+    Shared state: one ``(rows, k)`` int64 slot per shard; the initial
+    counts are split by the deterministic
+    :func:`~repro.shard.partition.partition_counts`.
+    """
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        schedule: Schedule,
+        rng: np.random.Generator,
+        *,
+        shards: int,
+        promotion: str = "pair",
+        tracer: Tracer | None = None,
+        start_method: str | None = None,
+    ):
+        counts = validate_counts(counts)
+        self.n = int(counts.sum())
+        self.k = int(counts.size)
+        self.shards = _validate_shard_run(self.n, shards)
+        if promotion not in ("pair", "single"):
+            raise ConfigurationError(
+                f"promotion must be 'pair' or 'single', got {promotion!r}"
+            )
+        self.schedule = schedule
+        schedule.reset()
+        self._rng = rng
+        if tracer is not None:
+            self._tracer = tracer
+        self._rows = schedule.max_generation + 2
+        self.steps_done = 0
+        slot_counts = partition_counts(counts, self.shards)
+        self._slots = SharedArray.create((self.shards, self._rows, self.k), np.int64)
+        self._slots.array[:, 0, :] = slot_counts
+        seeds = shard_seed_sequences(rng, self.shards)
+        kernel = AggregateSyncKernel(self.n, promotion)
+        payloads = [
+            {"slots_spec": self._slots.spec, "kernel": kernel, "seed_seq": seed}
+            for seed in seeds
+        ]
+        self._harness = ShardHarness(
+            count_worker, payloads, phases=2, start_method=start_method
+        )
+
+    def generation_color_matrix(self) -> np.ndarray:
+        return self._slots.array.sum(axis=0)
+
+    def step(self) -> None:
+        self.steps_done += 1
+        matrix = self.generation_color_matrix()
+        # Same float expressions as the unsharded engine's schedule feed.
+        fractions = matrix / self.n
+        per_generation = fractions.sum(axis=1)
+        top = int(np.nonzero(per_generation)[0][-1])
+        two_choices_step = self.schedule.is_two_choices_step(
+            self.steps_done, float(per_generation[top])
+        )
+        self._harness.step(flag=1.0 if two_choices_step else 0.0)
+
+
+def pernode_worker(ctx: ShardWorkerContext, payload: dict) -> None:
+    """Per-node shard round: update one node slice from full-state reads.
+
+    The body mirrors :meth:`~repro.core.synchronous.PerNodeSynchronousSim.step`
+    restricted to ``[start, stop)`` — contacts are sampled from the
+    *whole* population via the shared arrays (shift trick skips only the
+    sampler's own global index), every read happens before the first
+    phase barrier and every write after it, so each round sees exactly
+    the previous round's global state: the unsharded Markov kernel.
+    """
+    colors_block = SharedArray.attach(payload["colors_spec"])
+    generations_block = SharedArray.attach(payload["generations_spec"])
+    try:
+        colors = colors_block.array
+        generations = generations_block.array
+        start, stop = payload["range"]
+        n = int(payload["n"])
+        rng = np.random.Generator(np.random.PCG64(payload["seed_seq"]))
+        own = np.arange(start, stop)
+        size = stop - start
+        while True:
+            ctx.wait()  # round start
+            if ctx.stopped:
+                break
+            first = rng.integers(n - 1, size=size)
+            second = rng.integers(n - 1, size=size)
+            first += first >= own
+            second += second >= own
+            gen_a, col_a = generations[first], colors[first]
+            gen_b, col_b = generations[second], colors[second]
+            # Order so sample "a" is the higher-generation one.
+            swap = gen_b > gen_a
+            gen_a, gen_b = np.where(swap, gen_b, gen_a), np.where(swap, gen_a, gen_b)
+            col_a, col_b = np.where(swap, col_b, col_a), np.where(swap, col_a, col_b)
+            own_gens = generations[start:stop].copy()
+            own_cols = colors[start:stop].copy()
+            if ctx.flag:  # the controller's two-choices decision
+                two_choices = (gen_a == gen_b) & (col_a == col_b) & (own_gens <= gen_a)
+            else:
+                two_choices = np.zeros(size, dtype=bool)
+            propagation = ~two_choices & (gen_a > own_gens)
+            new_gens = np.where(two_choices, gen_a + 1, np.where(propagation, gen_a, own_gens))
+            new_cols = np.where(two_choices | propagation, col_a, own_cols)
+            ctx.wait()  # everyone has read the old state; writes may begin
+            generations[start:stop] = new_gens
+            colors[start:stop] = new_cols
+            ctx.wait()  # round complete
+    finally:
+        colors_block.close()
+        generations_block.close()
+
+
+class ShardedPerNodeSynchronousSim(_ShardedSynchronousBase):
+    """Multiprocess per-node simulator over shared state arrays.
+
+    The initial placement consumes ``rng`` exactly like the unsharded
+    constructor (one uniform shuffle); the per-round sampling moves to
+    the per-shard substreams.
+    """
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        schedule: Schedule,
+        rng: np.random.Generator,
+        *,
+        shards: int,
+        tracer: Tracer | None = None,
+        start_method: str | None = None,
+    ):
+        counts = validate_counts(counts)
+        self.n = int(counts.sum())
+        self.k = int(counts.size)
+        self.shards = _validate_shard_run(self.n, shards)
+        self.schedule = schedule
+        schedule.reset()
+        self._rng = rng
+        if tracer is not None:
+            self._tracer = tracer
+        self._rows = schedule.max_generation + 2
+        self.steps_done = 0
+        self._shared_colors = SharedArray.create((self.n,), np.int64)
+        self._shared_generations = SharedArray.create((self.n,), np.int64)
+        self._shared_colors.array[:] = counts_to_assignment(counts, rng)
+        ranges = partition_nodes(self.n, self.shards)
+        seeds = shard_seed_sequences(rng, self.shards)
+        payloads = [
+            {
+                "colors_spec": self._shared_colors.spec,
+                "generations_spec": self._shared_generations.spec,
+                "range": node_range,
+                "n": self.n,
+                "seed_seq": seed,
+            }
+            for node_range, seed in zip(ranges, seeds)
+        ]
+        self._harness = ShardHarness(
+            pernode_worker, payloads, phases=2, start_method=start_method
+        )
+
+    def generation_color_matrix(self) -> np.ndarray:
+        flat = np.bincount(
+            self._shared_generations.array * self.k + self._shared_colors.array,
+            minlength=self._rows * self.k,
+        )
+        return flat.reshape(self._rows, self.k).astype(np.int64, copy=False)
+
+    def step(self) -> None:
+        self.steps_done += 1
+        generations = self._shared_generations.array
+        top = int(generations.max())
+        top_fraction = float(np.count_nonzero(generations == top)) / self.n
+        two_choices_step = self.schedule.is_two_choices_step(self.steps_done, top_fraction)
+        self._harness.step(flag=1.0 if two_choices_step else 0.0)
+
+
+def run_sharded_synchronous(
+    counts: np.ndarray,
+    schedule: Schedule,
+    rng: np.random.Generator,
+    *,
+    shards: int,
+    engine: str = "aggregate",
+    max_steps: int = 10_000,
+    epsilon: float | None = None,
+    record_trajectory: bool = False,
+    tracer: Tracer | None = None,
+    start_method: str | None = None,
+) -> RunResult:
+    """Sharded twin of :func:`repro.core.synchronous.run_synchronous`.
+
+    ``shards=1`` delegates straight to the unsharded front-end — no
+    worker processes, no extra randomness consumed — so single-shard
+    results are byte-identical to the existing engines. The sharded
+    engines support the default scenario only (complete graph, no
+    round faults, no explicit placement); the sweep target validates
+    those combinations upfront.
+    """
+    if int(shards) == 1:
+        return run_synchronous(
+            counts,
+            schedule,
+            rng,
+            engine=engine,
+            max_steps=max_steps,
+            epsilon=epsilon,
+            record_trajectory=record_trajectory,
+            tracer=tracer,
+        )
+    if engine == "aggregate":
+        sim: _ShardedSynchronousBase = ShardedAggregateSynchronousSim(
+            counts, schedule, rng, shards=shards, tracer=tracer,
+            start_method=start_method,
+        )
+    elif engine == "pernode":
+        sim = ShardedPerNodeSynchronousSim(
+            counts, schedule, rng, shards=shards, tracer=tracer,
+            start_method=start_method,
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; use 'aggregate' or 'pernode'"
+        )
+    return sim.run(
+        max_steps=max_steps, epsilon=epsilon, record_trajectory=record_trajectory
+    )

@@ -48,6 +48,14 @@ vocabulary, two matched fault models. The defaults —
 extra randomness and leave every record byte-identical to the
 pre-scenario engine (regression-guarded in ``tests/scenarios/``).
 
+``synchronous``, ``population``, and the four baselines additionally
+take ``shards`` (default 1): ``shards > 1`` fans the run out over
+worker processes (:mod:`repro.shard`) and is valid only with the
+default scenario (complete graph, zero fault knobs, counts-level
+``init``) — :func:`validate_target_params` rejects other combinations
+upfront. ``shards=1`` never touches the shard machinery, keeping the
+default records byte-identical.
+
 Examples
 --------
 >>> sorted(target_names())[:3]
@@ -322,6 +330,39 @@ def _scenario_placement(
     )
 
 
+def _validate_shardable(p: Mapping[str, Any]) -> None:
+    """Fail fast on ``shards > 1`` with axes the sharded engines lack.
+
+    The sharded engines (:mod:`repro.shard`) run the default scenario
+    only: complete graph, zero fault knobs, counts-level initial
+    configurations. Rejecting the combinations here — at sweep-spec
+    validation time — follows the same honesty rule as the ``weights``
+    axis: silently running different physics under a sharded label is
+    worse than an upfront error.
+    """
+    shards = int(p["shards"])
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {p['shards']!r}")
+    if shards == 1:
+        return
+    problems = []
+    if p["topology"] != "complete":
+        problems.append(f"topology={p['topology']!r} (sharded engines run on K_n only)")
+    if p["init"] == "clustered":
+        problems.append(
+            "init='clustered' (the sharded engines take no per-node placement)"
+        )
+    for knob in ("drop", "churn", "stragglers"):
+        if p[knob]:
+            problems.append(f"{knob}={p[knob]!r} (no fault seam in the sharded engines)")
+    if int(p["n"]) < 2 * shards:
+        problems.append(f"n={p['n']} (need >= 2 nodes per shard)")
+    if problems:
+        raise ConfigurationError(
+            f"shards={shards} is incompatible with: " + "; ".join(problems)
+        )
+
+
 _SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
     "n": 1000,
     "k": 4,
@@ -331,17 +372,19 @@ _SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
     "engine": "aggregate",
     "max_steps": 10_000,
     "epsilon": None,
+    "shards": 1,
     **_TOPOLOGY_DEFAULTS,
     **_FAULT_DEFAULTS,
 }
 
 
-@register_target("synchronous", _SYNCHRONOUS_DEFAULTS)
+@register_target("synchronous", _SYNCHRONOUS_DEFAULTS, validate=_validate_shardable)
 def synchronous_target(
     params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
 ) -> dict:
     """Algorithm 1 (synchronous two-choices + propagation rounds)."""
     p = _take(params, _SYNCHRONOUS_DEFAULTS)
+    _validate_shardable(p)
     graph = _scenario_graph(p, rng)
     counts = _scenario_counts(p)
     assignment = _scenario_placement(p, graph, counts, rng)
@@ -378,6 +421,7 @@ def synchronous_target(
         round_faults=wiring,
         assignment=assignment,
         tracer=tracer,
+        shards=int(p["shards"]),
     )
     record = _record(result)
     if engine != p["engine"]:
@@ -535,6 +579,7 @@ _BASELINE_DEFAULTS: dict[str, Any] = {
     "alpha": 2.0,
     "max_rounds": 100_000,
     "epsilon": None,
+    "shards": 1,
     **_TOPOLOGY_DEFAULTS,
     **_FAULT_DEFAULTS,
 }
@@ -547,6 +592,7 @@ def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
         from repro.baselines.base import run_dynamics
 
         p = _take(params, _BASELINE_DEFAULTS)
+        _validate_shardable(p)
         graph = _scenario_graph(p, rng)
         counts = _scenario_counts(p)
         assignment = _scenario_placement(p, graph, counts, rng)
@@ -561,6 +607,7 @@ def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
             round_faults=wiring,
             assignment=assignment,
             tracer=tracer,
+            shards=int(p["shards"]),
         )
         record = _record(result)
         if wiring is not None:
@@ -582,7 +629,9 @@ def _register_baselines() -> None:
         ("three_majority", lambda k: ThreeMajority()),
         ("undecided", lambda k: UndecidedStateDynamics()),
     ]:
-        register_target(name, _BASELINE_DEFAULTS)(_baseline_target(factory))
+        register_target(name, _BASELINE_DEFAULTS, validate=_validate_shardable)(
+            _baseline_target(factory)
+        )
 
 
 _register_baselines()
@@ -595,12 +644,13 @@ _POPULATION_DEFAULTS: dict[str, Any] = {
     "protocol": "three_state",
     "max_interactions": None,
     "check_every": 64,
+    "shards": 1,
     **_TOPOLOGY_DEFAULTS,
     **_FAULT_DEFAULTS,
 }
 
 
-@register_target("population", _POPULATION_DEFAULTS)
+@register_target("population", _POPULATION_DEFAULTS, validate=_validate_shardable)
 def population_target(
     params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
 ) -> dict:
@@ -620,6 +670,7 @@ def population_target(
     )
 
     p = _take(params, _POPULATION_DEFAULTS)
+    _validate_shardable(p)
     if p["protocol"] == "three_state":
         protocol = ThreeStateMajority()
     elif p["protocol"] == "four_state":
@@ -642,6 +693,7 @@ def population_target(
         round_faults=wiring,
         assignment=assignment,
         tracer=tracer,
+        shards=int(p["shards"]),
     )
     plurality = int(np.argmax(counts))
     record: dict[str, Any] = {

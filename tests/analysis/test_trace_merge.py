@@ -1,0 +1,153 @@
+"""Round-trip and ordering tests for the trace-merge tool.
+
+The load-bearing claim: a real :class:`~repro.engine.tracing.JsonlTracer`
+stream split across two files (the per-shard layout) merges back
+**byte-identical** to the original, so every offline consumer —
+``trace-metrics``, the replay visualizer — reads a merged multi-stream
+trace exactly as it reads a single-process one.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.trace_merge import merge_trace_files, merge_traces
+from repro.core.schedule import FixedSchedule
+from repro.core.synchronous import run_synchronous
+from repro.engine.rng import RngRegistry
+from repro.engine.tracing import JsonlTracer
+from repro.errors import ConfigurationError
+from repro.workloads import biased_counts
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One real synchronous run's JSONL trace."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    with JsonlTracer(path) as tracer:
+        run_synchronous(
+            biased_counts(500, 3, 2.0),
+            FixedSchedule(n=500, k=3, alpha0=2.0),
+            RngRegistry(5).stream("t"),
+            tracer=tracer,
+        )
+    return path
+
+
+class TestRoundTrip:
+    def test_even_odd_split_merges_byte_identical(self, traced_run, tmp_path):
+        """Split a sorted stream line-by-line into two; merge restores it."""
+        lines = traced_run.read_text().splitlines(keepends=True)
+        assert len(lines) > 10
+        parts = [tmp_path / "shard0.jsonl", tmp_path / "shard1.jsonl"]
+        parts[0].write_text("".join(lines[0::2]))
+        parts[1].write_text("".join(lines[1::2]))
+        merged = tmp_path / "merged.jsonl"
+        count = merge_trace_files(parts, merged)
+        assert count == len(lines)
+        assert merged.read_bytes() == traced_run.read_bytes()
+
+    def test_merged_trace_feeds_trace_metrics_unchanged(self, traced_run, tmp_path):
+        from repro.analysis.trace_metrics import trace_metrics
+
+        lines = traced_run.read_text().splitlines(keepends=True)
+        parts = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        parts[0].write_text("".join(lines[0::2]))
+        parts[1].write_text("".join(lines[1::2]))
+        # Same basename: the report header embeds the trace filename.
+        merged = tmp_path / traced_run.name
+        merge_trace_files(parts, merged)
+        original = trace_metrics(traced_run).render(plot=False)
+        recombined = trace_metrics(merged).render(plot=False)
+        assert recombined == original
+
+    def test_single_stream_passthrough(self, traced_run, tmp_path):
+        merged = tmp_path / "copy.jsonl"
+        count = merge_trace_files([traced_run], merged)
+        assert count == len(traced_run.read_text().splitlines())
+        assert merged.read_bytes() == traced_run.read_bytes()
+
+
+class TestOrdering:
+    def _lines(self, records):
+        return [json.dumps(r, sort_keys=True) for r in records]
+
+    def test_interleaves_by_time(self):
+        a = self._lines([{"t": 1.0, "x": "a0"}, {"t": 4.0, "x": "a1"}])
+        b = self._lines([{"t": 2.0, "x": "b0"}, {"t": 3.0, "x": "b1"}])
+        merged = [json.loads(line)["x"] for line in merge_traces([a, b])]
+        assert merged == ["a0", "b0", "b1", "a1"]
+
+    def test_ties_keep_stream_order(self):
+        a = self._lines([{"t": 1.0, "x": "a0"}])
+        b = self._lines([{"t": 1.0, "x": "b0"}])
+        merged = [json.loads(line)["x"] for line in merge_traces([a, b])]
+        assert merged == ["a0", "b0"]
+        flipped = [json.loads(line)["x"] for line in merge_traces([b, a])]
+        assert flipped == ["b0", "a0"]
+
+    def test_explicit_seq_beats_line_order(self):
+        a = self._lines([{"t": 1.0, "seq": 5, "x": "late"}])
+        b = self._lines([{"t": 1.0, "seq": 2, "x": "early"}])
+        merged = [json.loads(line)["x"] for line in merge_traces([a, b])]
+        assert merged == ["early", "late"]
+
+    def test_blank_lines_are_skipped(self):
+        a = ['{"t": 1.0}', "", '{"t": 2.0}', "   "]
+        assert len(list(merge_traces([a]))) == 2
+
+    def test_writes_to_open_handle(self, tmp_path):
+        path = tmp_path / "in.jsonl"
+        path.write_text('{"t": 1.0}\n{"t": 2.0}\n')
+        sink = io.StringIO()
+        assert merge_trace_files([path], sink) == 2
+        assert sink.getvalue() == '{"t": 1.0}\n{"t": 2.0}\n'
+
+
+class TestErrors:
+    def test_rejects_backwards_time(self):
+        a = ['{"t": 2.0}', '{"t": 1.0}']
+        with pytest.raises(ConfigurationError, match="time runs backwards"):
+            list(merge_traces([a]))
+
+    def test_rejects_missing_t(self):
+        with pytest.raises(ConfigurationError, match="'t' field"):
+            list(merge_traces([['{"kind": "x"}']]))
+
+    def test_rejects_bad_json_with_label(self):
+        with pytest.raises(ConfigurationError, match="left, line 1"):
+            list(merge_traces([["{nope"]], labels=["left"]))
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            merge_trace_files([tmp_path / "absent.jsonl"], tmp_path / "out.jsonl")
+
+    def test_rejects_empty_input_list(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            merge_trace_files([], tmp_path / "out.jsonl")
+
+
+class TestCli:
+    def test_trace_merge_subcommand(self, traced_run, tmp_path, capsys):
+        from repro.cli import main
+
+        lines = traced_run.read_text().splitlines(keepends=True)
+        parts = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        parts[0].write_text("".join(lines[0::2]))
+        parts[1].write_text("".join(lines[1::2]))
+        merged = tmp_path / "merged.jsonl"
+        code = main(
+            ["trace-merge", str(parts[0]), str(parts[1]), "--out", str(merged)]
+        )
+        assert code == 0
+        assert merged.read_bytes() == traced_run.read_bytes()
+        assert "records" in capsys.readouterr().err
+
+    def test_trace_merge_stdout(self, traced_run, capsys):
+        from repro.cli import main
+
+        assert main(["trace-merge", str(traced_run)]) == 0
+        assert capsys.readouterr().out == traced_run.read_text()

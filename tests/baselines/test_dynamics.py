@@ -41,6 +41,7 @@ class TestTransitionMatrices:
         assert (law >= 0).all()
         assert law.sum() == pytest.approx(1.0)
 
+    @pytest.mark.slow
     def test_three_majority_law_monte_carlo(self, rng):
         """The closed-form sampled-majority law matches simulation."""
         fractions = np.array([0.5, 0.3, 0.2])

@@ -1,11 +1,26 @@
-"""Shared fixtures: deterministic RNG streams for every test."""
+"""Shared fixtures: deterministic RNG streams for every test.
+
+Also the tier-1 duration report: every run prints a final
+``TIER1-DURATION: <seconds>`` line so the wall-time budget of the
+default suite is visible in local runs and greppable in CI logs (the
+tier-1 job pins it under its budget shell-side).
+"""
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.engine.rng import RngRegistry
+
+_SESSION_START = time.monotonic()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    elapsed = time.monotonic() - _SESSION_START
+    terminalreporter.write_line(f"TIER1-DURATION: {elapsed:.2f}s")
 
 
 @pytest.fixture()

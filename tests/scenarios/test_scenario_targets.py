@@ -313,6 +313,7 @@ class TestCliDiscoverability:
         assert "robustness" in out
         assert "thm13" in out
 
+    @pytest.mark.slow
     def test_robustness_cli_smoke_cached(self, tmp_path, capsys):
         cache = tmp_path / "runs"
         out_file = tmp_path / "robustness.md"

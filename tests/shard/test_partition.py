@@ -1,0 +1,140 @@
+"""Property tests for the shard partitioner (Hypothesis).
+
+The partitioner is the determinism anchor of the sharded engines: every
+worker recomputes its ``[start, stop)`` range independently from
+``(n, shards)``, so the properties below — disjointness, coverage,
+balance within ±1, purity, and zero RNG consumption — are exactly what
+the cross-shard equivalence harness assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.shard import partition_counts, partition_nodes, shard_seed_sequences
+
+pairs = st.tuples(st.integers(1, 10_000), st.integers(1, 64)).filter(
+    lambda pair: pair[0] >= pair[1]
+)
+
+count_arrays = st.lists(st.integers(0, 500), min_size=1, max_size=12).filter(
+    lambda values: sum(values) >= 1
+)
+
+
+class TestPartitionNodes:
+    @given(pair=pairs)
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_covering_ordered(self, pair):
+        n, shards = pair
+        ranges = partition_nodes(n, shards)
+        assert len(ranges) == shards
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start  # contiguous: no gap, no overlap
+
+    @given(pair=pairs)
+    @settings(max_examples=200, deadline=None)
+    def test_balanced_within_one(self, pair):
+        n, shards = pair
+        sizes = [stop - start for start, stop in partition_nodes(n, shards)]
+        assert min(sizes) >= 1
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+    @given(pair=pairs)
+    @settings(max_examples=100, deadline=None)
+    def test_pure_and_rng_free(self, pair):
+        n, shards = pair
+        before = np.random.get_state()[1].copy()
+        first = partition_nodes(n, shards)
+        second = partition_nodes(n, shards)
+        assert first == second
+        assert np.array_equal(np.random.get_state()[1], before)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            partition_nodes(10, 0)
+        with pytest.raises(ConfigurationError):
+            partition_nodes(3, 4)
+
+
+class TestPartitionCounts:
+    @given(values=count_arrays, shards=st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_columns_sum_exactly(self, values, shards):
+        counts = np.array(values, dtype=np.int64)
+        n = int(counts.sum())
+        if n < shards:
+            with pytest.raises(ConfigurationError):
+                partition_counts(counts, shards)
+            return
+        split = partition_counts(counts, shards)
+        assert split.shape == (shards,) + counts.shape
+        assert split.dtype == np.int64
+        assert (split >= 0).all()
+        assert np.array_equal(split.sum(axis=0), counts)
+
+    @given(values=count_arrays, shards=st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_shard_totals_match_node_ranges(self, values, shards):
+        counts = np.array(values, dtype=np.int64)
+        n = int(counts.sum())
+        if n < shards:
+            return
+        split = partition_counts(counts, shards)
+        sizes = [stop - start for start, stop in partition_nodes(n, shards)]
+        assert split.reshape(shards, -1).sum(axis=1).tolist() == sizes
+
+    def test_matrix_shape_preserved(self):
+        counts = np.arange(6, dtype=np.int64).reshape(2, 3)
+        split = partition_counts(counts, 3)
+        assert split.shape == (3, 2, 3)
+        assert np.array_equal(split.sum(axis=0), counts)
+
+    def test_rejects_negative_and_empty(self):
+        with pytest.raises(ConfigurationError):
+            partition_counts(np.array([3, -1]), 1)
+        with pytest.raises(ConfigurationError):
+            partition_counts(np.array([], dtype=np.int64), 1)
+
+
+class TestShardSeedSequences:
+    def test_deterministic_for_a_given_stream(self, rngs):
+        from repro.engine.rng import RngRegistry
+
+        first = shard_seed_sequences(rngs.stream("shard"), 4)
+        second = shard_seed_sequences(RngRegistry(123456789).stream("shard"), 4)
+        assert [seq.spawn_key for seq in first] == [seq.spawn_key for seq in second]
+        states = [
+            np.random.Generator(np.random.PCG64(seq)).integers(0, 2**63, 4).tolist()
+            for seq in first
+        ]
+        assert len({tuple(s) for s in states}) == 4  # children differ
+
+    def test_spawn_does_not_advance_the_bit_stream(self, rngs):
+        from repro.engine.rng import RngRegistry
+
+        rng = rngs.stream("shard")
+        shard_seed_sequences(rng, 4)
+        untouched = RngRegistry(123456789).stream("shard")
+        assert rng.integers(0, 2**63, 8).tolist() == untouched.integers(
+            0, 2**63, 8
+        ).tolist()
+
+    def test_requires_seed_sequence(self):
+        class _BareBitGenerator:
+            seed_seq = None
+
+        class _BareGenerator:
+            bit_generator = _BareBitGenerator()
+
+        with pytest.raises(ConfigurationError):
+            shard_seed_sequences(_BareGenerator(), 2)
+        with pytest.raises(ConfigurationError):
+            shard_seed_sequences(np.random.default_rng(0), 0)

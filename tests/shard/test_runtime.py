@@ -1,0 +1,86 @@
+"""Tick-barrier harness and shared-memory runtime tests.
+
+These run real worker processes (fork start method) against tiny
+payloads: the round cadence, control-word plumbing, error propagation,
+and resource cleanup are all exercised end to end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.shard import SharedArray, ShardError, ShardHarness
+from repro.shard.runtime import ShardWorkerContext
+
+
+def _echo_worker(ctx: ShardWorkerContext, payload: dict) -> None:
+    """Write ``base + flag`` into this shard's slot each round."""
+    slots = SharedArray.attach(payload["slots_spec"])
+    try:
+        while True:
+            ctx.wait()
+            if ctx.stopped:
+                break
+            slots.array[ctx.index] = payload["base"] + ctx.flag
+            ctx.wait()
+    finally:
+        slots.close()
+
+
+def _crash_worker(ctx: ShardWorkerContext, payload: dict) -> None:
+    ctx.wait()
+    if payload.get("hard"):
+        os._exit(3)
+    raise ValueError(f"boom in shard {ctx.index}")
+
+
+class TestSharedArray:
+    def test_create_attach_roundtrip(self):
+        owner = SharedArray.create((2, 3), np.int64)
+        assert (owner.array == 0).all()
+        owner.array[1, 2] = 41
+        view = SharedArray.attach(owner.spec)
+        assert view.array[1, 2] == 41
+        view.array[0, 0] = -7
+        assert owner.array[0, 0] == -7
+        view.close()
+        owner.close()
+
+    def test_spec_is_picklable_metadata(self):
+        owner = SharedArray.create((4,), np.float64)
+        name, shape, dtype = owner.spec
+        assert isinstance(name, str) and shape == (4,) and dtype == "<f8"
+        owner.close()
+
+
+class TestShardHarness:
+    def test_round_cadence_and_control_words(self):
+        slots = SharedArray.create((3,), np.float64)
+        payloads = [{"slots_spec": slots.spec, "base": 10.0 * i} for i in range(3)]
+        try:
+            with ShardHarness(_echo_worker, payloads, phases=1) as harness:
+                harness.step(flag=7.0)
+                assert slots.array.tolist() == [7.0, 17.0, 27.0]
+                harness.step(flag=9.0)
+                assert slots.array.tolist() == [9.0, 19.0, 29.0]
+                harness.stop()
+                harness.stop()  # idempotent
+        finally:
+            slots.close()
+
+    def test_worker_exception_surfaces_with_traceback(self):
+        harness = ShardHarness(_crash_worker, [{}, {}], phases=1, timeout=30.0)
+        with pytest.raises(ShardError, match="boom in shard"):
+            harness.step()
+        harness.close()  # idempotent after the error path already cleaned up
+
+    def test_worker_death_is_detected_fast(self):
+        harness = ShardHarness(
+            _crash_worker, [{"hard": True}, {"hard": True}], phases=1, timeout=30.0
+        )
+        with pytest.raises(ShardError, match="died|failed"):
+            harness.step()
+        harness.close()
