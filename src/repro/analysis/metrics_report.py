@@ -1,0 +1,168 @@
+"""Render runtime-metrics snapshots into experiment tables.
+
+``repro --metrics PATH`` (demo / sweep / robustness) writes one
+deterministic JSON snapshot per invocation (see
+:mod:`repro.engine.metrics`). This module turns those snapshots back
+into :class:`~repro.experiments.common.ExperimentResult` tables —
+counters, gauges, and per-histogram bucket tables — so the rendering
+(terminal, Markdown) rides the existing ``analysis/`` layer, exactly
+like ``trace-metrics`` does for JSONL traces.
+
+``compare=`` adds regression tables against a baseline snapshot: every
+counter and histogram present in either snapshot is listed with its
+baseline value, current value, absolute delta, and ratio — the
+at-a-glance view for "did this change make the engine do more work".
+The counter sections of a snapshot are pure functions of the run
+(byte-stable across processes and shard counts for capped runs), so a
+nonzero delta there is a real behavioral change, not noise; the
+histogram sections carry wall-clock timings, where only large ratios
+mean anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.engine.metrics import load_snapshot, merge_snapshots
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["histogram_mean", "metrics_report"]
+
+
+def histogram_mean(histogram: Mapping[str, Any]) -> float | None:
+    """Mean observation of one snapshot histogram (``None`` if empty)."""
+    count = int(histogram.get("count", 0))
+    if count == 0:
+        return None
+    return float(histogram.get("sum", 0.0)) / count
+
+
+def _ratio(baseline: float, current: float) -> float | str:
+    if baseline == 0:
+        return "n/a" if current == 0 else "new"
+    return current / baseline
+
+
+def _histogram_rows(name: str, histogram: Mapping[str, Any]) -> list[list[Any]]:
+    """Bucket table rows: cumulative counts per ``le`` bound."""
+    rows: list[list[Any]] = []
+    for bound, cumulative in histogram.get("buckets", []):
+        rows.append([bound, int(cumulative)])
+    return rows
+
+
+def _compare_table(
+    result: ExperimentResult,
+    title: str,
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    value: str,
+) -> None:
+    names = sorted(set(baseline) | set(current))
+    if not names:
+        return
+    rows = []
+    for name in names:
+        if value == "count":
+            base = float(baseline.get(name, {}).get("count", 0))
+            cur = float(current.get(name, {}).get("count", 0))
+        else:
+            base = float(baseline.get(name, 0))
+            cur = float(current.get(name, 0))
+        rows.append([name, base, cur, cur - base, _ratio(base, cur)])
+    result.add_table(
+        title, ["name", "baseline", "current", "delta", "ratio"], rows
+    )
+
+
+def metrics_report(
+    paths: Sequence[str | Path],
+    *,
+    compare: str | Path | None = None,
+) -> ExperimentResult:
+    """Build the report for one or more snapshot files.
+
+    Multiple ``paths`` are merged first (counters and histogram
+    contents add, gauges last-write-wins in argument order) — the same
+    fold the shard controller applies to worker sidecars — then
+    rendered as one snapshot.  ``compare`` renders regression tables of
+    the merged snapshot against a baseline snapshot file instead of the
+    plain listing.
+    """
+    if not paths:
+        raise ConfigurationError("metrics-report needs at least one snapshot file")
+    snapshot = merge_snapshots(load_snapshot(path) for path in paths)
+    names = ", ".join(Path(path).name for path in paths)
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+
+    if compare is not None:
+        baseline = load_snapshot(compare)
+        result = ExperimentResult(
+            name="metrics-report",
+            description=(
+                f"Metrics regression: {names} vs baseline "
+                f"{Path(compare).name}. Counter deltas are deterministic "
+                "run-behavior changes; histogram counts compare observation "
+                "volumes (bucket contents are wall-clock and noisy)."
+            ),
+        )
+        _compare_table(
+            result, "counters: current vs baseline",
+            baseline.get("counters", {}), counters, value="scalar",
+        )
+        _compare_table(
+            result, "gauges: current vs baseline",
+            baseline.get("gauges", {}), gauges, value="scalar",
+        )
+        _compare_table(
+            result, "histogram observation counts: current vs baseline",
+            baseline.get("histograms", {}), histograms, value="count",
+        )
+        if not result.tables:
+            result.notes.append("both snapshots are empty; nothing to compare")
+        return result
+
+    result = ExperimentResult(
+        name="metrics-report",
+        description=(
+            f"Runtime metrics snapshot: {names} — "
+            f"{len(counters)} counter(s), {len(gauges)} gauge(s), "
+            f"{len(histograms)} histogram(s)."
+        ),
+    )
+    if counters:
+        result.add_table(
+            "counters",
+            ["name", "value"],
+            [[name, int(counters[name])] for name in sorted(counters)],
+        )
+    if gauges:
+        result.add_table(
+            "gauges",
+            ["name", "value"],
+            [[name, gauges[name]] for name in sorted(gauges)],
+        )
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        count = int(histogram.get("count", 0))
+        mean = histogram_mean(histogram)
+        result.add_table(
+            f"histogram {name}",
+            ["le", "cumulative count"],
+            _histogram_rows(name, histogram),
+        )
+        summary = f"{name}: count={count}"
+        if mean is not None:
+            summary += (
+                f", mean={mean:.6g}, min={histogram.get('min'):.6g}, "
+                f"max={histogram.get('max'):.6g}"
+            )
+        result.notes.append(summary)
+    if not result.tables:
+        result.notes.append("snapshot is empty (metrics were enabled but nothing ran)")
+    return result

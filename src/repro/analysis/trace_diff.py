@@ -1,0 +1,127 @@
+"""Structural diff of two JSONL trace streams (``repro trace-diff``).
+
+The differential harness's strongest claim is byte-identity of traces
+across engines (heap vs batch at draw-pool block 1) and across process
+topologies — but when that claim *fails*, a byte-level diff of two
+multi-megabyte JSONL files is useless for debugging. This module
+compares two traces record-by-record at the parsed-object level
+(formatting-insensitive, key-order-insensitive) and reports:
+
+* the **first divergent record**: its index, the record from each
+  stream, and the ``context`` records immediately before it — the
+  protocol-level state when the executions split;
+* **per-kind count deltas**: which record kinds one stream has more of
+  (an engine dispatching extra ticks shows up here even when the first
+  divergence is deep in the stream);
+* a length comparison when one stream is a strict prefix of the other.
+
+``repro trace-diff A.jsonl B.jsonl`` renders this and exits 0 on
+identical streams, 1 on any divergence — CI-composable, like ``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.trace_metrics import load_trace
+
+__all__ = ["TraceDiff", "diff_traces", "render_diff"]
+
+#: Records shown before the first divergence.
+CONTEXT_RECORDS = 3
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of comparing two trace record streams."""
+
+    path_a: str
+    path_b: str
+    records_a: int
+    records_b: int
+    #: Index of the first record where the streams differ; ``None`` when
+    #: one stream is a prefix of the other (or they are equal).
+    divergence_index: int | None = None
+    #: The divergent record from each stream (``None`` past its end).
+    record_a: dict[str, Any] | None = None
+    record_b: dict[str, Any] | None = None
+    #: Shared records immediately before the divergence.
+    context: list[dict[str, Any]] = field(default_factory=list)
+    #: ``kind -> count_a - count_b`` for kinds whose tallies differ.
+    kind_deltas: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def equal(self) -> bool:
+        return self.divergence_index is None and self.records_a == self.records_b
+
+
+def _first_divergence(
+    a: list[dict[str, Any]], b: list[dict[str, Any]]
+) -> int | None:
+    for index, (record_a, record_b) in enumerate(zip(a, b)):
+        if record_a != record_b:
+            return index
+    if len(a) != len(b):
+        # Strict prefix: the divergence is the first index past the
+        # shorter stream.
+        return min(len(a), len(b))
+    return None
+
+
+def diff_traces(path_a: str | Path, path_b: str | Path) -> TraceDiff:
+    """Compare two trace files structurally (see the module docstring)."""
+    a = load_trace(path_a)
+    b = load_trace(path_b)
+    diff = TraceDiff(
+        path_a=str(path_a),
+        path_b=str(path_b),
+        records_a=len(a),
+        records_b=len(b),
+    )
+    counts_a = Counter(str(record.get("kind")) for record in a)
+    counts_b = Counter(str(record.get("kind")) for record in b)
+    diff.kind_deltas = {
+        kind: counts_a.get(kind, 0) - counts_b.get(kind, 0)
+        for kind in sorted(set(counts_a) | set(counts_b))
+        if counts_a.get(kind, 0) != counts_b.get(kind, 0)
+    }
+    index = _first_divergence(a, b)
+    if index is not None:
+        diff.divergence_index = index
+        diff.record_a = a[index] if index < len(a) else None
+        diff.record_b = b[index] if index < len(b) else None
+        diff.context = a[max(0, index - CONTEXT_RECORDS):index]
+    return diff
+
+
+def _dump(record: dict[str, Any] | None) -> str:
+    if record is None:
+        return "<end of stream>"
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """Human-readable report of one :class:`TraceDiff`."""
+    lines = [
+        f"trace-diff: {diff.path_a} ({diff.records_a} records) "
+        f"vs {diff.path_b} ({diff.records_b} records)"
+    ]
+    if diff.equal:
+        lines.append("streams are structurally identical")
+        return "\n".join(lines)
+    if diff.kind_deltas:
+        lines.append("per-kind count deltas (A - B):")
+        for kind, delta in diff.kind_deltas.items():
+            lines.append(f"  {kind}: {delta:+d}")
+    if diff.divergence_index is not None:
+        lines.append(f"first divergence at record {diff.divergence_index}:")
+        for offset, record in enumerate(diff.context):
+            position = diff.divergence_index - len(diff.context) + offset
+            lines.append(f"  [{position}] (shared) {_dump(record)}")
+        lines.append(f"  [A] {_dump(diff.record_a)}")
+        lines.append(f"  [B] {_dump(diff.record_b)}")
+    return "\n".join(lines)

@@ -47,8 +47,24 @@ __all__ = [
     "phase_timeline",
     "message_counts",
     "fault_summary",
+    "truncation_dropped",
     "trace_metrics",
 ]
+
+
+def truncation_dropped(records: Iterable[dict[str, Any]]) -> int:
+    """Total records dropped per the stream's ``truncated`` markers.
+
+    A capped :class:`~repro.engine.tracing.JsonlTracer` appends one
+    ``{"kind": "truncated", "dropped": N}`` marker per run when it had
+    to drop records; any analysis of such a stream underestimates
+    activity, so consumers must surface a nonzero return loudly.
+    """
+    return sum(
+        int(record.get("dropped", 0))
+        for record in records
+        if record.get("kind") == "truncated"
+    )
 
 
 @dataclass
@@ -278,6 +294,17 @@ def trace_metrics(path: str | Path, *, points: int = 24) -> ExperimentResult:
             "purely from the protocol-level trace stream."
         ),
     )
+    dropped = truncation_dropped(records)
+    if dropped:
+        import sys
+
+        warning = (
+            f"WARNING: trace is TRUNCATED — {dropped} record(s) were dropped "
+            "at the tracer's max_records cap; every count and curve below "
+            "underestimates the run's real activity."
+        )
+        print(warning, file=sys.stderr)
+        result.notes.append(warning)
     for index, segment in enumerate(segments):
         title = _segment_title(segment, index, len(segments))
         try:

@@ -269,6 +269,7 @@ def run_dynamics(
     round_faults=None,
     assignment=None,
     tracer=None,
+    metrics=None,
     shards: int = 1,
 ) -> RunResult:
     """Run ``dynamics`` from initial opinion ``counts`` to consensus.
@@ -308,6 +309,7 @@ def run_dynamics(
             epsilon=epsilon,
             record_trajectory=record_trajectory,
             tracer=tracer,
+            metrics=metrics,
         )
     counts = validate_counts(counts)
     n = int(counts.sum())
@@ -372,6 +374,13 @@ def run_dynamics(
             "end", float(rounds), converged=converged,
             counts=[int(c) for c in final], eps_time=epsilon_time,
         )
+    if metrics is not None and metrics.enabled:
+        metrics.counter(f"dynamics.runs.{dynamics.name}").inc()
+        metrics.counter("dynamics.rounds").inc(rounds)
+        if converged:
+            metrics.counter("dynamics.converged_runs").inc()
+        if round_faults is not None:
+            round_faults.publish_metrics(metrics)
     return RunResult(
         converged=converged,
         winner=int(np.argmax(final)),

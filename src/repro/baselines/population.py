@@ -127,6 +127,7 @@ class PairwiseScheduler:
         round_faults=None,
         assignment=None,
         tracer=None,
+        metrics=None,
         shards: int = 1,
     ) -> PopulationResult:
         """Run until consensus output or ``max_interactions``.
@@ -176,6 +177,7 @@ class PairwiseScheduler:
                 shards=shards,
                 max_interactions=max_interactions,
                 tracer=tracer,
+                metrics=metrics,
             )
         state = protocol.initial_state(validate_counts(counts))
         n = int(state.sum())
@@ -208,9 +210,14 @@ class PairwiseScheduler:
                 n=n, k=num_states, counts=[int(c) for c in state],
             )
         interactions = 0
+        # Telemetry (plain ints on amortized/fault-only paths; harvested
+        # at the run epilogue when metrics are enabled).
+        blocks = 0
+        voided = 0
         converged = protocol.is_converged(state)
         while not converged and interactions < max_interactions:
             block = min(batch, max_interactions - interactions)
+            blocks += 1
             initiator_draws = rng.integers(n, size=block)
             if graph is None:
                 responders = rng.integers(n - 1, size=block).tolist()
@@ -250,6 +257,10 @@ class PairwiseScheduler:
                         counts_list[b] -= 1
                         counts_list[new_a] += 1
                         counts_list[new_b] += 1
+                else:
+                    # Only reachable under round faults — fault-free runs
+                    # never take this branch, so it costs them nothing.
+                    voided += 1
                 interactions += 1
                 if interactions % check_every == 0:
                     converged = protocol.is_converged(
@@ -275,6 +286,15 @@ class PairwiseScheduler:
                 counts=[int(c) for c in state], eps_time=None,
                 interactions=interactions,
             )
+        if metrics is not None and metrics.enabled:
+            metrics.counter(f"population.runs.{protocol.name}").inc()
+            metrics.counter("population.interactions").inc(interactions)
+            metrics.counter("population.blocks").inc(blocks)
+            metrics.counter("population.voided_interactions").inc(voided)
+            if converged:
+                metrics.counter("population.converged_runs").inc()
+            if round_faults is not None:
+                round_faults.publish_metrics(metrics)
         return PopulationResult(
             converged=converged,
             winner=winner,

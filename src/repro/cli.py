@@ -11,15 +11,27 @@ Usage::
     repro sweep --list-targets          # targets + their grid-able params
     repro robustness [--quick]          # adversity tables (cached sweep)
     repro trace-metrics trace.jsonl     # offline metrics from a JSONL trace
+    repro trace-diff a.jsonl b.jsonl    # structural diff; exit 1 on divergence
     repro trace-merge a.jsonl b.jsonl   # merge per-shard traces by (t, seq)
     repro trace-view trace.jsonl        # static-HTML replay of a trace
+    repro metrics-report m.json         # render a --metrics snapshot
+    repro metrics-report m.json --compare base.json   # regression tables
     repro cache stats|gc [--dry-run]    # inspect / clean the run cache
 
 ``demo``, ``sweep``, and ``robustness`` all take ``--trace`` to stream
 the protocol-level JSONL trace (``demo`` writes one file; the sweeping
 commands write one file per run into the given directory and bypass
 the run cache, since a cache hit would leave no trace on disk). The
-two ``trace-*`` commands then consume those files offline.
+``trace-*`` commands then consume those files offline.
+
+The same three commands take ``--metrics PATH`` to collect runtime
+counters, gauges, and latency histograms (engines, fault seams, shard
+barriers, sweep cache) into one deterministic JSON snapshot — the
+sorted-key counter sections are a pure function of the run, so two
+snapshots diff cleanly. ``metrics-report`` renders a snapshot (or a
+regression table against a ``--compare`` baseline), and
+``metrics-report --prom`` emits the Prometheus text rendering for a
+future serving tier.
 
 Every sweep target accepts the same scenario axes: the substrate
 (``topology=geometric ...``; ``single_leader`` additionally takes
@@ -55,6 +67,14 @@ from repro.sweep.spec import SweepSpec, parse_grid, parse_overrides
 from repro.sweep.targets import target_names, target_params
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="PATH",
+        help="collect runtime metrics (counters/gauges/histograms) and write "
+        "a deterministic JSON snapshot here (render with metrics-report)",
+    )
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser, *, default_dir: Path | None) -> None:
@@ -121,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None, metavar="PATH",
         help="stream the run's protocol-level JSONL trace to this file",
     )
+    _add_metrics_argument(demo_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="run a cached, parallel parameter sweep over one target"
@@ -152,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None, metavar="DIR",
         help="write one JSONL trace per run into this directory (bypasses the cache)",
     )
+    _add_metrics_argument(sweep_parser)
     _add_cache_arguments(sweep_parser, default_dir=DEFAULT_CACHE_DIR)
 
     robust_parser = sub.add_parser(
@@ -177,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-run JSONL traces under this directory, one subdirectory "
         "per table (bypasses the cache)",
     )
+    _add_metrics_argument(robust_parser)
     _add_cache_arguments(robust_parser, default_dir=DEFAULT_CACHE_DIR)
 
     metrics_parser = sub.add_parser(
@@ -189,6 +212,32 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument(
         "--points", type=int, default=24,
         help="samples per population-curve table (default 24)",
+    )
+
+    diff_parser = sub.add_parser(
+        "trace-diff",
+        help="structural diff of two JSONL traces; exit 0 if identical, 1 otherwise",
+    )
+    diff_parser.add_argument("trace_a", type=Path, help="first JSONL trace file")
+    diff_parser.add_argument("trace_b", type=Path, help="second JSONL trace file")
+
+    report_parser = sub.add_parser(
+        "metrics-report", help="render --metrics snapshots as tables (or a regression diff)"
+    )
+    report_parser.add_argument(
+        "snapshots", type=Path, nargs="+",
+        help="metrics snapshot file(s); several are merged before rendering",
+    )
+    report_parser.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="render regression tables against this baseline snapshot",
+    )
+    report_parser.add_argument(
+        "--out", type=Path, default=None, help="also write the report as Markdown here"
+    )
+    report_parser.add_argument(
+        "--prom", action="store_true",
+        help="print the Prometheus text rendering instead of tables",
     )
 
     merge_parser = sub.add_parser(
@@ -237,6 +286,22 @@ def _open_cache(args: argparse.Namespace) -> RunCache | None:
     if getattr(args, "no_cache", False) or args.cache_dir is None:
         return None
     return RunCache(args.cache_dir)
+
+
+def _open_metrics(args: argparse.Namespace):
+    """Registry for ``--metrics PATH`` (``None`` when the flag is absent)."""
+    if getattr(args, "metrics", None) is None:
+        return None
+    from repro.engine.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(args: argparse.Namespace, registry, label: str) -> None:
+    if registry is None:
+        return
+    registry.write(args.metrics)
+    print(f"[{label}] metrics snapshot written to {args.metrics}", file=sys.stderr)
 
 
 def _command_list() -> int:
@@ -305,8 +370,11 @@ def _command_demo(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    metrics = _open_metrics(args)
     with tracer_ctx as tracer:
         kwargs = {} if tracer is None else {"tracer": tracer}
+        if metrics is not None:
+            kwargs["metrics"] = metrics
         if args.asynchronous:
             result = quick_async(args.n, args.k, args.alpha, seed=args.seed, **kwargs)
         else:
@@ -315,6 +383,7 @@ def _command_demo(args: argparse.Namespace) -> int:
             result = quick_sync(args.n, args.k, args.alpha, seed=args.seed, **kwargs)
     if args.trace is not None:
         print(f"[demo] trace written to {args.trace}", file=sys.stderr)
+    _write_metrics(args, metrics, "demo")
     if args.report:
         from repro.analysis.report import run_report
 
@@ -350,15 +419,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         name=args.name,
     )
+    metrics = _open_metrics(args)
     report = run_sweep(
         spec,
         cache=_open_cache(args),
         workers=args.workers,
         echo=lambda line: print(line, file=sys.stderr),
         trace_dir=None if args.trace is None else str(args.trace),
+        metrics=metrics,
     )
     if args.trace is not None:
         print(f"[sweep] traces written under {args.trace}", file=sys.stderr)
+    _write_metrics(args, metrics, "sweep")
     print(aggregate_table(spec, report.records).render())
     print()
     print(report.summary())
@@ -368,6 +440,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _command_robustness(args: argparse.Namespace) -> int:
     from repro.experiments.robustness import run_robustness
 
+    metrics = _open_metrics(args)
     report = run_robustness(
         quick=not args.full,
         seed=args.seed,
@@ -376,9 +449,11 @@ def _command_robustness(args: argparse.Namespace) -> int:
         profile=args.profile,
         echo=lambda line: print(line, file=sys.stderr),
         trace_dir=None if args.trace is None else str(args.trace),
+        metrics=metrics,
     )
     if args.trace is not None:
         print(f"[robustness] traces written under {args.trace}", file=sys.stderr)
+    _write_metrics(args, metrics, "robustness")
     print(report.result.render(plot=False))
     print(
         f"[robustness] {report.executed} runs executed, {report.cached} cached",
@@ -400,6 +475,36 @@ def _command_trace_metrics(args: argparse.Namespace) -> int:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(result.render_markdown() + "\n")
         print(f"[trace-metrics] wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _command_trace_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_diff import diff_traces, render_diff
+
+    diff = diff_traces(args.trace_a, args.trace_b)
+    print(render_diff(diff))
+    return 0 if diff.equal else 1
+
+
+def _command_metrics_report(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics_report import metrics_report
+
+    if args.prom:
+        from repro.engine.metrics import (
+            load_snapshot,
+            merge_snapshots,
+            render_prometheus,
+        )
+
+        snapshot = merge_snapshots(load_snapshot(path) for path in args.snapshots)
+        print(render_prometheus(snapshot), end="")
+        return 0
+    result = metrics_report(args.snapshots, compare=args.compare)
+    print(result.render(plot=False))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(result.render_markdown() + "\n")
+        print(f"[metrics-report] wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -462,6 +567,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_robustness(args)
     if args.command == "trace-metrics":
         return _command_trace_metrics(args)
+    if args.command == "trace-diff":
+        return _command_trace_diff(args)
+    if args.command == "metrics-report":
+        return _command_metrics_report(args)
     if args.command == "trace-merge":
         return _command_trace_merge(args)
     if args.command == "trace-view":

@@ -211,6 +211,11 @@ class SingleLeaderSim:
         self.trajectory: list[StepStats] = []
         self.good_ticks = 0
         self.total_ticks = 0
+        #: Ticks counted-at-unlock instead of dispatched (skip chains)
+        #: and pool-block chain refills — runtime telemetry, harvested
+        #: by :meth:`publish_metrics`.
+        self.skipped_ticks = 0
+        self.refills = 0
 
         # Convergence is detected where counts change (_set_state), not
         # polled per event: reaching n nodes of one color requests a
@@ -359,6 +364,7 @@ class SingleLeaderSim:
         lazily for unlocked nodes (see :meth:`_tick` / :meth:`_unlock`).
         """
         window = self._window
+        self.refills += 1
         waits = self._tick_wait.take(window)
         lats = self._latency.take(window)
         chain = self._chain[node]
@@ -416,6 +422,7 @@ class SingleLeaderSim:
                 ptr = self._cptr[node]
         self._cptr[node] = ptr
         self.total_ticks += skipped
+        self.skipped_ticks += skipped
         self._schedule_next_tick(node)
 
     def _begin_cycle(self, node: int, first: int, second: int) -> None:
@@ -523,6 +530,29 @@ class SingleLeaderSim:
         """Extra fields for the trace ``end`` record (subclass hook)."""
         return {}
 
+    def publish_metrics(self, metrics) -> None:
+        """Harvest protocol + engine counters into a registry (epilogue).
+
+        Every number here is maintained by the run regardless of
+        metrics (plain ints on amortized paths), so enabling metrics
+        adds no per-event work — just this one harvest.
+        """
+        if metrics is None or not metrics.enabled:
+            return
+        metrics.counter(f"protocol.runs.{self._trace_protocol}").inc()
+        metrics.add_counters(
+            {
+                "protocol.ticks_total": self.total_ticks,
+                "protocol.ticks_good": self.good_ticks,
+                "protocol.ticks_suppressed": self.skipped_ticks,
+                "protocol.pool_refills": self.refills,
+                "protocol.leader_zero_signals": self.leader.zero_signals,
+                "protocol.leader_gen_signals": self.leader.gen_signals,
+            }
+        )
+        metrics.gauge("protocol.leader_generation").set(self.leader.gen)
+        self.sim.publish_metrics(metrics)
+
     # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
@@ -623,6 +653,7 @@ class SingleLeaderSim:
                         extra += 1
                     cptrs[node] = ptr
             self.total_ticks += extra
+            self.skipped_ticks += extra
         epsilon_time = self._eps_time
         converged = max(counts) == n
         if self._tracer.enabled_for("end"):
@@ -674,12 +705,15 @@ def run_single_leader(
     record_every: float | None = None,
     graph=None,
     tracer: Tracer | None = None,
+    metrics=None,
 ) -> RunResult:
     """Build a :class:`SingleLeaderSim` and run it (convenience front-end)."""
     sim = SingleLeaderSim(params, counts, rng, graph=graph, tracer=tracer)
-    return sim.run(
+    result = sim.run(
         max_time=max_time,
         epsilon=epsilon,
         stop_at_epsilon=stop_at_epsilon,
         record_every=record_every,
     )
+    sim.publish_metrics(metrics)
+    return result

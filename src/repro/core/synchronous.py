@@ -163,6 +163,18 @@ class _SynchronousBase:
     #: summary); constructors overwrite it when a tracer is passed.
     _tracer: Tracer = NULL_TRACER
     _trace_protocol = "synchronous"
+    #: Optional round-fault wiring (subclass constructors overwrite).
+    _round_faults = None
+    #: Per-round active-fraction sampling, off unless a metrics run
+    #: opts in via :meth:`enable_metrics_sampling` — the default step
+    #: never pays for it.
+    _track_active = False
+    _active_fractions: "list[float] | tuple" = ()
+
+    def enable_metrics_sampling(self) -> None:
+        """Opt in to per-round active-fraction sampling (metrics runs)."""
+        self._track_active = self._round_faults is not None
+        self._active_fractions = []
 
     def step(self) -> None:
         raise NotImplementedError
@@ -293,6 +305,24 @@ class _SynchronousBase:
             births=births,
         )
 
+    def publish_metrics(self, metrics, result: RunResult) -> None:
+        """Harvest round/convergence/fault counters (run epilogue)."""
+        if metrics is None or not metrics.enabled:
+            return
+        from repro.engine.metrics import RATIO_BUCKETS
+
+        metrics.counter("sync.runs").inc()
+        metrics.counter("sync.rounds").inc(self.steps_done)
+        if result.converged:
+            metrics.counter("sync.converged_runs").inc()
+        metrics.counter("sync.generation_births").inc(len(result.births))
+        if self._active_fractions:
+            histogram = metrics.histogram("sync.active_fraction", RATIO_BUCKETS)
+            for fraction in self._active_fractions:
+                histogram.observe(fraction)
+        if self._round_faults is not None:
+            self._round_faults.publish_metrics(metrics)
+
 
 class PerNodeSynchronousSim(_SynchronousBase):
     """Exact per-node simulator of Algorithm 1.
@@ -396,6 +426,10 @@ class PerNodeSynchronousSim(_SynchronousBase):
             active, rejoined = self._round_faults.begin_round(float(self.steps_done))
             if rejoined is not None:
                 self.generations[rejoined] = 0
+            if self._track_active:
+                self._active_fractions.append(
+                    1.0 if active is None else float(np.count_nonzero(active)) / self.n
+                )
         first, second = self._sample_pairs()
         gen_a, col_a = self.generations[first], self.colors[first]
         gen_b, col_b = self.generations[second], self.colors[second]
@@ -520,6 +554,13 @@ class AggregateSynchronousSim(_SynchronousBase):
                 self.matrix[0] += back.sum(axis=0)
             if down_flat is not None:
                 down = down_flat.reshape(self.matrix.shape)
+            if self._track_active:
+                # Mean-field active fraction: participation thinning of
+                # the not-parked population (no node masks exist here).
+                parked = 0 if down is None else int(down.sum())
+                self._active_fractions.append(
+                    participation * (self.n - parked) / self.n
+                )
         fractions = self.matrix / self.n
         per_generation = fractions.sum(axis=1)
         occupied = np.nonzero(per_generation)[0]
@@ -554,6 +595,7 @@ def run_synchronous(
     round_faults=None,
     assignment=None,
     tracer: Tracer | None = None,
+    metrics=None,
     shards: int = 1,
 ) -> RunResult:
     """Convenience front-end: build a simulator and run it.
@@ -589,6 +631,7 @@ def run_synchronous(
             epsilon=epsilon,
             record_trajectory=record_trajectory,
             tracer=tracer,
+            metrics=metrics,
         )
     if engine == "aggregate":
         if assignment is not None:
@@ -607,6 +650,10 @@ def run_synchronous(
         )
     else:
         raise ConfigurationError(f"unknown engine {engine!r}; use 'aggregate' or 'pernode'")
-    return sim.run(
+    if metrics is not None and metrics.enabled:
+        sim.enable_metrics_sampling()
+    result = sim.run(
         max_steps=max_steps, epsilon=epsilon, record_trajectory=record_trajectory
     )
+    sim.publish_metrics(metrics, result)
+    return result

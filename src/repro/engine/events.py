@@ -47,12 +47,15 @@ class EventQueue:
     all-events-fire case pays nothing for cancellation support.
     """
 
-    __slots__ = ("_heap", "_next_seq", "_live")
+    __slots__ = ("_heap", "_next_seq", "_live", "cancels", "dead_pops")
 
     def __init__(self) -> None:
         self._heap: list[Entry] = []
         self._next_seq = 0
         self._live: set[int] | None = None
+        #: Telemetry (plain ints on rare paths; harvested at run epilogue).
+        self.cancels = 0
+        self.dead_pops = 0
 
     def __len__(self) -> int:
         live = self._live
@@ -101,6 +104,11 @@ class EventQueue:
         if live is None:
             live = self._live = {entry[1] for entry in self._heap}
         live.discard(seq)
+        self.cancels += 1
+
+    def stats(self) -> dict[str, int]:
+        """Queue telemetry counters (epilogue harvest, see engine.metrics)."""
+        return {"queue.cancels": self.cancels, "queue.dead_pops": self.dead_pops}
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -109,6 +117,7 @@ class EventQueue:
         if live is not None:
             while heap and heap[0][1] not in live:
                 heapq.heappop(heap)
+                self.dead_pops += 1
         if not heap:
             return None
         return heap[0][0]
@@ -132,6 +141,7 @@ class EventQueue:
             if entry[1] in live:
                 live.remove(entry[1])
                 return entry
+            self.dead_pops += 1
         raise SchedulingError("pop from an empty event queue")
 
     def drain(self) -> Iterator[Entry]:
@@ -172,7 +182,18 @@ class BatchEventQueue:
     pushes, bulk pushes, cancels, and pops.
     """
 
-    __slots__ = ("_heap", "_blk", "_blk_min", "_next_seq", "_live")
+    __slots__ = (
+        "_heap",
+        "_blk",
+        "_blk_min",
+        "_next_seq",
+        "_live",
+        "flushes",
+        "flushed_events",
+        "max_flush",
+        "cancels",
+        "dead_pops",
+    )
 
     def __init__(self) -> None:
         self._heap: list[Entry] = []
@@ -181,6 +202,12 @@ class BatchEventQueue:
         self._blk_min = float("inf")
         self._next_seq = 0
         self._live: set[int] | None = None
+        #: Telemetry (plain ints on amortized paths; harvested at epilogue).
+        self.flushes = 0
+        self.flushed_events = 0
+        self.max_flush = 0
+        self.cancels = 0
+        self.dead_pops = 0
 
     # -- sizing ---------------------------------------------------------
     def __len__(self) -> int:
@@ -247,6 +274,11 @@ class BatchEventQueue:
         """Feed every stored block into the heap (one C heappush per event)."""
         heap = self._heap
         push = heapq.heappush
+        flushed = sum(len(block[0]) for block in self._blk)
+        self.flushes += 1
+        self.flushed_events += flushed
+        if flushed > self.max_flush:
+            self.max_flush = flushed
         for times, action, payloads, start in self._blk:
             if isinstance(times, np.ndarray):
                 times = times.tolist()
@@ -287,6 +319,17 @@ class BatchEventQueue:
                 live.update(range(start, start + len(times)))
             self._live = live
         live.discard(seq)
+        self.cancels += 1
+
+    def stats(self) -> dict[str, int]:
+        """Queue telemetry counters (epilogue harvest, see engine.metrics)."""
+        return {
+            "queue.flushes": self.flushes,
+            "queue.flushed_events": self.flushed_events,
+            "queue.max_flush": self.max_flush,
+            "queue.cancels": self.cancels,
+            "queue.dead_pops": self.dead_pops,
+        }
 
     # -- consumption ----------------------------------------------------
     def _ensure_head(self) -> bool:
@@ -305,6 +348,7 @@ class BatchEventQueue:
                 if live is None or heap[0][1] in live:
                     return True
                 heapq.heappop(heap)
+                self.dead_pops += 1
                 continue
             if not self._blk:
                 return False

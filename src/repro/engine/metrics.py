@@ -1,0 +1,409 @@
+"""Near-zero-overhead runtime metrics: counters, gauges, histograms.
+
+The trace layer (:mod:`repro.engine.tracing`) records *protocol-level*
+streams — what the simulated nodes did.  This module records
+*runtime-level* aggregates — what the simulator itself did: events
+dispatched vs. skip-suppressed, queue flush sizes, pool refills, shard
+barrier waits, sweep cache hit rates.  The two layers share one design
+contract:
+
+* **Off by default, one attribute check when off.**  Every seam takes
+  ``metrics=None`` and substitutes :data:`NULL_METRICS`, whose
+  ``enabled`` flag is ``False`` and whose instruments are shared no-op
+  singletons.  Untouched call sites pay nothing; instrumented epilogues
+  pay one ``if metrics.enabled:`` check.
+* **Hot path is one list append or one int add.**
+  :meth:`Histogram.observe` appends to a plain list (folded into fixed
+  buckets lazily, in blocks); :meth:`Counter.inc` adds to a plain int.
+  No locks anywhere — every instrument is single-writer by
+  construction (one process, one thread).  Cross-process aggregation
+  goes through *snapshots*: workers write JSON sidecar files, the
+  controller merges them (:func:`merge_snapshots`).
+* **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot`
+  separates the ``counters``/``gauges`` sections (pure functions of
+  the run — byte-stable across repeats, fork vs. spawn, shard counts
+  on capped runs) from the ``histograms`` section (wall-clock timings
+  — structurally stable, bucket contents machine-dependent).
+  :meth:`to_json` sorts every key, so snapshot files diff cleanly.
+
+The Prometheus text rendering (:func:`render_prometheus`) exists for
+the ROADMAP serving tier: a future HTTP front end can expose a live
+registry with zero new formatting code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "load_snapshot",
+    "merge_snapshots",
+    "render_prometheus",
+]
+
+#: Default histogram buckets for durations in seconds: decades from 1 µs
+#: to 10 s.  Barrier waits, controller rounds, and per-run wall times
+#: all land inside; the implicit +inf bucket catches stalls.
+TIME_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+#: Default buckets for dimensionless ratios/fractions in [0, 1].
+RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+#: Pending histogram samples are folded into buckets in blocks of this
+#: size, keeping the observe() hot path a bare list append.
+_FOLD_LIMIT = 4096
+
+_SNAPSHOT_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing sum (single writer, no lock)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (one int/float add — the hot-path cost)."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram; ``observe`` is one list append.
+
+    Buckets are cumulative-upper-bound style (Prometheus ``le``
+    semantics): ``buckets[i]`` counts samples ``<= bounds[i]``, with an
+    implicit final ``+inf`` bucket.  Samples are appended to a plain
+    list and folded into the bucket counts lazily (every
+    ``_FOLD_LIMIT`` appends and at snapshot time), so the hot path
+    never bisects.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_pending", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float] = TIME_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram bounds must be non-empty and strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot: +inf
+        self._pending: list[float] = []
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample (hot path: one append, amortized fold)."""
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= _FOLD_LIMIT:
+            self._fold()
+
+    def _fold(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        bounds = self.bounds
+        counts = self._counts
+        for value in pending:
+            counts[bisect_left(bounds, value)] += 1
+        self.count += len(pending)
+        self.sum += sum(pending)
+        self.min = min(self.min, min(pending))
+        self.max = max(self.max, max(pending))
+        self._pending = []
+
+    def to_dict(self) -> dict:
+        """Snapshot form: cumulative ``le`` bucket pairs + summary stats."""
+        self._fold()
+        cumulative = 0
+        buckets = []
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative += count
+            buckets.append([bound, cumulative])
+        buckets.append(["+inf", cumulative + self._counts[-1]])
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class _Timer:
+    """Context manager: observe elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timer":
+        from time import perf_counter
+
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from time import perf_counter
+
+        self._histogram.observe(perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """One process's metric instruments, snapshot-able to sorted JSON.
+
+    Examples
+    --------
+    >>> metrics = MetricsRegistry()
+    >>> metrics.counter("demo.events").inc(3)
+    >>> metrics.gauge("demo.workers").set(4)
+    >>> snap = metrics.snapshot()
+    >>> snap["counters"]["demo.events"], snap["gauges"]["demo.workers"]
+    (3, 4)
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument factories (cached by name) -------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Iterable[float] = TIME_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def timer(self, name: str) -> _Timer:
+        """``with metrics.timer("x.seconds"): ...`` — seconds histogram."""
+        return _Timer(self.histogram(name, TIME_BUCKETS))
+
+    # -- bulk ingestion ------------------------------------------------
+    def add_counters(self, values: Mapping[str, int | float], *, prefix: str = "") -> None:
+        """Fold a flat ``{name: amount}`` dict into counters (epilogue harvest)."""
+        for name, amount in values.items():
+            self.counter(prefix + name).inc(amount)
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot (e.g. a worker sidecar file) into this registry.
+
+        Counters and histogram contents add; gauges are last-write-wins
+        in call order (merge sidecars in sorted filename order for
+        determinism).  Histograms must agree on bucket bounds — the
+        same code produced both sides, so a mismatch is a bug.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            pairs = data.get("buckets", [])
+            bounds = tuple(float(b) for b, _ in pairs[:-1])
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    name, bounds or TIME_BUCKETS
+                )
+            elif bounds and histogram.bounds != bounds:
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket bounds differ between snapshots"
+                )
+            histogram._fold()
+            previous = 0
+            for index, (_, cumulative) in enumerate(pairs):
+                histogram._counts[index] += int(cumulative) - previous
+                previous = int(cumulative)
+            histogram.count += int(data.get("count", 0))
+            histogram.sum += float(data.get("sum", 0.0))
+            if data.get("min") is not None:
+                histogram.min = min(histogram.min, float(data["min"]))
+            if data.get("max") is not None:
+                histogram.max = max(histogram.max, float(data["max"]))
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot: deterministic sections first, timings last."""
+        return {
+            "version": _SNAPSHOT_VERSION,
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Sorted-key JSON rendering of :meth:`snapshot` (diff-stable)."""
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Write the snapshot JSON atomically (tmp + rename)."""
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+        os.replace(tmp, path)
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram/timer."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The default no-op registry: every seam's ``metrics=None`` stand-in.
+
+    ``enabled`` is ``False`` so instrumented epilogues skip their
+    harvest entirely; the instrument factories hand back one shared
+    no-op object so even un-gated call sites cost a no-op method call.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: Iterable[float] = TIME_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def add_counters(self, values: Mapping[str, int | float], *, prefix: str = "") -> None:
+        pass
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        pass
+
+
+#: The module-wide no-op singleton; ``metrics or NULL_METRICS`` at seams.
+NULL_METRICS = NullMetrics()
+
+
+def load_snapshot(path: str | os.PathLike) -> dict:
+    """Load one snapshot JSON file, validating its basic shape."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"cannot read metrics snapshot {path}: {error}") from error
+    if not isinstance(data, dict) or "counters" not in data:
+        raise ConfigurationError(
+            f"{path} is not a metrics snapshot (missing 'counters' section)"
+        )
+    return data
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict:
+    """Merge snapshots (counters/histograms add, gauges last-write-wins)."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()
+
+
+def _prometheus_name(name: str) -> str:
+    """Dots and dashes become underscores; Prometheus-legal metric name."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text-exposition rendering of one snapshot.
+
+    The serving-tier seam: a live registry's snapshot renders straight
+    into a ``/metrics`` response body.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in data.get("buckets", []):
+            le = "+Inf" if bound == "+inf" else repr(float(bound))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {data.get('sum', 0.0)}")
+        lines.append(f"{metric}_count {data.get('count', 0)}")
+    return "\n".join(lines) + "\n"

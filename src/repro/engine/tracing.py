@@ -159,6 +159,14 @@ class JsonlTracer(Tracer):
         If given, only these record kinds are written.
     buffer_records:
         Records accumulated in memory before each batch write.
+    max_records:
+        Cap on the number of records written; once reached, further
+        records are dropped (counted in :attr:`dropped`) and
+        :meth:`close` appends a final ``{"kind": "truncated",
+        "dropped": N}`` marker so offline consumers (``trace-metrics``,
+        the replay visualizer) can warn instead of silently analyzing a
+        partial stream — the file-level twin of
+        :attr:`TraceRecorder.truncated`.
 
     Use as a context manager (or call :meth:`close`) to guarantee the
     tail of the buffer reaches disk.
@@ -170,13 +178,20 @@ class JsonlTracer(Tracer):
         *,
         kinds: Iterable[str] | None = None,
         buffer_records: int = 1024,
+        max_records: int | None = None,
     ):
         if buffer_records < 1:
             raise ValueError(f"buffer_records must be >= 1, got {buffer_records}")
+        if max_records is not None and max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
         self._kinds = frozenset(kinds) if kinds is not None else None
         self._limit = int(buffer_records)
         self._buffer: list[tuple[str, float, dict[str, Any]]] = []
         self.records_written = 0
+        self.max_records = max_records
+        #: Records dropped at the ``max_records`` cap.
+        self.dropped = 0
+        self._last_time = 0.0
         if hasattr(path, "write"):
             self._fh: IO[str] = path  # type: ignore[assignment]
             self._owns_fh = False
@@ -190,10 +205,22 @@ class JsonlTracer(Tracer):
     def enabled_for(self, kind: str) -> bool:
         return self._kinds is None or kind in self._kinds
 
+    @property
+    def truncated(self) -> bool:
+        """True once at least one record was dropped by the cap."""
+        return self.dropped > 0
+
     def record(self, kind: str, time: float, **fields: Any) -> None:
         if self._kinds is not None and kind not in self._kinds:
             return
         buffer = self._buffer
+        if (
+            self.max_records is not None
+            and self.records_written + len(buffer) >= self.max_records
+        ):
+            self.dropped += 1
+            self._last_time = time
+            return
         buffer.append((kind, time, fields))
         if len(buffer) >= self._limit:
             self.flush()
@@ -217,10 +244,20 @@ class JsonlTracer(Tracer):
         buffer.clear()
 
     def close(self) -> None:
-        """Flush the buffer and close the sink (idempotent)."""
+        """Flush the buffer and close the sink (idempotent).
+
+        A capped sink that dropped records appends one ``truncated``
+        marker so the loss is visible in the file itself.
+        """
         if self._closed:
             return
         self.flush()
+        if self.dropped:
+            marker = {"kind": "truncated", "t": self._last_time, "dropped": self.dropped}
+            self._fh.write(
+                json.dumps(marker, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            self._fh.flush()
         self._closed = True
         if self._owns_fh:
             self._fh.close()

@@ -196,6 +196,7 @@ def run_robustness(
     profile: str | None = None,
     echo: Callable[[str], None] | None = None,
     trace_dir: str | None = None,
+    metrics=None,
 ) -> RobustnessReport:
     """Run the adversity grid through the cached sweep.
 
@@ -204,6 +205,8 @@ def run_robustness(
     replays without executing a single simulator run.  ``trace_dir``
     streams every run's JSONL trace into one subdirectory per table
     (spec name, spaces dashed); traced sweeps bypass the cache.
+    ``metrics`` accumulates every sweep's accounting and engine-level
+    counters into one registry (see :func:`repro.sweep.runner.run_sweep`).
     """
     if profile is None:
         profile = "quick" if quick else "full"
@@ -234,7 +237,8 @@ def run_robustness(
 
             spec_trace_dir = str(Path(trace_dir) / spec.name.replace(" ", "-"))
         report = run_sweep(
-            spec, cache=cache, workers=workers, echo=echo, trace_dir=spec_trace_dir
+            spec, cache=cache, workers=workers, echo=echo,
+            trace_dir=spec_trace_dir, metrics=metrics,
         )
         executed += report.executed
         cached += report.cached

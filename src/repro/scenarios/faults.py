@@ -566,6 +566,18 @@ class FaultInjection:
                 merged[f"fault_{key}"] = merged.get(f"fault_{key}", 0.0) + value
         return merged
 
+    def publish_metrics(self, metrics) -> None:
+        """Harvest the per-model drop/crash/rejoin counters (epilogue).
+
+        Counter names drop the record-level ``fault_`` prefix in favor
+        of the registry's ``faults.`` namespace: ``faults.iid_dropped``,
+        ``faults.crashes``, ``faults.rejoins``, ...
+        """
+        if metrics is None or not metrics.enabled:
+            return
+        for key, value in self.info().items():
+            metrics.counter("faults." + key.removeprefix("fault_")).inc(value)
+
     def describe(self) -> str:
         return ", ".join(fault.describe() for fault in self.faults) or "no faults"
 

@@ -639,6 +639,19 @@ class RoundFaults:
                 merged[f"fault_{key}"] = merged.get(f"fault_{key}", 0.0) + value
         return merged
 
+    def publish_metrics(self, metrics) -> None:
+        """Harvest per-model drop/skip/crash/rejoin counters (epilogue).
+
+        Same namespace as the event seam's
+        :meth:`repro.scenarios.faults.FaultInjection.publish_metrics`:
+        ``faults.round_dropped``, ``faults.crashes``, ... — one metric
+        vocabulary across both fault seams.
+        """
+        if metrics is None or not metrics.enabled:
+            return
+        for key, value in self.info().items():
+            metrics.counter("faults." + key.removeprefix("fault_")).inc(value)
+
     def describe(self) -> str:
         return ", ".join(model.describe() for model in self.models) or "no faults"
 

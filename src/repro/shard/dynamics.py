@@ -36,6 +36,7 @@ def run_sharded_dynamics(
     record_trajectory: bool = False,
     tracer=None,
     start_method: str | None = None,
+    metrics=None,
 ) -> RunResult:
     """Run ``dynamics`` to consensus across ``shards`` worker processes."""
     if int(shards) == 1:
@@ -47,6 +48,7 @@ def run_sharded_dynamics(
             epsilon=epsilon,
             record_trajectory=record_trajectory,
             tracer=tracer,
+            metrics=metrics,
         )
     counts = validate_counts(counts)
     n = int(counts.sum())
@@ -77,7 +79,9 @@ def run_sharded_dynamics(
     epsilon_time: float | None = None
     rounds = 0
     converged = False
-    harness = ShardHarness(count_worker, payloads, phases=2, start_method=start_method)
+    harness = ShardHarness(
+        count_worker, payloads, phases=2, start_method=start_method, metrics=metrics
+    )
     try:
         while rounds < max_rounds:
             harness.step()
@@ -114,6 +118,13 @@ def run_sharded_dynamics(
             "end", float(rounds), converged=converged,
             counts=[int(c) for c in final], eps_time=epsilon_time,
         )
+    if metrics is not None and metrics.enabled:
+        # Mirror the unsharded run_dynamics epilogue so shard counts
+        # agree on the protocol-level counters.
+        metrics.counter(f"dynamics.runs.{dynamics.name}").inc()
+        metrics.counter("dynamics.rounds").inc(rounds)
+        if converged:
+            metrics.counter("dynamics.converged_runs").inc()
     return RunResult(
         converged=converged,
         winner=int(np.argmax(final)),

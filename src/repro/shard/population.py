@@ -109,6 +109,7 @@ def run_sharded_population(
     exchange: int | None = None,
     tracer=None,
     start_method: str | None = None,
+    metrics=None,
 ) -> PopulationResult:
     """Run ``protocol`` across ``shards`` workers; see the module docstring.
 
@@ -120,7 +121,8 @@ def run_sharded_population(
     shards = int(shards)
     if shards == 1:
         return PairwiseScheduler(protocol).run(
-            counts, rng, max_interactions=max_interactions, tracer=tracer
+            counts, rng, max_interactions=max_interactions, tracer=tracer,
+            metrics=metrics,
         )
     state = protocol.initial_state(validate_counts(counts))
     n = int(state.sum())
@@ -177,10 +179,12 @@ def run_sharded_population(
             n=n, k=num_states, counts=[int(c) for c in state],
         )
     interactions = 0
+    exchanged = 0
     counts_now = np.asarray(state, dtype=np.int64).copy()
     converged = protocol.is_converged(counts_now)
     harness = ShardHarness(
-        population_worker, payloads, phases=1, start_method=start_method
+        population_worker, payloads, phases=1, start_method=start_method,
+        metrics=metrics,
     )
     try:
         while not converged and interactions < max_interactions:
@@ -209,6 +213,7 @@ def run_sharded_population(
                     counts_now[new_a] += 1
                     counts_now[new_b] += 1
             interactions += budget
+            exchanged += budget
             converged = protocol.is_converged(counts_now)
             if trace_round:
                 tracer.record(
@@ -229,6 +234,14 @@ def run_sharded_population(
             counts=[int(c) for c in counts_now], eps_time=None,
             interactions=interactions,
         )
+    if metrics is not None and metrics.enabled:
+        metrics.counter(f"population.runs.{protocol.name}").inc()
+        metrics.counter("population.interactions").inc(interactions)
+        if converged:
+            metrics.counter("population.converged_runs").inc()
+        # Cross-shard exchange volume: the controller-run interactions
+        # that stitch the shard slices back into one population.
+        metrics.counter("shard.exchange_values").inc(exchanged)
     return PopulationResult(
         converged=converged,
         winner=winner,

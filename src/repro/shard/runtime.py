@@ -31,14 +31,18 @@ via the ``start_method`` parameter).
 from __future__ import annotations
 
 import multiprocessing
+import os
+import tempfile
 import time
 import traceback
 from multiprocessing import shared_memory
 from threading import BrokenBarrierError
+from time import perf_counter
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.engine.metrics import TIME_BUCKETS, MetricsRegistry, load_snapshot
 from repro.errors import SimulationError
 
 __all__ = ["SharedArray", "ShardHarness", "ShardWorkerContext", "ShardError"]
@@ -102,16 +106,42 @@ class SharedArray:
 
 
 class ShardWorkerContext:
-    """Worker-side view of the barrier protocol and control words."""
+    """Worker-side view of the barrier protocol and control words.
 
-    def __init__(self, index: int, barrier, control: np.ndarray, timeout: float):
+    When the harness runs with metrics enabled, ``metrics`` is a live
+    per-worker :class:`~repro.engine.metrics.MetricsRegistry` (written to
+    a sidecar file at worker exit and merged by the controller) and every
+    ``wait`` feeds the ``shard.barrier_wait_seconds`` histogram — the
+    direct read on shard imbalance. Without metrics, ``wait`` stays the
+    bare barrier call.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        barrier,
+        control: np.ndarray,
+        timeout: float,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.index = index
         self.control = control
         self._barrier = barrier
         self._timeout = timeout
+        self.metrics = metrics
+        self._wait_hist = (
+            metrics.histogram("shard.barrier_wait_seconds", TIME_BUCKETS)
+            if metrics is not None and metrics.enabled
+            else None
+        )
 
     def wait(self) -> None:
+        if self._wait_hist is None:
+            self._barrier.wait(self._timeout)
+            return
+        start = perf_counter()
         self._barrier.wait(self._timeout)
+        self._wait_hist.observe(perf_counter() - start)
 
     @property
     def stopped(self) -> bool:
@@ -134,10 +164,17 @@ def _worker_entry(
     errors,
     payload: dict,
     timeout: float,
+    metrics_path: str | None = None,
 ) -> None:
     control = SharedArray.attach(control_spec)
+    metrics = MetricsRegistry() if metrics_path is not None else None
     try:
-        worker(ShardWorkerContext(index, barrier, control.array, timeout), payload)
+        worker(
+            ShardWorkerContext(index, barrier, control.array, timeout, metrics),
+            payload,
+        )
+        if metrics is not None:
+            metrics.write(metrics_path)
     except BrokenBarrierError:
         # Another shard (or the controller) already failed; exit quietly.
         pass
@@ -166,6 +203,7 @@ class ShardHarness:
         phases: int,
         timeout: float = _DEFAULT_TIMEOUT,
         start_method: str | None = None,
+        metrics=None,
     ):
         self.shards = len(payloads)
         self.phases = int(phases)
@@ -175,6 +213,24 @@ class ShardHarness:
         self._errors = ctx.SimpleQueue()
         self.control = SharedArray.create((_CONTROL_SLOTS,), np.float64)
         self._stopped = False
+        # Metrics are opt-in: workers get a per-shard sidecar file for
+        # their registries (merged into ours on a clean stop) and the
+        # controller times each round. With metrics off, every hot-path
+        # branch below reduces to a None check.
+        self._metrics = metrics if metrics is not None and metrics.enabled else None
+        self._sidecar_dir: str | None = None
+        sidecars: list[str | None] = [None] * self.shards
+        if self._metrics is not None:
+            self._sidecar_dir = tempfile.mkdtemp(prefix="repro-shard-metrics-")
+            sidecars = [
+                os.path.join(self._sidecar_dir, f"shard-{index:04d}.json")
+                for index in range(self.shards)
+            ]
+            self._metrics.gauge("shard.workers").set(self.shards)
+            self._round_hist = self._metrics.histogram(
+                "shard.round_seconds", TIME_BUCKETS
+            )
+            self._rounds_counter = self._metrics.counter("shard.rounds")
         self._procs = [
             ctx.Process(
                 target=_worker_entry,
@@ -186,11 +242,12 @@ class ShardHarness:
                     self._errors,
                     payload,
                     self._timeout,
+                    sidecar,
                 ),
                 name=f"shard-{index}",
                 daemon=True,
             )
-            for index, payload in enumerate(payloads)
+            for index, (payload, sidecar) in enumerate(zip(payloads, sidecars))
         ]
         for proc in self._procs:
             proc.start()
@@ -235,6 +292,7 @@ class ShardHarness:
 
     def step(self, *, flag: float = 0.0, extra: float = 0.0) -> None:
         """Run one full round: publish control words, walk the barriers."""
+        start = perf_counter() if self._metrics is not None else 0.0
         control = self.control.array
         control[CMD] = CMD_RUN
         control[ROUND] += 1.0
@@ -243,6 +301,9 @@ class ShardHarness:
         self._wait()  # start: workers pick up the round
         for _ in range(self.phases):
             self._wait()
+        if self._metrics is not None:
+            self._round_hist.observe(perf_counter() - start)
+            self._rounds_counter.inc()
 
     def stop(self) -> None:
         """Release workers into a stop round and join them (idempotent)."""
@@ -256,6 +317,36 @@ class ShardHarness:
             pass
         for proc in self._procs:
             proc.join(self._timeout)
+        self._merge_worker_metrics()
+
+    def _merge_worker_metrics(self) -> None:
+        """Fold worker sidecar registries into the controller's.
+
+        Workers write their sidecar only on a clean stop round, so a
+        crashed shard simply contributes nothing — merging stays
+        best-effort and never masks the real failure path.
+        """
+        if self._metrics is None or self._sidecar_dir is None:
+            return
+        directory, self._sidecar_dir = self._sidecar_dir, None
+        try:
+            for name in sorted(os.listdir(directory)):
+                try:
+                    self._metrics.merge_snapshot(
+                        load_snapshot(os.path.join(directory, name))
+                    )
+                except Exception:  # pragma: no cover - partial sidecar
+                    pass
+        finally:
+            for name in os.listdir(directory):
+                try:
+                    os.unlink(os.path.join(directory, name))
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            try:
+                os.rmdir(directory)
+            except OSError:  # pragma: no cover - already gone
+                pass
 
     def close(self) -> None:
         """Stop workers (if still running) and release every resource."""
@@ -265,6 +356,7 @@ class ShardHarness:
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(5.0)
+        self._merge_worker_metrics()
         if self.control is not None:
             self.control.close()
             self.control = None

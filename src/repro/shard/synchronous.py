@@ -106,6 +106,7 @@ class ShardedAggregateSynchronousSim(_ShardedSynchronousBase):
         promotion: str = "pair",
         tracer: Tracer | None = None,
         start_method: str | None = None,
+        metrics=None,
     ):
         counts = validate_counts(counts)
         self.n = int(counts.sum())
@@ -132,7 +133,8 @@ class ShardedAggregateSynchronousSim(_ShardedSynchronousBase):
             for seed in seeds
         ]
         self._harness = ShardHarness(
-            count_worker, payloads, phases=2, start_method=start_method
+            count_worker, payloads, phases=2, start_method=start_method,
+            metrics=metrics,
         )
 
     def generation_color_matrix(self) -> np.ndarray:
@@ -220,6 +222,7 @@ class ShardedPerNodeSynchronousSim(_ShardedSynchronousBase):
         shards: int,
         tracer: Tracer | None = None,
         start_method: str | None = None,
+        metrics=None,
     ):
         counts = validate_counts(counts)
         self.n = int(counts.sum())
@@ -248,7 +251,8 @@ class ShardedPerNodeSynchronousSim(_ShardedSynchronousBase):
             for node_range, seed in zip(ranges, seeds)
         ]
         self._harness = ShardHarness(
-            pernode_worker, payloads, phases=2, start_method=start_method
+            pernode_worker, payloads, phases=2, start_method=start_method,
+            metrics=metrics,
         )
 
     def generation_color_matrix(self) -> np.ndarray:
@@ -279,6 +283,7 @@ def run_sharded_synchronous(
     record_trajectory: bool = False,
     tracer: Tracer | None = None,
     start_method: str | None = None,
+    metrics=None,
 ) -> RunResult:
     """Sharded twin of :func:`repro.core.synchronous.run_synchronous`.
 
@@ -299,21 +304,28 @@ def run_sharded_synchronous(
             epsilon=epsilon,
             record_trajectory=record_trajectory,
             tracer=tracer,
+            metrics=metrics,
         )
     if engine == "aggregate":
         sim: _ShardedSynchronousBase = ShardedAggregateSynchronousSim(
             counts, schedule, rng, shards=shards, tracer=tracer,
-            start_method=start_method,
+            start_method=start_method, metrics=metrics,
         )
     elif engine == "pernode":
         sim = ShardedPerNodeSynchronousSim(
             counts, schedule, rng, shards=shards, tracer=tracer,
-            start_method=start_method,
+            start_method=start_method, metrics=metrics,
         )
     else:
         raise ConfigurationError(
             f"unknown engine {engine!r}; use 'aggregate' or 'pernode'"
         )
-    return sim.run(
+    result = sim.run(
         max_steps=max_steps, epsilon=epsilon, record_trajectory=record_trajectory
     )
+    # Same protocol-level counters as the unsharded epilogue, so
+    # shards=1 and shards>1 snapshots agree on everything that is a pure
+    # function of the run; the shard.* instruments ride in via the
+    # harness and worker sidecars.
+    sim.publish_metrics(metrics, result)
+    return result

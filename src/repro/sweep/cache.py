@@ -84,6 +84,10 @@ class RunCache:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Telemetry: lookups that found a file but had to discard it
+        # (unparsable, stale version, digest mismatch). Plain int on a
+        # rare path; the sweep runner harvests it into `sweep.cache.corrupt`.
+        self.corrupt_hits = 0
 
     def path_for(self, config: Mapping[str, Any]) -> Path:
         """Cache file that does or would hold this config's record."""
@@ -113,6 +117,7 @@ class RunCache:
             return None
         envelope = self._load(path)
         if envelope is None:
+            self.corrupt_hits += 1
             return None
         return envelope["record"]
 

@@ -51,7 +51,12 @@ from repro.engine.rng import RngRegistry
 from repro.errors import ConfigurationError
 from repro.sweep.cache import RunCache
 from repro.sweep.spec import RunConfig, SweepSpec
-from repro.sweep.targets import get_target, target_traceable, validate_target_params
+from repro.sweep.targets import (
+    get_target,
+    target_metricable,
+    target_traceable,
+    validate_target_params,
+)
 
 __all__ = [
     "execute_run",
@@ -69,7 +74,11 @@ def derive_rng(config: Mapping[str, Any]) -> np.random.Generator:
     return RngRegistry(run.seed).stream(run.stream)
 
 
-def execute_run(config: Mapping[str, Any], trace_path: str | None = None) -> dict:
+def execute_run(
+    config: Mapping[str, Any],
+    trace_path: str | None = None,
+    metrics_path: str | None = None,
+) -> dict:
     """Execute one run config and return its record.
 
     Module-level and dict-in/dict-out, so it can be shipped to a
@@ -77,13 +86,24 @@ def execute_run(config: Mapping[str, Any], trace_path: str | None = None) -> dic
     run's protocol-level trace to that file through a
     :class:`~repro.engine.tracing.JsonlTracer`; the target must declare
     a ``tracer`` keyword (all built-ins do — checked via
-    :func:`~repro.sweep.targets.target_traceable`).
+    :func:`~repro.sweep.targets.target_traceable`).  ``metrics_path``
+    collects the run's engine-level metrics into a snapshot file
+    (a per-worker sidecar the parent merges) for targets that declare a
+    ``metrics`` keyword (:func:`~repro.sweep.targets.target_metricable`);
+    non-metricable targets simply skip the sidecar.
     """
     run = config if isinstance(config, RunConfig) else RunConfig.from_dict(config)
     target = get_target(run.target)
+    kwargs: dict[str, Any] = {}
+    registry = None
+    if metrics_path is not None and target_metricable(run.target):
+        from repro.engine.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kwargs["metrics"] = registry
     started = time.perf_counter()
     if trace_path is None:
-        record = dict(target(run.params_dict, derive_rng(run)))
+        record = dict(target(run.params_dict, derive_rng(run), **kwargs))
     else:
         if not target_traceable(run.target):
             raise ConfigurationError(
@@ -93,16 +113,20 @@ def execute_run(config: Mapping[str, Any], trace_path: str | None = None) -> dic
         from repro.engine.tracing import JsonlTracer
 
         with JsonlTracer(trace_path) as tracer:
-            record = dict(target(run.params_dict, derive_rng(run), tracer=tracer))
+            record = dict(
+                target(run.params_dict, derive_rng(run), tracer=tracer, **kwargs)
+            )
         record.setdefault("trace_records", tracer.records_written)
     record.setdefault("wall_time", time.perf_counter() - started)
+    if registry is not None:
+        registry.write(metrics_path)
     return record
 
 
-def _execute_traced(item: "tuple[dict, str | None]") -> dict:
-    """Pool-map helper: one ``(config, trace_path)`` work unit."""
-    config, trace_path = item
-    return execute_run(config, trace_path)
+def _execute_traced(item: "tuple[dict, str | None, str | None]") -> dict:
+    """Pool-map helper: one ``(config, trace_path, metrics_path)`` unit."""
+    config, trace_path, metrics_path = item
+    return execute_run(config, trace_path, metrics_path)
 
 
 @dataclass
@@ -147,6 +171,7 @@ def run_sweep(
     workers: int = 1,
     echo: Callable[[str], None] | None = None,
     trace_dir: str | None = None,
+    metrics=None,
 ) -> SweepReport:
     """Run every config of ``spec`` that the cache cannot satisfy.
 
@@ -169,6 +194,15 @@ def run_sweep(
         Traced sweeps bypass the cache entirely — a cache hit would
         leave no trace on disk, and the trace path must not perturb the
         content-addressed run digest.
+    metrics:
+        Optional :class:`~repro.engine.metrics.MetricsRegistry`. The
+        parent publishes sweep-level accounting (cache hits/misses,
+        corrupt entries, runs executed/cached, per-run wall-time
+        histogram, worker gauge); for metricable targets each executed
+        run additionally collects engine-level metrics into a per-run
+        sidecar snapshot that is merged back here — so engine counters
+        survive the process-pool boundary. Cached runs contribute no
+        engine metrics (they never executed).
     """
     workers = _resolve_workers(workers)
     started = time.perf_counter()
@@ -178,6 +212,19 @@ def run_sweep(
     # aborts upfront instead of mid-run on a worker.
     for config in configs:
         validate_target_params(config.target, config.params_dict)
+
+    if metrics is not None and not metrics.enabled:
+        metrics = None
+    corrupt_before = cache.corrupt_hits if cache is not None else 0
+    metrics_dir: str | None = None
+    metrics_paths: list[str | None] = [None] * len(configs)
+    if metrics is not None and target_metricable(spec.target):
+        import tempfile
+
+        metrics_dir = tempfile.mkdtemp(prefix="repro-sweep-metrics-")
+        metrics_paths = [
+            f"{metrics_dir}/run-{index:04d}.json" for index in range(len(configs))
+        ]
 
     trace_paths: list[str | None] = [None] * len(configs)
     if trace_dir is not None:
@@ -214,17 +261,32 @@ def run_sweep(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             fresh = pool.map(
                 _execute_traced,
-                [(configs[i].as_dict(), trace_paths[i]) for i in misses],
+                [(configs[i].as_dict(), trace_paths[i], metrics_paths[i]) for i in misses],
             )
             for index, record in zip(misses, fresh):
                 records[index] = record
     else:
         for index in misses:
-            records[index] = execute_run(configs[index], trace_paths[index])
+            records[index] = execute_run(
+                configs[index], trace_paths[index], metrics_paths[index]
+            )
 
     if cache is not None and trace_dir is None:
         for index in misses:
             cache.put(configs[index].as_dict(), records[index])
+
+    if metrics is not None:
+        _harvest_sweep_metrics(
+            metrics,
+            records=records,
+            misses=misses,
+            total=len(configs),
+            workers=workers,
+            cache=cache,
+            cache_active=cache is not None and trace_dir is None,
+            corrupt_before=corrupt_before,
+            metrics_dir=metrics_dir,
+        )
 
     return SweepReport(
         spec=spec,
@@ -235,6 +297,55 @@ def run_sweep(
         wall_time=time.perf_counter() - started,
         workers=workers,
     )
+
+
+def _harvest_sweep_metrics(
+    metrics,
+    *,
+    records: Sequence[dict | None],
+    misses: Sequence[int],
+    total: int,
+    workers: int,
+    cache: RunCache | None,
+    cache_active: bool,
+    corrupt_before: int,
+    metrics_dir: str | None,
+) -> None:
+    """Publish sweep-level accounting and fold worker sidecars back in."""
+    import os
+
+    from repro.engine.metrics import TIME_BUCKETS, load_snapshot
+
+    metrics.gauge("sweep.workers").set(workers)
+    metrics.counter("sweep.runs_executed").inc(len(misses))
+    metrics.counter("sweep.runs_cached").inc(total - len(misses))
+    if cache_active and cache is not None:
+        metrics.counter("sweep.cache.hits").inc(total - len(misses))
+        metrics.counter("sweep.cache.misses").inc(len(misses))
+        metrics.counter("sweep.cache.corrupt").inc(cache.corrupt_hits - corrupt_before)
+    histogram = metrics.histogram("sweep.run_seconds", TIME_BUCKETS)
+    for index in misses:
+        record = records[index]
+        if record is not None and record.get("wall_time") is not None:
+            histogram.observe(float(record["wall_time"]))
+    if metrics_dir is None:
+        return
+    try:
+        for name in sorted(os.listdir(metrics_dir)):
+            try:
+                metrics.merge_snapshot(load_snapshot(os.path.join(metrics_dir, name)))
+            except Exception:  # pragma: no cover - partial sidecar
+                pass
+    finally:
+        for name in os.listdir(metrics_dir):
+            try:
+                os.unlink(os.path.join(metrics_dir, name))
+            except OSError:  # pragma: no cover - already gone
+                pass
+        try:
+            os.rmdir(metrics_dir)
+        except OSError:  # pragma: no cover - already gone
+            pass
 
 
 def map_substreams(

@@ -97,6 +97,7 @@ __all__ = [
     "target_names",
     "target_params",
     "target_traceable",
+    "target_metricable",
     "validate_target_params",
 ]
 
@@ -106,6 +107,7 @@ _TARGETS: dict[str, Target] = {}
 _TARGET_DEFAULTS: dict[str, dict[str, Any]] = {}
 _TARGET_VALIDATORS: dict[str, Callable[[Mapping[str, Any]], None]] = {}
 _TARGET_TRACEABLE: dict[str, bool] = {}
+_TARGET_METRICABLE: dict[str, bool] = {}
 
 #: Substrate + initial-configuration axes (all targets).  The
 #: ``weights`` axis is deliberately NOT here: only targets whose
@@ -156,6 +158,7 @@ def register_target(
         if validate is not None:
             _TARGET_VALIDATORS[name] = validate
         _TARGET_TRACEABLE[name] = "tracer" in inspect.signature(fn).parameters
+        _TARGET_METRICABLE[name] = "metrics" in inspect.signature(fn).parameters
         return fn
 
     return decorator
@@ -186,6 +189,12 @@ def target_traceable(name: str) -> bool:
     """Whether the target accepts a ``tracer`` (``--trace`` eligible)."""
     get_target(name)
     return _TARGET_TRACEABLE[name]
+
+
+def target_metricable(name: str) -> bool:
+    """Whether the target accepts a ``metrics`` registry (``--metrics``)."""
+    get_target(name)
+    return _TARGET_METRICABLE[name]
 
 
 def validate_target_params(name: str, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -380,7 +389,7 @@ _SYNCHRONOUS_DEFAULTS: dict[str, Any] = {
 
 @register_target("synchronous", _SYNCHRONOUS_DEFAULTS, validate=_validate_shardable)
 def synchronous_target(
-    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None, metrics=None
 ) -> dict:
     """Algorithm 1 (synchronous two-choices + propagation rounds)."""
     p = _take(params, _SYNCHRONOUS_DEFAULTS)
@@ -421,6 +430,7 @@ def synchronous_target(
         round_faults=wiring,
         assignment=assignment,
         tracer=tracer,
+        metrics=metrics,
         shards=int(p["shards"]),
     )
     record = _record(result)
@@ -455,7 +465,7 @@ _SINGLE_LEADER_DEFAULTS: dict[str, Any] = {
 
 @register_target("single_leader", _SINGLE_LEADER_DEFAULTS)
 def single_leader_target(
-    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None, metrics=None
 ) -> dict:
     """Algorithms 2+3 (asynchronous single-leader protocol)."""
     p = _take(params, _SINGLE_LEADER_DEFAULTS)
@@ -486,6 +496,10 @@ def single_leader_target(
     record["events"] = int(sim.sim.events_executed)
     if wiring is not None:
         record.update(wiring.info())
+    if metrics is not None and metrics.enabled:
+        sim.publish_metrics(metrics)
+        if wiring is not None:
+            wiring.publish_metrics(metrics)
     return record
 
 
@@ -524,7 +538,7 @@ def _reject_multileader_clustered(p: Mapping[str, Any]) -> None:
     "multileader", _MULTILEADER_DEFAULTS, validate=_reject_multileader_clustered
 )
 def multileader_target(
-    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None, metrics=None
 ) -> dict:
     """Section 4's decentralized pipeline: clustering then consensus."""
     p = _take(params, _MULTILEADER_DEFAULTS)
@@ -570,6 +584,12 @@ def multileader_target(
     for wiring in wirings:
         for key, value in wiring.info().items():
             record[key] = record.get(key, 0.0) + value
+    if metrics is not None and metrics.enabled:
+        # The pipeline's phase simulators are internal to run_multileader;
+        # the run-level counter and the fault seams are the stable surface.
+        metrics.counter("protocol.runs.multileader").inc()
+        for wiring in wirings:
+            wiring.publish_metrics(metrics)
     return record
 
 
@@ -587,7 +607,8 @@ _BASELINE_DEFAULTS: dict[str, Any] = {
 
 def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
     def run_target(
-        params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+        params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None,
+        metrics=None,
     ) -> dict:
         from repro.baselines.base import run_dynamics
 
@@ -607,6 +628,7 @@ def _baseline_target(dynamics_factory: Callable[[int], Any]) -> Target:
             round_faults=wiring,
             assignment=assignment,
             tracer=tracer,
+            metrics=metrics,
             shards=int(p["shards"]),
         )
         record = _record(result)
@@ -652,7 +674,7 @@ _POPULATION_DEFAULTS: dict[str, Any] = {
 
 @register_target("population", _POPULATION_DEFAULTS, validate=_validate_shardable)
 def population_target(
-    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None
+    params: Mapping[str, Any], rng: np.random.Generator, *, tracer=None, metrics=None
 ) -> dict:
     """Sequential population protocols on the pairwise scheduler.
 
@@ -693,6 +715,7 @@ def population_target(
         round_faults=wiring,
         assignment=assignment,
         tracer=tracer,
+        metrics=metrics,
         shards=int(p["shards"]),
     )
     plurality = int(np.argmax(counts))

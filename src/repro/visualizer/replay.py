@@ -21,6 +21,7 @@ from repro.analysis.trace_metrics import (
     phase_timeline,
     population_curve,
     split_segments,
+    truncation_dropped,
 )
 from repro.errors import ConfigurationError
 
@@ -72,6 +73,7 @@ def build_replay_data(trace_path: str | Path) -> dict[str, Any]:
     return {
         "trace": Path(trace_path).name,
         "records": len(records),
+        "dropped": truncation_dropped(records),
         "segments": [_segment_payload(segment) for segment in segments],
     }
 
@@ -94,11 +96,15 @@ _TEMPLATE = """<!DOCTYPE html>
             margin-right: .3em; vertical-align: -1px; }
   input[type=range] { width: 100%; }
   .readout { font-variant-numeric: tabular-nums; font-size: .85rem; color: #333; }
+  .warn { background: #fef2f2; border: 1px solid #dc2626; color: #991b1b;
+          border-radius: 6px; padding: .6rem 1rem; margin-bottom: 1rem;
+          font-weight: 600; }
 </style>
 </head>
 <body>
 <h1>__TITLE__</h1>
 <p class="meta" id="meta"></p>
+<div id="truncation"></div>
 <div id="panels"></div>
 <script id="replay-data" type="application/json">__DATA__</script>
 <script>
@@ -111,6 +117,15 @@ const W = 900, H = 320, PAD = {l: 48, r: 12, t: 12, b: 28};
 document.getElementById("meta").textContent =
   DATA.trace + " — " + DATA.records + " records, " +
   DATA.segments.length + " run segment(s)";
+
+if (DATA.dropped) {
+  const warn = document.createElement("p");
+  warn.className = "warn";
+  warn.textContent = "TRUNCATED TRACE: " + DATA.dropped + " record(s) were " +
+    "dropped at the tracer's max_records cap — the curves below " +
+    "underestimate the run's real activity.";
+  document.getElementById("truncation").appendChild(warn);
+}
 
 function scale(domain, range) {
   const d = domain[1] - domain[0] || 1;

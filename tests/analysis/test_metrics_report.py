@@ -1,0 +1,124 @@
+"""Tests for ``repro metrics-report`` (snapshot → tables, regressions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics_report import histogram_mean, metrics_report
+from repro.cli import main
+from repro.engine.metrics import MetricsRegistry
+from repro.errors import ConfigurationError
+
+
+def _snapshot_file(tmp_path, name, *, counters=(), gauges=(), observations=()):
+    metrics = MetricsRegistry()
+    for counter, value in counters:
+        metrics.counter(counter).inc(value)
+    for gauge, value in gauges:
+        metrics.gauge(gauge).set(value)
+    for value in observations:
+        metrics.histogram("h.seconds", (0.01, 1.0)).observe(value)
+    path = tmp_path / name
+    metrics.write(path)
+    return path
+
+
+def _table(result, title):
+    for table in result.tables:
+        if table.title == title:
+            return table
+    raise AssertionError(f"no table {title!r} in {[t.title for t in result.tables]}")
+
+
+class TestHistogramMean:
+    def test_mean_and_empty(self):
+        assert histogram_mean({"count": 4, "sum": 2.0}) == 0.5
+        assert histogram_mean({"count": 0, "sum": 0.0}) is None
+
+
+class TestPlainReport:
+    def test_tables_and_notes(self, tmp_path):
+        path = _snapshot_file(
+            tmp_path,
+            "m.json",
+            counters=[("sync.runs", 2), ("sync.rounds", 40)],
+            gauges=[("sweep.workers", 4)],
+            observations=[0.005, 0.5],
+        )
+        result = metrics_report([path])
+        assert _table(result, "counters").rows == [["sync.rounds", 40], ["sync.runs", 2]]
+        assert _table(result, "gauges").rows == [["sweep.workers", 4]]
+        buckets = _table(result, "histogram h.seconds").rows
+        assert buckets == [[0.01, 1], [1.0, 2], ["+inf", 2]]
+        assert any("h.seconds: count=2" in note for note in result.notes)
+
+    def test_multiple_snapshots_merge(self, tmp_path):
+        a = _snapshot_file(tmp_path, "a.json", counters=[("c", 3)])
+        b = _snapshot_file(tmp_path, "b.json", counters=[("c", 4)])
+        result = metrics_report([a, b])
+        assert _table(result, "counters").rows == [["c", 7]]
+
+    def test_empty_snapshot_notes_it(self, tmp_path):
+        path = _snapshot_file(tmp_path, "empty.json")
+        result = metrics_report([path])
+        assert result.tables == []
+        assert any("empty" in note for note in result.notes)
+
+    def test_no_paths_raises(self):
+        with pytest.raises(ConfigurationError):
+            metrics_report([])
+
+
+class TestCompareReport:
+    def test_regression_columns(self, tmp_path):
+        baseline = _snapshot_file(
+            tmp_path, "base.json",
+            counters=[("sweep.cache.misses", 4)], observations=[0.5],
+        )
+        current = _snapshot_file(
+            tmp_path, "cur.json",
+            counters=[("sweep.cache.misses", 1), ("sweep.cache.hits", 3)],
+            observations=[0.5, 0.5],
+        )
+        result = metrics_report([current], compare=baseline)
+        counters = _table(result, "counters: current vs baseline")
+        assert counters.headers == ["name", "baseline", "current", "delta", "ratio"]
+        rows = {row[0]: row[1:] for row in counters.rows}
+        # Present only in current → ratio sentinel "new".
+        assert rows["sweep.cache.hits"] == [0.0, 3.0, 3.0, "new"]
+        assert rows["sweep.cache.misses"] == [4.0, 1.0, -3.0, 0.25]
+        histograms = _table(
+            result, "histogram observation counts: current vs baseline"
+        )
+        assert histograms.rows == [["h.seconds", 1.0, 2.0, 1.0, 2.0]]
+
+    def test_zero_vs_zero_is_not_applicable(self, tmp_path):
+        baseline = _snapshot_file(tmp_path, "base.json", counters=[("c", 0)])
+        current = _snapshot_file(tmp_path, "cur.json", counters=[("c", 0)])
+        result = metrics_report([current], compare=baseline)
+        assert _table(result, "counters: current vs baseline").rows == [
+            ["c", 0.0, 0.0, 0.0, "n/a"]
+        ]
+
+
+class TestCli:
+    def test_report_and_markdown_out(self, tmp_path, capsys):
+        path = _snapshot_file(tmp_path, "m.json", counters=[("sync.runs", 1)])
+        out = tmp_path / "report.md"
+        assert main(["metrics-report", str(path), "--out", str(out)]) == 0
+        assert "sync.runs" in capsys.readouterr().out
+        assert "sync.runs" in out.read_text()
+
+    def test_compare_flag(self, tmp_path, capsys):
+        baseline = _snapshot_file(tmp_path, "base.json", counters=[("c", 2)])
+        current = _snapshot_file(tmp_path, "cur.json", counters=[("c", 6)])
+        code = main(["metrics-report", str(current), "--compare", str(baseline)])
+        assert code == 0
+        assert "current vs baseline" in capsys.readouterr().out
+
+    def test_prom_rendering(self, tmp_path, capsys):
+        path = _snapshot_file(tmp_path, "m.json", counters=[("sync.runs", 5)])
+        assert main(["metrics-report", str(path), "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sync_runs counter" in out
+        assert "sync_runs 5" in out

@@ -1,0 +1,114 @@
+"""Tests for the structural trace differ (``repro trace-diff``).
+
+The differ backs the differential harness's failure diagnostics, so the
+properties pinned here are the ones a debugging session leans on: the
+reported divergence index is the *first* structural difference, the
+context records really are the shared prefix, strict-prefix streams
+report the end-of-stream sentinel rather than a phantom record, and the
+CLI exit code is 0/1 like ``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.trace_diff import CONTEXT_RECORDS, diff_traces, render_diff
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+def _write(path, records):
+    path.write_text(
+        "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+    )
+    return path
+
+
+def _records(count, kind="state"):
+    return [{"kind": kind, "t": float(i), "node": i} for i in range(count)]
+
+
+class TestDiffTraces:
+    def test_identical_streams(self, tmp_path):
+        a = _write(tmp_path / "a.jsonl", _records(5))
+        b = _write(tmp_path / "b.jsonl", _records(5))
+        diff = diff_traces(a, b)
+        assert diff.equal
+        assert diff.divergence_index is None
+        assert diff.kind_deltas == {}
+        assert "structurally identical" in render_diff(diff)
+
+    def test_formatting_insensitive(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"kind": "run", "t": 0.0, "n": 5}\n')
+        b.write_text('{"n":5,"t":0.0,"kind":"run"}\n')
+        assert diff_traces(a, b).equal
+
+    def test_first_divergence_and_context(self, tmp_path):
+        records_a = _records(10)
+        records_b = _records(10)
+        records_b[6]["node"] = 999
+        a = _write(tmp_path / "a.jsonl", records_a)
+        b = _write(tmp_path / "b.jsonl", records_b)
+        diff = diff_traces(a, b)
+        assert not diff.equal
+        assert diff.divergence_index == 6
+        assert diff.record_a == records_a[6]
+        assert diff.record_b == records_b[6]
+        assert diff.context == records_a[6 - CONTEXT_RECORDS : 6]
+
+    def test_strict_prefix_reports_end_of_stream(self, tmp_path):
+        a = _write(tmp_path / "a.jsonl", _records(4))
+        b = _write(tmp_path / "b.jsonl", _records(7))
+        diff = diff_traces(a, b)
+        assert not diff.equal
+        assert diff.divergence_index == 4
+        assert diff.record_a is None
+        assert diff.record_b == _records(7)[4]
+        assert "<end of stream>" in render_diff(diff)
+
+    def test_kind_deltas_signed_a_minus_b(self, tmp_path):
+        a = _write(tmp_path / "a.jsonl", _records(3, "state") + _records(2, "phase"))
+        b = _write(tmp_path / "b.jsonl", _records(5, "state"))
+        diff = diff_traces(a, b)
+        assert diff.kind_deltas == {"phase": +2, "state": -2}
+        rendered = render_diff(diff)
+        assert "phase: +2" in rendered
+        assert "state: -2" in rendered
+
+    def test_divergence_at_record_zero_has_no_context(self, tmp_path):
+        records_b = _records(3)
+        records_b[0]["node"] = 42
+        a = _write(tmp_path / "a.jsonl", _records(3))
+        b = _write(tmp_path / "b.jsonl", records_b)
+        diff = diff_traces(a, b)
+        assert diff.divergence_index == 0
+        assert diff.context == []
+
+    def test_rejects_non_trace_file(self, tmp_path):
+        good = _write(tmp_path / "good.jsonl", _records(2))
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            diff_traces(good, bad)
+
+
+class TestCli:
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        a = _write(tmp_path / "a.jsonl", _records(4))
+        b = _write(tmp_path / "b.jsonl", _records(4))
+        assert main(["trace-diff", str(a), str(b)]) == 0
+        assert "structurally identical" in capsys.readouterr().out
+
+    def test_exit_one_on_divergence(self, tmp_path, capsys):
+        records = _records(4)
+        records[2]["node"] = -1
+        a = _write(tmp_path / "a.jsonl", _records(4))
+        b = _write(tmp_path / "b.jsonl", records)
+        assert main(["trace-diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence at record 2" in out
+        assert "[A]" in out and "[B]" in out

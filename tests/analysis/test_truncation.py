@@ -1,0 +1,86 @@
+"""Truncated traces must be loud at every consumer (ISSUE 8 satellite).
+
+``TraceRecorder.truncated`` existed but nothing downstream ever looked
+at it — a capped trace analyzed silently as if it were complete. The
+fix spans three layers, each pinned here: the streaming tracer stamps a
+``truncated`` marker record into the file itself, the offline analyzer
+surfaces the loss as a warning note (and on stderr), and the replay
+visualizer embeds the drop count so the page can render its banner.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.trace_metrics import (
+    load_trace,
+    trace_metrics,
+    truncation_dropped,
+)
+from repro.engine.tracing import JsonlTracer
+from repro.visualizer.replay import build_replay_data, render_replay_html
+
+
+def _capped_trace(path, *, cap=4, records=10):
+    with JsonlTracer(path, max_records=cap) as tracer:
+        tracer.record("run", 0.0, protocol="single_leader", n=3, counts=[2, 1], k=2)
+        for i in range(records):
+            tracer.record("state", float(i + 1), node=i, col=0, old_col=1,
+                          gen=1, old_gen=0)
+    return tracer
+
+
+class TestJsonlTracerCap:
+    def test_marker_written_and_counted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = _capped_trace(path, cap=4, records=10)
+        assert tracer.truncated
+        assert tracer.dropped == 7  # 1 run + 10 state, 4 kept
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 5  # cap + the marker
+        assert lines[-1] == {"kind": "truncated", "t": 10.0, "dropped": 7}
+
+    def test_uncapped_tracer_writes_no_marker(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = _capped_trace(path, cap=None, records=5)
+        assert not tracer.truncated
+        kinds = {json.loads(line)["kind"] for line in path.read_text().splitlines()}
+        assert "truncated" not in kinds
+
+    def test_truncation_dropped_sums_markers(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _capped_trace(path, cap=2, records=6)
+        records = load_trace(path)
+        assert truncation_dropped(records) == 5
+        assert truncation_dropped([]) == 0
+
+
+class TestTraceMetricsWarning:
+    def test_truncated_trace_warns_in_notes_and_stderr(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        _capped_trace(path, cap=4, records=10)
+        result = trace_metrics(path)
+        assert any("TRUNCATED" in note for note in result.notes)
+        assert "TRUNCATED" in capsys.readouterr().err
+
+    def test_complete_trace_has_no_warning(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        _capped_trace(path, cap=None, records=5)
+        result = trace_metrics(path)
+        assert not any("TRUNCATED" in note for note in result.notes)
+        assert "TRUNCATED" not in capsys.readouterr().err
+
+
+class TestReplayBanner:
+    def test_dropped_count_in_payload_and_page(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _capped_trace(path, cap=4, records=10)
+        data = build_replay_data(path)
+        assert data["dropped"] == 7
+        html = render_replay_html(data)
+        assert "TRUNCATED TRACE" in html
+
+    def test_complete_trace_payload_reports_zero(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _capped_trace(path, cap=None, records=5)
+        assert build_replay_data(path)["dropped"] == 0

@@ -30,6 +30,12 @@ EVENTS = 100_000
 FLOOR_EVENTS_PER_SECOND = float(os.environ.get("REPRO_PERF_FLOOR", 250_000.0))
 #: Ceiling on traced/untraced runtime ratio (ISSUE 6 acceptance bound).
 TRACE_OVERHEAD_CEILING = float(os.environ.get("REPRO_TRACE_OVERHEAD", 2.0))
+#: Ceiling on metrics-enabled/disabled runtime ratio (ISSUE 8 acceptance
+#: bound).  Metrics are harvested at run epilogues from plain-int
+#: telemetry the engines keep anyway, so the enabled run does no extra
+#: per-event work — the ratio should sit at ~1.0 and 1.10 catches any
+#: drift back toward per-event instrument calls.
+METRICS_OVERHEAD_CEILING = float(os.environ.get("REPRO_METRICS_OVERHEAD", 1.10))
 
 
 @pytest.mark.parametrize("engine", ["batch", "heap"])
@@ -133,4 +139,43 @@ def test_traced_run_overhead_under_ceiling(tmp_path):
         f"traced run took {ratio:.2f}x the untraced run "
         f"(ceiling {TRACE_OVERHEAD_CEILING:.2f}x; "
         f"untraced {untraced * 1e3:.1f}ms, traced {traced * 1e3:.1f}ms)"
+    )
+
+
+def test_metrics_run_overhead_under_ceiling():
+    """A metrics-enabled protocol run must stay within 1.10x of disabled.
+
+    This pins the harvest-at-epilogue contract: enabling ``--metrics``
+    must add no per-event work to the hot path (the engines count into
+    plain ints either way and the registry only sees the totals once,
+    after the run).  If someone wires a ``Counter.inc`` or
+    ``Histogram.observe`` into the dispatch loop, this ratio blows past
+    the ceiling.  Best-of-3 on both sides to shrug off CI noise.
+    """
+    from repro.core.params import SingleLeaderParams
+    from repro.core.single_leader import run_single_leader
+    from repro.engine.metrics import MetricsRegistry
+
+    params = SingleLeaderParams(n=300, k=3, alpha0=2.0)
+    counts = np.array([150, 100, 50])
+
+    def timed(with_metrics: bool) -> float:
+        best = float("inf")
+        for _ in range(3):
+            rng = np.random.Generator(np.random.PCG64(42))
+            metrics = MetricsRegistry() if with_metrics else None
+            start = time.perf_counter()
+            run_single_leader(
+                params, counts.copy(), rng, max_time=1200.0, metrics=metrics
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    disabled = timed(False)
+    enabled = timed(True)
+    ratio = enabled / disabled
+    assert ratio < METRICS_OVERHEAD_CEILING, (
+        f"metrics-enabled run took {ratio:.2f}x the disabled run "
+        f"(ceiling {METRICS_OVERHEAD_CEILING:.2f}x; "
+        f"disabled {disabled * 1e3:.1f}ms, enabled {enabled * 1e3:.1f}ms)"
     )

@@ -1,0 +1,207 @@
+"""Unit tests for the runtime-metrics registry.
+
+The registry's contracts — deterministic sorted-key snapshots, additive
+counter/histogram merges with last-write-wins gauges, bucket-bound
+mismatch detection, and a genuinely no-op :data:`NULL_METRICS` — are
+what the sidecar-merge pattern (shard workers, sweep pool workers) and
+the satellite shard-parity tests lean on, so they are pinned directly
+here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.engine.metrics import (
+    NULL_METRICS,
+    RATIO_BUCKETS,
+    TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    load_snapshot,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a").inc()
+        metrics.counter("a").inc(4)
+        assert metrics.snapshot()["counters"]["a"] == 5
+
+    def test_counter_factory_returns_same_instrument(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("x") is metrics.counter("x")
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("g").set(3)
+        metrics.gauge("g").set(7)
+        assert metrics.snapshot()["gauges"]["g"] == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("h", (1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        data = metrics.snapshot()["histograms"]["h"]
+        assert data["count"] == 5
+        assert data["buckets"] == [[1.0, 1], [10.0, 3], [100.0, 4], ["+inf", 5]]
+        assert data["min"] == 0.5 and data["max"] == 500.0
+        assert data["sum"] == pytest.approx(560.5)
+
+    def test_histogram_fold_block_boundary(self):
+        # More samples than the lazy-fold block size: the snapshot must
+        # still account for every observation.
+        hist = Histogram("h", (0.5,))
+        for _ in range(5000):
+            hist.observe(1.0)
+        assert hist.to_dict()["count"] == 5000
+        assert hist.to_dict()["buckets"] == [[0.5, 0], ["+inf", 5000]]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", ())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_timer_observes_elapsed_seconds(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("t.seconds"):
+            pass
+        data = metrics.snapshot()["histograms"]["t.seconds"]
+        assert data["count"] == 1
+        assert 0.0 <= data["sum"] < 1.0
+
+    def test_add_counters_with_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.add_counters({"drops": 3, "churn": 2}, prefix="faults.")
+        counters = metrics.snapshot()["counters"]
+        assert counters == {"faults.churn": 2, "faults.drops": 3}
+
+
+class TestSnapshots:
+    def test_to_json_is_sorted_and_stable(self):
+        def build():
+            metrics = MetricsRegistry()
+            metrics.counter("z.last").inc(1)
+            metrics.counter("a.first").inc(2)
+            metrics.gauge("m.gauge").set(4)
+            return metrics.to_json()
+
+        first, second = build(), build()
+        assert first == second
+        data = json.loads(first)
+        assert list(data["counters"]) == ["a.first", "z.last"]
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc(9)
+        metrics.histogram("h", TIME_BUCKETS).observe(0.01)
+        path = tmp_path / "deep" / "snap.json"
+        metrics.write(path)
+        loaded = load_snapshot(path)
+        assert loaded == metrics.snapshot()
+        assert not list(tmp_path.glob("**/*.tmp.*"))  # atomic rename cleaned up
+
+    def test_load_snapshot_rejects_garbage(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigurationError):
+            load_snapshot(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_snapshot(bad)
+        shapeless = tmp_path / "shapeless.json"
+        shapeless.write_text('{"no_counters": 1}')
+        with pytest.raises(ConfigurationError):
+            load_snapshot(shapeless)
+
+
+class TestMerge:
+    def _snapshot(self, counter, gauge, observations):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc(counter)
+        metrics.gauge("g").set(gauge)
+        hist = metrics.histogram("h", (1.0, 10.0))
+        for value in observations:
+            hist.observe(value)
+        return metrics.snapshot()
+
+    def test_counters_add_gauges_last_write_wins(self):
+        merged = merge_snapshots(
+            [self._snapshot(3, 1, [0.5]), self._snapshot(4, 2, [5.0, 50.0])]
+        )
+        assert merged["counters"]["c"] == 7
+        assert merged["gauges"]["g"] == 2
+
+    def test_histogram_contents_add(self):
+        merged = merge_snapshots(
+            [self._snapshot(0, 0, [0.5]), self._snapshot(0, 0, [5.0, 50.0])]
+        )
+        data = merged["histograms"]["h"]
+        assert data["count"] == 3
+        assert data["buckets"] == [[1.0, 1], [10.0, 2], ["+inf", 3]]
+        assert data["min"] == 0.5 and data["max"] == 50.0
+
+    def test_histogram_bound_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", (1.0, 3.0)).observe(0.5)
+        registry = MetricsRegistry()
+        registry.merge_snapshot(a.snapshot())
+        with pytest.raises(ConfigurationError):
+            registry.merge_snapshot(b.snapshot())
+
+    def test_merge_into_live_registry_keeps_local_samples(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 10.0)).observe(0.2)
+        side = MetricsRegistry()
+        side.histogram("h", (1.0, 10.0)).observe(4.0)
+        registry.merge_snapshot(side.snapshot())
+        assert registry.snapshot()["histograms"]["h"]["count"] == 2
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c").inc(5)
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h", RATIO_BUCKETS).observe(0.5)
+        with NULL_METRICS.timer("t"):
+            pass
+        NULL_METRICS.add_counters({"a": 1})
+        NULL_METRICS.merge_snapshot({"counters": {"a": 1}})
+
+    def test_shared_instrument_singleton(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+
+
+class TestPrometheus:
+    def test_render_all_instrument_kinds(self):
+        metrics = MetricsRegistry()
+        metrics.counter("sweep.cache.hits").inc(3)
+        metrics.gauge("sweep.workers").set(4)
+        metrics.histogram("shard.barrier_wait_seconds", (0.001, 0.1)).observe(0.01)
+        text = render_prometheus(metrics.snapshot())
+        assert "# TYPE sweep_cache_hits counter\nsweep_cache_hits 3" in text
+        assert "# TYPE sweep_workers gauge\nsweep_workers 4" in text
+        assert 'shard_barrier_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "shard_barrier_wait_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_histogram_min_max_are_null(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("h")
+        data = metrics.snapshot()["histograms"]["h"]
+        assert data["min"] is None and data["max"] is None
+        assert math.isfinite(data["sum"])

@@ -1,0 +1,142 @@
+"""Metrics under sharding (ISSUE 8 satellite).
+
+The snapshot determinism contract says the ``counters`` section is a
+pure function of the run. For capped (non-converging) runs the sharded
+front-ends execute exactly the same number of rounds/interactions as
+their unsharded twins, so ``shards=1`` and ``shards=4`` snapshots must
+agree on every protocol-level counter — while the ``shard.*``
+instruments (barrier waits, controller round latency, exchange volume)
+may appear *only* in the sharded run. Fork and spawn must produce
+identical deterministic sections, because sharded runs are
+bit-reproducible across start methods (``test_identity.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.population import ThreeStateMajority
+from repro.baselines.three_majority import ThreeMajority
+from repro.core.schedule import FixedSchedule
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.rng import RngRegistry
+from repro.shard import (
+    run_sharded_dynamics,
+    run_sharded_population,
+    run_sharded_synchronous,
+)
+from repro.workloads import biased_counts
+
+
+def _protocol_counters(snapshot):
+    """Counters minus the shard-runtime namespace."""
+    return {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if not name.startswith("shard.")
+    }
+
+
+def _sync_snapshot(shards, *, start_method=None):
+    metrics = MetricsRegistry()
+    run_sharded_synchronous(
+        biased_counts(400, 3, 1.1),
+        FixedSchedule(n=400, k=3, alpha0=1.1),
+        RngRegistry(7).stream("s"),
+        shards=shards,
+        max_steps=5,
+        metrics=metrics,
+        **({} if start_method is None else {"start_method": start_method}),
+    )
+    return metrics.snapshot()
+
+
+class TestShardCounterParity:
+    def test_synchronous_protocol_counters_agree(self):
+        one, four = _sync_snapshot(1), _sync_snapshot(4)
+        assert _protocol_counters(one) == _protocol_counters(four)
+        assert one["counters"]["sync.rounds"] == 5  # capped, not converged
+        assert "sync.converged_runs" not in one["counters"]
+
+    def test_dynamics_protocol_counters_agree(self):
+        def snapshot(shards):
+            metrics = MetricsRegistry()
+            run_sharded_dynamics(
+                ThreeMajority(),
+                biased_counts(300, 3, 1.5),
+                RngRegistry(5).stream("d"),
+                shards=shards,
+                max_rounds=5,
+                metrics=metrics,
+            )
+            return metrics.snapshot()
+
+        one, four = snapshot(1), snapshot(4)
+        assert _protocol_counters(one) == _protocol_counters(four)
+        assert one["counters"]["dynamics.rounds"] == 5
+
+    def test_population_interaction_clock_agrees(self):
+        def snapshot(shards):
+            metrics = MetricsRegistry()
+            run_sharded_population(
+                ThreeStateMajority(),
+                biased_counts(300, 2, 1.5),
+                RngRegistry(3).stream("p"),
+                shards=shards,
+                max_interactions=2000,
+                metrics=metrics,
+            )
+            return metrics.snapshot()
+
+        one, four = snapshot(1), snapshot(4)
+        # Both engines advance the same interaction clock to the cap.
+        assert (
+            one["counters"]["population.interactions"]
+            == four["counters"]["population.interactions"]
+            == 2000
+        )
+        assert (
+            one["counters"]["population.runs.3-state-majority"]
+            == four["counters"]["population.runs.3-state-majority"]
+            == 1
+        )
+
+
+class TestShardRuntimeInstruments:
+    def test_only_sharded_runs_carry_shard_metrics(self):
+        one, four = _sync_snapshot(1), _sync_snapshot(4)
+        assert not any(name.startswith("shard.") for name in one["counters"])
+        assert one["gauges"] == {} and one["histograms"] == {}
+        assert four["gauges"]["shard.workers"] == 4
+        assert four["counters"]["shard.rounds"] == 5
+        assert set(four["histograms"]) == {
+            "shard.barrier_wait_seconds",
+            "shard.round_seconds",
+        }
+
+    def test_barrier_waits_cover_all_worker_round_crossings(self):
+        four = _sync_snapshot(4)
+        waits = four["histograms"]["shard.barrier_wait_seconds"]
+        rounds = four["histograms"]["shard.round_seconds"]
+        assert rounds["count"] == 5
+        # Every worker crosses at least the per-round barriers; sidecar
+        # merge must not lose any worker's samples.
+        assert waits["count"] >= 4 * 5
+        assert waits["buckets"][-1][0] == "+inf"
+        assert waits["buckets"][-1][1] == waits["count"]
+
+
+class TestStartMethodDeterminism:
+    @pytest.mark.parametrize("shards", [2])
+    def test_fork_and_spawn_snapshots_agree_on_deterministic_sections(self, shards):
+        fork = _sync_snapshot(shards, start_method="fork")
+        spawn = _sync_snapshot(shards, start_method="spawn")
+        assert fork["counters"] == spawn["counters"]
+        assert fork["gauges"] == spawn["gauges"]
+        # Histograms are wall-clock: structurally stable only.
+        assert set(fork["histograms"]) == set(spawn["histograms"])
+        for name in fork["histograms"]:
+            assert (
+                [b for b, _ in fork["histograms"][name]["buckets"]]
+                == [b for b, _ in spawn["histograms"][name]["buckets"]]
+            )

@@ -123,6 +123,71 @@ class TestTraceCommands:
             main(["trace-metrics", str(tmp_path / "missing.jsonl")])
 
 
+class TestMetricsFlag:
+    def test_demo_metrics_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "m.json"
+        code = main(
+            ["demo", "--n", "400", "--k", "3", "--alpha", "2.0", "--seed", "1",
+             "--metrics", str(snap)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        data = json.loads(snap.read_text())
+        assert data["counters"]["sync.runs"] == 1
+        assert data["counters"]["sync.rounds"] >= 1
+
+    def test_demo_async_metrics_covers_engine_and_protocol(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "m.json"
+        code = main(
+            ["demo", "--n", "300", "--k", "3", "--alpha", "2.0", "--seed", "1",
+             "--asynchronous", "--metrics", str(snap)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        counters = json.loads(snap.read_text())["counters"]
+        assert counters["protocol.runs.single_leader"] == 1
+        assert counters["engine.events_executed"] > 0
+
+    def test_sweep_metrics_cold_then_warm_cache(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "runs")
+        args = ["sweep", "synchronous", "--grid", "n=100,200", "--set", "k=2",
+                "--set", "alpha=2.0", "--cache-dir", cache_dir]
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        assert main(args + ["--metrics", str(cold)]) == 0
+        assert main(args + ["--metrics", str(warm)]) == 0
+        capsys.readouterr()
+        cold_counters = json.loads(cold.read_text())["counters"]
+        warm_counters = json.loads(warm.read_text())["counters"]
+        assert cold_counters["sweep.cache.misses"] == 2
+        assert cold_counters["sweep.runs_executed"] == 2
+        assert warm_counters["sweep.cache.hits"] == 2
+        assert warm_counters["sweep.runs_cached"] == 2
+        assert warm_counters["sweep.cache.misses"] == 0
+        # Cold run executed targets in-process → protocol counters rode in.
+        assert cold_counters["sync.runs"] == 2
+
+    def test_demo_sharded_metrics_carries_shard_instruments(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "m.json"
+        code = main(
+            ["demo", "--n", "400", "--k", "3", "--alpha", "2.0", "--seed", "1",
+             "--shards", "2", "--metrics", str(snap)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        data = json.loads(snap.read_text())
+        assert data["gauges"]["shard.workers"] == 2
+        assert data["histograms"]["shard.barrier_wait_seconds"]["count"] > 0
+
+
 class TestCacheCommand:
     def test_stats_and_gc_dry_run(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "runs")
