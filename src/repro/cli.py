@@ -9,7 +9,10 @@ Usage::
     repro demo [--n N] [--k K] ...      # one synchronous + one async run
     repro sweep TARGET --grid n=1e3,1e4 # parameter sweep, cached+parallel
     repro sweep --list-targets          # targets + their grid-able params
+    repro sweep TARGET ... --state-dir D --max-retries 3 --run-timeout 60
+    repro sweep --resume D              # continue an interrupted sweep
     repro robustness [--quick]          # adversity tables (cached sweep)
+    repro chaos                         # fault-injection smoke of the supervisor
     repro trace-metrics trace.jsonl     # offline metrics from a JSONL trace
     repro trace-diff a.jsonl b.jsonl    # structural diff; exit 1 on divergence
     repro trace-merge a.jsonl b.jsonl   # merge per-shard traces by (t, seq)
@@ -51,6 +54,15 @@ seam on the synchronous/population ones, e.g.::
 completed runs land in a content-addressed cache (``--cache-dir``), so
 re-invocations only execute what is missing. The same entry point is
 reachable as ``python -m repro``.
+
+``sweep`` and ``robustness`` run *supervised* when any of
+``--max-retries`` / ``--run-timeout`` / ``--state-dir`` / ``--resume``
+is given: crashed, hung, or raising runs are retried with
+deterministic backoff, permanent failures annotate the tables instead
+of aborting, and ``--state-dir`` checkpoints per-config progress into
+a ``manifest.json`` that ``--resume`` continues from. Both commands
+exit ``0`` only when every run succeeded, and ``3`` (after printing a
+per-config failure table) otherwise.
 """
 
 from __future__ import annotations
@@ -75,6 +87,43 @@ def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
         help="collect runtime metrics (counters/gauges/histograms) and write "
         "a deterministic JSON snapshot here (render with metrics-report)",
     )
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retry crashed/hung/raising runs up to N times with deterministic "
+        "backoff; exhausted runs become failure annotations (enables supervision)",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget; overdue runs are killed and retried "
+        "(enables supervision)",
+    )
+    parser.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="checkpoint per-config progress into DIR/manifest.json so an "
+        "interrupted invocation can --resume (enables supervision)",
+    )
+
+
+def _supervisor_from_args(args: argparse.Namespace):
+    """A SupervisorPolicy when any supervision flag was given, else None."""
+    if (
+        args.max_retries is None
+        and args.run_timeout is None
+        and args.state_dir is None
+        and not getattr(args, "resume", None)
+    ):
+        return None
+    from repro.sweep.supervisor import SupervisorPolicy
+
+    kwargs = {}
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.run_timeout is not None:
+        kwargs["run_timeout"] = args.run_timeout
+    return SupervisorPolicy(**kwargs)
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser, *, default_dir: Path | None) -> None:
@@ -175,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_argument(sweep_parser)
     _add_cache_arguments(sweep_parser, default_dir=DEFAULT_CACHE_DIR)
+    _add_supervision_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--resume", type=Path, default=None, metavar="DIR",
+        help="continue the interrupted sweep checkpointed under DIR (the target "
+        "and grid are read from its manifest; other spec flags are optional)",
+    )
 
     robust_parser = sub.add_parser(
         "robustness", help="positive aging under adversity: cached topology/fault sweep"
@@ -201,6 +256,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_argument(robust_parser)
     _add_cache_arguments(robust_parser, default_dir=DEFAULT_CACHE_DIR)
+    _add_supervision_arguments(robust_parser)
+    robust_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted robustness grid from --state-dir "
+        "(tables already checkpointed execute only their remainder)",
+    )
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-injection smoke test: a supervised sweep over the chaos "
+        "target (kill/hang/raise) must retry, time out, isolate, and stay "
+        "byte-identical to an unfaulted sweep",
+    )
+    chaos_parser.add_argument(
+        "--run-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="wall-clock budget used to reap the injected hang (default 2.0)",
+    )
+    chaos_parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the scratch state directory for inspection",
+    )
+    _add_metrics_argument(chaos_parser)
 
     metrics_parser = sub.add_parser(
         "trace-metrics", help="offline metrics (populations, aging phases, faults) from a trace"
@@ -275,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
     gc_parser.add_argument(
         "--max-age-days", type=float, default=None,
         help="also delete valid entries older than this",
+    )
+    gc_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="shrink the cache to at most this many bytes, evicting "
+        "least-recently-written entries first",
     )
     gc_parser.add_argument(
         "--all", action="store_true", dest="delete_all", help="delete every entry"
@@ -404,66 +486,219 @@ def _command_demo(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.sweep.aggregate import aggregate_table
 
     if args.list_targets:
         return _command_list_targets()
-    if args.target is None:
-        print("error: a sweep target is required (or pass --list-targets)", file=sys.stderr)
+    resume = args.resume is not None
+    state_dir = args.resume if resume else args.state_dir
+    try:
+        if args.target is not None:
+            spec = SweepSpec(
+                target=args.target,
+                base=parse_overrides(args.overrides),
+                grid=parse_grid(args.grid),
+                repetitions=args.reps,
+                seed=args.seed,
+                name=args.name,
+            )
+        elif resume:
+            # The manifest stores the full spec; --resume DIR alone is
+            # enough to continue the sweep.
+            from repro.sweep.supervisor import SweepManifest
+
+            spec = SweepManifest.load(state_dir).spec
+        else:
+            print(
+                "error: a sweep target is required (or pass --list-targets)",
+                file=sys.stderr,
+            )
+            return 2
+        metrics = _open_metrics(args)
+        report = run_sweep(
+            spec,
+            cache=_open_cache(args),
+            workers=args.workers,
+            echo=lambda line: print(line, file=sys.stderr),
+            trace_dir=None if args.trace is None else str(args.trace),
+            metrics=metrics,
+            supervisor=_supervisor_from_args(args),
+            state_dir=None if state_dir is None else str(state_dir),
+            resume=resume,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    spec = SweepSpec(
-        target=args.target,
-        base=parse_overrides(args.overrides),
-        grid=parse_grid(args.grid),
-        repetitions=args.reps,
-        seed=args.seed,
-        name=args.name,
-    )
-    metrics = _open_metrics(args)
-    report = run_sweep(
-        spec,
-        cache=_open_cache(args),
-        workers=args.workers,
-        echo=lambda line: print(line, file=sys.stderr),
-        trace_dir=None if args.trace is None else str(args.trace),
-        metrics=metrics,
-    )
     if args.trace is not None:
         print(f"[sweep] traces written under {args.trace}", file=sys.stderr)
     _write_metrics(args, metrics, "sweep")
     print(aggregate_table(spec, report.records).render())
     print()
     print(report.summary())
-    return 0
+    return _finish_supervised(report.failures)
+
+
+def _finish_supervised(failures) -> int:
+    """Exit-code epilogue shared by sweep/robustness: 0 clean, 3 failed."""
+    if not failures:
+        return 0
+    from repro.sweep.supervisor import failure_table
+
+    print()
+    print(failure_table(failures).render())
+    return 3
 
 
 def _command_robustness(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.experiments.robustness import run_robustness
 
     metrics = _open_metrics(args)
-    report = run_robustness(
-        quick=not args.full,
-        seed=args.seed,
-        cache=_open_cache(args),
-        workers=args.workers,
-        profile=args.profile,
-        echo=lambda line: print(line, file=sys.stderr),
-        trace_dir=None if args.trace is None else str(args.trace),
-        metrics=metrics,
-    )
+    try:
+        report = run_robustness(
+            quick=not args.full,
+            seed=args.seed,
+            cache=_open_cache(args),
+            workers=args.workers,
+            profile=args.profile,
+            echo=lambda line: print(line, file=sys.stderr),
+            trace_dir=None if args.trace is None else str(args.trace),
+            metrics=metrics,
+            supervisor=_supervisor_from_args(args),
+            state_dir=None if args.state_dir is None else str(args.state_dir),
+            resume=args.resume,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.trace is not None:
         print(f"[robustness] traces written under {args.trace}", file=sys.stderr)
     _write_metrics(args, metrics, "robustness")
     print(report.result.render(plot=False))
-    print(
-        f"[robustness] {report.executed} runs executed, {report.cached} cached",
-        file=sys.stderr,
-    )
+    accounting = f"[robustness] {report.executed} runs executed, {report.cached} cached"
+    if report.resumed:
+        accounting += f", {report.resumed} resumed"
+    print(accounting, file=sys.stderr)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(report.result.render_markdown() + "\n")
         print(f"[robustness] wrote {args.out}", file=sys.stderr)
-    return 0
+    return _finish_supervised(report.failures)
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    """Supervised fault-injection smoke: kill, hang, raise — then verify.
+
+    Runs one supervised sweep over the ``chaos`` target whose modes
+    misbehave exactly once (marker files arm the faults), then checks
+    the supervisor's books: the sweep completes with the always-raising
+    config isolated, the retry/timeout/failure counters match the
+    injected faults exactly, and every recovered record is
+    byte-identical to an unfaulted sweep.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine.metrics import MetricsRegistry
+    from repro.sweep.supervisor import SupervisorPolicy
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(label: str, passed: bool, detail: str = "") -> None:
+        checks.append((label, passed, detail))
+
+    echo = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    try:
+        modes = ["ok", "flaky_raise", "flaky_kill", "flaky_hang", "raise"]
+        spec = SweepSpec(
+            target="chaos",
+            base={"marker_dir": str(scratch / "markers")},
+            grid={"mode": modes},
+            repetitions=1,
+            seed=0,
+            name="chaos",
+        )
+        policy = SupervisorPolicy(
+            max_retries=2,
+            run_timeout=args.run_timeout,
+            backoff_base=0.05,
+            backoff_max=0.25,
+        )
+        metrics = MetricsRegistry()
+        report = run_sweep(
+            spec, cache=None, workers=1, echo=echo, metrics=metrics,
+            supervisor=policy, state_dir=str(scratch / "state"),
+        )
+        counters = metrics.snapshot()["counters"]
+        check(
+            "sweep completed; only the always-raising config failed",
+            len(report.failures) == 1
+            and report.failures[0].params.get("mode") == "raise"
+            and report.failures[0].kind == "error",
+            f"failures={[(f.params.get('mode'), f.kind) for f in report.failures]}",
+        )
+        # raise burns its full retry budget (2); each flaky mode faults
+        # exactly once then its marker disarms it (1 retry each).
+        expected_retries = policy.max_retries + 3
+        for name, expected in (
+            ("sweep.retries", expected_retries),
+            ("sweep.timeouts", 1),
+            ("sweep.failures", 1),
+        ):
+            check(
+                f"{name} == {expected}",
+                counters.get(name) == expected,
+                f"got {counters.get(name)}",
+            )
+        check(
+            "pool rebuilt after kill and hang",
+            counters.get("sweep.pool_rebuilds", 0) >= 2,
+            f"got {counters.get('sweep.pool_rebuilds')}",
+        )
+        # The markers persist, so a second sweep runs fault-free; retried
+        # records must match it byte-for-byte (modulo wall clock). The
+        # always-raising mode is dropped — unsupervised, it would abort.
+        clean_spec = SweepSpec(
+            target="chaos",
+            base=spec.base,
+            grid={"mode": [mode for mode in modes if mode != "raise"]},
+            repetitions=1,
+            seed=0,
+            name="chaos-clean",
+        )
+        clean = run_sweep(clean_spec, cache=None, workers=1)
+        strip = lambda r: {k: v for k, v in r.items() if k != "wall_time"}  # noqa: E731
+        recovered = {
+            config.params_dict["mode"]: record
+            for config, record in zip(report.configs, report.records)
+            if record is not None
+        }
+        baseline = {
+            config.params_dict["mode"]: record
+            for config, record in zip(clean.configs, clean.records)
+            if record is not None
+        }
+        check(
+            "recovered records byte-identical to the unfaulted sweep",
+            set(recovered) == set(baseline) - {"raise"}
+            and all(strip(recovered[m]) == strip(baseline[m]) for m in recovered),
+        )
+        if args.metrics is not None:
+            metrics.write(args.metrics)
+            print(f"[chaos] metrics snapshot written to {args.metrics}", file=sys.stderr)
+    finally:
+        if args.keep:
+            print(f"[chaos] state kept under {scratch}", file=sys.stderr)
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+    failed = [item for item in checks if not item[1]]
+    for label, passed, detail in checks:
+        suffix = f"  ({detail})" if detail and not passed else ""
+        print(f"[chaos] {'PASS' if passed else 'FAIL'}: {label}{suffix}")
+    print(f"[chaos] {len(checks) - len(failed)}/{len(checks)} checks passed")
+    return 0 if not failed else 1
 
 
 def _command_trace_metrics(args: argparse.Namespace) -> int:
@@ -541,10 +776,15 @@ def _command_cache(args: argparse.Namespace) -> int:
         doomed = cache.gc(
             dry_run=args.dry_run,
             max_age_days=args.max_age_days,
+            max_bytes=args.max_bytes,
             delete_all=args.delete_all,
         )
         verb = "would delete" if args.dry_run else "deleted"
-        print(f"cache {cache.root}: {verb} {len(doomed)} entr{'y' if len(doomed) == 1 else 'ies'}")
+        print(
+            f"cache {cache.root}: {verb} {len(doomed)} "
+            f"entr{'y' if len(doomed) == 1 else 'ies'} "
+            f"({cache.gc_freed_bytes / 1024:.1f} KiB)"
+        )
         for path in doomed:
             print(f"  {path.name}")
         return 0
@@ -565,6 +805,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "robustness":
         return _command_robustness(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     if args.command == "trace-metrics":
         return _command_trace_metrics(args)
     if args.command == "trace-diff":

@@ -41,7 +41,7 @@ predicts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.experiments.common import ExperimentResult
@@ -79,11 +79,25 @@ EPSILON = 0.1
 
 @dataclass
 class RobustnessReport:
-    """An :class:`ExperimentResult` plus sweep-cache accounting."""
+    """An :class:`ExperimentResult` plus sweep-cache accounting.
+
+    Under supervision (``supervisor``/``state_dir``), ``failures``
+    collects every permanently failed config across all tables
+    (:class:`~repro.sweep.supervisor.RunFailure` instances), and
+    ``resumed``/``retries`` mirror the per-sweep counters summed.
+    """
 
     result: ExperimentResult
     executed: int
     cached: int
+    failures: list = field(default_factory=list)
+    retries: int = 0
+    resumed: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every run of every table produced a record."""
+        return not self.failures
 
 
 def _specs(profile: dict[str, Any], seed: int) -> list[SweepSpec]:
@@ -197,6 +211,9 @@ def run_robustness(
     echo: Callable[[str], None] | None = None,
     trace_dir: str | None = None,
     metrics=None,
+    supervisor=None,
+    state_dir: str | None = None,
+    resume: bool = False,
 ) -> RobustnessReport:
     """Run the adversity grid through the cached sweep.
 
@@ -207,6 +224,15 @@ def run_robustness(
     (spec name, spaces dashed); traced sweeps bypass the cache.
     ``metrics`` accumulates every sweep's accounting and engine-level
     counters into one registry (see :func:`repro.sweep.runner.run_sweep`).
+
+    ``supervisor`` (a :class:`~repro.sweep.supervisor.SupervisorPolicy`)
+    runs every sweep under supervision: failed configs become failure
+    annotations in the tables instead of aborting the grid.
+    ``state_dir`` checkpoints each table's sweep into its own manifest
+    subdirectory (spec name, spaces dashed); ``resume=True`` continues
+    from those manifests, executing only the remainder — tables whose
+    manifest was never written (the interrupt landed earlier) simply
+    start fresh.
     """
     if profile is None:
         profile = "quick" if quick else "full"
@@ -229,26 +255,50 @@ def run_robustness(
             f"{scale['max_steps']} rounds for the synchronous table)."
         ),
     )
+    if resume and state_dir is None:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("robustness --resume requires a state directory")
     executed = cached = 0
+    failures: list = []
+    retries = resumed = 0
     for spec in _specs(scale, seed):
+        from pathlib import Path
+
         spec_trace_dir = None
         if trace_dir is not None:
-            from pathlib import Path
-
             spec_trace_dir = str(Path(trace_dir) / spec.name.replace(" ", "-"))
+        spec_state_dir = None
+        spec_resume = False
+        if state_dir is not None:
+            from repro.sweep.supervisor import MANIFEST_NAME
+
+            spec_state_dir = str(Path(state_dir) / spec.name.replace(" ", "-"))
+            # A table whose manifest never got written (the interrupt
+            # landed before the grid reached it) starts fresh.
+            spec_resume = resume and (Path(spec_state_dir) / MANIFEST_NAME).exists()
         report = run_sweep(
             spec, cache=cache, workers=workers, echo=echo,
             trace_dir=spec_trace_dir, metrics=metrics,
+            supervisor=supervisor, state_dir=spec_state_dir, resume=spec_resume,
         )
         executed += report.executed
         cached += report.cached
+        failures.extend(report.failures)
+        retries += report.retries
+        resumed += report.resumed
         if echo is not None:
             echo(f"[robustness] {report.summary()}")
         result.tables.append(aggregate_table(spec, report.records))
-    result.notes.append(
+    note = (
         f"sweep accounting: {executed} runs executed, {cached} served from cache "
         f"(profile={profile}, seed={seed})"
     )
+    if resumed:
+        note += f"; {resumed} resumed from checkpoint"
+    if failures:
+        note += f"; {len(failures)} run(s) PERMANENTLY FAILED"
+    result.notes.append(note)
     result.notes.append(
         "Reading guide: epsilon_time flat across columns means the positive-aging "
         "speedup survives; a high epsilon_time with low 'converged rate' means the "
@@ -262,7 +312,10 @@ def run_robustness(
         "concentrates the plurality in one graph ball; extra epsilon_time there "
         "is pure placement cost."
     )
-    return RobustnessReport(result=result, executed=executed, cached=cached)
+    return RobustnessReport(
+        result=result, executed=executed, cached=cached,
+        failures=failures, retries=retries, resumed=resumed,
+    )
 
 
 def run(*, quick: bool = True, seed: int = 0) -> ExperimentResult:

@@ -23,6 +23,11 @@ barrier per round (the tick-barrier controller pattern):
   synchronous engines (:func:`run_sharded_synchronous`).
 * :mod:`repro.shard.dynamics` — :func:`run_sharded_dynamics` for the
   baseline opinion dynamics.
+* :mod:`repro.shard.recovery` — the ``resumable=`` checkpoint–restart
+  seam for the count engines: packed per-shard generator states, a
+  checkpoint every K rounds, and a controller that survives worker
+  failures by restarting the round loop bit-identically from the last
+  checkpoint.
 * :mod:`repro.shard.population` — :func:`run_sharded_population`:
   block-granular intra-shard interactions plus a small controller-run
   cross-shard exchange (the one *approximate* sharding in the package;
@@ -37,6 +42,7 @@ deliberately not sharded here (see ``docs/architecture.md``).
 from repro.shard.dynamics import run_sharded_dynamics
 from repro.shard.partition import partition_counts, partition_nodes, shard_seed_sequences
 from repro.shard.population import run_sharded_population
+from repro.shard.recovery import CheckpointingController
 from repro.shard.runtime import ShardError, SharedArray, ShardHarness
 from repro.shard.synchronous import (
     ShardedAggregateSynchronousSim,
@@ -51,6 +57,7 @@ __all__ = [
     "SharedArray",
     "ShardHarness",
     "ShardError",
+    "CheckpointingController",
     "run_sharded_synchronous",
     "ShardedAggregateSynchronousSim",
     "ShardedPerNodeSynchronousSim",

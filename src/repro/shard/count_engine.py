@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.baselines.base import OpinionDynamics, _multinomial_round
 from repro.core.synchronous import aggregate_round
-from repro.shard.runtime import ShardWorkerContext, SharedArray
+from repro.shard.runtime import ROUND, ShardWorkerContext, SharedArray
 
 __all__ = ["AggregateSyncKernel", "DynamicsKernel", "count_worker"]
 
@@ -87,9 +87,29 @@ def count_worker(ctx: ShardWorkerContext, payload: dict) -> None:
     Payload keys: ``slots_spec`` (shared ``(shards, *state)`` array),
     ``kernel`` (an object with ``advance``), ``seed_seq`` (this shard's
     :class:`~numpy.random.SeedSequence`).
+
+    Recovery seam (all optional; absent keys leave the hot loop
+    byte-identical to the non-resumable build): ``rng_state_spec`` names
+    a shared ``(shards, PCG64_STATE_WORDS)`` uint64 array; on rounds
+    divisible by ``checkpoint_every`` the worker writes its packed
+    generator state there right after its count slot (inside the same
+    write phase, so the controller's post-round snapshot sees a
+    consistent pair). With ``resume`` set the generator is rebuilt from
+    the shared state row instead of ``seed_seq`` — the restart
+    continues the original substream exactly where the checkpoint left
+    it (see :mod:`repro.shard.recovery` for the determinism contract).
     """
     slots = SharedArray.attach(payload["slots_spec"])
-    rng = np.random.Generator(np.random.PCG64(payload["seed_seq"]))
+    rng_states = None
+    checkpoint_every = int(payload.get("checkpoint_every") or 0)
+    if payload.get("rng_state_spec") is not None:
+        rng_states = SharedArray.attach(payload["rng_state_spec"])
+    if payload.get("resume"):
+        from repro.shard.recovery import restored_generator
+
+        rng = restored_generator(rng_states.array[ctx.index])
+    else:
+        rng = np.random.Generator(np.random.PCG64(payload["seed_seq"]))
     kernel = payload["kernel"]
     try:
         local = slots.array[ctx.index].copy()
@@ -104,6 +124,16 @@ def count_worker(ctx: ShardWorkerContext, payload: dict) -> None:
             local = kernel.advance(global_state, local, rng, flag)
             assert int(local.sum()) == total_before, "shard node conservation violated"
             slots.array[ctx.index] = local
+            if (
+                rng_states is not None
+                and checkpoint_every
+                and int(ctx.control[ROUND]) % checkpoint_every == 0
+            ):
+                from repro.shard.recovery import pack_pcg64_state
+
+                rng_states.array[ctx.index] = pack_pcg64_state(rng.bit_generator.state)
             ctx.wait()  # everyone has written; controller may inspect
     finally:
         slots.close()
+        if rng_states is not None:
+            rng_states.close()

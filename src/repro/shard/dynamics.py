@@ -37,8 +37,18 @@ def run_sharded_dynamics(
     tracer=None,
     start_method: str | None = None,
     metrics=None,
+    resumable: bool = False,
+    checkpoint_every: int = 100,
+    max_restarts: int = 2,
 ) -> RunResult:
-    """Run ``dynamics`` to consensus across ``shards`` worker processes."""
+    """Run ``dynamics`` to consensus across ``shards`` worker processes.
+
+    ``resumable=True`` adds the count-engine checkpoint–restart seam:
+    count slots and per-shard generator states snapshot every
+    ``checkpoint_every`` rounds, and a worker failure restarts the
+    round loop from the last checkpoint (bit-identical recovery — see
+    :mod:`repro.shard.recovery`).
+    """
     if int(shards) == 1:
         return run_dynamics(
             dynamics,
@@ -63,10 +73,6 @@ def run_sharded_dynamics(
     slots.array[:] = partition_counts(initial_state, int(shards))
     seeds = shard_seed_sequences(rng, int(shards))
     kernel = DynamicsKernel(dynamics)
-    payloads = [
-        {"slots_spec": slots.spec, "kernel": kernel, "seed_seq": seed}
-        for seed in seeds
-    ]
     if tracer is None:
         tracer = NULL_TRACER
     trace_round = tracer.enabled_for("round")
@@ -79,9 +85,51 @@ def run_sharded_dynamics(
     epsilon_time: float | None = None
     rounds = 0
     converged = False
-    harness = ShardHarness(
-        count_worker, payloads, phases=2, start_method=start_method, metrics=metrics
-    )
+    rng_states = None
+    if resumable:
+        from repro.shard.recovery import (
+            PCG64_STATE_WORDS,
+            CheckpointingController,
+            initial_rng_states,
+        )
+
+        rng_states = SharedArray.create((int(shards), PCG64_STATE_WORDS), np.uint64)
+        rng_states.array[:] = initial_rng_states(seeds)
+
+        def build(resume: bool) -> ShardHarness:
+            payloads = [
+                {
+                    "slots_spec": slots.spec,
+                    "kernel": kernel,
+                    "seed_seq": seed,
+                    "rng_state_spec": rng_states.spec,
+                    "checkpoint_every": int(checkpoint_every),
+                    "resume": resume,
+                }
+                for seed in seeds
+            ]
+            return ShardHarness(
+                count_worker, payloads, phases=2, start_method=start_method,
+                metrics=metrics,
+            )
+
+        harness = CheckpointingController(
+            build,
+            slots=slots,
+            rng_states=rng_states,
+            checkpoint_every=int(checkpoint_every),
+            max_restarts=int(max_restarts),
+            metrics=metrics,
+        )
+    else:
+        payloads = [
+            {"slots_spec": slots.spec, "kernel": kernel, "seed_seq": seed}
+            for seed in seeds
+        ]
+        harness = ShardHarness(
+            count_worker, payloads, phases=2, start_method=start_method,
+            metrics=metrics,
+        )
     try:
         while rounds < max_rounds:
             harness.step()
@@ -113,6 +161,8 @@ def run_sharded_dynamics(
     finally:
         harness.close()
         slots.close()
+        if rng_states is not None:
+            rng_states.close()
     if tracer.enabled_for("end"):
         tracer.record(
             "end", float(rounds), converged=converged,

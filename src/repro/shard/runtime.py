@@ -123,12 +123,14 @@ class ShardWorkerContext:
         control: np.ndarray,
         timeout: float,
         metrics: MetricsRegistry | None = None,
+        heartbeat: np.ndarray | None = None,
     ):
         self.index = index
         self.control = control
         self._barrier = barrier
         self._timeout = timeout
         self.metrics = metrics
+        self._heartbeat = heartbeat
         self._wait_hist = (
             metrics.histogram("shard.barrier_wait_seconds", TIME_BUCKETS)
             if metrics is not None and metrics.enabled
@@ -136,6 +138,11 @@ class ShardWorkerContext:
         )
 
     def wait(self) -> None:
+        # Bump the liveness word *before* parking at the barrier: on a
+        # controller-side timeout, shards whose count trails the maximum
+        # are the ones that never arrived — the stuck ones.
+        if self._heartbeat is not None:
+            self._heartbeat[self.index] += 1.0
         if self._wait_hist is None:
             self._barrier.wait(self._timeout)
             return
@@ -165,12 +172,23 @@ def _worker_entry(
     payload: dict,
     timeout: float,
     metrics_path: str | None = None,
+    heartbeat_spec: tuple | None = None,
 ) -> None:
     control = SharedArray.attach(control_spec)
+    heartbeat = (
+        SharedArray.attach(heartbeat_spec) if heartbeat_spec is not None else None
+    )
     metrics = MetricsRegistry() if metrics_path is not None else None
     try:
         worker(
-            ShardWorkerContext(index, barrier, control.array, timeout, metrics),
+            ShardWorkerContext(
+                index,
+                barrier,
+                control.array,
+                timeout,
+                metrics,
+                heartbeat.array if heartbeat is not None else None,
+            ),
             payload,
         )
         if metrics is not None:
@@ -183,6 +201,8 @@ def _worker_entry(
         barrier.abort()
     finally:
         control.close()
+        if heartbeat is not None:
+            heartbeat.close()
 
 
 class ShardHarness:
@@ -212,6 +232,9 @@ class ShardHarness:
         self._barrier = ctx.Barrier(self.shards + 1)
         self._errors = ctx.SimpleQueue()
         self.control = SharedArray.create((_CONTROL_SLOTS,), np.float64)
+        # Per-shard liveness counters (bumped before every barrier wait)
+        # so a barrier timeout can name the shard that never arrived.
+        self._heartbeat = SharedArray.create((self.shards,), np.float64)
         self._stopped = False
         # Metrics are opt-in: workers get a per-shard sidecar file for
         # their registries (merged into ours on a clean stop) and the
@@ -243,6 +266,7 @@ class ShardHarness:
                     payload,
                     self._timeout,
                     sidecar,
+                    self._heartbeat.spec,
                 ),
                 name=f"shard-{index}",
                 daemon=True,
@@ -261,7 +285,14 @@ class ShardHarness:
         deadline = time.monotonic() + self._timeout
         while barrier.n_waiting < self.shards:
             if barrier.broken:
-                self._raise_worker_error("a worker aborted the barrier")
+                # A healthy worker's own barrier wait timing out (it
+                # shares self._timeout) aborts the barrier before the
+                # controller deadline below fires; the heartbeats still
+                # name the shard(s) that never arrived.
+                self._raise_worker_error(
+                    "a worker aborted the barrier; "
+                    f"stuck shard(s): {self._stuck_shards()}"
+                )
             for proc in self._procs:
                 if not proc.is_alive():
                     self._raise_worker_error(
@@ -269,13 +300,26 @@ class ShardHarness:
                         f"with exit code {proc.exitcode}"
                     )
             if time.monotonic() > deadline:
+                stuck = self._stuck_shards()
                 barrier.abort()
-                self._raise_worker_error(f"barrier timeout after {self._timeout}s")
+                self._raise_worker_error(
+                    f"barrier timeout after {self._timeout}s; "
+                    f"stuck shard(s): {stuck}"
+                )
             time.sleep(0.0002)
         try:
             barrier.wait(self._timeout)
         except BrokenBarrierError:
             self._raise_worker_error("barrier broke during release")
+
+    def _stuck_shards(self) -> list[int]:
+        """Shards whose heartbeat trails the front — the ones not at the
+        barrier. All-equal heartbeats mean every shard stalled at the
+        same point; report them all rather than none."""
+        beats = self._heartbeat.array
+        front = float(beats.max())
+        behind = [int(i) for i in np.nonzero(beats < front)[0]]
+        return behind if behind else list(range(self.shards))
 
     def _raise_worker_error(self, reason: str) -> None:
         self._stopped = True  # barrier is compromised; skip the stop round
@@ -360,6 +404,9 @@ class ShardHarness:
         if self.control is not None:
             self.control.close()
             self.control = None
+        if self._heartbeat is not None:
+            self._heartbeat.close()
+            self._heartbeat = None
 
     def __enter__(self) -> "ShardHarness":
         return self

@@ -81,7 +81,7 @@ class _ShardedSynchronousBase(_SynchronousBase):
         if self._harness is not None:
             self._harness.close()
             self._harness = None
-        for name in ("_slots", "_shared_colors", "_shared_generations"):
+        for name in ("_slots", "_rng_states", "_shared_colors", "_shared_generations"):
             block = getattr(self, name, None)
             if block is not None:
                 block.close()
@@ -107,6 +107,9 @@ class ShardedAggregateSynchronousSim(_ShardedSynchronousBase):
         tracer: Tracer | None = None,
         start_method: str | None = None,
         metrics=None,
+        resumable: bool = False,
+        checkpoint_every: int = 100,
+        max_restarts: int = 2,
     ):
         counts = validate_counts(counts)
         self.n = int(counts.sum())
@@ -128,14 +131,55 @@ class ShardedAggregateSynchronousSim(_ShardedSynchronousBase):
         self._slots.array[:, 0, :] = slot_counts
         seeds = shard_seed_sequences(rng, self.shards)
         kernel = AggregateSyncKernel(self.n, promotion)
-        payloads = [
-            {"slots_spec": self._slots.spec, "kernel": kernel, "seed_seq": seed}
-            for seed in seeds
-        ]
-        self._harness = ShardHarness(
-            count_worker, payloads, phases=2, start_method=start_method,
-            metrics=metrics,
-        )
+        if resumable:
+            # Recovery seam: shared generator-state rows + a checkpoint
+            # controller that restarts the round loop on ShardError (see
+            # repro.shard.recovery for the determinism contract).
+            from repro.shard.recovery import (
+                PCG64_STATE_WORDS,
+                CheckpointingController,
+                initial_rng_states,
+            )
+
+            self._rng_states = SharedArray.create(
+                (self.shards, PCG64_STATE_WORDS), np.uint64
+            )
+            self._rng_states.array[:] = initial_rng_states(seeds)
+
+            def build(resume: bool) -> ShardHarness:
+                payloads = [
+                    {
+                        "slots_spec": self._slots.spec,
+                        "kernel": kernel,
+                        "seed_seq": seed,
+                        "rng_state_spec": self._rng_states.spec,
+                        "checkpoint_every": int(checkpoint_every),
+                        "resume": resume,
+                    }
+                    for seed in seeds
+                ]
+                return ShardHarness(
+                    count_worker, payloads, phases=2, start_method=start_method,
+                    metrics=metrics,
+                )
+
+            self._harness = CheckpointingController(
+                build,
+                slots=self._slots,
+                rng_states=self._rng_states,
+                checkpoint_every=int(checkpoint_every),
+                max_restarts=int(max_restarts),
+                metrics=metrics,
+            )
+        else:
+            payloads = [
+                {"slots_spec": self._slots.spec, "kernel": kernel, "seed_seq": seed}
+                for seed in seeds
+            ]
+            self._harness = ShardHarness(
+                count_worker, payloads, phases=2, start_method=start_method,
+                metrics=metrics,
+            )
 
     def generation_color_matrix(self) -> np.ndarray:
         return self._slots.array.sum(axis=0)
@@ -284,6 +328,9 @@ def run_sharded_synchronous(
     tracer: Tracer | None = None,
     start_method: str | None = None,
     metrics=None,
+    resumable: bool = False,
+    checkpoint_every: int = 100,
+    max_restarts: int = 2,
 ) -> RunResult:
     """Sharded twin of :func:`repro.core.synchronous.run_synchronous`.
 
@@ -293,6 +340,15 @@ def run_sharded_synchronous(
     engines support the default scenario only (complete graph, no
     round faults, no explicit placement); the sweep target validates
     those combinations upfront.
+
+    ``resumable=True`` (aggregate engine only) checkpoints count slots
+    and per-shard generator states every ``checkpoint_every`` rounds
+    and survives up to ``max_restarts`` worker failures per run by
+    restarting from the last checkpoint with fresh workers — the
+    recovered run is bit-identical to an unfaulted one (see
+    :mod:`repro.shard.recovery`). The per-node engine keeps per-node
+    state the checkpoint does not capture, so the combination is
+    rejected rather than silently unprotected.
     """
     if int(shards) == 1:
         return run_synchronous(
@@ -310,8 +366,16 @@ def run_sharded_synchronous(
         sim: _ShardedSynchronousBase = ShardedAggregateSynchronousSim(
             counts, schedule, rng, shards=shards, tracer=tracer,
             start_method=start_method, metrics=metrics,
+            resumable=resumable, checkpoint_every=checkpoint_every,
+            max_restarts=max_restarts,
         )
     elif engine == "pernode":
+        if resumable:
+            raise ConfigurationError(
+                "resumable=True supports the count-state engines only; the "
+                "per-node engine's full colors/generations state is not "
+                "checkpointed (use engine='aggregate')"
+            )
         sim = ShardedPerNodeSynchronousSim(
             counts, schedule, rng, shards=shards, tracer=tracer,
             start_method=start_method, metrics=metrics,

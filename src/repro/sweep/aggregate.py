@@ -70,27 +70,37 @@ def aggregate_table(spec: SweepSpec, records: Sequence[dict]):
     from repro.experiments.common import ExperimentTable
 
     groups = group_records(spec, records)
+    # Supervised sweeps leave ``None`` at permanently failed slots;
+    # aggregate over the survivors and annotate the failure count. A
+    # sweep without failures renders byte-identically to before the
+    # fault-tolerance layer existed.
+    successes = [record for record in records if record is not None]
+    annotate_failures = len(successes) != len(records)
     # Sorted, not first-seen: cached records round-trip through
     # key-sorted JSON, and column order must not depend on whether a
     # record came from memory or from disk.
-    fields = sorted(numeric_fields(records, exclude=NON_AGGREGATED_FIELDS))
+    fields = sorted(numeric_fields(successes, exclude=NON_AGGREGATED_FIELDS))
     boolean = [f for f in fields if f in _BOOLEAN_HINTS]
     numeric = [f for f in fields if f not in _BOOLEAN_HINTS]
     headers = (
         spec.grid_keys
         + ["runs"]
+        + (["failed"] if annotate_failures else [])
         + numeric
         + [f"{name} rate" for name in boolean]
     )
     rows = []
     for point, batch in groups:
+        survivors = [record for record in batch if record is not None]
         row: list = [point[key] for key in spec.grid_keys]
         row.append(len(batch))
+        if annotate_failures:
+            row.append(len(batch) - len(survivors))
         for name in numeric:
-            summary = summarize_field(batch, name)
+            summary = summarize_field(survivors, name)
             row.append(summary.mean if summary is not None else float("nan"))
         for name in boolean:
-            row.append(rate(batch, name))
+            row.append(rate(survivors, name) if survivors else float("nan"))
         rows.append(row)
     title = f"sweep: {spec.name} (target={spec.target}, seed={spec.seed}, reps={spec.repetitions})"
     return ExperimentTable(title=title, headers=headers, rows=rows)

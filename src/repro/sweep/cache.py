@@ -34,6 +34,7 @@ True
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import re
@@ -46,6 +47,27 @@ from typing import Any, Iterator, Mapping
 from repro.sweep.spec import config_digest
 
 __all__ = ["RunCache", "CacheStats", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
+
+#: ``.tmp`` paths this process has created but not yet renamed or
+#: unlinked. A ``KeyboardInterrupt`` (or any exception that unwinds
+#: past ``put``) must not strand them: ``put`` reaps its own tmp in a
+#: ``finally``, and the atexit hook below sweeps anything that somehow
+#: survived to interpreter shutdown — only *our own* files, never a
+#: concurrent writer's.
+_PENDING_TMP: set[str] = set()
+
+
+def _reap_pending_tmp() -> None:
+    """Unlink every tmp file this process still owns (atexit hook)."""
+    for tmp_name in list(_PENDING_TMP):
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        _PENDING_TMP.discard(tmp_name)
+
+
+atexit.register(_reap_pending_tmp)
 
 #: Bump when the envelope schema changes; older entries become misses.
 CACHE_VERSION = 1
@@ -88,6 +110,8 @@ class RunCache:
         # (unparsable, stale version, digest mismatch). Plain int on a
         # rare path; the sweep runner harvests it into `sweep.cache.corrupt`.
         self.corrupt_hits = 0
+        # Bytes the most recent gc() deleted (or would have, dry-run).
+        self.gc_freed_bytes = 0
 
     def path_for(self, config: Mapping[str, Any]) -> Path:
         """Cache file that does or would hold this config's record."""
@@ -135,16 +159,21 @@ class RunCache:
         # Python's json round-trips but strict JSON rejects.
         payload = json.dumps(envelope, separators=(",", ":"), allow_nan=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        _PENDING_TMP.add(tmp_name)
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
             os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        finally:
+            # Whether the rename happened or an exception (including
+            # KeyboardInterrupt) is unwinding, this process's tmp file
+            # must not outlive the call.
+            if os.path.exists(tmp_name):
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            _PENDING_TMP.discard(tmp_name)
         return path
 
     def entry_paths(self) -> Iterator[Path]:
@@ -178,6 +207,7 @@ class RunCache:
         *,
         dry_run: bool = False,
         max_age_days: float | None = None,
+        max_bytes: int | None = None,
         delete_all: bool = False,
     ) -> list[Path]:
         """Delete corrupt entries (always), old entries, or everything.
@@ -188,26 +218,52 @@ class RunCache:
             Report what would be deleted without touching anything.
         max_age_days:
             Also delete valid entries whose mtime is older than this.
+        max_bytes:
+            Shrink the cache to at most this many bytes of valid
+            entries, evicting least-recently-written first (mtime
+            order) after the corrupt/age passes have run.
         delete_all:
             Wipe every entry (including stray ``.tmp`` leftovers).
 
-        Returns the paths deleted (or that would be, under ``dry_run``).
+        Returns the paths deleted (or that would be, under ``dry_run``);
+        ``gc_freed_bytes`` holds their combined size afterwards.
         """
         doomed: list[Path] = []
+        survivors: list[tuple[float, int, Path]] = []  # (mtime, size, path)
         cutoff = None
         if max_age_days is not None:
             cutoff = time.time() - max_age_days * 86400.0
         for path in self.entry_paths():
+            stat = path.stat()
             if delete_all or self._load(path) is None:
                 doomed.append(path)
-            elif cutoff is not None and path.stat().st_mtime < cutoff:
+            elif cutoff is not None and stat.st_mtime < cutoff:
                 doomed.append(path)
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None and not delete_all:
+            # LRU by mtime: keep the newest entries that fit the byte
+            # budget, evict the rest oldest-first.
+            survivors.sort(key=lambda item: item[0], reverse=True)
+            kept = 0
+            for mtime, size, path in survivors:
+                if kept + size > max_bytes:
+                    doomed.append(path)
+                else:
+                    kept += size
         now = time.time()
         for stray in sorted(self.root.glob("*.tmp")):
             # A fresh .tmp may be a concurrent put() mid-write; only
             # reap ones old enough to be crash leftovers.
             if delete_all or now - stray.stat().st_mtime > STALE_TMP_SECONDS:
                 doomed.append(stray)
+        freed = 0
+        for path in doomed:
+            try:
+                freed += path.stat().st_size
+            except OSError:
+                pass
+        self.gc_freed_bytes = freed
         if not dry_run:
             for path in doomed:
                 try:

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -134,24 +134,46 @@ class SweepReport:
     """Everything one :func:`run_sweep` invocation produced.
 
     ``records`` is aligned with ``configs`` (spec expansion order), so
-    downstream aggregation is independent of execution order.
+    downstream aggregation is independent of execution order. Under
+    supervision (see :mod:`repro.sweep.supervisor`) a permanently failed
+    config leaves ``None`` at its slot and a structured entry in
+    ``failures``; an unsupervised sweep never produces ``None`` records.
     """
 
     spec: SweepSpec
     configs: list[RunConfig]
-    records: list[dict]
+    records: list[dict | None]
     executed: int = 0
     cached: int = 0
     wall_time: float = 0.0
     workers: int = 1
+    failures: list = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    resumed: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every config produced a record."""
+        return not self.failures
 
     def summary(self) -> str:
         """One-line accounting of the sweep."""
-        return (
+        line = (
             f"sweep {self.spec.name}: {len(self.configs)} runs "
             f"({self.executed} executed, {self.cached} cached) "
             f"on {self.workers} worker(s) in {self.wall_time:.2f}s"
         )
+        extras = []
+        if self.resumed:
+            extras.append(f"{self.resumed} resumed")
+        if self.retries:
+            extras.append(f"{self.retries} retried")
+        if self.failures:
+            extras.append(f"{len(self.failures)} FAILED")
+        if extras:
+            line += f" [{', '.join(extras)}]"
+        return line
 
 
 def _resolve_workers(workers: int | None) -> int:
@@ -172,6 +194,9 @@ def run_sweep(
     echo: Callable[[str], None] | None = None,
     trace_dir: str | None = None,
     metrics=None,
+    supervisor=None,
+    state_dir=None,
+    resume: bool = False,
 ) -> SweepReport:
     """Run every config of ``spec`` that the cache cannot satisfy.
 
@@ -203,6 +228,28 @@ def run_sweep(
         sidecar snapshot that is merged back here — so engine counters
         survive the process-pool boundary. Cached runs contribute no
         engine metrics (they never executed).
+    supervisor:
+        Optional :class:`~repro.sweep.supervisor.SupervisorPolicy`.
+        When set, cache misses execute under supervision — per-run
+        wall-clock timeout, bounded retries with deterministic backoff,
+        and failure isolation: a config that exhausts its budget leaves
+        ``None`` in ``records`` and a
+        :class:`~repro.sweep.supervisor.RunFailure` in
+        ``report.failures`` instead of aborting the sweep. When
+        ``None`` (the default) the original fail-fast path runs
+        unchanged. Supervised misses always execute on a process pool
+        (even at ``workers=1``) — crash and hang isolation require a
+        process boundary.
+    state_dir:
+        Directory for the sweep's ``manifest.json`` checkpoint (see
+        :class:`~repro.sweep.supervisor.SweepManifest`). Implies a
+        default supervisor policy when none is given.
+    resume:
+        Continue an interrupted sweep from ``state_dir``: configs the
+        manifest marks ``done`` are restored from it (counted in
+        ``report.resumed``, not ``executed``/``cached``) and only the
+        remainder executes. Previously failed configs get a fresh
+        retry budget.
     """
     workers = _resolve_workers(workers)
     started = time.perf_counter()
@@ -242,9 +289,31 @@ def run_sweep(
             for index, config in enumerate(configs)
         ]
 
+    manifest = None
+    if state_dir is not None or resume:
+        from repro.sweep.supervisor import SupervisorPolicy, SweepManifest
+
+        if state_dir is None:
+            raise ConfigurationError("resume requires a state directory")
+        manifest = SweepManifest.open(state_dir, spec, resume=resume)
+        if supervisor is None:
+            supervisor = SupervisorPolicy()
+
     records: list[dict | None] = [None] * len(configs)
+    restored: set[int] = set()
+    if manifest is not None and resume:
+        for index in manifest.done_indices():
+            record = manifest.record(index)
+            if record is not None:
+                records[index] = dict(record)
+                restored.add(index)
+        if echo is not None and restored:
+            echo(f"[sweep] resumed {len(restored)} completed run(s) from manifest")
+
     misses: list[int] = []
     for index, config in enumerate(configs):
+        if index in restored:
+            continue
         hit = (
             cache.get(config.as_dict())
             if cache is not None and trace_dir is None
@@ -254,10 +323,27 @@ def run_sweep(
             records[index] = hit
         else:
             misses.append(index)
+    cached = len(configs) - len(misses) - len(restored)
     if echo is not None and cache is not None:
-        echo(f"[sweep] {len(configs) - len(misses)} cached, {len(misses)} to run")
+        echo(f"[sweep] {cached} cached, {len(misses)} to run")
 
-    if misses and workers > 1:
+    outcome = None
+    if misses and supervisor is not None:
+        from repro.sweep.supervisor import run_supervised
+
+        outcome = run_supervised(
+            configs,
+            misses,
+            supervisor,
+            workers=workers,
+            trace_paths=trace_paths,
+            metrics_paths=metrics_paths,
+            echo=echo,
+            manifest=manifest,
+        )
+        for index, record in outcome.records.items():
+            records[index] = record
+    elif misses and workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             fresh = pool.map(
                 _execute_traced,
@@ -270,10 +356,16 @@ def run_sweep(
             records[index] = execute_run(
                 configs[index], trace_paths[index], metrics_paths[index]
             )
+        if manifest is not None:
+            # Unsupervised path never runs with a manifest today, but
+            # keep the bookkeeping correct if that changes.
+            for index in misses:
+                manifest.mark_done(index, records[index])
 
     if cache is not None and trace_dir is None:
         for index in misses:
-            cache.put(configs[index].as_dict(), records[index])
+            if records[index] is not None:
+                cache.put(configs[index].as_dict(), records[index])
 
     if metrics is not None:
         _harvest_sweep_metrics(
@@ -286,16 +378,22 @@ def run_sweep(
             cache_active=cache is not None and trace_dir is None,
             corrupt_before=corrupt_before,
             metrics_dir=metrics_dir,
+            supervision=outcome,
+            resumed=len(restored) if resume else None,
         )
 
     return SweepReport(
         spec=spec,
         configs=configs,
-        records=[dict(r) for r in records],  # type: ignore[union-attr]
+        records=[dict(r) if r is not None else None for r in records],
         executed=len(misses),
-        cached=len(configs) - len(misses),
+        cached=cached,
         wall_time=time.perf_counter() - started,
         workers=workers,
+        failures=list(outcome.failures) if outcome is not None else [],
+        retries=outcome.retries if outcome is not None else 0,
+        timeouts=outcome.timeouts if outcome is not None else 0,
+        resumed=len(restored),
     )
 
 
@@ -310,6 +408,8 @@ def _harvest_sweep_metrics(
     cache_active: bool,
     corrupt_before: int,
     metrics_dir: str | None,
+    supervision=None,
+    resumed: int | None = None,
 ) -> None:
     """Publish sweep-level accounting and fold worker sidecars back in."""
     import os
@@ -318,7 +418,15 @@ def _harvest_sweep_metrics(
 
     metrics.gauge("sweep.workers").set(workers)
     metrics.counter("sweep.runs_executed").inc(len(misses))
-    metrics.counter("sweep.runs_cached").inc(total - len(misses))
+    metrics.counter("sweep.runs_cached").inc(total - len(misses) - (resumed or 0))
+    if resumed is not None:
+        metrics.counter("sweep.runs_resumed").inc(resumed)
+    if supervision is not None:
+        metrics.counter("sweep.retries").inc(supervision.retries)
+        metrics.counter("sweep.timeouts").inc(supervision.timeouts)
+        metrics.counter("sweep.failures").inc(len(supervision.failures))
+        if supervision.pool_rebuilds:
+            metrics.counter("sweep.pool_rebuilds").inc(supervision.pool_rebuilds)
     if cache_active and cache is not None:
         metrics.counter("sweep.cache.hits").inc(total - len(misses))
         metrics.counter("sweep.cache.misses").inc(len(misses))

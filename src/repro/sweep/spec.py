@@ -274,6 +274,30 @@ class SweepSpec:
             points *= len(values)
         return points * self.repetitions
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form stored in sweep manifests (see
+        :class:`repro.sweep.supervisor.SweepManifest`)."""
+        return {
+            "target": self.target,
+            "base": dict(self.base),
+            "grid": {key: list(values) for key, values in self.grid.items()},
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            target=str(data["target"]),
+            base=dict(data["base"]),
+            grid={str(k): list(v) for k, v in dict(data["grid"]).items()},
+            repetitions=int(data["repetitions"]),
+            seed=int(data["seed"]),
+            name=data.get("name"),
+        )
+
     def points(self) -> list[dict[str, Any]]:
         """All grid points (cross product), in deterministic order."""
         keys = self.grid_keys

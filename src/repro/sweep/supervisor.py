@@ -1,0 +1,715 @@
+"""Fault-tolerant sweep execution: supervision, retries, checkpoints.
+
+The plain sweep runner (:mod:`repro.sweep.runner`) is fast but brittle:
+one run raising — or one worker process taken out by the OOM killer —
+aborts the entire :class:`~concurrent.futures.ProcessPoolExecutor` fan
+out with :class:`~concurrent.futures.process.BrokenProcessPool`, and an
+interrupted sweep forgets which configs had already failed and how
+often. This module adds the supervised execution core:
+
+* :class:`SupervisorPolicy` — per-run wall-clock timeout plus bounded
+  retries with exponential backoff and *deterministic* jitter (a pure
+  function of the config digest and attempt number, so two identical
+  sweeps back off identically).
+* :func:`run_supervised` — submits cache misses to a process pool,
+  watches deadlines, survives ``BrokenProcessPool`` by rebuilding the
+  pool and resubmitting only the un-finished configs, and converts
+  every exhausted config into a structured :class:`RunFailure` instead
+  of an exception — the rest of the sweep completes and aggregates
+  render with failure annotations.
+* :class:`SweepManifest` — a ``manifest.json`` checkpoint (atomic
+  tmp+rename, like the run cache) tracking per-config state
+  (``pending`` / ``running`` / ``done`` / ``failed`` /
+  ``permanently-failed``), attempt counts, and — for ``done`` configs —
+  the record itself, so ``repro sweep --resume DIR`` continues an
+  interrupted sweep executing only the remainder even without a run
+  cache.
+
+Determinism under retry: a run's randomness is
+``RngRegistry(seed).stream(config.stream)`` — a pure function of the
+config, derived from scratch inside :func:`~repro.sweep.runner.execute_run`
+on every attempt — so a retried run draws byte-identical randomness to
+a first attempt. Retries repair *infrastructure* faults (killed or hung
+workers); a deterministic simulation bug fails every attempt the same
+way and surfaces as ``permanently-failed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sweep.spec import RunConfig, SweepSpec, config_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sweep.spec import SweepSpec as _SweepSpec
+
+__all__ = [
+    "SupervisorPolicy",
+    "RunFailure",
+    "SweepManifest",
+    "backoff_delay",
+    "run_supervised",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Per-config lifecycle states the manifest records. ``failed`` is the
+#: transient between attempts; ``permanently-failed`` means the retry
+#: budget is exhausted.
+STATES = ("pending", "running", "done", "failed", "permanently-failed")
+
+#: Supervisor poll cadence while waiting on futures (seconds).
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How hard the supervised runner fights for each run.
+
+    ``max_retries`` counts *re*-attempts: a run gets ``max_retries + 1``
+    attempts total before it is recorded as permanently failed.
+    ``run_timeout`` is wall-clock seconds measured from the moment the
+    run starts executing on a worker (queue time excluded); ``None``
+    disables timeout supervision. Backoff before attempt ``a >= 2`` is
+    ``backoff_base * backoff_factor ** (a - 2)`` capped at
+    ``backoff_max``, spread by ``±jitter`` (a deterministic fraction —
+    see :func:`backoff_delay`).
+    """
+
+    max_retries: int = 2
+    run_timeout: float | None = None
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 10.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.run_timeout is not None and self.run_timeout <= 0:
+            raise ConfigurationError(
+                f"run_timeout must be positive, got {self.run_timeout}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts each config is granted."""
+        return self.max_retries + 1
+
+
+@dataclass
+class RunFailure:
+    """One config's permanent failure, as recorded in sweep reports.
+
+    ``kind`` distinguishes the failure surface: ``"error"`` (the target
+    raised), ``"crash"`` (the worker process died — SIGKILL, OOM,
+    hard exit), or ``"timeout"`` (the run exceeded the policy's
+    wall-clock budget). ``error`` carries the last attempt's message or
+    traceback summary.
+    """
+
+    index: int
+    digest: str
+    target: str
+    params: dict
+    kind: str
+    error: str
+    attempts: int
+
+    def summary_row(self) -> list:
+        """Row for the CLI failure table."""
+        message = self.error.strip().splitlines()
+        return [
+            self.index,
+            self.target,
+            self.kind,
+            self.attempts,
+            message[-1][:72] if message else "",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "target": self.target,
+            "params": dict(self.params),
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunFailure":
+        return cls(
+            index=int(data["index"]),
+            digest=str(data["digest"]),
+            target=str(data["target"]),
+            params=dict(data["params"]),
+            kind=str(data["kind"]),
+            error=str(data["error"]),
+            attempts=int(data["attempts"]),
+        )
+
+
+def backoff_delay(policy: SupervisorPolicy, digest: str, attempt: int) -> float:
+    """Seconds to wait before launching attempt ``attempt`` (2-based).
+
+    Exponential in the attempt number, capped, with jitter derived from
+    ``sha256(digest:attempt)`` — deterministic, so a re-run of the same
+    sweep produces the same schedule, yet different configs (different
+    digests) de-synchronize instead of thundering back together.
+
+    >>> p = SupervisorPolicy(backoff_base=1.0, backoff_factor=2.0, jitter=0.0)
+    >>> [backoff_delay(p, "d", a) for a in (2, 3, 4)]
+    [1.0, 2.0, 4.0]
+    """
+    if attempt <= 1:
+        return 0.0
+    base = min(
+        policy.backoff_max,
+        policy.backoff_base * policy.backoff_factor ** (attempt - 2),
+    )
+    if policy.jitter == 0.0:
+        return base
+    word = hashlib.sha256(f"{digest}:{attempt}".encode()).digest()[:8]
+    fraction = int.from_bytes(word, "big") / float(2**64)  # uniform-ish [0, 1)
+    return base * (1.0 + policy.jitter * (2.0 * fraction - 1.0))
+
+
+# --------------------------------------------------------------------------
+# Manifest: the sweep's on-disk checkpoint.
+
+
+class SweepManifest:
+    """Per-config sweep state under ``<directory>/manifest.json``.
+
+    The manifest is the resume unit: it stores the expanded spec (so
+    ``repro sweep --resume DIR`` needs no other arguments), one entry
+    per config in expansion order — state, attempt count, last error,
+    and the completed record for ``done`` entries — and is rewritten
+    atomically (tmp + ``os.replace``) on every state transition, so a
+    ``kill -9`` at any moment leaves a loadable checkpoint.
+    """
+
+    def __init__(self, directory: str | Path, spec: SweepSpec, entries: list[dict]):
+        self.directory = Path(directory)
+        self.path = self.directory / MANIFEST_NAME
+        self.spec = spec
+        self.entries = entries
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: str | Path, spec: SweepSpec) -> "SweepManifest":
+        """Fresh manifest: every config ``pending``, zero attempts."""
+        configs = spec.expand()
+        entries = [
+            {
+                "digest": config.digest,
+                "state": "pending",
+                "attempts": 0,
+                "error": None,
+                "kind": None,
+                "record": None,
+            }
+            for config in configs
+        ]
+        manifest = cls(directory, spec, entries)
+        manifest.directory.mkdir(parents=True, exist_ok=True)
+        manifest.write()
+        return manifest
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "SweepManifest":
+        """Load an existing manifest; corrupt or alien files fail loudly.
+
+        Unlike cache entries — where corruption is recoverable by
+        re-running one config — a corrupt manifest means the resume
+        state is gone, and silently starting over would mask it.
+        """
+        path = Path(directory) / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot resume: no readable sweep manifest at {path} ({exc})"
+            ) from None
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"cannot resume: sweep manifest {path} is corrupt ({exc}); "
+                "delete the state directory to start the sweep over"
+            ) from None
+        if not isinstance(payload, dict) or payload.get("version") != MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"cannot resume: sweep manifest {path} has an unsupported "
+                f"layout (expected version {MANIFEST_VERSION})"
+            )
+        try:
+            spec = SweepSpec.from_dict(payload["spec"])
+            entries = list(payload["configs"])
+            digests = [entry["digest"] for entry in entries]
+            states = [entry["state"] for entry in entries]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"cannot resume: sweep manifest {path} is corrupt ({exc!r}); "
+                "delete the state directory to start the sweep over"
+            ) from None
+        if any(state not in STATES for state in states):
+            raise ConfigurationError(
+                f"cannot resume: sweep manifest {path} contains unknown "
+                "config states"
+            )
+        expected = [config.digest for config in spec.expand()]
+        if digests != expected:
+            raise ConfigurationError(
+                f"cannot resume: sweep manifest {path} does not match its own "
+                "spec expansion (corrupt entry list, or the library version "
+                "changed since the manifest was written)"
+            )
+        return cls(directory, spec, entries)
+
+    @classmethod
+    def open(
+        cls, directory: str | Path, spec: SweepSpec | None, *, resume: bool
+    ) -> "SweepManifest":
+        """The CLI entry: create fresh, or load-and-verify for resume.
+
+        On resume with a ``spec`` given, the stored spec must expand to
+        the same config digests — resuming a *different* sweep from a
+        stale directory is an error, not a silent restart.
+        """
+        if resume:
+            manifest = cls.load(directory)
+            if spec is not None and [c.digest for c in spec.expand()] != [
+                entry["digest"] for entry in manifest.entries
+            ]:
+                raise ConfigurationError(
+                    f"cannot resume: the manifest under {directory} was written "
+                    "by a different sweep (target/grid/seed mismatch)"
+                )
+            return manifest
+        if spec is None:
+            raise ConfigurationError("a sweep spec is required to start a new manifest")
+        return cls.create(directory, spec)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "spec": self.spec.to_dict(),
+            "configs": self.entries,
+        }
+
+    def write(self) -> None:
+        """Atomic rewrite — same tmp+rename discipline as the run cache."""
+        payload = json.dumps(self.to_dict(), separators=(",", ":"), allow_nan=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- transitions -------------------------------------------------------
+
+    def state(self, index: int) -> str:
+        return self.entries[index]["state"]
+
+    def attempts(self, index: int) -> int:
+        return int(self.entries[index]["attempts"])
+
+    def record(self, index: int) -> dict | None:
+        """The stored record for a ``done`` entry (else ``None``)."""
+        entry = self.entries[index]
+        return entry["record"] if entry["state"] == "done" else None
+
+    def done_indices(self) -> list[int]:
+        return [i for i, entry in enumerate(self.entries) if entry["state"] == "done"]
+
+    def mark_running(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            entry = self.entries[index]
+            entry["state"] = "running"
+            entry["attempts"] = int(entry["attempts"]) + 1
+        if indices:
+            self.write()
+
+    def mark_done(self, index: int, record: Mapping[str, Any]) -> None:
+        entry = self.entries[index]
+        entry.update(state="done", record=dict(record), error=None, kind=None)
+        self.write()
+
+    def mark_failed(
+        self, index: int, *, kind: str, error: str, permanent: bool
+    ) -> None:
+        entry = self.entries[index]
+        entry.update(
+            state="permanently-failed" if permanent else "failed",
+            kind=kind,
+            error=error,
+        )
+        self.write()
+
+
+# --------------------------------------------------------------------------
+# Supervised pool execution.
+
+
+def _execute_supervised(item: tuple) -> dict:
+    """Pool entry for supervised attempts: touch the start marker, run.
+
+    The marker is the ground truth for "this attempt actually began
+    executing on a worker" — the supervisor uses it for crash
+    attribution and timeout deadlines (see :func:`run_supervised`).
+    """
+    marker, inner = item
+    from repro.sweep.runner import _execute_traced
+
+    with open(marker, "w"):
+        pass
+    return _execute_traced(inner)
+
+
+@dataclass
+class SupervisionOutcome:
+    """What :func:`run_supervised` hands back to the sweep runner."""
+
+    records: dict[int, dict]
+    failures: list[RunFailure] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    pool_rebuilds: int = 0
+
+
+@dataclass
+class _Attempt:
+    """Book-keeping for one config inside the supervision loop."""
+
+    index: int
+    config: RunConfig
+    attempt: int = 0
+    eligible_at: float = 0.0
+    last_kind: str = "error"
+    last_error: str = ""
+
+
+def run_supervised(
+    configs: Sequence[RunConfig],
+    indices: Sequence[int],
+    policy: SupervisorPolicy,
+    *,
+    workers: int,
+    trace_paths: Sequence[str | None],
+    metrics_paths: Sequence[str | None],
+    echo: Callable[[str], None] | None = None,
+    manifest: SweepManifest | None = None,
+) -> SupervisionOutcome:
+    """Execute ``indices`` of ``configs`` under supervision.
+
+    Every config gets ``policy.attempts`` attempts; between attempts the
+    config waits out its deterministic backoff (the supervisor keeps
+    other work flowing meanwhile — backoff never blocks the pool). A
+    worker crash breaks the whole :class:`ProcessPoolExecutor`; the
+    supervisor charges the attempt to the config(s) that were actually
+    executing, rebuilds the pool, and resubmits everything un-finished
+    (queued-but-not-started attempts are *not* charged). Timeouts kill
+    the pool outright — a hung worker cannot be cancelled any other way
+    — and take the same rebuild path.
+
+    Returns records for the configs that eventually succeeded and a
+    :class:`RunFailure` per config that exhausted its budget; never
+    raises for run-level faults.
+    """
+    import shutil
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    outcome = SupervisionOutcome(records={})
+    pending: dict[int, _Attempt] = {
+        index: _Attempt(index=index, config=configs[index]) for index in indices
+    }
+    if not pending:
+        return outcome
+
+    def _say(line: str) -> None:
+        if echo is not None:
+            echo(line)
+
+    # Worker-side start markers. ``future.running()`` lies about actual
+    # execution — the executor flips futures to RUNNING as they enter
+    # the call queue (capacity ``workers + 1``), before any worker picks
+    # them up — so crash/timeout attribution keys off a sentinel file
+    # the worker touches at attempt entry instead.
+    marker_dir = tempfile.mkdtemp(prefix="repro-supervise-")
+    marker_of: dict[Any, str] = {}
+
+    def _submit(pool, attempt: _Attempt):
+        attempt.attempt += 1
+        if manifest is not None:
+            manifest.mark_running([attempt.index])
+        marker = os.path.join(
+            marker_dir, f"{attempt.index}-{attempt.attempt}.start"
+        )
+        item = (
+            attempt.config.as_dict(),
+            trace_paths[attempt.index],
+            metrics_paths[attempt.index],
+        )
+        future = pool.submit(_execute_supervised, (marker, item))
+        marker_of[future] = marker
+        return future
+
+    def _started(future) -> bool:
+        return os.path.exists(marker_of[future])
+
+    def _record_failure(attempt: _Attempt, *, kind: str, error: str) -> None:
+        """Charge a failed attempt; retry or fail permanently."""
+        attempt.last_kind = kind
+        attempt.last_error = error
+        if kind == "timeout":
+            outcome.timeouts += 1
+        elif kind == "crash":
+            outcome.crashes += 1
+        if attempt.attempt < policy.attempts:
+            outcome.retries += 1
+            attempt.eligible_at = time.monotonic() + backoff_delay(
+                policy, attempt.config.digest, attempt.attempt + 1
+            )
+            if manifest is not None:
+                manifest.mark_failed(
+                    attempt.index, kind=kind, error=error, permanent=False
+                )
+            _say(
+                f"[sweep] run {attempt.index} {kind} "
+                f"(attempt {attempt.attempt}/{policy.attempts}); retrying"
+            )
+            return
+        config = attempt.config
+        outcome.failures.append(
+            RunFailure(
+                index=attempt.index,
+                digest=config.digest,
+                target=config.target,
+                params=config.params_dict,
+                kind=kind,
+                error=error,
+                attempts=attempt.attempt,
+            )
+        )
+        if manifest is not None:
+            manifest.mark_failed(attempt.index, kind=kind, error=error, permanent=True)
+        del pending[attempt.index]
+        _say(
+            f"[sweep] run {attempt.index} permanently failed after "
+            f"{attempt.attempt} attempt(s): {kind}"
+        )
+
+    def _record_success(attempt: _Attempt, record: dict) -> None:
+        outcome.records[attempt.index] = record
+        if manifest is not None:
+            manifest.mark_done(attempt.index, record)
+        del pending[attempt.index]
+
+    def _refund(attempt: _Attempt) -> None:
+        """Undo a submission that never actually executed.
+
+        Queued bystanders of a pool break must not lose retry budget —
+        only the config(s) that were on a worker when it died pay.
+        """
+        attempt.attempt -= 1
+        attempt.eligible_at = 0.0
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    futures: dict[Any, _Attempt] = {}
+    started_at: dict[Any, float] = {}
+    submit_order: dict[Any, int] = {}
+    submit_counter = 0
+    try:
+        while pending or futures:
+            now = time.monotonic()
+            # Launch every attempt whose backoff has elapsed and that is
+            # not already in flight.
+            in_flight = {attempt.index for attempt in futures.values()}
+            for index in sorted(pending):
+                attempt = pending[index]
+                if index in in_flight or attempt.eligible_at > now:
+                    continue
+                future = _submit(pool, attempt)
+                futures[future] = attempt
+                submit_order[future] = submit_counter
+                submit_counter += 1
+                in_flight.add(index)
+
+            if not futures:
+                # Everything left is backing off; sleep to the earliest.
+                wake = min(a.eligible_at for a in pending.values())
+                time.sleep(max(0.0, min(wake - time.monotonic(), _POLL_SECONDS * 4)))
+                continue
+
+            done, not_done = wait(
+                list(futures), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+            )
+            # Observe which futures are actually executing — crash
+            # attribution and timeout deadlines both key off the
+            # worker-touched start marker, sampled at poll cadence.
+            now = time.monotonic()
+            for future in not_done:
+                if future not in started_at and _started(future):
+                    started_at[future] = now
+
+            broken_futures: list[tuple[int, Any, _Attempt]] = []
+            for future in done:
+                attempt = futures.pop(future)
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    # A pool break poisons *every* in-flight future, so
+                    # defer attribution until all are collected.
+                    broken_futures.append((submit_order[future], future, attempt))
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    started_at.pop(future, None)
+                    _record_failure(
+                        attempt, kind="error", error=f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    started_at.pop(future, None)
+                    _record_success(attempt, record)
+
+            broken = bool(broken_futures)
+            if broken:
+                # Charge the crash to the future(s) whose attempt had
+                # actually started on a worker (start marker on disk);
+                # queued bystanders — poisoned by the same pool break —
+                # get refunded. If no marker landed (the worker died in
+                # the handful of instructions before touching it), fall
+                # back to the earliest-submitted broken futures: the
+                # pool executes submissions FIFO, so at most ``workers``
+                # of them had started.
+                broken_futures.sort(key=lambda item: item[0])
+                observed = [item for item in broken_futures if _started(item[1])]
+                victims = {id(item[1]) for item in (observed or broken_futures[:workers])}
+                for _, future, attempt in broken_futures:
+                    started_at.pop(future, None)
+                    if id(future) in victims:
+                        _record_failure(
+                            attempt,
+                            kind="crash",
+                            error="worker process died (BrokenProcessPool)",
+                        )
+                    else:
+                        _refund(attempt)
+
+            if not broken and policy.run_timeout is not None:
+                # Deadline scan: charge a timeout to every attempt that
+                # has been *executing* (not queued) past the budget.
+                now = time.monotonic()
+                overdue = [
+                    (future, attempt)
+                    for future, attempt in futures.items()
+                    if future in started_at
+                    and now - started_at[future] > policy.run_timeout
+                ]
+                if overdue:
+                    for future, attempt in overdue:
+                        futures.pop(future)
+                        started_at.pop(future, None)
+                        _record_failure(
+                            attempt,
+                            kind="timeout",
+                            error=(
+                                f"run exceeded --run-timeout "
+                                f"{policy.run_timeout:g}s wall clock"
+                            ),
+                        )
+                    # A hung worker cannot be cancelled; killing the pool
+                    # is the only off switch, and costs a rebuild.
+                    broken = True
+                    _kill_pool_processes(pool)
+
+            if broken:
+                # Rebuild the pool; un-finished futures die with it. The
+                # overdue/victim attempts were already charged above —
+                # whatever is still in ``futures`` is collateral.
+                outcome.pool_rebuilds += 1
+                for future, attempt in list(futures.items()):
+                    futures.pop(future)
+                    started_at.pop(future, None)
+                    if future.done():
+                        # Completed in the race window; harvest it.
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            _refund(attempt)
+                        except Exception as exc:  # noqa: BLE001
+                            _record_failure(
+                                attempt,
+                                kind="error",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        else:
+                            _record_success(attempt, record)
+                    else:
+                        _refund(attempt)
+                pool.shutdown(wait=False, cancel_futures=True)
+                _kill_pool_processes(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                started_at.clear()
+                submit_order.clear()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        _kill_pool_processes(pool)
+        shutil.rmtree(marker_dir, ignore_errors=True)
+    return outcome
+
+
+def _kill_pool_processes(pool) -> None:
+    """Force-kill a pool's worker processes (hung workers ignore shutdown).
+
+    ``ProcessPoolExecutor`` exposes no supported kill switch — a worker
+    stuck in ``time.sleep`` or a native call would otherwise pin the
+    process tree forever — so this reaches for the executor's internal
+    process table. Guarded: if the attribute moves in a future CPython,
+    supervision degrades to waiting out the child at interpreter exit
+    rather than crashing.
+    """
+    processes = getattr(pool, "_processes", None)
+    if not processes:
+        return
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+
+def failure_table(failures: Sequence[RunFailure]):
+    """Render permanent failures as an ExperimentTable (CLI summary)."""
+    from repro.experiments.common import ExperimentTable
+
+    return ExperimentTable(
+        title=f"failed runs ({len(failures)})",
+        headers=["run", "target", "kind", "attempts", "last error"],
+        rows=[failure.summary_row() for failure in failures],
+    )

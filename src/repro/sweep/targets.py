@@ -59,7 +59,7 @@ default records byte-identical.
 Examples
 --------
 >>> sorted(target_names())[:3]
-['multileader', 'population', 'single_leader']
+['chaos', 'multileader', 'population']
 >>> from repro.engine.rng import RngRegistry
 >>> rec = get_target("synchronous")({"n": 400, "k": 2, "alpha": 2.0},
 ...                                 RngRegistry(1).stream("doc"))
@@ -108,6 +108,7 @@ _TARGET_DEFAULTS: dict[str, dict[str, Any]] = {}
 _TARGET_VALIDATORS: dict[str, Callable[[Mapping[str, Any]], None]] = {}
 _TARGET_TRACEABLE: dict[str, bool] = {}
 _TARGET_METRICABLE: dict[str, bool] = {}
+_TARGET_HARNESS: dict[str, bool] = {}
 
 #: Substrate + initial-configuration axes (all targets).  The
 #: ``weights`` axis is deliberately NOT here: only targets whose
@@ -138,6 +139,7 @@ def register_target(
     defaults: Mapping[str, Any] | None = None,
     *,
     validate: Callable[[Mapping[str, Any]], None] | None = None,
+    harness: bool = False,
 ) -> Callable[[Target], Target]:
     """Decorator: register ``fn(params, rng) -> record`` under ``name``.
 
@@ -147,7 +149,10 @@ def register_target(
     time and raises :class:`~repro.errors.ConfigurationError` on
     unsupported combinations — failing the sweep upfront instead of
     mid-run on worker 17 of 32.  Targets that declare a ``tracer``
-    keyword are marked traceable (``--trace`` eligible).
+    keyword are marked traceable (``--trace`` eligible).  ``harness``
+    marks targets that exercise the runner rather than a protocol
+    (e.g. ``chaos``) — they are exempt from the one-vocabulary
+    guarantee (topology/fault axes on every protocol target).
     """
 
     def decorator(fn: Target) -> Target:
@@ -159,6 +164,7 @@ def register_target(
             _TARGET_VALIDATORS[name] = validate
         _TARGET_TRACEABLE[name] = "tracer" in inspect.signature(fn).parameters
         _TARGET_METRICABLE[name] = "metrics" in inspect.signature(fn).parameters
+        _TARGET_HARNESS[name] = harness
         return fn
 
     return decorator
@@ -195,6 +201,12 @@ def target_metricable(name: str) -> bool:
     """Whether the target accepts a ``metrics`` registry (``--metrics``)."""
     get_target(name)
     return _TARGET_METRICABLE[name]
+
+
+def target_is_harness(name: str) -> bool:
+    """Whether the target exercises the runner rather than a protocol."""
+    get_target(name)
+    return _TARGET_HARNESS[name]
 
 
 def validate_target_params(name: str, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -730,3 +742,73 @@ def population_target(
     if wiring is not None:
         record.update(wiring.info())
     return record
+
+
+_CHAOS_MODES = ("ok", "raise", "flaky_raise", "flaky_kill", "flaky_hang")
+
+_CHAOS_DEFAULTS: dict[str, Any] = {
+    "mode": "ok",
+    "marker_dir": "",
+    "hang_seconds": 30.0,
+    "work": 0,
+}
+
+
+def _validate_chaos(p: Mapping[str, Any]) -> None:
+    if p["mode"] not in _CHAOS_MODES:
+        raise ConfigurationError(
+            f"unknown chaos mode {p['mode']!r}; valid: {', '.join(_CHAOS_MODES)}"
+        )
+    if p["mode"].startswith("flaky_") and not p["marker_dir"]:
+        raise ConfigurationError(
+            f"chaos mode {p['mode']!r} needs marker_dir= (the fault fires only "
+            "on attempts made before the marker file exists)"
+        )
+
+
+@register_target("chaos", _CHAOS_DEFAULTS, validate=_validate_chaos, harness=True)
+def chaos_target(params: Mapping[str, Any], rng: np.random.Generator) -> dict:
+    """Fault-injection target for the supervision layer's own tests.
+
+    This target exercises the *runner*, not a protocol: ``mode``
+    selects how the run misbehaves. ``"ok"`` returns a record drawn
+    from the run's RNG substream; ``"raise"`` raises on every attempt
+    (a deterministic simulation bug — the supervisor must record it as
+    permanently failed). The ``flaky_*`` modes misbehave only while
+    their marker file ``<marker_dir>/<mode>-<work>.marker`` is absent
+    — they *create the marker first*, so a retry of the same config
+    succeeds: ``flaky_raise`` raises once, ``flaky_kill`` SIGKILLs its
+    own worker process once, ``flaky_hang`` sleeps ``hang_seconds``
+    once (past any sane ``--run-timeout``). ``work`` is an inert label
+    that distinguishes grid points (separate marker files, separate
+    RNG substreams).
+
+    The record's ``value`` is the first draw from the run's substream
+    and nothing else consumes randomness, so a retried run is
+    byte-identical to an unfaulted first attempt — the chaos tests pin
+    exactly that.
+    """
+    import os
+    import signal
+    import time as _time
+    from pathlib import Path
+
+    p = _take(params, _CHAOS_DEFAULTS)
+    _validate_chaos(p)
+    mode = p["mode"]
+    if mode == "raise":
+        raise RuntimeError("chaos: configured to fail every attempt")
+    if mode.startswith("flaky_"):
+        marker = Path(p["marker_dir"]) / f"{mode}-{p['work']}.marker"
+        if not marker.exists():
+            # Marker before mayhem: the *next* attempt must find it even
+            # when this one dies un-cleanly a line later.
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.touch()
+            if mode == "flaky_raise":
+                raise RuntimeError("chaos: first-attempt failure")
+            if mode == "flaky_kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if mode == "flaky_hang":
+                _time.sleep(float(p["hang_seconds"]))
+    return {"value": float(rng.random()), "work": int(p["work"]), "converged": True}

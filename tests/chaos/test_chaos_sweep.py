@@ -1,0 +1,221 @@
+"""Chaos harness: fault injection against the supervised sweep runner.
+
+Every test here injects a real fault — a worker raising, SIGKILLing
+itself, hanging, or on-disk state corrupted between invocations — and
+asserts the supervision contract: the sweep completes, retried runs are
+byte-identical to unfaulted ones (same content-addressed RNG
+substream), failures are isolated and counted exactly, and interrupted
+sweeps resume executing only the remainder.
+
+The ``chaos`` sweep target misbehaves exactly once per mode: flaky
+modes create a marker file *before* faulting, so the retry (and any
+later comparison sweep) runs clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.errors import ConfigurationError
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import SweepSpec
+from repro.sweep.supervisor import MANIFEST_NAME, SupervisorPolicy, SweepManifest
+
+#: Snappy backoff so retry-heavy tests stay inside the tier-1 budget.
+FAST_POLICY = SupervisorPolicy(max_retries=2, backoff_base=0.02, backoff_max=0.1)
+
+
+def chaos_spec(tmp_path, modes, name="chaos-test", **base):
+    return SweepSpec(
+        target="chaos",
+        base={"marker_dir": str(tmp_path / "markers"), **base},
+        grid={"mode": list(modes)},
+        repetitions=1,
+        seed=0,
+        name=name,
+    )
+
+
+def strip_wall_time(record):
+    return {k: v for k, v in record.items() if k != "wall_time"}
+
+
+class TestRetryByteIdentity:
+    def test_flaky_raise_retries_to_the_unfaulted_record(self, tmp_path):
+        spec = chaos_spec(tmp_path, ["ok", "flaky_raise"])
+        metrics = MetricsRegistry()
+        report = run_sweep(
+            spec, workers=1, supervisor=FAST_POLICY, metrics=metrics
+        )
+        assert report.succeeded and report.retries == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep.retries"] == 1
+        assert counters["sweep.failures"] == 0
+        # Markers persist, so the same spec now runs fault-free; the
+        # retried record must match byte-for-byte (modulo wall clock).
+        clean = run_sweep(spec, workers=1)
+        assert [strip_wall_time(r) for r in report.records] == [
+            strip_wall_time(r) for r in clean.records
+        ]
+
+
+class TestFailureIsolation:
+    def test_always_raising_config_is_isolated(self, tmp_path):
+        spec = chaos_spec(tmp_path, ["ok", "raise"])
+        policy = SupervisorPolicy(max_retries=1, backoff_base=0.02, backoff_max=0.1)
+        metrics = MetricsRegistry()
+        report = run_sweep(spec, workers=1, supervisor=policy, metrics=metrics)
+        assert not report.succeeded
+        [failure] = report.failures
+        assert failure.kind == "error"
+        assert failure.params["mode"] == "raise"
+        assert failure.attempts == policy.attempts
+        assert "configured to fail" in failure.error
+        # The healthy config still produced its record; the failed slot
+        # is None, exactly where the aggregate annotates.
+        by_mode = {
+            config.params_dict["mode"]: record
+            for config, record in zip(report.configs, report.records)
+        }
+        assert by_mode["ok"] is not None and by_mode["raise"] is None
+        counters = metrics.snapshot()["counters"]
+        assert counters["sweep.failures"] == 1
+        assert counters["sweep.retries"] == policy.max_retries
+
+    def test_aggregate_annotates_failures(self, tmp_path):
+        from repro.sweep.aggregate import aggregate_table
+
+        spec = chaos_spec(tmp_path, ["ok", "raise"])
+        policy = SupervisorPolicy(max_retries=0, backoff_base=0.02)
+        report = run_sweep(spec, workers=1, supervisor=policy)
+        table = aggregate_table(spec, report.records)
+        assert "failed" in table.headers
+        rendered = table.render()
+        assert "raise" in rendered
+
+
+@pytest.mark.slow
+class TestKillHangMatrix:
+    def test_kill_hang_raise_matrix_counts_exactly(self, tmp_path):
+        """The full fault matrix: SIGKILL, hang, and a deterministic bug
+        in one sweep — completes, counts each fault exactly once, and
+        recovered records match the unfaulted sweep byte-for-byte."""
+        modes = ["ok", "flaky_raise", "flaky_kill", "flaky_hang", "raise"]
+        spec = chaos_spec(tmp_path, modes)
+        policy = SupervisorPolicy(
+            max_retries=2, run_timeout=2.0, backoff_base=0.05, backoff_max=0.25
+        )
+        metrics = MetricsRegistry()
+        report = run_sweep(
+            spec, workers=1, supervisor=policy, metrics=metrics,
+            state_dir=str(tmp_path / "state"),
+        )
+        counters = metrics.snapshot()["counters"]
+        # raise burns its whole budget (2 retries); each flaky mode
+        # faults once then its marker disarms it (3 more retries).
+        assert counters["sweep.retries"] == policy.max_retries + 3
+        assert counters["sweep.timeouts"] == 1
+        assert counters["sweep.failures"] == 1
+        assert counters["sweep.pool_rebuilds"] >= 2  # kill + hang
+        [failure] = report.failures
+        assert failure.params["mode"] == "raise" and failure.kind == "error"
+        clean = run_sweep(
+            chaos_spec(tmp_path, [m for m in modes if m != "raise"]), workers=1
+        )
+        recovered = {
+            c.params_dict["mode"]: strip_wall_time(r)
+            for c, r in zip(report.configs, report.records)
+            if r is not None
+        }
+        baseline = {
+            c.params_dict["mode"]: strip_wall_time(r)
+            for c, r in zip(clean.configs, clean.records)
+        }
+        assert recovered == baseline
+
+
+class TestCheckpointResume:
+    SPEC = SweepSpec(
+        target="synchronous",
+        base={"k": 2, "alpha": 2.0},
+        grid={"n": [200, 400]},
+        repetitions=2,
+        seed=3,
+    )
+
+    def test_resume_executes_only_the_remainder(self, tmp_path):
+        state = tmp_path / "state"
+        first = MetricsRegistry()
+        report = run_sweep(
+            self.SPEC, workers=1, state_dir=str(state), metrics=first
+        )
+        assert report.succeeded
+        assert first.snapshot()["counters"]["sweep.runs_executed"] == 4
+
+        # Simulate an interruption: forget two completions.
+        manifest = SweepManifest.load(state)
+        for index in (1, 3):
+            manifest.entries[index].update(state="pending", record=None, attempts=0)
+        manifest.write()
+
+        second = MetricsRegistry()
+        resumed = run_sweep(
+            self.SPEC, workers=1, state_dir=str(state), resume=True, metrics=second
+        )
+        counters = second.snapshot()["counters"]
+        assert counters["sweep.runs_executed"] == 2
+        assert counters["sweep.runs_resumed"] == 2
+        assert resumed.resumed == 2
+        # Content-addressed substreams: re-executed runs reproduce the
+        # original records exactly.
+        assert [strip_wall_time(r) for r in resumed.records] == [
+            strip_wall_time(r) for r in report.records
+        ]
+
+    def test_full_resume_executes_nothing(self, tmp_path):
+        state = tmp_path / "state"
+        report = run_sweep(self.SPEC, workers=1, state_dir=str(state))
+        metrics = MetricsRegistry()
+        resumed = run_sweep(
+            self.SPEC, workers=1, state_dir=str(state), resume=True, metrics=metrics
+        )
+        assert metrics.snapshot()["counters"]["sweep.runs_executed"] == 0
+        assert resumed.records == report.records
+
+    def test_resume_without_state_dir_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="state directory"):
+            run_sweep(self.SPEC, workers=1, resume=True)
+
+
+class TestCorruptState:
+    def test_corrupt_manifest_fails_loudly(self, tmp_path):
+        state = tmp_path / "state"
+        run_sweep(
+            chaos_spec(tmp_path, ["ok"]), workers=1,
+            supervisor=FAST_POLICY, state_dir=str(state),
+        )
+        (state / MANIFEST_NAME).write_bytes(b"\x00garbage\xff")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            run_sweep(
+                chaos_spec(tmp_path, ["ok"]), workers=1,
+                state_dir=str(state), resume=True,
+            )
+
+    def test_corrupt_cache_entry_reexecutes_under_supervision(self, tmp_path):
+        from repro.sweep.cache import RunCache
+
+        cache = RunCache(tmp_path / "cache")
+        spec = chaos_spec(tmp_path, ["ok"])
+        first = run_sweep(spec, cache=cache, workers=1, supervisor=FAST_POLICY)
+        [path] = list(cache.entry_paths())
+        path.write_bytes(b"\xde\xad\xbe\xef not json")
+        second = run_sweep(spec, cache=cache, workers=1, supervisor=FAST_POLICY)
+        assert second.succeeded and second.executed == 1
+        assert [strip_wall_time(r) for r in second.records] == [
+            strip_wall_time(r) for r in first.records
+        ]
+        # The atomic re-put repaired the entry.
+        assert json.loads(path.read_text())["version"] >= 1

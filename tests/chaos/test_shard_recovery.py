@@ -1,0 +1,186 @@
+"""Chaos harness: SIGKILLed shard workers vs the checkpoint–restart seam.
+
+A kernel wrapper SIGKILLs its own worker process mid-run (a marker file
+arms the fault exactly once), and the ``resumable=`` controller must
+restore the last checkpoint, rebuild fresh workers in resume mode, and
+replay to a result *bit-identical* to the unfaulted run — the
+determinism contract of :mod:`repro.shard.recovery`. A statistical
+gate (the cross-shard KS/CI harness) additionally pins the recovered
+runs against the unsharded engine's distribution.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+import repro.shard.dynamics as dynamics_module
+from repro.baselines.base import run_dynamics
+from repro.baselines.three_majority import ThreeMajority
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.rng import RngRegistry
+from repro.errors import ConfigurationError
+from repro.shard.count_engine import DynamicsKernel
+from repro.shard.dynamics import run_sharded_dynamics
+from repro.shard.runtime import ShardError
+
+COUNTS = np.array([260, 200, 140], dtype=np.int64)
+
+KS_P_FLOOR = 0.01  # same gate as the cross-shard differential harness
+
+
+class KillingKernel(DynamicsKernel):
+    """SIGKILL the worker on its Nth ``advance`` call — exactly once.
+
+    The marker file is created with ``open(..., "x")`` *before* the
+    kill, so exactly one worker across all processes and restarts dies
+    (atomic create: later arrivals see ``FileExistsError`` and run on).
+    Picklable like any kernel; it rides the worker payload.
+    """
+
+    def __init__(self, dynamics, kill_after: int, marker: str):
+        super().__init__(dynamics)
+        self.kill_after = kill_after
+        self.marker = marker
+        self.calls = 0
+
+    def advance(self, global_state, local_state, rng, flag):
+        self.calls += 1
+        if self.calls == self.kill_after:
+            try:
+                with open(self.marker, "x"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+            except FileExistsError:
+                pass
+        return super().advance(global_state, local_state, rng, flag)
+
+
+class AlwaysKillingKernel(DynamicsKernel):
+    """SIGKILL on every build — recovery can never make progress."""
+
+    def __init__(self, dynamics, kill_after: int):
+        super().__init__(dynamics)
+        self.kill_after = kill_after
+        self.calls = 0
+
+    def advance(self, global_state, local_state, rng, flag):
+        self.calls += 1
+        if self.calls >= self.kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().advance(global_state, local_state, rng, flag)
+
+
+def run_with_kernel(kernel_factory, *, seed_label, metrics=None, **kwargs):
+    """Run sharded ThreeMajority with the module's kernel monkeypatched."""
+    original = dynamics_module.DynamicsKernel
+    dynamics_module.DynamicsKernel = kernel_factory
+    try:
+        return run_sharded_dynamics(
+            ThreeMajority(),
+            COUNTS.copy(),
+            RngRegistry(17).stream(seed_label),
+            shards=2,
+            max_rounds=400,
+            metrics=metrics,
+            **kwargs,
+        )
+    finally:
+        dynamics_module.DynamicsKernel = original
+
+
+class TestSigkillRecovery:
+    def test_killed_worker_resumes_bit_identically(self, tmp_path):
+        baseline = run_with_kernel(
+            DynamicsKernel, seed_label="recovery-test",
+            resumable=True, checkpoint_every=3,
+        )
+        marker = str(tmp_path / "killed.marker")
+        metrics = MetricsRegistry()
+        faulted = run_with_kernel(
+            lambda d: KillingKernel(d, 4, marker), seed_label="recovery-test",
+            resumable=True, checkpoint_every=3, metrics=metrics,
+        )
+        # The fault actually fired (kill at advance-call 4, between the
+        # round-3 checkpoint and round 6) and one restart recovered it.
+        assert os.path.exists(marker)
+        assert metrics.snapshot()["counters"]["shard.restarts"] == 1
+        # Bit-identical recovery, not merely statistical.
+        assert faulted.elapsed == baseline.elapsed
+        assert faulted.winner == baseline.winner
+        assert (faulted.final_color_counts == baseline.final_color_counts).all()
+
+    def test_restart_budget_exhausted_reraises(self, tmp_path):
+        with pytest.raises(ShardError):
+            run_with_kernel(
+                lambda d: AlwaysKillingKernel(d, 2), seed_label="budget-test",
+                resumable=True, checkpoint_every=3, max_restarts=1,
+            )
+
+    def test_pernode_engine_refuses_resumable(self):
+        from repro.core.schedule import FixedSchedule
+        from repro.shard.synchronous import run_sharded_synchronous
+        from repro.workloads import biased_counts
+
+        with pytest.raises(ConfigurationError, match="per-node"):
+            run_sharded_synchronous(
+                biased_counts(200, 2, 2.0),
+                FixedSchedule(n=200, k=2, alpha0=2.0),
+                RngRegistry(0).stream("pernode-resumable"),
+                shards=2, engine="pernode", resumable=True,
+            )
+
+
+@pytest.mark.slow
+class TestRecoveryStatisticalEquivalence:
+    def test_killed_and_resumed_runs_match_the_unsharded_law(self, tmp_path):
+        """The KS/CI gate from the cross-shard differential harness,
+        applied to recovered runs: convergence times of sharded runs
+        that each survived a SIGKILL are indistinguishable from the
+        unsharded engine's."""
+        seeds = range(24)
+        unsharded = [
+            float(
+                run_dynamics(
+                    ThreeMajority(), COUNTS.copy(),
+                    RngRegistry(17).stream(f"recovery-ks/{seed}"),
+                    max_rounds=400,
+                ).elapsed
+            )
+            for seed in seeds
+        ]
+        recovered = []
+        for seed in seeds:
+            marker = str(tmp_path / f"kill-{seed}.marker")
+            metrics = MetricsRegistry()
+            result = run_with_kernel(
+                lambda d: KillingKernel(d, 4, marker),
+                seed_label=f"recovery-ks/{seed}",
+                resumable=True, checkpoint_every=3, metrics=metrics,
+            )
+            assert os.path.exists(marker), f"fault never fired for seed {seed}"
+            assert metrics.snapshot()["counters"]["shard.restarts"] == 1
+            recovered.append(float(result.elapsed))
+        baseline = np.asarray(unsharded)
+        sharded = np.asarray(recovered)
+        ks = scipy_stats.ks_2samp(baseline, sharded)
+        assert ks.pvalue >= KS_P_FLOOR, (
+            f"recovered runs distinguishable from unsharded "
+            f"(KS p={ks.pvalue:.4g}, means {baseline.mean():.1f} "
+            f"vs {sharded.mean():.1f})"
+        )
+
+        def ci95(values):
+            mean = float(values.mean())
+            half = 1.96 * float(values.std(ddof=1)) / np.sqrt(values.size)
+            return mean - half, mean + half
+
+        low_a, high_a = ci95(baseline)
+        low_b, high_b = ci95(sharded)
+        assert low_a <= high_b and low_b <= high_a, (
+            f"95% CIs do not overlap ({(low_a, high_a)} vs {(low_b, high_b)})"
+        )

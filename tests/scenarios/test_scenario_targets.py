@@ -23,7 +23,18 @@ from repro.errors import ConfigurationError
 from repro.multileader.params import MultiLeaderParams
 from repro.multileader.protocol import run_multileader
 from repro.scenarios.topology import RandomRegularGraph
-from repro.sweep.targets import get_target, target_names, target_params
+from repro.sweep.targets import (
+    get_target,
+    target_is_harness,
+    target_names,
+    target_params,
+)
+
+
+def protocol_target_names():
+    # Harness targets (e.g. ``chaos``) exercise the runner, not a
+    # protocol — the one-vocabulary guarantee doesn't apply to them.
+    return [name for name in target_names() if not target_is_harness(name)]
 from repro.workloads.opinions import biased_counts
 
 
@@ -122,7 +133,7 @@ class TestProtocolsOnSparseGraphs:
 
 class TestScenarioTargets:
     def test_every_target_documents_topology_axes(self):
-        for name in target_names():
+        for name in protocol_target_names():
             params = target_params(name)
             assert "topology" in params and "init" in params, name
 
@@ -131,7 +142,7 @@ class TestScenarioTargets:
         # multipliers; exposing the axis elsewhere would run unweighted
         # physics under a weighted label.
         assert "weights" in target_params("single_leader")
-        for name in target_names():
+        for name in protocol_target_names():
             if name != "single_leader":
                 assert "weights" not in target_params(name), name
 
@@ -144,7 +155,7 @@ class TestScenarioTargets:
     def test_every_target_documents_fault_axes(self):
         # The one-vocabulary guarantee: every target — event-driven or
         # round-driven — exposes the same fault knobs.
-        for name in target_names():
+        for name in protocol_target_names():
             params = target_params(name)
             for knob in (
                 "drop", "drop_model", "churn", "churn_downtime",

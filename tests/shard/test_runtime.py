@@ -84,3 +84,35 @@ class TestShardHarness:
         with pytest.raises(ShardError, match="died|failed"):
             harness.step()
         harness.close()
+
+
+def _sleepy_worker(ctx: ShardWorkerContext, payload: dict) -> None:
+    """Shard ``payload['stuck']`` hangs before its first barrier wait."""
+    import time
+
+    if ctx.index == payload["stuck"]:
+        time.sleep(600.0)
+    while True:
+        ctx.wait()
+        if ctx.stopped:
+            break
+        ctx.wait()
+
+
+class TestHungWorker:
+    def test_barrier_timeout_names_the_stuck_shard(self):
+        """A hung worker trips the barrier timeout within timeout + eps,
+        and the error names exactly the shard that never arrived."""
+        import time
+
+        timeout = 2.0
+        payloads = [{"stuck": 1} for _ in range(3)]
+        harness = ShardHarness(_sleepy_worker, payloads, phases=1, timeout=timeout)
+        started = time.monotonic()
+        with pytest.raises(ShardError, match=r"stuck shard\(s\): \[1\]"):
+            harness.step()
+        elapsed = time.monotonic() - started
+        # The controller must not wait out the sleep — detection is
+        # bounded by the configured timeout plus teardown slack.
+        assert elapsed < timeout + 3.0
+        harness.close()  # idempotent; the error path already cleaned up

@@ -188,3 +188,87 @@ class TestNanInfRecords:
         assert loaded["mean"] != loaded["mean"]  # NaN
         assert loaded["worst"] == float("inf")
         assert loaded["ok"] == 1.5
+
+
+class TestTmpReaping:
+    """An interrupted put() must not strand its .tmp file."""
+
+    def test_put_failure_reaps_its_tmp(self, cache, monkeypatch):
+        import repro.sweep.cache as cache_module
+
+        def explode(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cache_module.os, "replace", explode)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(CONFIG, RECORD)
+        assert list(cache.root.glob("*.tmp")) == []
+        assert not cache_module._PENDING_TMP
+
+    def test_atexit_hook_reaps_pending_tmp(self, cache):
+        from repro.sweep.cache import _PENDING_TMP, _reap_pending_tmp
+
+        stranded = cache.root / "stranded-0.tmp"
+        stranded.write_text("half-written")
+        _PENDING_TMP.add(str(stranded))
+        _reap_pending_tmp()
+        assert not stranded.exists()
+        assert not _PENDING_TMP
+
+    def test_atexit_hook_ignores_already_deleted(self):
+        from repro.sweep.cache import _PENDING_TMP, _reap_pending_tmp
+
+        _PENDING_TMP.add("/nonexistent/path/to.tmp")
+        _reap_pending_tmp()  # must not raise
+        assert not _PENDING_TMP
+
+
+class TestGcMaxBytes:
+    """LRU-by-mtime eviction down to a byte budget."""
+
+    def _fill(self, cache, count):
+        paths = []
+        for i in range(count):
+            config = {**CONFIG, "rep": i}
+            path = cache.put(config, RECORD)
+            # Stagger mtimes so LRU order is deterministic: rep 0 is
+            # the oldest entry, rep count-1 the newest.
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            paths.append(path)
+        return paths
+
+    def test_evicts_oldest_first(self, cache):
+        paths = self._fill(cache, 4)
+        size = paths[0].stat().st_size
+        doomed = cache.gc(max_bytes=2 * size)
+        assert sorted(doomed) == sorted(paths[:2])
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+        assert cache.gc_freed_bytes == 2 * size
+
+    def test_budget_larger_than_cache_evicts_nothing(self, cache):
+        self._fill(cache, 3)
+        assert cache.gc(max_bytes=10**9) == []
+        assert cache.gc_freed_bytes == 0
+
+    def test_zero_budget_evicts_everything(self, cache):
+        paths = self._fill(cache, 3)
+        doomed = cache.gc(max_bytes=0)
+        assert sorted(doomed) == sorted(paths)
+
+    def test_dry_run_reports_without_deleting(self, cache):
+        paths = self._fill(cache, 2)
+        doomed = cache.gc(max_bytes=0, dry_run=True)
+        assert len(doomed) == 2
+        assert all(path.exists() for path in paths)
+        assert cache.gc_freed_bytes > 0
+
+    def test_corrupt_entries_do_not_count_against_budget(self, cache):
+        paths = self._fill(cache, 2)
+        bad = cache.root / ("e" * 64 + ".json")
+        bad.write_text("{corrupt")
+        doomed = cache.gc(max_bytes=2 * paths[0].stat().st_size)
+        # The corrupt entry is doomed by the corruption pass; both
+        # valid entries fit the budget and survive.
+        assert doomed == [bad]
+        assert all(path.exists() for path in paths)

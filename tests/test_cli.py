@@ -234,3 +234,91 @@ class TestReportFlag:
         out = capsys.readouterr().out
         assert code == 0
         assert "## Telemetry" in out
+
+
+class TestSupervisedSweep:
+    """CLI surface of the fault-tolerance layer (PR 9)."""
+
+    def test_supervised_failure_exits_3_with_table(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "chaos", "--grid", "mode=ok,raise",
+             "--max-retries", "0", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "failed runs (1)" in out
+        assert "RuntimeError" in out
+        # The healthy grid point still aggregated, with the failure
+        # annotated in its own column.
+        assert "failed" in out
+
+    def test_state_dir_then_resume_without_target(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        metrics_a = tmp_path / "a.json"
+        metrics_b = tmp_path / "b.json"
+        base = ["--set", "k=2", "--set", "alpha=2.0", "--no-cache"]
+        code = main(
+            ["sweep", "synchronous", "--grid", "n=150,250", *base,
+             "--state-dir", state, "--metrics", str(metrics_a)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # --resume DIR needs no target: the spec lives in the manifest.
+        code = main(
+            ["sweep", "--resume", state, "--no-cache", "--metrics", str(metrics_b)]
+        )
+        assert code == 0
+        import json
+
+        first = json.loads(metrics_a.read_text())["counters"]
+        second = json.loads(metrics_b.read_text())["counters"]
+        assert first["sweep.runs_executed"] == 2
+        assert second["sweep.runs_executed"] == 0
+        assert second["sweep.runs_resumed"] == 2
+
+    def test_resume_with_corrupt_manifest_exits_2(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "manifest.json").write_text("{not json")
+        code = main(["sweep", "--resume", str(state), "--no-cache"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "corrupt" in err
+
+    def test_resume_missing_manifest_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--resume", str(tmp_path / "nowhere"), "--no-cache"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no readable sweep manifest" in err
+
+    @pytest.mark.slow
+    def test_chaos_smoke_command(self, capsys):
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 checks passed" in out
+
+
+class TestCacheGcMaxBytes:
+    def test_gc_max_bytes_evicts_lru(self, tmp_path, capsys):
+        import os as os_module
+
+        cache_dir = str(tmp_path / "runs")
+        main(
+            ["sweep", "synchronous", "--grid", "n=100,200", "--set", "k=2",
+             "--cache-dir", cache_dir]
+        )
+        capsys.readouterr()
+        entries = sorted((tmp_path / "runs").glob("*.json"))
+        assert len(entries) == 2
+        # Make LRU order deterministic, then squeeze to one entry's size.
+        os_module.utime(entries[0], (1_000_000, 1_000_000))
+        budget = entries[1].stat().st_size
+        assert main(
+            ["cache", "gc", "--cache-dir", cache_dir, "--max-bytes", str(budget)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1" in out
+        assert "KiB" in out
+        assert len(list((tmp_path / "runs").glob("*.json"))) == 1
